@@ -1,0 +1,68 @@
+"""Ablation A13 — testing the programmed array (ATPG + diagnosis).
+
+The repair flow of [6] presumes defects can be found: this bench
+generates compact deterministic single-fault test sets (closed-form
+excitation via the cube algebra) for benchmark configurations, reports coverage and compaction, and closes the loop by
+injecting faults, diagnosing them from the test response, and checking
+the true fault is always among the located candidates.
+
+Run with ``pytest benchmarks/bench_ablation_atpg.py --benchmark-only``.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.bench.mcnc import benchmark_function, get_benchmark
+from repro.mapping.gnor_map import map_cover_to_gnor
+from repro.testgen import FaultSimulator, locate_fault
+from repro.testgen.atpg import deterministic_tests
+
+
+def run_atpg_study():
+    rows = []
+    for name in ("syn_small", "syn_dec5", "max46"):
+        stats = get_benchmark(name)
+        f = benchmark_function(stats, seed=0)
+        config = map_cover_to_gnor(f.on_set)
+        result = deterministic_tests(config)
+        # diagnosis spot check on a handful of detected faults
+        simulator = FaultSimulator(config)
+        diagnosed = 0
+        checked = 0
+        for fault in result.detected[::max(1, len(result.detected) // 10)]:
+            observed = [simulator.evaluate(test, fault)
+                        for test in result.tests]
+            candidates = locate_fault(config, result.tests, observed)
+            checked += 1
+            if fault in candidates:
+                diagnosed += 1
+        rows.append((name, config, result, diagnosed, checked))
+    return rows
+
+
+def test_atpg(benchmark, capsys):
+    rows = benchmark.pedantic(run_atpg_study, rounds=1, iterations=1)
+
+    for name, config, result, diagnosed, checked in rows:
+        assert result.coverage > 0.9, name
+        assert result.n_tests() <= result.candidate_pool_size
+        assert diagnosed == checked, name  # every injected fault located
+
+    with capsys.disabled():
+        print()
+        table = []
+        for name, config, result, diagnosed, checked in rows:
+            n_faults = len(result.detected) + len(result.undetected)
+            table.append([
+                name,
+                f"{config.n_products}x{config.n_inputs + config.n_outputs}",
+                n_faults,
+                result.n_tests(),
+                f"{result.coverage:.1%}",
+                f"{diagnosed}/{checked}",
+            ])
+        print(render_table(
+            ["benchmark", "array", "single faults", "tests",
+             "coverage", "faults located"],
+            table, title="A13: ATPG for programmed GNOR arrays "
+                         "(the locate step the repair flow needs)"))

@@ -1,0 +1,52 @@
+"""Ablation A1 — the input-count crossover of the Table 1 area model.
+
+Section 5: "the CNFET implementation can only save area compared to
+Flash if the PLA has a large number of inputs".  With the published
+cell constants the crossover is exactly I = O; this bench sweeps the
+input count at fixed outputs/products and locates the break-even point,
+confirming why ``max46`` (9 > 1) saves ~21 % while ``apla`` (10 < 12)
+pays 3 %.
+
+Run with ``pytest benchmarks/bench_ablation_crossover.py --benchmark-only``.
+"""
+
+import pytest
+
+from repro.analysis.report import format_percent, render_table
+from repro.analysis.sweep import sweep
+from repro.core.area import (CNFET_AMBIPOLAR, FLASH, area_saving_percent,
+                             crossover_inputs, pla_area)
+
+
+def run_sweep(n_outputs=8, n_products=30):
+    def point(n_inputs):
+        flash = pla_area(FLASH, n_inputs, n_outputs, n_products)
+        cnfet = pla_area(CNFET_AMBIPOLAR, n_inputs, n_outputs, n_products)
+        return {"saving": area_saving_percent(cnfet, flash)}
+
+    return sweep(point, {"n_inputs": list(range(2, 25, 2))})
+
+
+def test_crossover(benchmark, capsys):
+    points = benchmark(run_sweep)
+
+    # monotone increasing saving with inputs
+    savings = [p.values["saving"] for p in points]
+    assert all(b > a for a, b in zip(savings, savings[1:]))
+    # sign flips exactly at I = O = 8
+    for p in points:
+        if p.params["n_inputs"] < 8:
+            assert p.values["saving"] < 0
+        elif p.params["n_inputs"] > 8:
+            assert p.values["saving"] > 0
+    assert crossover_inputs(8) == pytest.approx(8.0)
+
+    with capsys.disabled():
+        print()
+        rows = [[p.params["n_inputs"], format_percent(p.values["saving"])]
+                for p in points]
+        print(render_table(["inputs (O=8, P=30)", "CNFET vs Flash"], rows,
+                           title="A1: area crossover — CNFET wins iff "
+                                 "inputs exceed outputs"))
+        print("\nTable 1 placement: max46 I=9>O=1 (saves), "
+              "apla I=10<O=12 (overhead), t2 I=17>O=16 (saves)")

@@ -1,0 +1,64 @@
+"""Ablation A5 — the two-level minimizer behind the product-term counts.
+
+Table 1's areas assume minimized covers ("our PLAs are minimized for
+any given function").  The bench measures our Espresso-style loop on
+structured and random functions: cover shrinkage, iteration counts, and
+that known-optimal cases reach their optimum.
+
+Run with ``pytest benchmarks/bench_ablation_espresso.py --benchmark-only``.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.bench.synth import majority_function, parity_function, random_sop
+from repro.espresso import espresso
+from repro.logic.function import BooleanFunction
+
+
+def minterm_function(n, seed):
+    """A function given as raw minterms (worst-case starting cover)."""
+    import random
+    rng = random.Random(seed)
+    table = [1 if rng.random() < 0.4 else 0 for _ in range(1 << n)]
+    return BooleanFunction.from_truth_table(table, n, name=f"minterms{n}")
+
+
+def suite():
+    return [
+        ("maj4 (opt=6)", majority_function(4, threshold=2), 6),
+        ("maj5", majority_function(5), None),
+        ("parity4 (opt=8)", parity_function(4), 8),
+        ("minterms5", minterm_function(5, seed=1), None),
+        ("minterms6", minterm_function(6, seed=2), None),
+        ("random 8x3", random_sop(8, 3, 20, seed=3), None),
+    ]
+
+
+def run_espresso_suite():
+    rows = []
+    for label, f, optimum in suite():
+        result = espresso(f)
+        rows.append((label, f, result, optimum))
+    return rows
+
+
+def test_espresso_quality(benchmark, capsys):
+    rows = benchmark(run_espresso_suite)
+
+    for label, f, result, optimum in rows:
+        assert f.equivalent_to(result.cover), label
+        if optimum is not None:
+            assert result.cover.n_cubes() == optimum, label
+        assert result.final_cost[0] <= result.initial_cost[0]
+
+    with capsys.disabled():
+        print()
+        table = [[label, result.initial_cost[0], result.cover.n_cubes(),
+                  optimum if optimum is not None else "?",
+                  result.iterations, result.essential_count]
+                 for label, _f, result, optimum in rows]
+        print(render_table(
+            ["function", "initial cubes", "minimized", "known optimum",
+             "passes", "essentials"],
+            table, title="A5: Espresso-style minimizer quality"))

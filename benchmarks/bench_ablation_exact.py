@@ -1,0 +1,65 @@
+"""Ablation A7 — heuristic Espresso loop vs exact minimum covers.
+
+Table 1 rests on "minimized" product counts; this bench quantifies how
+close our heuristic loop gets to the true optimum (Quine-McCluskey +
+branch-and-bound covering) on functions small enough for exact
+minimization.
+
+Run with ``pytest benchmarks/bench_ablation_exact.py --benchmark-only``.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.bench.synth import majority_function, parity_function
+from repro.espresso import espresso
+from repro.espresso.exact import exact_minimize
+from repro.logic.function import BooleanFunction
+
+
+def suite():
+    functions = [
+        majority_function(4, threshold=2),
+        majority_function(5),
+        parity_function(4),
+    ]
+    for seed in (41, 42, 43, 44, 45, 46):
+        functions.append(BooleanFunction.random(
+            6, 1, 8, seed=seed, name=f"rand6 s{seed}",
+            dash_probability=0.45))
+    return functions
+
+
+def run_comparison():
+    rows = []
+    for f in suite():
+        heuristic = espresso(f)
+        exact = exact_minimize(f)
+        rows.append((f, heuristic, exact))
+    return rows
+
+
+def test_exact_vs_heuristic(benchmark, capsys):
+    rows = benchmark(run_comparison)
+
+    gaps = []
+    for f, heuristic, exact in rows:
+        assert f.equivalent_to(heuristic.cover)
+        assert f.equivalent_to(exact.cover)
+        assert exact.optimum <= heuristic.cover.n_cubes()
+        gaps.append(heuristic.cover.n_cubes() - exact.optimum)
+
+    # the heuristic should be optimal on most of this easy suite
+    assert gaps.count(0) >= len(gaps) - 2
+
+    with capsys.disabled():
+        print()
+        table = [[f.name, exact.n_primes, heuristic.cover.n_cubes(),
+                  exact.optimum,
+                  "optimal" if heuristic.cover.n_cubes() == exact.optimum
+                  else f"+{heuristic.cover.n_cubes() - exact.optimum}"]
+                 for f, heuristic, exact in rows]
+        print(render_table(
+            ["function", "primes", "espresso", "exact optimum", "gap"],
+            table, title="A7: heuristic loop vs exact minimum "
+                         "(QM + branch-and-bound)"))

@@ -1,0 +1,57 @@
+"""Ablation A12 — annealing budget vs implementation quality.
+
+The Table 2 numbers depend on the placement/routing substrate doing its
+job; this bench sweeps the simulated-annealing move budget and measures
+wirelength and frequency on the standard fabric, showing the knob is
+converged at the default (200 moves/block) rather than under-annealed.
+
+Run with ``pytest benchmarks/bench_ablation_placement.py --benchmark-only``.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.fpga.clb import standard_pla_clb
+from repro.fpga.fabric import FPGAFabric
+from repro.fpga.netlist import build_netlist
+from repro.fpga.placement import place
+from repro.fpga.routing import route
+from repro.fpga.timing import analyze_timing
+from repro.fpga.emulate import generate_workload
+from repro.mapping.partition import Partitioner
+
+
+def run_budget_sweep():
+    partitioner = Partitioner(9, 4, 20)
+    partitions = generate_workload(seed=3, n_blocks_target=40,
+                                   partitioner=partitioner)
+    netlist = build_netlist(partitions, dual_polarity=True)
+    fabric = FPGAFabric(7, 7, standard_pla_clb(), channel_capacity=28)
+    rows = []
+    for budget in (1, 10, 50, 200, 500):
+        placement = place(netlist, fabric, seed=0, moves_per_block=budget)
+        routing = route(netlist, placement, fabric)
+        timing = analyze_timing(netlist, routing, fabric)
+        rows.append((budget, placement.wirelength, routing.total_wirelength,
+                     len(routing.overflow), timing.max_frequency_mhz()))
+    return rows
+
+
+def test_placement_budget(benchmark, capsys):
+    rows = benchmark.pedantic(run_budget_sweep, rounds=1, iterations=1)
+
+    hpwl = {budget: wl for budget, wl, _rw, _ov, _f in rows}
+    # annealing must clearly beat the (nearly) random initial placement
+    assert hpwl[200] < hpwl[1] * 0.85
+    # and be converged: doubling the budget changes little
+    assert abs(hpwl[500] - hpwl[200]) / hpwl[200] < 0.25
+
+    with capsys.disabled():
+        print()
+        table = [[budget, f"{wl:.0f}", routed, overflow, f"{mhz:.0f}"]
+                 for budget, wl, routed, overflow, mhz in rows]
+        print(render_table(
+            ["moves/block", "HPWL (tiles)", "routed segments",
+             "overflow segs", "freq (MHz)"],
+            table, title="A12: annealing budget vs implementation quality "
+                         "(standard fabric, 40 blocks on 7x7)"))

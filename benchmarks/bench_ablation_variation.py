@@ -1,0 +1,64 @@
+"""Ablation A10 — parameter variation: timing yield and PG misreads.
+
+Beyond hard defects (A4), CNFET parameters spread: the bench sweeps the
+electrical sigma and reports Monte-Carlo cycle-time statistics and
+timing yield for the ``max46``-sized GNOR PLA, plus the analytic
+probability that a stored polarity charge reads back wrong as the
+programming noise grows — quantifying the robustness of the three-state
+PG window (V+/V0/V-).
+
+Run with ``pytest benchmarks/bench_ablation_variation.py --benchmark-only``.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.bench.mcnc import get_benchmark
+from repro.core.timing import PLATimingModel
+from repro.core.variation import VariationModel, sigma_sweep
+
+
+def run_variation_study():
+    stats = get_benchmark("max46")
+    nominal = PLATimingModel(stats.inputs, stats.outputs,
+                             stats.products).cycle_time()
+    target_hz = 1.0 / (nominal * 1.15)  # 15% timing slack budget
+    timing_rows = sigma_sweep(stats.inputs, stats.outputs, stats.products,
+                              sigmas=(0.05, 0.10, 0.20, 0.35),
+                              target_frequency_hz=target_hz,
+                              trials=300, seed=3)
+    charge_rows = [(sigma, VariationModel(sigma_pg_charge=sigma)
+                    .pg_misread_probability())
+                   for sigma in (0.02, 0.05, 0.10, 0.15, 0.25)]
+    return nominal, timing_rows, charge_rows
+
+
+def test_variation(benchmark, capsys):
+    nominal, timing_rows, charge_rows = benchmark.pedantic(
+        run_variation_study, rounds=1, iterations=1)
+
+    yields = [row["yield"] for row in timing_rows]
+    assert all(b <= a for a, b in zip(yields, yields[1:]))  # monotone down
+    assert yields[0] > 0.9  # tight process: nearly all dies make timing
+
+    misreads = [p for _s, p in charge_rows]
+    assert all(b > a for a, b in zip(misreads, misreads[1:]))
+    assert misreads[0] < 1e-6  # 20 mV noise vs a 250 mV window
+
+    with capsys.disabled():
+        print()
+        table = [[f"{row['sigma']:.2f}", f"{row['mean_ps']:.1f}",
+                  f"{row['p95_ps']:.1f}", f"{row['yield']:.2f}"]
+                 for row in timing_rows]
+        print(render_table(
+            ["electrical sigma", "mean cycle (ps)", "p95 (ps)",
+             "timing yield @ 15% slack"],
+            table, title=f"A10: max46 PLA under parameter variation "
+                         f"(nominal cycle {nominal * 1e12:.1f} ps)"))
+        table2 = [[f"{sigma * 1000:.0f} mV", f"{p:.2e}"]
+                  for sigma, p in charge_rows]
+        print()
+        print(render_table(
+            ["PG charge sigma", "misread probability"],
+            table2, title="stored-polarity robustness (window = VDD/4 "
+                          "from each rail)"))

@@ -1,0 +1,67 @@
+"""Ablation A3 — Whirlpool PLAs via Doppio-Espresso ([1]).
+
+Section 5: cascading 4 NOR planes instead of 2 makes WPLAs
+implementable on the GNOR fabric.  The bench jointly minimizes a suite
+with the Doppio-Espresso driver, compares cell counts of the 4-plane
+ring against the monolithic 2-plane PLA, and verifies every Whirlpool
+instance functionally.
+
+Run with ``pytest benchmarks/bench_ablation_wpla.py --benchmark-only``.
+"""
+
+import pytest
+
+from repro.analysis.report import format_percent, render_table
+from repro.bench.synth import address_decoder, random_sop
+from repro.espresso import doppio_espresso
+from repro.logic.function import BooleanFunction
+from repro.mapping.wpla_map import map_doppio_to_wpla
+
+
+def suite():
+    return [
+        address_decoder(3),
+        random_sop(5, 4, 8, seed=11),
+        random_sop(6, 4, 10, seed=12),
+        random_sop(4, 6, 8, seed=13),
+    ]
+
+
+def run_wpla_study():
+    rows = []
+    for f in suite():
+        result = doppio_espresso(f)
+        wpla = map_doppio_to_wpla(result, f.n_outputs)
+        rows.append((f, result, wpla))
+    return rows
+
+
+def test_wpla(benchmark, capsys):
+    rows = benchmark(run_wpla_study)
+
+    for f, result, wpla in rows:
+        assert wpla.n_planes == 4
+        if f.n_inputs <= 6:
+            assert wpla.truth_table() == f.on_set.truth_table(), f.name
+        assert sorted(result.group_a + result.group_b) == \
+            list(range(f.n_outputs))
+
+    # the ring should beat the monolith on at least part of the suite
+    assert any(r.whirlpool_cells < r.monolithic_cells for _f, r, _w in rows)
+
+    with capsys.disabled():
+        print()
+        table = []
+        for f, result, wpla in rows:
+            table.append([
+                f.name,
+                f"{sorted(result.group_a)}|{sorted(result.group_b)}",
+                result.monolithic_cells,
+                result.whirlpool_cells,
+                format_percent(result.saving_percent()),
+            ])
+        print(render_table(
+            ["function", "output split", "2-plane cells", "4-plane cells",
+             "saving"],
+            table, title="A3: Whirlpool PLA (4 GNOR planes) vs monolithic "
+                         "PLA, Doppio-Espresso-style joint minimization"))

@@ -1,0 +1,59 @@
+"""Fig 1 — the ambipolar CNFET device: states, layout, symbol.
+
+Fig 1 is a device schematic, so the bench reproduces what it *encodes*:
+the three-state conduction table (PG = V+/V0/V- x CG high/low), the PG
+voltage levels, the programming-charge window, and the contacted-cell
+geometry entering Table 1's first row.
+
+Run with ``pytest benchmarks/bench_fig1_device.py --benchmark-only``.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core.device import (DEFAULT_PARAMETERS, AmbipolarCNFET, Polarity,
+                               make_device)
+
+
+def characterize_device():
+    """Conduction map + a PG-voltage sweep (the Fig 1 behaviour)."""
+    device = AmbipolarCNFET()
+    table = device.conduction_map()
+    sweep = []
+    for step in range(21):
+        vpg = step * DEFAULT_PARAMETERS.vdd / 20
+        device.program_voltage(vpg)
+        sweep.append((vpg, device.polarity,
+                      device.conducts(True), device.conducts(False)))
+    return table, sweep
+
+
+def test_fig1_device(benchmark, capsys):
+    table, sweep = benchmark(characterize_device)
+
+    # the three-state table the paper's Section 2 describes
+    assert table[(Polarity.N_TYPE, True)] and not table[(Polarity.N_TYPE, False)]
+    assert table[(Polarity.P_TYPE, False)] and not table[(Polarity.P_TYPE, True)]
+    assert not table[(Polarity.OFF, True)] and not table[(Polarity.OFF, False)]
+
+    # the sweep shows p-type at low VPG, off around V0 = VDD/2, n at high
+    assert sweep[0][1] is Polarity.P_TYPE
+    assert sweep[10][1] is Polarity.OFF
+    assert sweep[20][1] is Polarity.N_TYPE
+
+    # geometry: 60 L^2 contacted cell (Table 1 first row)
+    assert DEFAULT_PARAMETERS.cell_area_l2 == 60.0
+
+    with capsys.disabled():
+        print()
+        rows = [[polarity.value, "on" if table[(polarity, True)] else "off",
+                 "on" if table[(polarity, False)] else "off",
+                 f"{DEFAULT_PARAMETERS.pg_voltage(polarity):.2f} V"]
+                for polarity in Polarity]
+        print(render_table(["PG state", "CG high", "CG low", "stored VPG"],
+                           rows, title="Fig 1: ambipolar CNFET conduction map"))
+        transitions = [f"{v:.2f}->{p.value}" for v, p, _on, _off in sweep
+                       if v in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        print(f"\nPG sweep (V -> state): {', '.join(transitions)}")
+        print(f"contacted cell: {DEFAULT_PARAMETERS.cell_area_l2:.0f} L^2 "
+              f"(paper Table 1 first row: 60 L^2)")

@@ -1,0 +1,55 @@
+"""Fig 2 — GNOR gate configured as Y = NOR(A, ~B, D).
+
+Reproduces the paper's configured four-input dynamic GNOR gate: C1, C2,
+C4 at V+, V-, V+ and C3 at V0 (input C inhibited), simulated through
+full precharge/evaluate cycles over all 16 input vectors, plus the
+dynamic-gate delay from the timing model.
+
+Run with ``pytest benchmarks/bench_fig2_gnor.py --benchmark-only``.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core.gnor import Phase, fig2_gate
+from repro.core.timing import PLATimingModel
+
+
+def simulate_fig2():
+    """All 16 vectors through the Fig 2 gate, with waveform events."""
+    gate = fig2_gate()
+    results = []
+    for m in range(16):
+        vector = [(m >> i) & 1 for i in range(4)]
+        results.append((vector, gate.evaluate(vector)))
+    events = gate.waveform([[0, 1, 0, 0], [1, 1, 0, 0]], period=1.0)
+    return results, events
+
+
+def test_fig2_gnor(benchmark, capsys):
+    results, events = benchmark(simulate_fig2)
+
+    # Y = NOR(A, ~B, D); input C is inhibited
+    for vector, output in results:
+        a, b, c, d = vector
+        assert output == (0 if (a or (1 - b) or d) else 1)
+
+    # dynamic-logic phases: precharge high, evaluate resolves
+    assert events[0].phase is Phase.PRECHARGE and events[0].output == 1
+    assert events[1].phase is Phase.EVALUATE and events[1].output == 1
+    assert events[3].output == 0  # A=1 discharges
+
+    with capsys.disabled():
+        print()
+        rows = [["".join(map(str, vector)), output]
+                for vector, output in results]
+        print(render_table(["ABCD", "Y"], rows,
+                           title="Fig 2: GNOR configured as Y = NOR(A, ~B, D)"
+                                 " (C inhibited via C3 = V0)"))
+        model = PLATimingModel(4, 1, 1)
+        print(f"\nevaluate delay (4-input GNOR row): "
+              f"{model.and_plane_delay() * 1e12:.2f} ps; "
+              f"precharge: {model.precharge_delay() * 1e12:.2f} ps")
+        print("waveform:", " | ".join(
+            f"t={e.time:.1f} {e.phase.value[:4]} Y={e.output}"
+            for e in events))

@@ -1,0 +1,74 @@
+"""Table 1 — Area of logic functions in 3 technologies.
+
+Regenerates the paper's Table 1 exactly: the basic-cell row and the
+areas of ``max46``, ``apla`` and ``t2`` in Flash, EEPROM and ambipolar
+CNFET, plus the savings the text quotes (~21 % vs Flash on ``max46``,
+3 % overhead on ``apla``, up to 68 % vs EEPROM).
+
+Run with ``pytest benchmarks/bench_table1.py --benchmark-only``.
+"""
+
+import pytest
+
+from repro.analysis.report import format_area, format_percent, render_table
+from repro.bench.mcnc import TABLE1_BENCHMARKS, benchmark_function
+from repro.core.area import (CNFET_AMBIPOLAR, EEPROM, FLASH,
+                             TABLE1_TECHNOLOGIES, area_saving_percent,
+                             pla_area)
+from repro.mapping.gnor_map import map_cover_to_gnor
+
+#: Table 1 as published (L^2).
+PAPER = {
+    "Basic cell": {"Flash": 40, "EEPROM": 100, "CNFET": 60},
+    "max46": {"Flash": 34960, "EEPROM": 87400, "CNFET": 27600},
+    "apla": {"Flash": 32000, "EEPROM": 80000, "CNFET": 33000},
+    "t2": {"Flash": 104000, "EEPROM": 260000, "CNFET": 102960},
+}
+
+
+def compute_table1():
+    """All Table 1 rows from the area model + mapped benchmark covers."""
+    rows = [("Basic cell (L2)", FLASH.cell_area_l2, EEPROM.cell_area_l2,
+             CNFET_AMBIPOLAR.cell_area_l2)]
+    for stats in TABLE1_BENCHMARKS:
+        # run the real pipeline: synthetic cover -> GNOR mapping -> dims
+        config = map_cover_to_gnor(benchmark_function(stats, seed=0).on_set)
+        areas = tuple(pla_area(tech, config.n_inputs, config.n_outputs,
+                               config.n_products)
+                      for tech in TABLE1_TECHNOLOGIES)
+        rows.append((f"{stats.name} (L2)",) + areas)
+    return rows
+
+
+def test_table1(benchmark, capsys):
+    rows = benchmark(compute_table1)
+
+    # exact agreement with every published entry
+    for row, paper_key in zip(rows, PAPER):
+        label, flash, eeprom, cnfet = row
+        assert flash == PAPER[paper_key]["Flash"], label
+        assert eeprom == PAPER[paper_key]["EEPROM"], label
+        assert cnfet == PAPER[paper_key]["CNFET"], label
+
+    # savings the paper's text quotes
+    max46_vs_flash = area_saving_percent(rows[1][3], rows[1][1])
+    apla_vs_flash = area_saving_percent(rows[2][3], rows[2][1])
+    max46_vs_eeprom = area_saving_percent(rows[1][3], rows[1][2])
+    assert 20.0 < max46_vs_flash < 22.0      # "~21%"
+    assert -4.0 < apla_vs_flash < -2.0       # "small area overhead (3%)"
+    assert 68.0 < max46_vs_eeprom < 69.0     # "up to 68% less area"
+
+    with capsys.disabled():
+        print()
+        table = [[label, format_area(flash), format_area(eeprom),
+                  format_area(cnfet)]
+                 for label, flash, eeprom, cnfet in rows]
+        print(render_table(["", "Flash", "EEPROM", "CNFET"], table,
+                           title="Table 1: Area of logic functions in 3 "
+                                 "technologies (paper-exact)"))
+        print(f"\nmax46 vs Flash : {format_percent(max46_vs_flash)} saving "
+              f"(paper: ~21%)")
+        print(f"apla  vs Flash : {format_percent(apla_vs_flash)} "
+              f"(paper: 3% overhead)")
+        print(f"max46 vs EEPROM: {format_percent(max46_vs_eeprom)} saving "
+              f"(paper: up to 68%)")

@@ -1,0 +1,60 @@
+"""Table 2 — Frequency of standard FPGA and CNFET FPGA.
+
+Runs the paper's emulation protocol end to end: a workload filling the
+standard fabric to ~99 %, then the same blocks on a fabric with
+half-area CLBs and single-polarity nets.  The paper reports 99 % /
+44.9 % occupancy and 154 / 349 MHz (~2.27x); the wire-delay constants
+were calibrated once against the *standard* run only, so the CNFET
+numbers are produced by the mechanism, not fitted.
+
+Run with ``pytest benchmarks/bench_table2.py --benchmark-only``.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.fpga.emulate import run_emulation
+
+PAPER = {
+    "occupancy": ("99%", "44.9%"),
+    "frequency": ("154 MHz", "349 MHz"),
+    "gain": 349 / 154,
+}
+
+
+def test_table2(benchmark, capsys):
+    report = benchmark.pedantic(run_emulation, rounds=1, iterations=1)
+
+    # shape assertions: the CNFET fabric must win by roughly the paper's
+    # factor, with about half the occupied area
+    assert report.standard.occupancy_percent > 95.0
+    assert 0.4 < report.area_ratio < 0.6
+    assert 1.6 < report.frequency_gain < 2.9
+    # absolute calibration held for the standard fabric
+    assert 120 < report.standard.frequency_mhz < 190
+
+    with capsys.disabled():
+        print()
+        rows = [
+            ["Occupied area",
+             f"{report.standard.occupancy_percent:.1f}%",
+             f"{report.cnfet.occupancy_percent:.1f}%",
+             PAPER["occupancy"][0], PAPER["occupancy"][1]],
+            ["Frequency",
+             f"{report.standard.frequency_mhz:.0f} MHz",
+             f"{report.cnfet.frequency_mhz:.0f} MHz",
+             PAPER["frequency"][0], PAPER["frequency"][1]],
+        ]
+        print(render_table(
+            ["", "Std (measured)", "CNFET (measured)",
+             "Std (paper)", "CNFET (paper)"],
+            rows, title="Table 2: Standard FPGA vs CNFET FPGA"))
+        print(f"\nfrequency gain: {report.frequency_gain:.2f}x "
+              f"(paper: {PAPER['gain']:.2f}x)")
+        print(f"routed nets: {report.standard.netlist.n_nets()} std vs "
+              f"{report.cnfet.netlist.n_nets()} cnfet "
+              f"(paper: 'reduced by almost the factor 2')")
+        print(f"wirelength: {report.standard.total_wirelength} vs "
+              f"{report.cnfet.total_wirelength} segments; overflow "
+              f"segments: {report.standard.overflow_segments} vs "
+              f"{report.cnfet.overflow_segments}")

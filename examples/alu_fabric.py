@@ -1,0 +1,99 @@
+"""A multi-level ALU slice on the cascaded Fig 3 fabric.
+
+Describes a 2-bit ALU slice as a readable multi-level netlist, compiles
+it onto the paper's cascaded PLA/crossbar fabric, verifies it
+exhaustively against the netlist semantics, and compares the cascade
+against the flat two-level implementation on cells, area and delay.
+
+Run:  python examples/alu_fabric.py
+"""
+
+from repro.core.area import CNFET_AMBIPOLAR, pla_area
+from repro.core.pla import AmbipolarPLA
+from repro.espresso import minimize
+from repro.fabric import compile_fabric
+from repro.fabric.timing import analyze_fabric_timing, flat_pla_delay
+from repro.logic.netlist_frontend import parse_module
+
+ALU = """\
+module alu2
+input a0 a1 b0 b1 cin op
+output r0 r1 cout
+# op = 0: add, op = 1: bitwise and
+p0   = a0 ^ b0
+g0   = a0 & b0
+s0   = p0 ^ cin
+c1   = g0 | p0 & cin
+p1   = a1 ^ b1
+g1   = a1 & b1
+s1   = p1 ^ c1
+c2   = g1 | p1 & c1
+r0   = ~op & s0 | op & (a0 & b0)
+r1   = ~op & s1 | op & (a1 & b1)
+cout = ~op & c2
+"""
+
+
+def reference(a, b, cin, op):
+    if op:
+        return (a & b) & 0b11, 0
+    total = a + b + cin
+    return total & 0b11, total >> 2
+
+
+def main():
+    module = parse_module(ALU)
+    print(f"module {module.name}: {len(module.inputs)} inputs, "
+          f"{len(module.outputs)} outputs, "
+          f"{len(module.assignments)} assignments")
+
+    partition = module.to_partition()
+    fabric = compile_fabric(partition)
+    print(f"\ncompiled fabric: {fabric.n_stages} stages, "
+          f"{len(partition.blocks)} PLAs, "
+          f"{fabric.pla_cells()} PLA cells + "
+          f"{fabric.crossbar_cells()} crossbar cells")
+    for summary in fabric.stage_summaries():
+        print(f"   stage {summary['stage']}: {summary['blocks']} PLAs, "
+              f"bus width {summary['bus_width']}, "
+              f"{summary['pla_cells']} + {summary['crossbar_cells']} cells")
+
+    # exhaustive verification against the arithmetic reference
+    failures = 0
+    for m in range(64):
+        a = (m & 1) | ((m >> 1) & 1) << 1
+        b = ((m >> 2) & 1) | ((m >> 3) & 1) << 1
+        cin = (m >> 4) & 1
+        op = (m >> 5) & 1
+        vector = [m & 1, (m >> 1) & 1, (m >> 2) & 1, (m >> 3) & 1, cin, op]
+        r0, r1, cout = fabric.evaluate_vector(vector)
+        result = r0 | (r1 << 1)
+        want_result, want_cout = reference(a, b, cin, op)
+        if (result, cout) != (want_result, want_cout):
+            failures += 1
+    print(f"\nexhaustive check (64 vectors): "
+          f"{'PASS' if failures == 0 else f'{failures} FAILURES'}")
+    assert failures == 0
+
+    # flat two-level comparison
+    flat_function = module.flatten()
+    flat_cover = minimize(flat_function)
+    flat = AmbipolarPLA.from_cover(flat_cover)
+    flat_area = pla_area(CNFET_AMBIPOLAR, flat.n_inputs, flat.n_outputs,
+                         flat.n_products)
+    timing = analyze_fabric_timing(fabric)
+    print(f"\nflat two-level PLA: {flat.n_products} rows x "
+          f"{flat.n_columns()} cols = {flat.n_cells()} cells "
+          f"({flat_area:.0f} L^2), "
+          f"delay {flat_pla_delay(flat.n_inputs, flat.n_outputs, flat.n_products) * 1e12:.1f} ps")
+    print(f"cascaded fabric: {fabric.total_cells()} cells "
+          f"({fabric.area_l2():.0f} L^2), "
+          f"delay {timing.critical_path_delay * 1e12:.1f} ps "
+          f"over {fabric.n_stages} stages")
+    print("\nthe cascade trades logic cells for interconnect and pipeline-"
+          "friendly stage\nstructure — exactly the Fig 3 architecture of "
+          "the paper.")
+
+
+if __name__ == "__main__":
+    main()

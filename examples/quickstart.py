@@ -1,0 +1,61 @@
+"""Quickstart: from a Boolean expression to a programmed ambipolar-CNFET PLA.
+
+Covers the core flow of the library in ~40 lines:
+
+1. describe a function (expression front end),
+2. minimize it (Espresso-style loop),
+3. program an ambipolar-CNFET GNOR PLA from the cover,
+4. simulate the PLA switch-by-switch,
+5. compare its area against the classical Flash/EEPROM baselines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (AmbipolarPLA, BooleanFunction, CNFET_AMBIPOLAR, EEPROM,
+                   FLASH, minimize, parse_expression, pla_area)
+from repro.core.timing import PLATimingModel
+
+VARIABLES = ["a", "b", "c", "d"]
+
+
+def main():
+    # 1. a function: 2-bit "greater-than" style predicate
+    cover = parse_expression("a & ~c | a & b & ~d | b & ~c & ~d", VARIABLES)
+    function = BooleanFunction(cover, name="gt2", input_labels=VARIABLES)
+    print(f"function {function.name}: {cover.n_cubes()} cubes, "
+          f"{cover.n_literals()} literals")
+
+    # 2. minimize
+    minimized = minimize(function)
+    print(f"minimized: {minimized.n_cubes()} cubes, "
+          f"{minimized.n_literals()} literals")
+    for row in minimized.to_strings():
+        print(f"   {row}")
+
+    # 3. program the GNOR PLA (one column per input!)
+    pla = AmbipolarPLA.from_cover(minimized)
+    print(f"\nPLA array: {pla.n_products} rows x {pla.n_columns()} columns "
+          f"({pla.n_cells()} ambipolar CNFETs)")
+
+    # 4. simulate a few vectors at switch level
+    print("\nswitch-level simulation:")
+    for vector in ([1, 0, 0, 0], [1, 1, 0, 1], [0, 1, 0, 0], [0, 0, 1, 1]):
+        assignment = dict(zip(VARIABLES, vector))
+        products = pla.product_terms(vector)
+        output = pla.evaluate(vector)[0]
+        print(f"   {assignment} -> product rows {products} -> y = {output}")
+
+    # 5. area in the three Table 1 technologies
+    print("\narea comparison (Table 1 model):")
+    dims = (pla.n_inputs, pla.n_outputs, pla.n_products)
+    for tech in (FLASH, EEPROM, CNFET_AMBIPOLAR):
+        print(f"   {tech.name:6s}: {pla_area(tech, *dims):8.0f} L^2")
+
+    timing = PLATimingModel(*dims)
+    print(f"\nestimated max frequency: "
+          f"{timing.max_frequency() / 1e9:.2f} GHz "
+          f"(dynamic cycle {timing.cycle_time() * 1e12:.1f} ps)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""The full reliability loop: test -> diagnose -> repair -> verify.
+
+Section 5 of the paper argues the regular, reprogrammable GNOR array
+suits fault tolerance.  This example runs the complete loop on a real
+array:
+
+1. synthesize and program a PLA;
+2. manufacture "silicon" with random crosspoint defects;
+3. apply the deterministic ATPG test set and observe the responses;
+4. diagnose candidate fault locations from the failing tests;
+5. turn the diagnosis into a defect map and repair by re-mapping
+   product rows (bipartite matching, with spare rows);
+6. verify the repaired programming is functionally correct.
+
+Run:  python examples/test_and_repair.py
+"""
+
+import random
+
+from repro.bench.synth import majority_function
+from repro.core.defects import DefectMap, DefectType
+from repro.core.fault import FaultTolerantPLA, row_requirements
+from repro.espresso import minimize
+from repro.mapping.gnor_map import map_cover_to_gnor
+from repro.testgen import (FaultSimulator, FaultSite, deterministic_tests,
+                           locate_fault)
+
+
+def main():
+    rng = random.Random(11)
+    function = majority_function(5)
+    cover = minimize(function)
+    config = map_cover_to_gnor(cover)
+    print(f"design: {function.name}, {config.n_products} products x "
+          f"{config.n_inputs + config.n_outputs} columns")
+
+    # 1-2. "manufacture" a die with a few defective crosspoints
+    simulator = FaultSimulator(config)
+    atpg = deterministic_tests(config)
+    print(f"\nATPG: {atpg.n_tests()} deterministic tests, "
+          f"{atpg.coverage:.1%} single-fault coverage "
+          f"({len(atpg.undetected)} provably redundant faults)")
+
+    injected = rng.choice(atpg.detected)
+    print(f"injected manufacturing defect: {injected}")
+
+    # 3. run the tests against the defective die
+    observed = [simulator.evaluate(test, injected) for test in atpg.tests]
+    failures = sum(1 for test, obs in zip(atpg.tests, observed)
+                   if simulator.evaluate(test) != obs)
+    print(f"test response: {failures}/{atpg.n_tests()} vectors fail")
+
+    # 4. diagnosis
+    candidates = locate_fault(config, atpg.tests, observed)
+    named = [str(c) for c in candidates if c is not None]
+    print(f"diagnosis: {len(named)} candidate fault site(s): "
+          f"{', '.join(named[:4])}{' ...' if len(named) > 4 else ''}")
+    assert injected in candidates
+
+    # 5. conservative repair: mark every candidate crosspoint defective
+    ft = FaultTolerantPLA(config, spare_rows=3)
+    defects = {}
+    for candidate in candidates:
+        if candidate is None:
+            continue
+        if candidate.site is FaultSite.AND:
+            position = (candidate.row, candidate.column)
+        else:
+            position = (candidate.row, config.n_inputs + candidate.column)
+        defects[position] = (DefectType.STUCK_ON if candidate.stuck_on
+                             else DefectType.STUCK_OFF)
+    defect_map = DefectMap(ft.n_physical_rows, ft.n_columns, defects)
+    result = ft.repair(defect_map)
+    print(f"\nrepair: success={result.success}, "
+          f"spare rows used={result.spare_rows_used}")
+    moved = [(l, p) for l, p in sorted(result.assignment.items()) if l != p]
+    for logical, physical in moved:
+        print(f"   product {logical} remapped to physical row {physical}")
+
+    # 6. verify: every assigned physical row is compatible with its
+    # logical requirements under the diagnosed defect map
+    from repro.core.fault import row_compatible
+    requirements = row_requirements(config)
+    ok = all(row_compatible(requirements[logical],
+                            defect_map.row_defects(physical))
+             for logical, physical in result.assignment.items())
+    print(f"post-repair compatibility check: {'PASS' if ok else 'FAIL'}")
+    assert result.success and ok
+    print("\nclosed loop complete: the defect was detected, located, and "
+          "routed around\nwithout discarding the die — the paper's "
+          "fault-tolerance claim, executed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""repro — Programmable Logic Circuits Based on Ambipolar CNFET (DAC 2008).
+
+A full, from-scratch Python reproduction of Ben Jamaa, Atienza,
+Leblebici and De Micheli's DAC 2008 paper: the three-state ambipolar
+CNFET device, generalized-NOR (GNOR) dynamic gates, the single-column-
+per-input PLA architecture and its programming protocol, the classical
+dual-column baseline, the Table 1 area model, a complete PLA-based FPGA
+substrate for the Table 2 emulation, an Espresso-style two-level
+minimizer with output-phase assignment and Doppio-Espresso, Whirlpool
+PLAs, crosspoint interconnect arrays, and defect/fault-tolerance
+machinery.
+
+Quickstart::
+
+    from repro import BooleanFunction, AmbipolarPLA, parse_expression
+
+    cover = parse_expression("a & ~b | b & c", ["a", "b", "c"])
+    f = BooleanFunction(cover, name="demo")
+    pla = AmbipolarPLA.from_function(f)
+    print(pla.evaluate([1, 0, 0]))   # -> [1]
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+per-table / per-figure reproduction harnesses.
+"""
+
+__version__ = "1.0.0"
+
+# logic substrate
+from repro.logic import (BooleanFunction, Cover, Cube, complement_cover,
+                         is_tautology, parse_expression, parse_pla, write_pla)
+
+# minimizer
+from repro.espresso import (DoppioResult, EspressoResult, PhaseResult,
+                            assign_output_phases, doppio_espresso, espresso,
+                            minimize)
+
+# the paper's core
+from repro.core import (CNFET_AMBIPOLAR, EEPROM, FLASH, AmbipolarCNFET,
+                        AmbipolarPLA, ClassicalPLA, CrosspointArray,
+                        DefectMap, DefectModel, DefectType, DeviceParameters,
+                        FaultTolerantPLA, GNORGate, InputConfig,
+                        PLATimingModel, Polarity, ProgrammingController,
+                        RepairResult, Technology, TimingParameters,
+                        WhirlpoolPLA, pla_area)
+
+# mapping & FPGA
+from repro.mapping import (Block, GNORPlaneConfig, Partitioner,
+                           PartitionResult, map_cover_to_gnor,
+                           map_doppio_to_wpla)
+from repro.fpga import (EmulationReport, FPGAFabric, Netlist, run_emulation)
+from repro.fabric import CompiledFabric, compile_fabric
+from repro.fsm import FSM, SequentialPLA, synthesize_fsm
+from repro.core.power import PLAPowerModel, compare_energy
+from repro.core.variation import VariationModel, monte_carlo_cycle_time
+
+__all__ = [
+    "__version__",
+    # logic
+    "BooleanFunction", "Cover", "Cube", "complement_cover", "is_tautology",
+    "parse_expression", "parse_pla", "write_pla",
+    # espresso
+    "DoppioResult", "EspressoResult", "PhaseResult", "assign_output_phases",
+    "doppio_espresso", "espresso", "minimize",
+    # core
+    "CNFET_AMBIPOLAR", "EEPROM", "FLASH", "AmbipolarCNFET", "AmbipolarPLA",
+    "ClassicalPLA", "CrosspointArray", "DefectMap", "DefectModel",
+    "DefectType", "DeviceParameters", "FaultTolerantPLA", "GNORGate",
+    "InputConfig", "PLATimingModel", "Polarity", "ProgrammingController",
+    "RepairResult", "Technology", "TimingParameters", "WhirlpoolPLA",
+    "pla_area",
+    # mapping & fpga
+    "Block", "GNORPlaneConfig", "Partitioner", "PartitionResult",
+    "map_cover_to_gnor", "map_doppio_to_wpla",
+    "EmulationReport", "FPGAFabric", "Netlist", "run_emulation",
+    # fabric, fsm, power, variation
+    "CompiledFabric", "compile_fabric",
+    "FSM", "SequentialPLA", "synthesize_fsm",
+    "PLAPowerModel", "compare_energy",
+    "VariationModel", "monte_carlo_cycle_time",
+]

@@ -1,0 +1,12 @@
+"""Reporting and sweep utilities shared by the benches."""
+
+from repro.analysis.report import render_table, format_area, format_percent
+from repro.analysis.sweep import sweep, SweepPoint
+
+__all__ = [
+    "render_table",
+    "format_area",
+    "format_percent",
+    "sweep",
+    "SweepPoint",
+]

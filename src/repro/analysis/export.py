@@ -1,0 +1,47 @@
+"""CSV export of bench results.
+
+Every bench prints its table to the terminal; for plotting or external
+analysis the same rows can be exported as CSV.  The writer is
+deliberately tiny (stdlib ``csv``) but shared, so all exported
+artifacts have the same shape: a header row, stringified cells, UTF-8.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+
+def rows_to_csv(headers: Sequence[str],
+                rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as CSV text (header first)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow([_cell(value) for value in row])
+    return buffer.getvalue()
+
+
+def write_csv(path: Union[str, Path], headers: Sequence[str],
+              rows: Iterable[Sequence[object]]) -> Path:
+    """Write rows to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(rows_to_csv(headers, rows), encoding="utf-8")
+    return path
+
+
+def sweep_to_csv(points, param_keys: Sequence[str],
+                 value_keys: Sequence[str]) -> str:
+    """CSV of :class:`repro.analysis.sweep.SweepPoint` results."""
+    headers = list(param_keys) + list(value_keys)
+    rows = [point.row(param_keys, value_keys) for point in points]
+    return rows_to_csv(headers, rows)
+
+
+def _cell(value: object) -> object:
+    if isinstance(value, float):
+        return f"{value:.10g}"
+    return value

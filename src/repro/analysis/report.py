@@ -1,0 +1,53 @@
+"""Monospace table rendering for bench output.
+
+Every bench prints its results with :func:`render_table` so the output
+visually mirrors the paper's tables (same row and column labels).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned monospace table.
+
+    Column widths adapt to content; all cells are stringified.  The
+    optional ``title`` becomes an underlined heading.
+    """
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    n_cols = len(str_headers)
+    for row in str_rows:
+        if len(row) != n_cols:
+            raise ValueError("row width does not match the header")
+
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(format_row(str_headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(format_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_area(area_l2: float) -> str:
+    """Area in ``L^2`` with thousands separators, as Table 1 prints it."""
+    if float(area_l2).is_integer():
+        return f"{int(area_l2):,}".replace(",", " ")
+    return f"{area_l2:,.1f}".replace(",", " ")
+
+
+def format_percent(value: float, decimals: int = 1) -> str:
+    """A percentage cell (positive = saving, negative = overhead)."""
+    return f"{value:+.{decimals}f}%"

@@ -1,0 +1,42 @@
+"""Parameter sweeps for the ablation benches.
+
+A sweep runs a callable over a parameter grid and collects the results
+as :class:`SweepPoint` rows — deliberately tiny, but shared so every
+ablation bench produces the same record shape.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+
+@dataclass
+class SweepPoint:
+    """One grid point: the parameters used and the measured values."""
+
+    params: Dict[str, Any]
+    values: Dict[str, Any]
+
+    def row(self, param_keys: Sequence[str],
+            value_keys: Sequence[str]) -> List[Any]:
+        """Flatten into a table row in the requested key order."""
+        return ([self.params[k] for k in param_keys]
+                + [self.values[k] for k in value_keys])
+
+
+def sweep(fn: Callable[..., Mapping[str, Any]],
+          grid: Mapping[str, Iterable[Any]]) -> List[SweepPoint]:
+    """Run ``fn(**params)`` over the cartesian grid of ``grid``.
+
+    ``fn`` must return a mapping of measured values; the sweep is
+    deterministic (grid order = insertion order of ``grid``).
+    """
+    keys = list(grid)
+    points = []
+    for combo in itertools.product(*(list(grid[k]) for k in keys)):
+        params = dict(zip(keys, combo))
+        values = dict(fn(**params))
+        points.append(SweepPoint(params=params, values=values))
+    return points

@@ -1,0 +1,33 @@
+"""Benchmark suite management.
+
+:mod:`repro.bench.mcnc` carries the MCNC-derived statistics the paper
+evaluates (Table 1) plus synthetic cube content matching them;
+:mod:`repro.bench.synth` provides structured workload generators used
+across tests, examples and benches.
+"""
+
+from repro.bench.mcnc import (BenchmarkStats, TABLE1_BENCHMARKS,
+                              EXTENDED_SUITE, benchmark_function,
+                              synthesize_cover, get_benchmark)
+from repro.bench.suite import (SuiteEntry, evaluate_suite,
+                               render_suite, suite_csv)
+from repro.bench.synth import (address_decoder, majority_function,
+                               parity_function, random_sop, adder_carry)
+
+__all__ = [
+    "BenchmarkStats",
+    "TABLE1_BENCHMARKS",
+    "EXTENDED_SUITE",
+    "benchmark_function",
+    "synthesize_cover",
+    "get_benchmark",
+    "address_decoder",
+    "majority_function",
+    "parity_function",
+    "random_sop",
+    "adder_carry",
+    "SuiteEntry",
+    "evaluate_suite",
+    "render_suite",
+    "suite_csv",
+]

@@ -1,0 +1,125 @@
+"""One-call benchmark-suite evaluation.
+
+Runs every registry benchmark through the full pipeline — synthetic
+cover, GNOR mapping, Table 1 area model, delay model — and aggregates
+the results into a single report usable from Python, the CLI
+(``python -m repro suite``) or CSV export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.export import rows_to_csv
+from repro.analysis.report import format_area, format_percent, render_table
+from repro.bench.mcnc import (EXTENDED_SUITE, BenchmarkStats,
+                              benchmark_function)
+from repro.core.area import (CNFET_AMBIPOLAR, EEPROM, FLASH,
+                             area_saving_percent, pla_area)
+from repro.core.timing import PLATimingModel, classical_timing
+from repro.mapping.gnor_map import map_cover_to_gnor
+
+
+@dataclass
+class SuiteEntry:
+    """All measured quantities for one benchmark.
+
+    Attributes
+    ----------
+    stats:
+        The registry entry.
+    flash_area, eeprom_area, cnfet_area:
+        Table 1 areas [L^2].
+    saving_vs_flash, saving_vs_eeprom:
+        Percent savings of the CNFET implementation.
+    gnor_frequency_hz, classical_frequency_hz:
+        Delay-model frequencies of both architectures.
+    programmed_devices, total_devices:
+        GNOR mapping occupancy.
+    """
+
+    stats: BenchmarkStats
+    flash_area: float
+    eeprom_area: float
+    cnfet_area: float
+    saving_vs_flash: float
+    saving_vs_eeprom: float
+    gnor_frequency_hz: float
+    classical_frequency_hz: float
+    programmed_devices: int
+    total_devices: int
+
+
+def evaluate_suite(benchmarks: Optional[Sequence[BenchmarkStats]] = None,
+                   seed: int = 0) -> List[SuiteEntry]:
+    """Evaluate the registry (or a custom list) end to end."""
+    if benchmarks is None:
+        benchmarks = EXTENDED_SUITE
+    entries: List[SuiteEntry] = []
+    for stats in benchmarks:
+        function = benchmark_function(stats, seed=seed)
+        config = map_cover_to_gnor(function.on_set)
+        dims = (config.n_inputs, config.n_outputs, config.n_products)
+        flash = pla_area(FLASH, *dims)
+        eeprom = pla_area(EEPROM, *dims)
+        cnfet = pla_area(CNFET_AMBIPOLAR, *dims)
+        entries.append(SuiteEntry(
+            stats=stats,
+            flash_area=flash,
+            eeprom_area=eeprom,
+            cnfet_area=cnfet,
+            saving_vs_flash=area_saving_percent(cnfet, flash),
+            saving_vs_eeprom=area_saving_percent(cnfet, eeprom),
+            gnor_frequency_hz=PLATimingModel(*dims).max_frequency(),
+            classical_frequency_hz=classical_timing(*dims).max_frequency(),
+            programmed_devices=config.used_devices(),
+            total_devices=config.total_devices(),
+        ))
+    return entries
+
+
+SUITE_HEADERS = ["benchmark", "I", "O", "P", "flash_l2", "eeprom_l2",
+                 "cnfet_l2", "saving_vs_flash_pct", "saving_vs_eeprom_pct",
+                 "gnor_mhz", "classical_mhz", "programmed", "devices"]
+
+
+def suite_rows(entries: Sequence[SuiteEntry]) -> List[List[object]]:
+    """Flatten entries for tables/CSV (same order as SUITE_HEADERS)."""
+    rows = []
+    for entry in entries:
+        rows.append([
+            entry.stats.name, entry.stats.inputs, entry.stats.outputs,
+            entry.stats.products, entry.flash_area, entry.eeprom_area,
+            entry.cnfet_area, round(entry.saving_vs_flash, 2),
+            round(entry.saving_vs_eeprom, 2),
+            round(entry.gnor_frequency_hz / 1e6, 1),
+            round(entry.classical_frequency_hz / 1e6, 1),
+            entry.programmed_devices, entry.total_devices,
+        ])
+    return rows
+
+
+def render_suite(entries: Sequence[SuiteEntry]) -> str:
+    """Human-readable suite report."""
+    rows = []
+    for entry in entries:
+        rows.append([
+            entry.stats.name,
+            f"{entry.stats.inputs}/{entry.stats.outputs}/"
+            f"{entry.stats.products}",
+            format_area(entry.cnfet_area),
+            format_percent(entry.saving_vs_flash),
+            format_percent(entry.saving_vs_eeprom),
+            f"{entry.gnor_frequency_hz / 1e9:.2f}",
+            f"{entry.classical_frequency_hz / 1e9:.2f}",
+        ])
+    return render_table(
+        ["benchmark", "I/O/P", "CNFET L^2", "vs Flash", "vs EEPROM",
+         "GNOR GHz", "classical GHz"],
+        rows, title="Benchmark suite: area & delay across the registry")
+
+
+def suite_csv(entries: Sequence[SuiteEntry]) -> str:
+    """CSV of the suite report."""
+    return rows_to_csv(SUITE_HEADERS, suite_rows(entries))

@@ -1,0 +1,291 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the library a tool-like surface over PLA files::
+
+    python -m repro info design.pla          # dimensions & stats
+    python -m repro minimize design.pla      # Espresso -> stdout (.pla)
+    python -m repro area design.pla          # Table 1 areas + savings
+    python -m repro simulate design.pla 1011 # evaluate vectors
+    python -m repro map design.pla -o d.bit  # GNOR configuration bitstream
+    python -m repro table1                   # reproduce Table 1
+    python -m repro table2 --grid 8          # reproduce Table 2 (slow-ish)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_area, format_percent, render_table
+from repro.core.area import (CNFET_AMBIPOLAR, EEPROM, FLASH,
+                             area_saving_percent, pla_area)
+from repro.espresso import assign_output_phases, espresso
+from repro.logic.function import BooleanFunction
+from repro.logic.pla_format import parse_pla, write_pla
+from repro.mapping.gnor_map import map_cover_to_gnor
+
+
+def _load(path: str) -> BooleanFunction:
+    with open(path) as handle:
+        return parse_pla(handle, name=path)
+
+
+def _cmd_info(args) -> int:
+    function = _load(args.file)
+    stats = function.stats()
+    rows = [[key, value] for key, value in stats.items()]
+    rows.append(["dc cubes", function.dc_set.n_cubes()])
+    print(render_table(["field", "value"], rows, title=f"PLA: {args.file}"))
+    return 0
+
+
+def _cmd_minimize(args) -> int:
+    function = _load(args.file)
+    if args.phase:
+        result = assign_output_phases(function)
+        cover = result.cover
+        phases = "".join("+" if p else "-" for p in result.phases)
+        print(f"# phases: {phases}", file=sys.stderr)
+    else:
+        cover = espresso(function).cover
+    minimized = BooleanFunction(cover, name=function.name,
+                                input_labels=function.input_labels,
+                                output_labels=function.output_labels)
+    text = write_pla(minimized)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({cover.n_cubes()} products)",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_area(args) -> int:
+    function = _load(args.file)
+    cover = espresso(function).cover if args.minimize else function.on_set
+    dims = (cover.n_inputs, cover.n_outputs, cover.n_cubes())
+    rows = []
+    flash = pla_area(FLASH, *dims)
+    for tech in (FLASH, EEPROM, CNFET_AMBIPOLAR):
+        area = pla_area(tech, *dims)
+        rows.append([tech.name, format_area(area),
+                     format_percent(area_saving_percent(area, flash))
+                     if tech is not FLASH else "baseline"])
+    print(render_table(["technology", "area (L^2)", "vs Flash"], rows,
+                       title=f"{function.name}: I={dims[0]} O={dims[1]} "
+                             f"P={dims[2]}"))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    function = _load(args.file)
+    from repro.core.pla import AmbipolarPLA
+    pla = AmbipolarPLA.from_cover(function.on_set)
+    for vector_str in args.vectors:
+        if len(vector_str) != function.n_inputs or \
+                any(ch not in "01" for ch in vector_str):
+            print(f"bad vector {vector_str!r}: need {function.n_inputs} "
+                  f"bits of 0/1", file=sys.stderr)
+            return 2
+        vector = [int(ch) for ch in vector_str]
+        outputs = "".join(str(bit) for bit in pla.evaluate(vector))
+        print(f"{vector_str} -> {outputs}")
+    return 0
+
+
+def _cmd_map(args) -> int:
+    from repro.fpga.bitstream import serialize_pla
+    function = _load(args.file)
+    cover = espresso(function).cover if args.minimize else function.on_set
+    config = map_cover_to_gnor(cover)
+    data = serialize_pla(config)
+    with open(args.output, "wb") as handle:
+        handle.write(data)
+    print(f"wrote {args.output}: {len(data)} bytes for "
+          f"{config.total_devices()} devices "
+          f"({config.used_devices()} programmed)", file=sys.stderr)
+    return 0
+
+
+def _cmd_table1(_args) -> int:
+    from repro.bench.mcnc import TABLE1_BENCHMARKS
+    rows = [["Basic cell (L2)", format_area(FLASH.cell_area_l2),
+             format_area(EEPROM.cell_area_l2),
+             format_area(CNFET_AMBIPOLAR.cell_area_l2)]]
+    for stats in TABLE1_BENCHMARKS:
+        dims = (stats.inputs, stats.outputs, stats.products)
+        rows.append([f"{stats.name} (L2)"] +
+                    [format_area(pla_area(t, *dims))
+                     for t in (FLASH, EEPROM, CNFET_AMBIPOLAR)])
+    print(render_table(["", "Flash", "EEPROM", "CNFET"], rows,
+                       title="Table 1: Area of logic functions in 3 "
+                             "technologies"))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.fpga.emulate import run_emulation
+    report = run_emulation(seed=args.seed, grid_side=args.grid)
+    rows = [list(row) for row in report.table_rows()]
+    print(render_table(["", "Standard FPGA", "CNFET FPGA"], rows,
+                       title="Table 2: Frequency of standard FPGA and "
+                             "CNFET FPGA"))
+    print(f"frequency gain: {report.frequency_gain:.2f}x")
+    return 0
+
+
+def _cmd_fsm(args) -> int:
+    from repro.fsm import (binary_encoding, gray_encoding, one_hot_encoding,
+                           synthesize_fsm)
+    from repro.fsm.kiss import parse_kiss
+    with open(args.file) as handle:
+        fsm = parse_kiss(handle, name=args.file)
+    encoders = {"binary": binary_encoding, "gray": gray_encoding,
+                "one-hot": one_hot_encoding}
+    encoder = encoders[args.encoding]
+    synth = synthesize_fsm(fsm, encoder(fsm.states))
+    pla = synth.pla
+    rows = [
+        ["states", len(fsm.states)],
+        ["transitions", len(fsm.transitions)],
+        ["encoding", args.encoding],
+        ["state bits", synth.encoding.n_bits],
+        ["products", pla.n_products],
+        ["array", f"{pla.n_products}x{pla.n_columns()}"],
+        ["CNFET area (L^2)",
+         format_area(pla_area(CNFET_AMBIPOLAR, pla.n_inputs, pla.n_outputs,
+                              pla.n_products))],
+    ]
+    print(render_table(["field", "value"], rows,
+                       title=f"FSM synthesis: {fsm.name}"))
+    if args.output:
+        from repro.logic.pla_format import write_pla
+        logic = BooleanFunction(synth.cover, name=f"{fsm.name}.logic")
+        with open(args.output, "w") as handle:
+            handle.write(write_pla(logic))
+        print(f"wrote combinational logic to {args.output}",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_atpg(args) -> int:
+    from repro.testgen.atpg import deterministic_tests
+    function = _load(args.file)
+    cover = espresso(function).cover if args.minimize else function.on_set
+    config = map_cover_to_gnor(cover)
+    result = deterministic_tests(config)
+    n_faults = len(result.detected) + len(result.undetected)
+    rows = [
+        ["array", f"{config.n_products}x"
+                  f"{config.n_inputs + config.n_outputs}"],
+        ["single faults", n_faults],
+        ["tests", result.n_tests()],
+        ["coverage", f"{result.coverage:.1%}"],
+        ["redundant faults", len(result.undetected)],
+    ]
+    print(render_table(["field", "value"], rows,
+                       title=f"ATPG: {function.name}"))
+    if args.output:
+        with open(args.output, "w") as handle:
+            for test in result.tests:
+                handle.write("".join(str(bit) for bit in test) + "\n")
+        print(f"wrote {result.n_tests()} test vectors to {args.output}",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    from repro.bench.suite import (evaluate_suite, render_suite, suite_csv)
+    entries = evaluate_suite(seed=args.seed)
+    print(render_suite(entries))
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(suite_csv(entries))
+        print(f"wrote {args.csv}", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ambipolar-CNFET PLA toolkit (DAC 2008 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="print a PLA file's statistics")
+    p.add_argument("file")
+    p.set_defaults(handler=_cmd_info)
+
+    p = sub.add_parser("minimize", help="Espresso-minimize a PLA file")
+    p.add_argument("file")
+    p.add_argument("-o", "--output", help="write result here (default stdout)")
+    p.add_argument("--phase", action="store_true",
+                   help="also assign output phases (free on GNOR PLAs)")
+    p.set_defaults(handler=_cmd_minimize)
+
+    p = sub.add_parser("area", help="Table 1 areas of a PLA file")
+    p.add_argument("file")
+    p.add_argument("--minimize", action="store_true",
+                   help="minimize before measuring")
+    p.set_defaults(handler=_cmd_area)
+
+    p = sub.add_parser("simulate", help="evaluate input vectors")
+    p.add_argument("file")
+    p.add_argument("vectors", nargs="+", metavar="VECTOR",
+                   help="input bits, e.g. 1011")
+    p.set_defaults(handler=_cmd_simulate)
+
+    p = sub.add_parser("map", help="emit a GNOR configuration bitstream")
+    p.add_argument("file")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--minimize", action="store_true")
+    p.set_defaults(handler=_cmd_map)
+
+    p = sub.add_parser("fsm", help="synthesize a KISS2 FSM onto a GNOR PLA")
+    p.add_argument("file")
+    p.add_argument("--encoding", choices=("binary", "gray", "one-hot"),
+                   default="binary")
+    p.add_argument("-o", "--output",
+                   help="write the combinational logic as a .pla file")
+    p.set_defaults(handler=_cmd_fsm)
+
+    p = sub.add_parser("atpg", help="deterministic test generation for a "
+                                    "programmed PLA")
+    p.add_argument("file")
+    p.add_argument("--minimize", action="store_true")
+    p.add_argument("-o", "--output", help="write test vectors here")
+    p.set_defaults(handler=_cmd_atpg)
+
+    p = sub.add_parser("suite", help="evaluate the whole benchmark registry")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--csv", help="also export the rows as CSV")
+    p.set_defaults(handler=_cmd_suite)
+
+    p = sub.add_parser("table1", help="reproduce the paper's Table 1")
+    p.set_defaults(handler=_cmd_table1)
+
+    p = sub.add_parser("table2", help="reproduce the paper's Table 2")
+    p.add_argument("--grid", type=int, default=8,
+                   help="standard-fabric grid side (default 8)")
+    p.add_argument("--seed", type=int, default=2)
+    p.set_defaults(handler=_cmd_table2)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

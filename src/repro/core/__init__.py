@@ -1,0 +1,53 @@
+"""The paper's contribution: ambipolar-CNFET reconfigurable logic.
+
+This subpackage models the stack the paper proposes, bottom-up:
+
+* :mod:`repro.core.device` — the three-state ambipolar CNFET (Fig 1);
+* :mod:`repro.core.gnor` — generalized-NOR dynamic gates (Fig 2);
+* :mod:`repro.core.pla` / :mod:`repro.core.classical_pla` — the GNOR
+  PLA (Figs 3-4) and the dual-column baseline it is compared against;
+* :mod:`repro.core.interconnect` — crosspoint pass-transistor arrays;
+* :mod:`repro.core.programming` — the configuration-phase protocol;
+* :mod:`repro.core.area` / :mod:`repro.core.timing` — the analytical
+  area (Table 1) and delay models;
+* :mod:`repro.core.wpla` — Whirlpool PLAs on GNOR planes;
+* :mod:`repro.core.defects` / :mod:`repro.core.fault` — defect models
+  and the fault-tolerant PLA flow of Section 5.
+"""
+
+from repro.core.device import AmbipolarCNFET, Polarity, DeviceParameters
+from repro.core.gnor import GNORGate, InputConfig
+from repro.core.pla import AmbipolarPLA
+from repro.core.classical_pla import ClassicalPLA
+from repro.core.interconnect import CrosspointArray
+from repro.core.programming import ProgrammingController
+from repro.core.area import Technology, FLASH, EEPROM, CNFET_AMBIPOLAR, pla_area
+from repro.core.timing import TimingParameters, PLATimingModel
+from repro.core.wpla import WhirlpoolPLA
+from repro.core.defects import DefectModel, DefectMap, DefectType
+from repro.core.fault import FaultTolerantPLA, RepairResult
+
+__all__ = [
+    "AmbipolarCNFET",
+    "Polarity",
+    "DeviceParameters",
+    "GNORGate",
+    "InputConfig",
+    "AmbipolarPLA",
+    "ClassicalPLA",
+    "CrosspointArray",
+    "ProgrammingController",
+    "Technology",
+    "FLASH",
+    "EEPROM",
+    "CNFET_AMBIPOLAR",
+    "pla_area",
+    "TimingParameters",
+    "PLATimingModel",
+    "WhirlpoolPLA",
+    "DefectModel",
+    "DefectMap",
+    "DefectType",
+    "FaultTolerantPLA",
+    "RepairResult",
+]

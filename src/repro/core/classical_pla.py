@@ -1,0 +1,122 @@
+"""The classical dual-column PLA baseline (Flash / EEPROM style).
+
+The comparison target of Table 1: a NOR-NOR PLA whose AND plane needs
+*both* polarities of every input (``2I`` input columns) because its
+single-polarity floating-gate crosspoints cannot invert.  Input
+complements are produced by a row of input inverters feeding the
+complemented columns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.logic.cover import Cover
+from repro.logic.function import BooleanFunction
+from repro.mapping.classical_map import ClassicalPersonality, map_cover_to_classical
+
+
+class ClassicalPLA:
+    """A programmed classical PLA.
+
+    Parameters
+    ----------
+    personality:
+        Crosspoint programming from
+        :func:`repro.mapping.classical_map.map_cover_to_classical`.
+    """
+
+    def __init__(self, personality: ClassicalPersonality):
+        self.personality = personality
+
+    @classmethod
+    def from_cover(cls, cover: Cover) -> "ClassicalPLA":
+        """Program a classical PLA from a cover."""
+        return cls(map_cover_to_classical(cover))
+
+    @classmethod
+    def from_function(cls, function: BooleanFunction,
+                      do_minimize: bool = True) -> "ClassicalPLA":
+        """Synthesize a classical PLA (optionally minimizing first)."""
+        if do_minimize:
+            from repro.espresso.espresso import minimize
+            cover = minimize(function)
+        else:
+            cover = function.on_set
+        return cls.from_cover(cover)
+
+    # ------------------------------------------------------------------
+    # dimensions
+    # ------------------------------------------------------------------
+    @property
+    def n_inputs(self) -> int:
+        """Number of logical inputs (physical columns are twice this)."""
+        return self.personality.n_inputs
+
+    @property
+    def n_outputs(self) -> int:
+        """Number of outputs."""
+        return self.personality.n_outputs
+
+    @property
+    def n_products(self) -> int:
+        """Number of product rows."""
+        return self.personality.n_products
+
+    def n_columns(self) -> int:
+        """Physical array columns: ``2I + O`` (the Table 1 count)."""
+        return 2 * self.n_inputs + self.n_outputs
+
+    def n_cells(self) -> int:
+        """Crosspoint count ``P x (2I + O)``."""
+        return self.n_products * self.n_columns()
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def input_columns(self, inputs: Sequence[int]) -> List[int]:
+        """The ``2I`` physical column values: ``x0, ~x0, x1, ~x1, ...``."""
+        columns = []
+        for value in inputs:
+            columns.append(1 if value else 0)
+            columns.append(0 if value else 1)
+        return columns
+
+    def product_terms(self, inputs: Sequence[int]) -> List[int]:
+        """AND-plane NOR rows (high when the product term holds)."""
+        columns = self.input_columns(inputs)
+        rows = []
+        for row in self.personality.and_plane:
+            pulled = any(connected and columns[c]
+                         for c, connected in enumerate(row))
+            rows.append(0 if pulled else 1)
+        return rows
+
+    def evaluate(self, inputs: Sequence[int]) -> List[int]:
+        """Full NOR-NOR evaluation with the fixed output inverters."""
+        if len(inputs) != self.n_inputs:
+            raise ValueError(f"expected {self.n_inputs} inputs")
+        products = self.product_terms(inputs)
+        outputs = []
+        for row in self.personality.or_plane:
+            pulled = any(connected and products[r]
+                         for r, connected in enumerate(row))
+            nor_value = 0 if pulled else 1
+            outputs.append(1 - nor_value)  # fixed inverting buffer
+        return outputs
+
+    def truth_table(self) -> List[int]:
+        """Output bitmask per input minterm (tests only)."""
+        table = []
+        for minterm in range(1 << self.n_inputs):
+            vector = [(minterm >> i) & 1 for i in range(self.n_inputs)]
+            mask = 0
+            for k, bit in enumerate(self.evaluate(vector)):
+                if bit:
+                    mask |= 1 << k
+            table.append(mask)
+        return table
+
+    def __repr__(self) -> str:
+        return (f"ClassicalPLA(i={self.n_inputs}, o={self.n_outputs}, "
+                f"p={self.n_products})")

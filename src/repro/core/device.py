@@ -1,0 +1,201 @@
+"""The ambipolar CNFET device model (Fig 1 of the paper).
+
+The device has a carbon-nanotube channel with two self-aligned top
+gates ([2] in the paper):
+
+* the **control gate** (CG, region A) turns the channel on or off like
+  an ordinary FET gate;
+* the **polarity gate** (PG, region B) thins the Schottky barrier for
+  electrons or holes ([3]): a high stored voltage ``V+`` makes the
+  device n-type, a low voltage ``V-`` makes it p-type, and the midpoint
+  ``V0 = VDD/2`` leaves both barriers thick — the device never
+  conducts.
+
+The reproduction keeps the model at the level the paper uses it:
+a three-state switch with per-state conduction rules, an on-resistance
+and capacitances for the delay model, and a contacted-cell footprint of
+``60 L**2`` for the area model (derived from the misaligned-CNT-immune
+scaling rules of [5]).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class Polarity(enum.Enum):
+    """The three electrically-programmed states of the polarity gate."""
+
+    #: PG stores ``V+``: n-type behaviour (conducts when CG is high).
+    N_TYPE = "n"
+    #: PG stores ``V-``: p-type behaviour (conducts when CG is low).
+    P_TYPE = "p"
+    #: PG stores ``V0 = VDD/2``: both Schottky barriers thick, always off.
+    OFF = "off"
+
+
+@dataclass(frozen=True)
+class DeviceParameters:
+    """Electrical and geometric parameters of one ambipolar CNFET.
+
+    Defaults follow the paper's assessment setup: the supply ``vdd`` is
+    normalized to 1 V, the contacted-cell area to ``60 L**2`` (Table 1,
+    first row), and the RC values are representative ballistic-CNFET
+    numbers used only *relatively* by the delay model.
+    """
+
+    #: Supply voltage [V]; the PG levels derive from it.
+    vdd: float = 1.0
+    #: On-resistance of a conducting tube bundle [ohm].
+    r_on: float = 25e3
+    #: CG capacitance [F] (load presented to the driving signal).
+    c_gate: float = 6e-18
+    #: Drain/source junction capacitance [F] (load on the output wire).
+    c_junction: float = 3e-18
+    #: Contacted basic-cell area in units of the lithography pitch squared.
+    cell_area_l2: float = 60.0
+    #: Number of parallel CNTs forming the channel (per [5]-style arrays).
+    tubes_per_device: int = 4
+
+    @property
+    def v_plus(self) -> float:
+        """PG level programming n-type behaviour (``V+``)."""
+        return self.vdd
+
+    @property
+    def v_minus(self) -> float:
+        """PG level programming p-type behaviour (``V-``)."""
+        return 0.0
+
+    @property
+    def v_zero(self) -> float:
+        """PG level turning the device permanently off (``V0 = VDD/2``)."""
+        return self.vdd / 2.0
+
+    def pg_voltage(self, polarity: Polarity) -> float:
+        """The PG charge level that programs ``polarity``."""
+        if polarity is Polarity.N_TYPE:
+            return self.v_plus
+        if polarity is Polarity.P_TYPE:
+            return self.v_minus
+        return self.v_zero
+
+
+#: Shared default parameter set.
+DEFAULT_PARAMETERS = DeviceParameters()
+
+#: Fraction of ``vdd`` within which a stored PG charge still programs the
+#: intended state (beyond it the device degrades toward the off state).
+PG_TOLERANCE = 0.25
+
+
+@dataclass
+class AmbipolarCNFET:
+    """One ambipolar CNFET with a stored polarity-gate charge.
+
+    The device is *programmed* by storing a voltage on its PG (see
+    :class:`repro.core.programming.ProgrammingController` for the
+    array-level protocol) and *operated* by driving its CG.
+    """
+
+    params: DeviceParameters = field(default_factory=lambda: DEFAULT_PARAMETERS)
+    #: Voltage currently stored on the polarity gate.
+    pg_charge: float = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.pg_charge is None:
+            self.pg_charge = self.params.v_zero
+
+    # ------------------------------------------------------------------
+    # programming
+    # ------------------------------------------------------------------
+    def program(self, polarity: Polarity) -> None:
+        """Store the PG charge for ``polarity`` (ideal programming pulse)."""
+        self.pg_charge = self.params.pg_voltage(polarity)
+
+    def program_voltage(self, voltage: float) -> None:
+        """Store an explicit PG voltage (used by the array controller)."""
+        if not 0.0 <= voltage <= self.params.vdd:
+            raise ValueError(f"PG voltage {voltage} outside [0, VDD]")
+        self.pg_charge = voltage
+
+    @property
+    def polarity(self) -> Polarity:
+        """The state the stored PG charge programs.
+
+        Charges within ``PG_TOLERANCE * vdd`` of ``V+`` / ``V-`` read as
+        n-type / p-type respectively; everything in between reads off
+        (the paper: conduction is poor around ``V0`` [3]).
+        """
+        vdd = self.params.vdd
+        window = PG_TOLERANCE * vdd
+        if self.pg_charge >= self.params.v_plus - window:
+            return Polarity.N_TYPE
+        if self.pg_charge <= self.params.v_minus + window:
+            return Polarity.P_TYPE
+        return Polarity.OFF
+
+    # ------------------------------------------------------------------
+    # operation
+    # ------------------------------------------------------------------
+    def conducts(self, cg_high: bool) -> bool:
+        """Whether the channel conducts for the given CG level.
+
+        n-type devices conduct on a high CG, p-type on a low CG, and
+        off-state devices never conduct — the three-state behaviour the
+        GNOR gate is built from.
+        """
+        state = self.polarity
+        if state is Polarity.N_TYPE:
+            return cg_high
+        if state is Polarity.P_TYPE:
+            return not cg_high
+        return False
+
+    def on_resistance(self) -> float:
+        """Channel resistance when conducting [ohm]."""
+        return self.params.r_on / max(self.params.tubes_per_device, 1)
+
+    def input_capacitance(self) -> float:
+        """Capacitive load the CG presents to its driver [F]."""
+        return self.params.c_gate
+
+    def output_capacitance(self) -> float:
+        """Junction capacitance loading the output wire [F]."""
+        return self.params.c_junction
+
+    def conduction_map(self) -> dict:
+        """Conduction for all (polarity, CG) pairs — the Fig 1 state table."""
+        saved = self.pg_charge
+        table = {}
+        try:
+            for polarity in Polarity:
+                self.program(polarity)
+                for cg_high in (False, True):
+                    table[(polarity, cg_high)] = self.conducts(cg_high)
+        finally:
+            self.pg_charge = saved
+        return table
+
+    def __repr__(self) -> str:
+        return (f"AmbipolarCNFET(polarity={self.polarity.value}, "
+                f"pg_charge={self.pg_charge:.3f})")
+
+
+def make_device(polarity: Polarity,
+                params: DeviceParameters = DEFAULT_PARAMETERS) -> AmbipolarCNFET:
+    """Convenience constructor: a device already programmed to ``polarity``."""
+    device = AmbipolarCNFET(params=params)
+    device.program(polarity)
+    return device
+
+
+def scaled_parameters(litho_pitch_nm: float,
+                      base: DeviceParameters = DEFAULT_PARAMETERS) -> DeviceParameters:
+    """Parameters re-scaled to a lithography pitch (capacitances scale
+    linearly with pitch, resistance is pitch-independent for a ballistic
+    tube — the simple scaling the paper's assessment assumes)."""
+    scale = litho_pitch_nm / 45.0
+    return replace(base, c_gate=base.c_gate * scale,
+                   c_junction=base.c_junction * scale)

@@ -1,0 +1,218 @@
+"""The generalized-NOR (GNOR) dynamic gate (Fig 2 of the paper).
+
+A GNOR gate is a column of ambipolar CNFETs in parallel between the
+output node ``Y`` and ground, plus a precharge transistor ``TPC`` and
+an evaluate transistor ``TEV`` of opposite polarities.  Each input
+drives one device's control gate; the device's programmed polarity
+decides how the input enters the function:
+
+===========  ==========  ==============================
+polarity     PG level    contribution of input ``x``
+===========  ==========  ==============================
+``PASS``     ``V+``      ``x``   (n-type: pulls on high)
+``INVERT``   ``V-``      ``~x``  (p-type: pulls on low)
+``DROP``     ``V0``      input inhibited
+===========  ==========  ==============================
+
+so the configured gate computes ``Y = NOR(e_0, e_1, ...)`` over the
+effective (possibly inverted, possibly dropped) inputs — the paper's
+``NOR(C1 ^ A, C2 ^ B, ...)``.  The paper's Fig 2 example,
+``Y = NOR(A, ~B, D)`` with C inhibited, is reproduced verbatim in the
+tests and in ``benchmarks/bench_fig2_gnor.py``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.device import (AmbipolarCNFET, DEFAULT_PARAMETERS,
+                               DeviceParameters, Polarity, make_device)
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+
+
+class InputConfig(enum.Enum):
+    """Per-input GNOR configuration (the ``Ci`` control of the paper)."""
+
+    #: Input participates directly (device programmed n-type, ``Ci = V+``).
+    PASS = "pass"
+    #: Input participates inverted (device programmed p-type, ``Ci = V-``).
+    INVERT = "invert"
+    #: Input dropped from the function (device off, ``Ci = V0``).
+    DROP = "drop"
+
+    def to_polarity(self) -> Polarity:
+        """The device polarity implementing this input mode."""
+        if self is InputConfig.PASS:
+            return Polarity.N_TYPE
+        if self is InputConfig.INVERT:
+            return Polarity.P_TYPE
+        return Polarity.OFF
+
+
+class Phase(enum.Enum):
+    """Dynamic-logic clock phase."""
+
+    PRECHARGE = "precharge"
+    EVALUATE = "evaluate"
+
+
+@dataclass
+class GNOREvent:
+    """One step of a dynamic-logic waveform (for the Fig 2 bench)."""
+
+    time: float
+    phase: Phase
+    inputs: Tuple[int, ...]
+    output: int
+
+
+class GNORGate:
+    """A configurable dynamic GNOR gate built from ambipolar CNFETs.
+
+    Parameters
+    ----------
+    n_inputs:
+        Number of input devices in the pull-down column.
+    configs:
+        Optional initial per-input configuration (default: all DROP).
+    params:
+        Device parameters shared by all transistors of the gate.
+    """
+
+    def __init__(self, n_inputs: int,
+                 configs: Optional[Sequence[InputConfig]] = None,
+                 params: DeviceParameters = DEFAULT_PARAMETERS):
+        if n_inputs < 1:
+            raise ValueError("a GNOR gate needs at least one input")
+        self.n_inputs = n_inputs
+        self.params = params
+        self.devices: List[AmbipolarCNFET] = [
+            AmbipolarCNFET(params=params) for _ in range(n_inputs)]
+        # Precharge device is p-type (conducts while the clock is low),
+        # evaluate device n-type (conducts while the clock is high): the
+        # "opposite polarities" of the paper's TPC / TEV.
+        self.tpc = make_device(Polarity.P_TYPE, params)
+        self.tev = make_device(Polarity.N_TYPE, params)
+        self._output_state = 1  # precharged
+        if configs is not None:
+            self.configure(configs)
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def configure(self, configs: Sequence[InputConfig]) -> None:
+        """Program every input device according to ``configs``."""
+        if len(configs) != self.n_inputs:
+            raise ValueError(f"expected {self.n_inputs} input configs")
+        for device, config in zip(self.devices, configs):
+            device.program(config.to_polarity())
+
+    def configure_input(self, index: int, config: InputConfig) -> None:
+        """Reprogram a single input device."""
+        self.devices[index].program(config.to_polarity())
+
+    def config(self) -> List[InputConfig]:
+        """The current per-input configuration, read back from the devices."""
+        mapping = {Polarity.N_TYPE: InputConfig.PASS,
+                   Polarity.P_TYPE: InputConfig.INVERT,
+                   Polarity.OFF: InputConfig.DROP}
+        return [mapping[d.polarity] for d in self.devices]
+
+    def active_inputs(self) -> List[int]:
+        """Indices of inputs that participate in the function."""
+        return [i for i, c in enumerate(self.config()) if c is not InputConfig.DROP]
+
+    # ------------------------------------------------------------------
+    # switch-level evaluation
+    # ------------------------------------------------------------------
+    def pull_down_active(self, inputs: Sequence[int]) -> bool:
+        """Whether any input device conducts for the given input vector."""
+        if len(inputs) != self.n_inputs:
+            raise ValueError(f"expected {self.n_inputs} input values")
+        return any(device.conducts(bool(value))
+                   for device, value in zip(self.devices, inputs))
+
+    def step(self, phase: Phase, inputs: Sequence[int]) -> int:
+        """Advance the dynamic gate one clock phase; returns the output.
+
+        During PRECHARGE, ``TPC`` conducts and ``Y`` is pulled high
+        (the pull-down is disconnected by the high-resistive ``TEV``).
+        During EVALUATE, ``TEV`` conducts; ``Y`` is discharged iff the
+        pull-down network conducts — and *stays* discharged for the
+        remainder of the phase (dynamic-node behaviour).
+        """
+        if phase is Phase.PRECHARGE:
+            # clock low: TPC (p-type) conducts, TEV (n-type) blocks
+            assert self.tpc.conducts(cg_high=False)
+            assert not self.tev.conducts(cg_high=False)
+            self._output_state = 1
+        else:
+            assert self.tev.conducts(cg_high=True)
+            assert not self.tpc.conducts(cg_high=True)
+            if self.pull_down_active(inputs):
+                self._output_state = 0
+        return self._output_state
+
+    def evaluate(self, inputs: Sequence[int]) -> int:
+        """One full precharge-then-evaluate cycle; returns the output."""
+        self.step(Phase.PRECHARGE, inputs)
+        return self.step(Phase.EVALUATE, inputs)
+
+    def waveform(self, vectors: Sequence[Sequence[int]],
+                 period: float = 1.0) -> List[GNOREvent]:
+        """Simulate a vector sequence, one cycle each; returns the events."""
+        events: List[GNOREvent] = []
+        time = 0.0
+        for vector in vectors:
+            out = self.step(Phase.PRECHARGE, vector)
+            events.append(GNOREvent(time, Phase.PRECHARGE, tuple(vector), out))
+            out = self.step(Phase.EVALUATE, vector)
+            events.append(GNOREvent(time + period / 2, Phase.EVALUATE,
+                                    tuple(vector), out))
+            time += period
+        return events
+
+    # ------------------------------------------------------------------
+    # symbolic view
+    # ------------------------------------------------------------------
+    def symbolic_function(self) -> Cover:
+        """The gate's Boolean function as a single-output cover.
+
+        ``Y = NOR(effective inputs)`` equals the single product term of
+        the *complemented* effective literals: a PASS input ``x``
+        contributes ``~x``, an INVERT input contributes ``x``.
+        """
+        literals = []
+        for i, config in enumerate(self.config()):
+            if config is InputConfig.PASS:
+                literals.append((i, False))
+            elif config is InputConfig.INVERT:
+                literals.append((i, True))
+        cube = Cube.from_literals(self.n_inputs, literals, n_outputs=1)
+        return Cover(self.n_inputs, 1, [cube])
+
+    def truth_table(self) -> List[int]:
+        """Exhaustive evaluation (for tests; exponential in inputs)."""
+        results = []
+        for minterm in range(1 << self.n_inputs):
+            vector = [(minterm >> i) & 1 for i in range(self.n_inputs)]
+            results.append(self.evaluate(vector))
+        return results
+
+    def __repr__(self) -> str:
+        modes = "".join({"pass": "P", "invert": "I", "drop": "."}[c.value]
+                        for c in self.config())
+        return f"GNORGate({modes})"
+
+
+def fig2_gate(params: DeviceParameters = DEFAULT_PARAMETERS) -> GNORGate:
+    """The exact configured gate of Fig 2: ``Y = NOR(A, ~B, D)``.
+
+    Inputs are (A, B, C, D); C1, C2, C4 are set to ``V+``, ``V-``,
+    ``V+`` and C3 to ``V0`` as in the paper.
+    """
+    return GNORGate(4, [InputConfig.PASS, InputConfig.INVERT,
+                        InputConfig.DROP, InputConfig.PASS], params)

@@ -1,0 +1,91 @@
+"""PG charge retention and refresh scheduling.
+
+The configuration lives as charge on floating polarity gates (Fig 4);
+charge leaks toward ``V0 = VDD/2`` over time, and a device whose charge
+drifts out of its read window stops conducting — the array *forgets*
+its program.  This module models exponential leakage, predicts the
+retention time of a programmed state, and derives the refresh interval
+a configuration controller must honour (with a safety factor), plus an
+estimate of the refresh duty overhead given the Fig 4 walk cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.device import (DEFAULT_PARAMETERS, DeviceParameters,
+                               PG_TOLERANCE, Polarity)
+
+
+@dataclass(frozen=True)
+class RetentionModel:
+    """Exponential PG leakage toward ``V0``.
+
+    The stored deviation from ``V0`` decays as ``exp(-t / tau)``:
+    ``V(t) = V0 + (V_prog - V0) * exp(-t / tau)``.
+
+    Attributes
+    ----------
+    tau_seconds:
+        Leakage time constant (storage-node RC; seconds).
+    """
+
+    tau_seconds: float = 10.0
+
+    def __post_init__(self):
+        if self.tau_seconds <= 0:
+            raise ValueError("tau must be positive")
+
+    def charge_at(self, t: float, polarity: Polarity,
+                  params: DeviceParameters = DEFAULT_PARAMETERS) -> float:
+        """Stored PG voltage ``t`` seconds after programming."""
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        v0 = params.v_zero
+        initial = params.pg_voltage(polarity)
+        return v0 + (initial - v0) * math.exp(-t / self.tau_seconds)
+
+    def retention_time(self,
+                       params: DeviceParameters = DEFAULT_PARAMETERS
+                       ) -> float:
+        """Seconds until a rail charge exits its read window.
+
+        The window spans ``PG_TOLERANCE * vdd`` from the rail, i.e. the
+        deviation from ``V0`` may shrink from ``vdd / 2`` down to
+        ``vdd / 2 - PG_TOLERANCE * vdd`` before the state reads off:
+        ``t_ret = tau * ln(half / (half - window))``.
+        """
+        half = params.vdd / 2.0
+        window = PG_TOLERANCE * params.vdd
+        remaining = half - window
+        if remaining <= 0:
+            return math.inf  # window covers everything: never misreads
+        return self.tau_seconds * math.log(half / remaining)
+
+    def refresh_interval(self, safety_factor: float = 2.0,
+                         params: DeviceParameters = DEFAULT_PARAMETERS
+                         ) -> float:
+        """Controller refresh period: retention time over the safety factor."""
+        if safety_factor < 1.0:
+            raise ValueError("safety factor must be >= 1")
+        return self.retention_time(params) / safety_factor
+
+    def refresh_overhead(self, n_rows: int, n_columns: int,
+                         cycle_time_seconds: float,
+                         safety_factor: float = 2.0,
+                         params: DeviceParameters = DEFAULT_PARAMETERS
+                         ) -> float:
+        """Fraction of time spent refreshing the array.
+
+        One refresh re-walks every device (the Fig 4 sequential select:
+        ``rows x columns`` cycles); dividing that walk time by the
+        refresh interval gives the duty overhead.
+        """
+        if min(n_rows, n_columns) < 1 or cycle_time_seconds <= 0:
+            raise ValueError("array dimensions and cycle time must be positive")
+        walk = n_rows * n_columns * cycle_time_seconds
+        interval = self.refresh_interval(safety_factor, params)
+        if math.isinf(interval):
+            return 0.0
+        return min(1.0, walk / interval)

@@ -1,0 +1,150 @@
+"""Device-parameter variation and Monte-Carlo timing analysis.
+
+CNFETs are "unreliable devices" (Section 5) in more than the
+catastrophic sense covered by :mod:`repro.core.defects`: on-resistance,
+capacitances and the stored PG charge all vary die-to-die and
+device-to-device.  This module provides:
+
+* a :class:`VariationModel` with relative sigmas for the electrical
+  parameters and an absolute sigma for the stored PG charge;
+* seeded sampling of perturbed :class:`TimingParameters`;
+* Monte-Carlo cycle-time distributions and parametric timing yield for
+  a PLA of given dimensions;
+* the analytic misread probability of a stored polarity (the chance a
+  PG charge drifts outside its read window).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from repro.core.device import DEFAULT_PARAMETERS, DeviceParameters, PG_TOLERANCE
+from repro.core.timing import DEFAULT_TIMING, PLATimingModel, TimingParameters
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Relative (1-sigma) parameter spreads.
+
+    Attributes
+    ----------
+    sigma_r_on:
+        Relative sigma of the channel on-resistance (tube count and
+        contact quality vary).
+    sigma_capacitance:
+        Relative sigma applied jointly to gate/junction/wire capacitance.
+    sigma_pg_charge:
+        Absolute sigma of the stored PG voltage [V] (programming noise
+        plus retention loss).
+    """
+
+    sigma_r_on: float = 0.15
+    sigma_capacitance: float = 0.10
+    sigma_pg_charge: float = 0.05
+
+    def sample_timing(self, rng: random.Random,
+                      base: TimingParameters = DEFAULT_TIMING
+                      ) -> TimingParameters:
+        """One perturbed timing-parameter sample (log-safe: clamped > 0)."""
+        r_factor = max(0.05, rng.gauss(1.0, self.sigma_r_on))
+        c_factor = max(0.05, rng.gauss(1.0, self.sigma_capacitance))
+        device = replace(base.device,
+                         r_on=base.device.r_on * r_factor,
+                         c_gate=base.device.c_gate * c_factor,
+                         c_junction=base.device.c_junction * c_factor)
+        return replace(base, device=device,
+                       c_wire_per_cell=base.c_wire_per_cell * c_factor)
+
+    def pg_misread_probability(self,
+                               params: DeviceParameters = DEFAULT_PARAMETERS
+                               ) -> float:
+        """P(a programmed rail charge reads as the wrong state).
+
+        The read window extends ``PG_TOLERANCE * vdd`` from each rail;
+        a Gaussian charge error beyond it flips the device toward the
+        off state.  One-sided tail (charges cannot exceed the rails).
+        """
+        if self.sigma_pg_charge <= 0:
+            return 0.0
+        margin = PG_TOLERANCE * params.vdd
+        z = margin / self.sigma_pg_charge
+        return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+@dataclass
+class TimingDistribution:
+    """Monte-Carlo cycle-time statistics.
+
+    Attributes
+    ----------
+    samples:
+        Raw cycle times [s], one per trial.
+    """
+
+    samples: List[float]
+
+    def mean(self) -> float:
+        """Sample mean [s]."""
+        return sum(self.samples) / len(self.samples)
+
+    def std(self) -> float:
+        """Sample standard deviation [s]."""
+        mu = self.mean()
+        return (sum((x - mu) ** 2 for x in self.samples)
+                / max(1, len(self.samples) - 1)) ** 0.5
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) by linear interpolation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        ordered = sorted(self.samples)
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+    def timing_yield(self, target_frequency_hz: float) -> float:
+        """Fraction of samples meeting a frequency target."""
+        budget = 1.0 / target_frequency_hz
+        return sum(1 for t in self.samples if t <= budget) / len(self.samples)
+
+
+def monte_carlo_cycle_time(n_inputs: int, n_outputs: int, n_products: int,
+                           model: VariationModel, trials: int = 200,
+                           seed: int = 0,
+                           base: TimingParameters = DEFAULT_TIMING,
+                           n_input_columns: int = None  # type: ignore[assignment]
+                           ) -> TimingDistribution:
+    """Sampled cycle-time distribution of a PLA under variation."""
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    rng = random.Random(seed)
+    samples = []
+    for _ in range(trials):
+        timing = model.sample_timing(rng, base)
+        pla_model = PLATimingModel(n_inputs, n_outputs, n_products, timing,
+                                   n_input_columns=n_input_columns)
+        samples.append(pla_model.cycle_time())
+    return TimingDistribution(samples)
+
+
+def sigma_sweep(n_inputs: int, n_outputs: int, n_products: int,
+                sigmas: Sequence[float], target_frequency_hz: float,
+                trials: int = 200, seed: int = 0) -> List[Dict[str, float]]:
+    """Timing yield vs parameter spread (for the variation ablation)."""
+    rows = []
+    for sigma in sigmas:
+        model = VariationModel(sigma_r_on=sigma, sigma_capacitance=sigma)
+        dist = monte_carlo_cycle_time(n_inputs, n_outputs, n_products,
+                                      model, trials=trials, seed=seed)
+        rows.append({
+            "sigma": sigma,
+            "mean_ps": dist.mean() * 1e12,
+            "p95_ps": dist.percentile(0.95) * 1e12,
+            "yield": dist.timing_yield(target_frequency_hz),
+        })
+    return rows

@@ -1,0 +1,39 @@
+"""A from-scratch Espresso-style two-level logic minimizer.
+
+The paper leans on two-level minimization twice: product-term counts
+drive the Table 1 area model, and Section 5 argues the GNOR PLA is a
+natural target for output-phase optimization (Sasao / MINI II [7]) and
+for Whirlpool-PLA synthesis with Doppio-Espresso [1].  This subpackage
+implements the classical EXPAND - IRREDUNDANT - REDUCE loop over the
+cube algebra of :mod:`repro.logic`, plus the phase-assignment and
+Doppio-Espresso drivers built on top of it.
+"""
+
+from repro.espresso.espresso import espresso, minimize, EspressoResult
+from repro.espresso.expand import expand
+from repro.espresso.irredundant import irredundant
+from repro.espresso.reduce import reduce_cover
+from repro.espresso.essential import essential_primes
+from repro.espresso.phase import assign_output_phases, PhaseResult
+from repro.espresso.doppio import doppio_espresso, DoppioResult
+from repro.espresso.sparse import make_sparse, last_gasp
+from repro.espresso.exact import exact_minimize, ExactResult, all_primes
+
+__all__ = [
+    "espresso",
+    "minimize",
+    "EspressoResult",
+    "expand",
+    "irredundant",
+    "reduce_cover",
+    "essential_primes",
+    "assign_output_phases",
+    "PhaseResult",
+    "doppio_espresso",
+    "DoppioResult",
+    "make_sparse",
+    "last_gasp",
+    "exact_minimize",
+    "ExactResult",
+    "all_primes",
+]

@@ -1,0 +1,177 @@
+"""Doppio-Espresso-style joint minimization for Whirlpool PLAs.
+
+A Whirlpool PLA ([1] in the paper) arranges **four** NOR planes in a
+ring instead of the usual two, splitting the outputs into two groups
+that are realized by opposite sides of the ring.  Because each group
+sees only its own output columns, the two half-PLAs are narrower than a
+single monolithic PLA; the Doppio-Espresso driver of [1] minimizes the
+two groups jointly.
+
+Our driver reproduces the optimization shape:
+
+1. partition the outputs into two groups (exhaustive for few outputs,
+   greedy support-affinity partitioning otherwise);
+2. minimize each group with free output phases (the GNOR planes supply
+   both product-term polarities, per Section 5 of the paper);
+3. score a partition by total ambipolar-CNFET cell count of the two
+   half-PLAs and keep the best.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.espresso.phase import PhaseResult, assign_output_phases
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+from repro.logic.function import BooleanFunction
+
+
+@dataclass
+class DoppioResult:
+    """Outcome of Whirlpool-oriented joint minimization.
+
+    Attributes
+    ----------
+    group_a, group_b:
+        Output indices assigned to each ring half.
+    result_a, result_b:
+        Phase-assigned minimization of each half.
+    monolithic_cells, whirlpool_cells:
+        GNOR cell counts ``P x (I + O)`` of the single-PLA baseline and
+        of the two half-PLAs combined.
+    partitions_evaluated:
+        Number of output partitions scored.
+    """
+
+    group_a: List[int]
+    group_b: List[int]
+    result_a: PhaseResult
+    result_b: PhaseResult
+    monolithic_cells: int
+    whirlpool_cells: int
+    partitions_evaluated: int
+
+    def saving_percent(self) -> float:
+        """Cell saving of the whirlpool arrangement over the monolith."""
+        if self.monolithic_cells == 0:
+            return 0.0
+        return 100.0 * (1 - self.whirlpool_cells / self.monolithic_cells)
+
+
+def doppio_espresso(function: BooleanFunction, exact_partition_limit: int = 6,
+                    monolithic_cover: Optional[Cover] = None) -> DoppioResult:
+    """Jointly minimize ``function`` for a 4-plane Whirlpool PLA.
+
+    ``monolithic_cover``, when given, supplies the baseline single-PLA
+    cover (else the all-positive minimization is used).
+    """
+    m = function.n_outputs
+    if m < 2:
+        raise ValueError("Whirlpool partitioning needs at least 2 outputs")
+
+    if monolithic_cover is None:
+        from repro.espresso.espresso import minimize
+        monolithic_cover = minimize(function)
+    monolithic_cells = monolithic_cover.n_cubes() * (function.n_inputs + m)
+
+    if m <= exact_partition_limit:
+        partitions = _all_partitions(m)
+    else:
+        partitions = [_affinity_partition(function)]
+
+    best: Optional[Tuple[int, List[int], List[int], PhaseResult, PhaseResult]] = None
+    for group_a, group_b in partitions:
+        result_a = _minimize_group(function, group_a)
+        result_b = _minimize_group(function, group_b)
+        cells = (result_a.cover.n_cubes() * (function.n_inputs + len(group_a))
+                 + result_b.cover.n_cubes() * (function.n_inputs + len(group_b)))
+        if best is None or cells < best[0]:
+            best = (cells, group_a, group_b, result_a, result_b)
+
+    cells, group_a, group_b, result_a, result_b = best
+    return DoppioResult(
+        group_a=group_a,
+        group_b=group_b,
+        result_a=result_a,
+        result_b=result_b,
+        monolithic_cells=monolithic_cells,
+        whirlpool_cells=cells,
+        partitions_evaluated=len(partitions),
+    )
+
+
+def _all_partitions(m: int) -> List[Tuple[List[int], List[int]]]:
+    """All two-way output partitions with both sides non-empty.
+
+    Output 0 is pinned to group A to halve the symmetric search space.
+    """
+    rest = list(range(1, m))
+    partitions = []
+    for size in range(0, m - 1):
+        for combo in itertools.combinations(rest, size):
+            group_a = [0] + list(combo)
+            group_b = [k for k in rest if k not in combo]
+            if group_b:
+                partitions.append((group_a, group_b))
+    return partitions
+
+
+def _affinity_partition(function: BooleanFunction) -> Tuple[List[int], List[int]]:
+    """Greedy balanced partition grouping outputs with shared support."""
+    m = function.n_outputs
+    supports = [_support(function.on_set.restrict_output(k)) for k in range(m)]
+    order = sorted(range(m), key=lambda k: -len(supports[k]))
+    group_a: List[int] = []
+    group_b: List[int] = []
+    support_a: set = set()
+    support_b: set = set()
+    half = (m + 1) // 2
+    for k in order:
+        overlap_a = len(supports[k] & support_a)
+        overlap_b = len(supports[k] & support_b)
+        prefer_a = overlap_a > overlap_b or (overlap_a == overlap_b
+                                             and len(group_a) <= len(group_b))
+        if prefer_a and len(group_a) < half:
+            group_a.append(k)
+            support_a |= supports[k]
+        elif len(group_b) < m - half:
+            group_b.append(k)
+            support_b |= supports[k]
+        else:
+            group_a.append(k)
+            support_a |= supports[k]
+    return (sorted(group_a), sorted(group_b))
+
+
+def _support(cover: Cover) -> set:
+    variables = set()
+    for cube in cover.cubes:
+        for var, _ in cube.literals():
+            variables.add(var)
+    return variables
+
+
+def _minimize_group(function: BooleanFunction, group: Sequence[int]) -> PhaseResult:
+    """Phase-assigned minimization of the sub-function on ``group`` outputs."""
+    sub_on = _select_outputs(function.on_set, group)
+    sub_dc = _select_outputs(function.dc_set, group)
+    sub = BooleanFunction(sub_on, sub_dc, name=f"{function.name}.group",
+                          input_labels=function.input_labels,
+                          output_labels=[function.output_labels[k] for k in group])
+    return assign_output_phases(sub)
+
+
+def _select_outputs(cover: Cover, group: Sequence[int]) -> Cover:
+    """Re-index a cover onto the output subset ``group``."""
+    result = Cover(cover.n_inputs, len(group))
+    for cube in cover.cubes:
+        outputs = 0
+        for new_k, old_k in enumerate(group):
+            if (cube.outputs >> old_k) & 1:
+                outputs |= 1 << new_k
+        if outputs:
+            result.append(Cube(cover.n_inputs, cube.inputs, outputs, len(group)))
+    return result

@@ -1,0 +1,143 @@
+"""The Espresso main loop: EXPAND - IRREDUNDANT - REDUCE to fixpoint.
+
+``espresso(function)`` minimizes a :class:`BooleanFunction`'s ON-set
+against its DC-set and returns an :class:`EspressoResult` carrying the
+minimized cover plus iteration statistics.  ``minimize`` is the
+convenience wrapper returning just the cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.espresso.essential import essential_primes
+from repro.espresso.expand import expand
+from repro.espresso.irredundant import irredundant
+from repro.espresso.reduce import reduce_cover
+from repro.logic.cover import Cover
+from repro.logic.function import BooleanFunction
+
+
+@dataclass
+class EspressoResult:
+    """Outcome of a minimization run.
+
+    Attributes
+    ----------
+    cover:
+        The minimized cover (implements the function modulo DC-set).
+    initial_cost, final_cost:
+        ``(cubes, input literals, output literals)`` before and after.
+    iterations:
+        Number of EXPAND-IRREDUNDANT-REDUCE passes executed.
+    essential_count:
+        Number of essential primes extracted after the first pass.
+    cost_trace:
+        Cost after each pass (for convergence plots / ablations).
+    """
+
+    cover: Cover
+    initial_cost: Tuple[int, int, int]
+    final_cost: Tuple[int, int, int]
+    iterations: int
+    essential_count: int
+    cost_trace: List[Tuple[int, int, int]] = field(default_factory=list)
+
+
+def espresso(function: BooleanFunction, max_iterations: int = 20,
+             extract_essentials: bool = True, use_last_gasp: bool = True,
+             use_make_sparse: bool = True) -> EspressoResult:
+    """Minimize ``function`` with the EXPAND-IRREDUNDANT-REDUCE loop.
+
+    Parameters
+    ----------
+    function:
+        ON/DC specification to minimize.
+    max_iterations:
+        Safety bound on the improvement loop (normally converges in a
+        handful of passes).
+    extract_essentials:
+        When True (default), essential primes are set aside after the
+        first pass, as in the original algorithm.
+    use_last_gasp:
+        Try the independent-reduce escape pass once the loop stalls.
+    use_make_sparse:
+        Lower redundant output taps at the end (fewer programmed
+        OR-plane devices; the cover itself is unchanged in size).
+    """
+    on = function.on_set.single_cube_containment()
+    dc = function.dc_set
+    off = function.off_set
+    initial_cost = on.cost()
+    trace: List[Tuple[int, int, int]] = []
+
+    if on.is_empty():
+        empty = Cover.empty(function.n_inputs, function.n_outputs)
+        return EspressoResult(empty, initial_cost, empty.cost(), 0, 0, [])
+
+    current = expand(on, off)
+    current = irredundant(current, dc)
+
+    essentials: Optional[Cover] = None
+    working_dc = dc
+    if extract_essentials:
+        essentials, current = essential_primes(current, dc)
+        working_dc = dc + essentials
+
+    best = current
+    best_cost = _loop_cost(current, essentials)
+    trace.append(best_cost)
+    iterations = 1
+
+    while iterations < max_iterations:
+        iterations += 1
+        reduced = reduce_cover(current, working_dc)
+        expanded = expand(reduced, off)
+        current = irredundant(expanded, working_dc)
+        cost = _loop_cost(current, essentials)
+        trace.append(cost)
+        if cost < best_cost:
+            best = current
+            best_cost = cost
+        else:
+            break
+
+    if use_last_gasp:
+        from repro.espresso.sparse import last_gasp
+        gasped = last_gasp(best, off, working_dc)
+        if gasped.cost() < best.cost():
+            best = gasped
+            trace.append(_loop_cost(best, essentials))
+
+    result_cover = best
+    if essentials is not None and len(essentials):
+        result_cover = irredundant(best + essentials, dc)
+    result_cover = result_cover.single_cube_containment()
+    if use_make_sparse:
+        from repro.espresso.sparse import make_sparse
+        result_cover = make_sparse(result_cover, dc)
+
+    return EspressoResult(
+        cover=result_cover,
+        initial_cost=initial_cost,
+        final_cost=result_cover.cost(),
+        iterations=iterations,
+        essential_count=len(essentials) if essentials is not None else 0,
+        cost_trace=trace,
+    )
+
+
+def minimize(function: BooleanFunction, **kwargs) -> Cover:
+    """Minimize and return just the cover (see :func:`espresso`)."""
+    return espresso(function, **kwargs).cover
+
+
+def _loop_cost(cover: Cover, essentials: Optional[Cover]) -> Tuple[int, int, int]:
+    cubes, in_lits, out_lits = cover.cost()
+    if essentials is not None:
+        e_cubes, e_in, e_out = essentials.cost()
+        cubes += e_cubes
+        in_lits += e_in
+        out_lits += e_out
+    return (cubes, in_lits, out_lits)

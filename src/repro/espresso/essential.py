@@ -1,0 +1,38 @@
+"""Essential prime extraction.
+
+A prime is *essential* when it covers a minterm no other prime (nor the
+DC-set) covers; essential primes belong to every minimum cover, so the
+Espresso loop sets them aside and minimizes only the remainder, treating
+the essentials as additional don't-cares.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.logic.cover import Cover
+from repro.logic.tautology import covers_cube
+
+
+def essential_primes(cover: Cover, dc_set: Optional[Cover] = None) \
+        -> Tuple[Cover, Cover]:
+    """Split a prime cover into ``(essentials, remainder)``.
+
+    ``cover`` must consist of primes (run :func:`repro.espresso.expand`
+    first); a prime is flagged essential when the rest of the cover plus
+    the DC-set fails to cover it.
+    """
+    if dc_set is None:
+        dc_set = Cover.empty(cover.n_inputs, cover.n_outputs)
+
+    essential = Cover(cover.n_inputs, cover.n_outputs)
+    remainder = Cover(cover.n_inputs, cover.n_outputs)
+    cubes = list(cover.cubes)
+    for i, cube in enumerate(cubes):
+        rest = Cover(cover.n_inputs, cover.n_outputs,
+                     cubes[:i] + cubes[i + 1:] + list(dc_set.cubes))
+        if covers_cube(rest, cube):
+            remainder.append(cube)
+        else:
+            essential.append(cube)
+    return essential, remainder

@@ -1,0 +1,91 @@
+"""EXPAND — raise every cube of the cover to a prime implicant.
+
+A cube is expanded by raising lowered positions (missing halves of
+input fields, missing output bits) one at a time, as long as the grown
+cube stays disjoint from the OFF-set.  Raises are attempted in a
+heuristic order: positions blocked by the fewest OFF-set cubes first,
+ties broken in favour of raises that swallow other cubes of the cover.
+After each successful expansion, covered sibling cubes are dropped.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+from repro.espresso.unate import cube_literal_positions
+
+
+def expand(cover: Cover, off_set: Cover) -> Cover:
+    """Expand every cube of ``cover`` against ``off_set``.
+
+    Returns a cover of prime implicants (with respect to ON + DC, whose
+    complement ``off_set`` must be) in which no cube is singly
+    contained in another.
+    """
+    order = sorted(range(len(cover.cubes)),
+                   key=lambda i: cover.cubes[i].size())
+    covered = [False] * len(cover.cubes)
+    result: List[Cube] = []
+
+    for idx in order:
+        if covered[idx]:
+            continue
+        cube = expand_cube(cover.cubes[idx], off_set)
+        # Mark any not-yet-expanded sibling the prime now covers.
+        for j in range(len(cover.cubes)):
+            if j != idx and not covered[j] and cube.contains(cover.cubes[j]):
+                covered[j] = True
+        result.append(cube)
+
+    return Cover(cover.n_inputs, cover.n_outputs, result).single_cube_containment()
+
+
+def expand_cube(cube: Cube, off_set: Cover) -> Cube:
+    """Expand a single cube into a prime against the OFF-set."""
+    current = cube
+    while True:
+        candidates = _feasible_raises(current, off_set)
+        if not candidates:
+            return current
+        # Raise the position blocked by the fewest remaining constraints:
+        # candidates are already feasible, so pick the one leaving the most
+        # freedom — approximate by choosing the raise whose resulting cube
+        # has the fewest OFF-set cubes at Hamming distance 1.
+        best = min(candidates, key=lambda item: item[1])
+        current = best[0]
+
+
+def _feasible_raises(cube: Cube, off_set: Cover) -> List[Tuple[Cube, int]]:
+    """All single-position raises keeping the cube OFF-disjoint.
+
+    Each entry is ``(raised_cube, tightness)`` where ``tightness`` counts
+    OFF-set cubes at distance 1 from the raised cube (a proxy for how
+    much future freedom the raise forfeits).
+    """
+    results: List[Tuple[Cube, int]] = []
+    for kind, position in cube_literal_positions(cube):
+        if kind == "input":
+            raised = Cube(cube.n_inputs, cube.inputs | (1 << position),
+                          cube.outputs, cube.n_outputs)
+        else:
+            raised = Cube(cube.n_inputs, cube.inputs,
+                          cube.outputs | (1 << position), cube.n_outputs)
+        blocked = False
+        tightness = 0
+        for off_cube in off_set.cubes:
+            dist = raised.distance(off_cube)
+            if dist == 0:
+                blocked = True
+                break
+            if dist == 1:
+                tightness += 1
+        if not blocked:
+            results.append((raised, tightness))
+    return results
+
+
+def is_prime(cube: Cube, off_set: Cover) -> bool:
+    """True when no single raise of ``cube`` stays OFF-disjoint."""
+    return not _feasible_raises(cube, off_set)

@@ -1,0 +1,51 @@
+"""IRREDUNDANT — drop cubes covered by the rest of the cover.
+
+The pass first removes cubes totally redundant against the relatively
+essential set, then sequentially tests the partially redundant cubes
+(largest first, so small cubes get eliminated in favour of large ones)
+and deletes any cube still covered by the remaining cover plus the
+DC-set.  The result contains no redundant cube, though like Espresso's
+heuristic it is not guaranteed to be a *minimum* irredundant subcover.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.logic.cover import Cover
+from repro.logic.tautology import covers_cube
+
+
+def irredundant(cover: Cover, dc_set: Optional[Cover] = None) -> Cover:
+    """An irredundant subcover of ``cover`` (same function modulo DC)."""
+    if dc_set is None:
+        dc_set = Cover.empty(cover.n_inputs, cover.n_outputs)
+
+    cubes: List = [c for c in cover.cubes if not c.is_empty()]
+    if len(cubes) <= 1:
+        return Cover(cover.n_inputs, cover.n_outputs, cubes)
+
+    # Relatively essential cubes can never be removed; identify them once
+    # so the sequential pass below can skip their (expensive) re-tests.
+    essential_flags = []
+    for i, cube in enumerate(cubes):
+        rest = Cover(cover.n_inputs, cover.n_outputs,
+                     cubes[:i] + cubes[i + 1:] + list(dc_set.cubes))
+        essential_flags.append(not covers_cube(rest, cube))
+
+    # Sequentially remove redundant cubes, smallest first so that large
+    # cubes survive (fewer literals on the PLA rows).
+    order = sorted(range(len(cubes)), key=lambda i: cubes[i].size())
+    removed = [False] * len(cubes)
+    for i in order:
+        if essential_flags[i] or removed[i]:
+            continue
+        rest_cubes = [cubes[j] for j in range(len(cubes))
+                      if j != i and not removed[j]]
+        rest = Cover(cover.n_inputs, cover.n_outputs,
+                     rest_cubes + list(dc_set.cubes))
+        if covers_cube(rest, cubes[i]):
+            removed[i] = True
+
+    kept = [cubes[i] for i in range(len(cubes)) if not removed[i]]
+    return Cover(cover.n_inputs, cover.n_outputs, kept)

@@ -1,0 +1,101 @@
+"""Output-phase assignment (Sasao [7], as used in MINI II).
+
+A two-level implementation may realize each output either directly or
+complemented (adding an inverter — or, in the paper's GNOR PLA, simply
+configuring the second-plane polarity, which is free).  Choosing phases
+jointly can shrink the product-term count substantially because
+complemented outputs share different product terms.
+
+``assign_output_phases`` searches the phase space: exhaustively for up
+to ``exact_limit`` outputs, greedily (single-flip hill climbing from
+the all-positive assignment) beyond.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.espresso.espresso import minimize
+from repro.logic.cover import Cover
+from repro.logic.function import BooleanFunction
+
+
+@dataclass
+class PhaseResult:
+    """Outcome of phase assignment.
+
+    Attributes
+    ----------
+    phases:
+        ``phases[k]`` True = output ``k`` realized directly, False =
+        realized complemented (the PLA produces ``~f_k``).
+    cover:
+        Minimized cover of the phase-assigned function.
+    baseline_cost, final_cost:
+        ``(cubes, literals)`` of the all-positive minimization and of
+        the chosen assignment.
+    evaluated:
+        Number of phase assignments minimized during the search.
+    """
+
+    phases: List[bool]
+    cover: Cover
+    baseline_cost: Tuple[int, int]
+    final_cost: Tuple[int, int]
+    evaluated: int
+
+
+def assign_output_phases(function: BooleanFunction, exact_limit: int = 4,
+                         max_greedy_rounds: int = 8) -> PhaseResult:
+    """Choose output phases minimizing the product-term count.
+
+    Exhaustive over all ``2**n_outputs`` assignments when
+    ``n_outputs <= exact_limit``; otherwise greedy single-output flips
+    until a full round yields no improvement.
+    """
+    m = function.n_outputs
+    evaluated = 0
+
+    def cost_of(phases: Sequence[bool]) -> Tuple[Tuple[int, int], Cover]:
+        phased = function.with_output_phase(list(phases))
+        cover = minimize(phased)
+        return (cover.n_cubes(), cover.n_literals()), cover
+
+    baseline_cost, baseline_cover = cost_of([True] * m)
+    evaluated += 1
+
+    best_phases = [True] * m
+    best_cost, best_cover = baseline_cost, baseline_cover
+
+    if m <= exact_limit:
+        for combo in itertools.product([True, False], repeat=m):
+            if all(combo):
+                continue
+            cost, cover = cost_of(combo)
+            evaluated += 1
+            if cost < best_cost:
+                best_cost, best_cover, best_phases = cost, cover, list(combo)
+    else:
+        improved = True
+        rounds = 0
+        while improved and rounds < max_greedy_rounds:
+            improved = False
+            rounds += 1
+            for k in range(m):
+                trial = list(best_phases)
+                trial[k] = not trial[k]
+                cost, cover = cost_of(trial)
+                evaluated += 1
+                if cost < best_cost:
+                    best_cost, best_cover, best_phases = cost, cover, trial
+                    improved = True
+
+    return PhaseResult(
+        phases=best_phases,
+        cover=best_cover,
+        baseline_cost=baseline_cost,
+        final_cost=best_cost,
+        evaluated=evaluated,
+    )

@@ -1,0 +1,70 @@
+"""Unateness helpers shared by the minimizer passes.
+
+Espresso exploits unate structure everywhere: unate covers have easy
+tautology, their minimal covers are computable by row dominance, and
+unate reduction shrinks recursion trees.  The heavy unate-recursive
+procedures themselves live in :mod:`repro.logic.tautology` and
+:mod:`repro.logic.complement`; here we keep the small shared pieces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.logic.cover import Cover
+from repro.logic.cube import BIT_ONE, BIT_ZERO, Cube
+
+
+def unate_variables(cover: Cover) -> List[Optional[bool]]:
+    """Per input variable: ``True`` (positive unate), ``False`` (negative
+    unate), or ``None`` (binate or absent).
+
+    A variable appearing in no cube is reported positive-unate by
+    convention (monotone both ways).
+    """
+    result: List[Optional[bool]] = []
+    for zeros, ones in cover.column_counts():
+        if zeros == 0:
+            result.append(True)
+        elif ones == 0:
+            result.append(False)
+        else:
+            result.append(None)
+    return result
+
+
+def binate_variables(cover: Cover) -> List[int]:
+    """Indices of variables appearing in both polarities."""
+    return [v for v, polarity in enumerate(unate_variables(cover))
+            if polarity is None]
+
+
+def minimal_unate_cover(cover: Cover) -> Cover:
+    """Minimum-cube cover of a *unate* cover.
+
+    For unate covers, single-cube containment removal already yields the
+    unique minimal prime cover (a classical unate-cover property); this
+    helper documents and enforces the precondition.
+    """
+    if not cover.is_unate():
+        raise ValueError("minimal_unate_cover requires a unate cover")
+    return cover.single_cube_containment()
+
+
+def cube_literal_positions(cube: Cube) -> List[Tuple[str, int]]:
+    """All *lowered* positions of a cube that EXPAND may raise.
+
+    Returns ``("input", bit_index)`` entries for each missing half of an
+    input field and ``("output", k)`` for each missing output.
+    """
+    positions: List[Tuple[str, int]] = []
+    for var in range(cube.n_inputs):
+        field = cube.field(var)
+        if field == BIT_ZERO:
+            positions.append(("input", 2 * var + 1))
+        elif field == BIT_ONE:
+            positions.append(("input", 2 * var))
+    for k in range(cube.n_outputs):
+        if not (cube.outputs >> k) & 1:
+            positions.append(("output", k))
+    return positions

@@ -1,0 +1,28 @@
+"""The Fig 3 fabric at scale: cascaded PLAs with programmed crossbars.
+
+Fig 3 of the paper interleaves GNOR PLAs with crosspoint interconnect
+arrays so NOR planes can cascade into arbitrary multi-level logic.
+This subpackage is the compiler for that fabric:
+
+* :mod:`repro.fabric.layout` — levelize partitioned blocks into stages
+  and size the inter-stage signal buses;
+* :mod:`repro.fabric.compiler` — program one PLA per block and one
+  crossbar per stage boundary, and simulate the whole fabric with real
+  crosspoint propagation (not a lookup table).
+"""
+
+from repro.fabric.layout import FabricLayout, levelize
+from repro.fabric.compiler import CompiledFabric, compile_fabric
+from repro.fabric.timing import (FabricTimingReport, analyze_fabric_timing,
+                                 flat_pla_delay, pipelined_frequency)
+
+__all__ = [
+    "FabricLayout",
+    "levelize",
+    "CompiledFabric",
+    "compile_fabric",
+    "FabricTimingReport",
+    "analyze_fabric_timing",
+    "flat_pla_delay",
+    "pipelined_frequency",
+]

@@ -1,0 +1,95 @@
+"""Delay analysis of the cascaded PLA/crossbar fabric.
+
+The flat two-level PLA of a wide function has enormous OR-plane columns
+(one crosspoint per product row), so its evaluate delay grows linearly
+with the product count; the cascade replaces that with several small
+PLAs plus crossbar traversals.  This module quantifies the trade: the
+fabric's critical path is the sum over stages of the slowest stage PLA
+plus the RC of the crossbar it reads through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.timing import DEFAULT_TIMING, PLATimingModel, TimingParameters
+from repro.fabric.compiler import CompiledFabric
+
+
+@dataclass
+class FabricTimingReport:
+    """Per-stage and total delays of a compiled fabric.
+
+    Attributes
+    ----------
+    stage_delays:
+        Per stage: slowest member-PLA evaluate delay [s].
+    crossbar_delays:
+        Per stage: RC traversal delay of the incoming crossbar [s].
+    critical_path_delay:
+        Total combinational delay through all stages [s].
+    """
+
+    stage_delays: List[float]
+    crossbar_delays: List[float]
+    critical_path_delay: float
+
+    def max_frequency(self) -> float:
+        """Achievable (combinational) frequency [Hz]."""
+        return 1.0 / self.critical_path_delay
+
+
+def analyze_fabric_timing(fabric: CompiledFabric,
+                          timing: TimingParameters = DEFAULT_TIMING
+                          ) -> FabricTimingReport:
+    """Critical-path analysis of a compiled fabric."""
+    stage_delays: List[float] = []
+    crossbar_delays: List[float] = []
+    total = 0.0
+    for stage in fabric.stages:
+        # one pass-transistor in series with the bus wire spanning the
+        # crossbar's vertical extent
+        r_on = timing.device.r_on / max(timing.device.tubes_per_device, 1)
+        c_bus = (stage.crossbar.n_vertical * timing.c_wire_per_cell
+                 + timing.device.c_junction * stage.crossbar.n_horizontal)
+        crossbar_delay = timing.ln2 * r_on * c_bus
+        crossbar_delays.append(crossbar_delay)
+
+        slowest = 0.0
+        for _block, pla in stage.plas:
+            model = PLATimingModel(pla.n_inputs, pla.n_outputs,
+                                   pla.n_products, timing)
+            slowest = max(slowest, model.evaluate_delay())
+        stage_delays.append(slowest)
+        total += crossbar_delay + slowest
+
+    if total <= 0.0:
+        total = timing.buffer_delay
+    return FabricTimingReport(stage_delays=stage_delays,
+                              crossbar_delays=crossbar_delays,
+                              critical_path_delay=total)
+
+
+def flat_pla_delay(n_inputs: int, n_outputs: int, n_products: int,
+                   timing: TimingParameters = DEFAULT_TIMING) -> float:
+    """Evaluate delay of the equivalent flat two-level PLA [s]."""
+    return PLATimingModel(n_inputs, n_outputs, n_products,
+                          timing).evaluate_delay()
+
+
+def pipelined_frequency(report: FabricTimingReport) -> float:
+    """Clock frequency with registers at every stage boundary [Hz].
+
+    The cascade's structural payoff: once each stage is registered the
+    clock is set by the *slowest single stage* (PLA + its crossbar),
+    not the whole combinational path — so deep fabrics keep the clock
+    of a shallow one at the cost of latency in cycles.
+    """
+    per_stage = [stage + crossbar
+                 for stage, crossbar in zip(report.stage_delays,
+                                            report.crossbar_delays)]
+    worst = max(per_stage, default=report.critical_path_delay)
+    if worst <= 0:
+        worst = report.critical_path_delay
+    return 1.0 / worst

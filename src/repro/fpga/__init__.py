@@ -1,0 +1,46 @@
+"""A from-scratch PLA-based FPGA substrate (Table 2's testbed).
+
+The paper emulates an ambipolar-CNFET FPGA as "a classical one with
+half of the area for every CLB", implementing the same function, and
+reports occupancy and maximum frequency.  This subpackage provides the
+whole flow needed to re-run that experiment mechanistically:
+
+* :mod:`repro.fpga.clb` — CLB capacity/area/delay specs (standard
+  dual-polarity PLA CLBs vs ambipolar GNOR CLBs);
+* :mod:`repro.fpga.netlist` — block/net netlists, including the
+  dual-polarity net expansion of standard fabrics;
+* :mod:`repro.fpga.fabric` — the tile grid with channel capacities;
+* :mod:`repro.fpga.placement` — simulated-annealing placement;
+* :mod:`repro.fpga.routing` — a PathFinder-style congestion-negotiating
+  router;
+* :mod:`repro.fpga.timing` — wire + logic delay, critical path,
+  frequency;
+* :mod:`repro.fpga.emulate` — the Table 2 protocol end to end.
+"""
+
+from repro.fpga.clb import CLBSpec, standard_pla_clb, ambipolar_pla_clb
+from repro.fpga.netlist import Net, Netlist, build_netlist
+from repro.fpga.fabric import FPGAFabric
+from repro.fpga.placement import Placement, place
+from repro.fpga.routing import RoutingResult, route
+from repro.fpga.timing import TimingReport, analyze_timing
+from repro.fpga.emulate import EmulationReport, run_emulation, generate_workload
+
+__all__ = [
+    "CLBSpec",
+    "standard_pla_clb",
+    "ambipolar_pla_clb",
+    "Net",
+    "Netlist",
+    "build_netlist",
+    "FPGAFabric",
+    "Placement",
+    "place",
+    "RoutingResult",
+    "route",
+    "TimingReport",
+    "analyze_timing",
+    "EmulationReport",
+    "run_emulation",
+    "generate_workload",
+]

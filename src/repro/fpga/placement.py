@@ -1,0 +1,185 @@
+"""Simulated-annealing placement.
+
+Blocks are assigned to fabric sites minimizing total half-perimeter
+wirelength (HPWL) over all nets.  The annealer uses swap/move
+perturbations with a geometric cooling schedule; everything is seeded,
+so placements (and therefore Table 2) are reproducible.
+Primary I/O is modelled as perimeter pads spread around the die.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.fpga.fabric import FPGAFabric, Site
+from repro.fpga.netlist import Net, Netlist
+
+
+@dataclass
+class Placement:
+    """A complete block-to-site assignment.
+
+    Attributes
+    ----------
+    sites:
+        block name -> tile coordinate.
+    pads:
+        primary I/O signal -> perimeter coordinate (may lie on the grid
+        border tiles).
+    wirelength:
+        Final HPWL in tile units.
+    moves_evaluated:
+        Annealer statistics (for ablation benches).
+    """
+
+    sites: Dict[str, Site]
+    pads: Dict[str, Site]
+    wirelength: float
+    moves_evaluated: int = 0
+
+    def site_of(self, terminal: str) -> Site:
+        """Tile of a block or pad terminal."""
+        if terminal in self.sites:
+            return self.sites[terminal]
+        return self.pads[terminal]
+
+
+def place(netlist: Netlist, fabric: FPGAFabric, seed: int = 0,
+          moves_per_block: int = 200,
+          initial_temperature: float = 2.0,
+          cooling: float = 0.93) -> Placement:
+    """Anneal a placement of ``netlist`` onto ``fabric``.
+
+    Raises ``ValueError`` when the netlist needs more sites than the
+    fabric offers.
+    """
+    block_names = netlist.block_order()
+    if len(block_names) > fabric.n_sites():
+        raise ValueError(
+            f"{len(block_names)} blocks do not fit {fabric.n_sites()} sites")
+
+    rng = random.Random(seed)
+    all_sites = list(fabric.sites())
+    rng.shuffle(all_sites)
+    sites: Dict[str, Site] = {name: all_sites[i]
+                              for i, name in enumerate(block_names)}
+    free_sites: List[Site] = all_sites[len(block_names):]
+    pads = _assign_pads(netlist, fabric, rng)
+
+    nets = [net for net in netlist.nets if net.n_terminals() >= 2]
+    touching: Dict[str, List[int]] = {}
+    for index, net in enumerate(nets):
+        for terminal in _block_terminals(net, sites):
+            touching.setdefault(terminal, []).append(index)
+
+    def net_hpwl(net: Net) -> float:
+        xs: List[int] = []
+        ys: List[int] = []
+        for terminal in ([net.source] if net.source else []) + net.sinks:
+            site = sites.get(terminal)
+            if site is not None:
+                xs.append(site[0])
+                ys.append(site[1])
+        base_signal = net.name.split("#", 1)[0]
+        pad = pads.get(base_signal)
+        if pad is not None:
+            # primary-input nets start at a pad; primary-output nets end
+            # at one (duplicates do not change the bounding box)
+            xs.append(pad[0])
+            ys.append(pad[1])
+        if len(xs) < 2:
+            return 0.0
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    net_costs = [net_hpwl(net) for net in nets]
+    total = sum(net_costs)
+
+    temperature = initial_temperature
+    moves = 0
+    n_moves = max(1, moves_per_block * max(len(block_names), 1))
+    occupied: Dict[Site, str] = {site: name for name, site in sites.items()}
+
+    while temperature > 0.01 and moves < n_moves:
+        stage_moves = max(1, len(block_names) * 10)
+        for _ in range(stage_moves):
+            moves += 1
+            mover = rng.choice(block_names)
+            old_site = sites[mover]
+            if free_sites and rng.random() < 0.3:
+                new_site = rng.choice(free_sites)
+                swap_with: Optional[str] = None
+            else:
+                new_site = rng.choice(all_sites)
+                swap_with = occupied.get(new_site)
+                if swap_with == mover:
+                    continue
+
+            affected = set(touching.get(mover, []))
+            if swap_with is not None:
+                affected |= set(touching.get(swap_with, []))
+            before = sum(net_costs[i] for i in affected)
+
+            sites[mover] = new_site
+            occupied[new_site] = mover
+            if swap_with is not None:
+                sites[swap_with] = old_site
+                occupied[old_site] = swap_with
+            else:
+                del occupied[old_site]
+                if new_site in free_sites:
+                    free_sites.remove(new_site)
+                    free_sites.append(old_site)
+
+            after = sum(net_hpwl(nets[i]) for i in affected)
+            delta = after - before
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                for i in affected:
+                    net_costs[i] = net_hpwl(nets[i])
+                total += delta
+            else:  # revert
+                sites[mover] = old_site
+                occupied[old_site] = mover
+                if swap_with is not None:
+                    sites[swap_with] = new_site
+                    occupied[new_site] = swap_with
+                else:
+                    del occupied[new_site]
+                    if old_site in free_sites:
+                        free_sites.remove(old_site)
+                        free_sites.append(new_site)
+        temperature *= cooling
+
+    total = sum(net_hpwl(net) for net in nets)
+    return Placement(sites=sites, pads=pads, wirelength=total,
+                     moves_evaluated=moves)
+
+
+def _block_terminals(net: Net, sites: Dict[str, Site]) -> List[str]:
+    terminals = []
+    if net.source is not None:
+        terminals.append(net.source)
+    terminals.extend(net.sinks)
+    return [t for t in terminals if t in sites]
+
+
+def _assign_pads(netlist: Netlist, fabric: FPGAFabric,
+                 rng: random.Random) -> Dict[str, Site]:
+    """Spread primary I/O pads around the fabric perimeter."""
+    perimeter: List[Site] = []
+    w, h = fabric.width, fabric.height
+    for x in range(w):
+        perimeter.append((x, 0))
+        perimeter.append((x, h - 1))
+    for y in range(1, h - 1):
+        perimeter.append((0, y))
+        perimeter.append((w - 1, y))
+    if not perimeter:
+        perimeter = [(0, 0)]
+    signals = list(netlist.primary_inputs) + list(netlist.primary_outputs)
+    pads = {}
+    for i, signal in enumerate(signals):
+        pads[signal] = perimeter[i % len(perimeter)]
+    return pads

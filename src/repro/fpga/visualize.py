@@ -1,0 +1,77 @@
+"""ASCII visualization of placed-and-routed fabrics.
+
+Terminal-friendly renderings used by the FPGA example and handy when
+debugging placement or congestion: an occupancy map of the CLB grid and
+a channel-utilization heat map of the routed design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.fpga.fabric import FPGAFabric
+from repro.fpga.placement import Placement
+from repro.fpga.routing import RoutingResult
+
+#: Utilization glyphs, from idle to overflowing.
+_HEAT = " .:-=+*#%@"
+
+
+def occupancy_map(placement: Placement, fabric: FPGAFabric) -> str:
+    """The CLB grid: ``#`` occupied site, ``.`` free site."""
+    occupied = set(placement.sites.values())
+    lines = []
+    for y in range(fabric.height):
+        row = "".join("#" if (x, y) in occupied else "."
+                      for x in range(fabric.width))
+        lines.append(row)
+    used = len(occupied)
+    lines.append(f"{used}/{fabric.n_sites()} sites occupied "
+                 f"({100 * used / fabric.n_sites():.1f}%)")
+    return "\n".join(lines)
+
+
+def congestion_map(routing: RoutingResult, fabric: FPGAFabric) -> str:
+    """Per-tile heat map of adjacent channel utilization.
+
+    Each tile shows the *maximum* utilization of its four incident
+    channel segments, on a 10-glyph scale; ``@`` marks >= 100 %
+    (overflow).
+    """
+    tile_heat: Dict[tuple, float] = {}
+    for edge, used in routing.usage.items():
+        utilization = used / fabric.channel_capacity
+        for site in edge:
+            tile_heat[site] = max(tile_heat.get(site, 0.0), utilization)
+
+    lines = []
+    for y in range(fabric.height):
+        row = []
+        for x in range(fabric.width):
+            heat = tile_heat.get((x, y), 0.0)
+            index = min(int(heat * (len(_HEAT) - 1)), len(_HEAT) - 1)
+            row.append(_HEAT[index])
+        lines.append("".join(row))
+    peak = max(tile_heat.values(), default=0.0)
+    lines.append(f"peak channel utilization: {100 * peak:.0f}% "
+                 f"({len(routing.overflow)} segments over capacity)")
+    return "\n".join(lines)
+
+
+def wirelength_histogram(routing: RoutingResult, bins: int = 8) -> str:
+    """Distribution of routed net lengths (in channel segments)."""
+    lengths = [r.wirelength for r in routing.routed.values()]
+    if not lengths:
+        return "(no routed nets)"
+    top = max(lengths)
+    width = max(1, (top + bins) // bins)
+    counts: List[int] = [0] * bins
+    for length in lengths:
+        counts[min(length // width, bins - 1)] += 1
+    scale = max(counts)
+    lines = []
+    for i, count in enumerate(counts):
+        bar = "#" * (0 if scale == 0 else round(24 * count / scale))
+        lines.append(f"{i * width:4d}-{(i + 1) * width - 1:<4d} "
+                     f"{bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Finite-state machines on ambipolar-CNFET PLAs.
+
+The classic application of PLAs is FSM controllers: next-state and
+output logic in the planes, a state register closing the loop.  This
+subpackage provides the full flow on the paper's fabric:
+
+* :mod:`repro.fsm.machine` — symbolic FSM specifications (Mealy);
+* :mod:`repro.fsm.encoding` — binary / gray / one-hot state encodings;
+* :mod:`repro.fsm.synthesis` — encode, minimize, map onto an
+  :class:`~repro.core.pla.AmbipolarPLA`, and wrap it with registers as
+  a cycle-accurate :class:`SequentialPLA`.
+"""
+
+from repro.fsm.machine import FSM, Transition
+from repro.fsm.encoding import (binary_encoding, gray_encoding,
+                                one_hot_encoding, StateEncoding)
+from repro.fsm.synthesis import synthesize_fsm, SequentialPLA, FSMSynthesis
+
+__all__ = [
+    "FSM",
+    "Transition",
+    "StateEncoding",
+    "binary_encoding",
+    "gray_encoding",
+    "one_hot_encoding",
+    "synthesize_fsm",
+    "SequentialPLA",
+    "FSMSynthesis",
+]

@@ -1,0 +1,105 @@
+"""KISS2 FSM file format (the MCNC sequential-benchmark format).
+
+The MCNC suite's FSM benchmarks ship as KISS2 state tables::
+
+    .i 2
+    .o 1
+    .s 4
+    .p 8
+    .r st0
+    01 st0 st1 0
+    -- st1 st2 1
+    ...
+    .e
+
+Each row is ``<input pattern> <current state> <next state> <outputs>``;
+``-`` in the output column is read as 0 (our FSMs are fully specified
+on outputs).  This module parses KISS2 into :class:`repro.fsm.machine.FSM`
+and writes FSMs back out.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TextIO, Union
+
+from repro.fsm.machine import FSM
+
+
+class KISSFormatError(ValueError):
+    """Raised on malformed KISS2 input."""
+
+
+def parse_kiss(source: Union[str, TextIO], name: str = "kiss") -> FSM:
+    """Parse KISS2 text (string or file object) into an :class:`FSM`."""
+    text = source.read() if hasattr(source, "read") else source
+
+    n_inputs: Optional[int] = None
+    n_outputs: Optional[int] = None
+    reset_state: Optional[str] = None
+    declared_states: Optional[int] = None
+    rows: List[tuple] = []
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".i":
+                n_inputs = int(parts[1])
+            elif directive == ".o":
+                n_outputs = int(parts[1])
+            elif directive == ".s":
+                declared_states = int(parts[1])
+            elif directive == ".p":
+                continue  # advisory row count
+            elif directive == ".r":
+                reset_state = parts[1]
+            elif directive in (".e", ".end"):
+                break
+            else:
+                continue
+        else:
+            parts = line.split()
+            if len(parts) != 4:
+                raise KISSFormatError(
+                    f"line {line_no}: expected 4 columns, got {len(parts)}")
+            rows.append((line_no,) + tuple(parts))
+
+    if n_inputs is None or n_outputs is None:
+        raise KISSFormatError("missing .i or .o directive")
+    if not rows:
+        raise KISSFormatError("no transition rows")
+    if reset_state is None:
+        reset_state = rows[0][2]  # KISS convention: first row's state
+
+    fsm = FSM(n_inputs, n_outputs, reset_state, name=name)
+    for line_no, guard, source_state, target_state, outputs in rows:
+        if len(guard) != n_inputs:
+            raise KISSFormatError(
+                f"line {line_no}: guard {guard!r} needs {n_inputs} bits")
+        if len(outputs) != n_outputs:
+            raise KISSFormatError(
+                f"line {line_no}: outputs {outputs!r} need {n_outputs} bits")
+        outputs = outputs.replace("-", "0")
+        if target_state == "*":  # KISS "any state" — keep the source
+            target_state = source_state
+        fsm.add_transition(source_state, guard, target_state, outputs)
+
+    if declared_states is not None and len(fsm.states) != declared_states:
+        # advisory, like espresso's .p — tolerate but stay honest
+        pass
+    return fsm
+
+
+def write_kiss(fsm: FSM) -> str:
+    """Serialize an FSM to KISS2 text."""
+    lines = [f".i {fsm.n_inputs}", f".o {fsm.n_outputs}",
+             f".s {len(fsm.states)}", f".p {len(fsm.transitions)}",
+             f".r {fsm.reset_state}"]
+    for transition in fsm.transitions:
+        lines.append(f"{transition.guard} {transition.source} "
+                     f"{transition.target} {transition.outputs}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"

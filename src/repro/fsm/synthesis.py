@@ -1,0 +1,196 @@
+"""FSM synthesis onto ambipolar-CNFET PLAs.
+
+Flow: encode the states, translate every transition into a cube over
+``(primary inputs, state bits)`` asserting ``(next-state bits,
+outputs)``, declare unused state codes as don't-cares, complete each
+state's unspecified input space with explicit self-loops (a PLA's
+unprogrammed default — all-zero outputs — would otherwise jump to the
+all-zero state code), minimize, and wrap the programmed
+:class:`~repro.core.pla.AmbipolarPLA` with a state register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.device import DEFAULT_PARAMETERS, DeviceParameters
+from repro.core.pla import AmbipolarPLA
+from repro.espresso.espresso import minimize
+from repro.fsm.encoding import StateEncoding, binary_encoding
+from repro.fsm.machine import FSM
+from repro.logic.complement import complement_cover
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+from repro.logic.function import BooleanFunction
+
+
+@dataclass
+class FSMSynthesis:
+    """Everything produced by :func:`synthesize_fsm`.
+
+    Attributes
+    ----------
+    function:
+        The encoded combinational specification (with DC-set).
+    cover:
+        Its minimized cover.
+    encoding:
+        The state encoding used.
+    pla:
+        The programmed PLA (combinational core).
+    sequential:
+        The register-wrapped machine.
+    """
+
+    function: BooleanFunction
+    cover: Cover
+    encoding: StateEncoding
+    pla: AmbipolarPLA
+    sequential: "SequentialPLA"
+
+
+class SequentialPLA:
+    """A PLA plus a state register: a cycle-accurate FSM implementation.
+
+    Inputs of :meth:`step` are the FSM's primary inputs; the state bits
+    are fed back internally.
+    """
+
+    def __init__(self, pla: AmbipolarPLA, encoding: StateEncoding,
+                 n_inputs: int, n_outputs: int, reset_state: str):
+        self.pla = pla
+        self.encoding = encoding
+        self.n_inputs = n_inputs
+        self.n_outputs = n_outputs
+        self.reset_state = reset_state
+        self.state_bits: List[int] = list(encoding.code_of(reset_state))
+
+    def reset(self) -> None:
+        """Load the reset state into the register."""
+        self.state_bits = list(self.encoding.code_of(self.reset_state))
+
+    @property
+    def state(self) -> str:
+        """The symbolic current state (KeyError on a corrupted register)."""
+        return self.encoding.state_of(self.state_bits)
+
+    def step(self, inputs: Sequence[int]) -> List[int]:
+        """One clock cycle: evaluate the planes, latch the next state."""
+        if len(inputs) != self.n_inputs:
+            raise ValueError(f"expected {self.n_inputs} inputs")
+        vector = list(inputs) + list(self.state_bits)
+        result = self.pla.evaluate(vector)
+        next_bits = result[:self.encoding.n_bits]
+        outputs = result[self.encoding.n_bits:]
+        self.state_bits = list(next_bits)
+        return list(outputs)
+
+    def run(self, input_stream: Sequence[Sequence[int]]
+            ) -> List[Tuple[str, List[int]]]:
+        """Run from the current state; returns (state, outputs) per cycle."""
+        trace = []
+        for inputs in input_stream:
+            outputs = self.step(inputs)
+            trace.append((self.state, outputs))
+        return trace
+
+
+def synthesize_fsm(fsm: FSM, encoding: Optional[StateEncoding] = None,
+                   params: DeviceParameters = DEFAULT_PARAMETERS,
+                   complete: bool = True) -> FSMSynthesis:
+    """Synthesize ``fsm`` onto an ambipolar-CNFET PLA.
+
+    Parameters
+    ----------
+    encoding:
+        State encoding (default: binary over declaration order).
+    complete:
+        Add explicit self-loop transitions for every state's unspecified
+        input patterns so PLA semantics match the FSM's (default True).
+
+    Raises
+    ------
+    ValueError
+        For nondeterministic machines (overlapping guards with
+        conflicting actions: a PLA would OR them).
+    """
+    if not fsm.is_deterministic():
+        raise ValueError(f"{fsm.name} has conflicting overlapping guards")
+    if encoding is None:
+        encoding = binary_encoding(fsm.states)
+
+    n_in = fsm.n_inputs + encoding.n_bits
+    n_out = encoding.n_bits + fsm.n_outputs
+    on = Cover(n_in, n_out)
+    dc = Cover(n_in, n_out)
+
+    def transition_cube(guard: str, state_code: tuple, outputs_mask: int
+                        ) -> Cube:
+        literals = []
+        for i, ch in enumerate(guard):
+            if ch == "1":
+                literals.append((i, True))
+            elif ch == "0":
+                literals.append((i, False))
+        for b, bit in enumerate(state_code):
+            literals.append((fsm.n_inputs + b, bool(bit)))
+        return Cube.from_literals(n_in, literals, n_out,
+                                  outputs=outputs_mask)
+
+    def action_mask(target: str, outputs: Sequence[int]) -> int:
+        mask = 0
+        for b, bit in enumerate(encoding.code_of(target)):
+            if bit:
+                mask |= 1 << b
+        for k, bit in enumerate(outputs):
+            if bit:
+                mask |= 1 << (encoding.n_bits + k)
+        return mask
+
+    for transition in fsm.transitions:
+        mask = action_mask(transition.target,
+                           [int(ch) for ch in transition.outputs])
+        if mask:
+            on.append(transition_cube(transition.guard,
+                                      encoding.code_of(transition.source),
+                                      mask))
+
+    if complete:
+        for state in fsm.states:
+            uncovered = _unspecified_inputs(fsm, state)
+            mask = action_mask(state, [0] * fsm.n_outputs)
+            if not mask:
+                continue  # all-zero code: PLA default already self-loops
+            for cube in uncovered.cubes:
+                guard = cube.input_string()
+                on.append(transition_cube(guard, encoding.code_of(state),
+                                          mask))
+
+    # unused state codes are don't-cares everywhere
+    used_codes = set(encoding.codes.values())
+    for code_value in range(1 << encoding.n_bits):
+        code = tuple((code_value >> b) & 1 for b in range(encoding.n_bits))
+        if code in used_codes:
+            continue
+        literals = [(fsm.n_inputs + b, bool(bit)) for b, bit in enumerate(code)]
+        dc.append(Cube.from_literals(n_in, literals, n_out,
+                                     outputs=(1 << n_out) - 1))
+
+    function = BooleanFunction(on, dc, name=f"{fsm.name}.logic")
+    cover = minimize(function)
+    pla = AmbipolarPLA.from_cover(cover, params=params)
+    sequential = SequentialPLA(pla, encoding, fsm.n_inputs, fsm.n_outputs,
+                               fsm.reset_state)
+    return FSMSynthesis(function=function, cover=cover, encoding=encoding,
+                        pla=pla, sequential=sequential)
+
+
+def _unspecified_inputs(fsm: FSM, state: str) -> Cover:
+    """Input patterns of ``state`` not covered by any transition guard."""
+    guards = Cover(fsm.n_inputs, 1)
+    for transition in fsm.transitions_from(state):
+        guards.append(Cube.from_string(transition.guard, "1"))
+    if not len(guards):
+        return Cover.universe(fsm.n_inputs, 1)
+    return complement_cover(guards)

@@ -1,0 +1,35 @@
+"""Boolean-logic substrate: cubes, covers, functions, PLA file format.
+
+This subpackage implements the two-level logic machinery the paper's
+PLA architecture consumes: positional-notation cubes, covers (sums of
+products), multi-output Boolean functions with don't-care sets, the
+Berkeley ``.pla`` file format, a small expression parser, and the
+unate-recursive tautology / complementation procedures used by the
+Espresso-style minimizer in :mod:`repro.espresso`.
+"""
+
+from repro.logic.cube import Cube
+from repro.logic.cover import Cover
+from repro.logic.function import BooleanFunction
+from repro.logic.pla_format import parse_pla, write_pla
+from repro.logic.expr import parse_expression
+from repro.logic.tautology import is_tautology
+from repro.logic.complement import complement_cover
+from repro.logic.bdd import BDDManager, covers_equivalent_bdd
+from repro.logic.verify import check_equivalence, assert_equivalent, EquivalenceResult
+
+__all__ = [
+    "Cube",
+    "Cover",
+    "BooleanFunction",
+    "parse_pla",
+    "write_pla",
+    "parse_expression",
+    "is_tautology",
+    "complement_cover",
+    "BDDManager",
+    "covers_equivalent_bdd",
+    "check_equivalence",
+    "assert_equivalent",
+    "EquivalenceResult",
+]

@@ -1,0 +1,379 @@
+"""Positional-notation cubes for multi-output two-level logic.
+
+A cube is a product term over ``n_inputs`` binary variables together
+with a set of outputs it contributes to.  Each input variable occupies
+two bits of an integer bitmask (the classical Espresso *positional
+notation*):
+
+=======  ==========  =======================================
+symbol   bit pattern  meaning
+=======  ==========  =======================================
+``0``    ``01``       the complemented literal (input must be 0)
+``1``    ``10``       the positive literal (input must be 1)
+``-``    ``11``       the variable does not appear (don't care)
+(void)   ``00``       empty — the cube contains no minterm
+=======  ==========  =======================================
+
+Bit ``2*i`` of :attr:`Cube.inputs` is set when value 0 of variable
+``i`` is allowed; bit ``2*i + 1`` when value 1 is allowed.  The output
+part is a plain bitmask with bit ``k`` set when the cube belongs to the
+ON-set (or DC-set) of output ``k``.
+
+Cubes are immutable and hashable; all algebra returns new cubes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+#: Per-variable field meaning "value 0 allowed".
+BIT_ZERO = 0b01
+#: Per-variable field meaning "value 1 allowed".
+BIT_ONE = 0b10
+#: Per-variable field meaning "variable absent from the product term".
+BIT_DASH = 0b11
+
+_CHAR_TO_FIELD = {"0": BIT_ZERO, "1": BIT_ONE, "-": BIT_DASH, "~": 0, "2": BIT_DASH}
+_FIELD_TO_CHAR = {BIT_ZERO: "0", BIT_ONE: "1", BIT_DASH: "-", 0: "~"}
+
+
+def full_input_mask(n_inputs: int) -> int:
+    """Bitmask of a cube whose every input field is ``-`` (don't care)."""
+    return (1 << (2 * n_inputs)) - 1
+
+
+def full_output_mask(n_outputs: int) -> int:
+    """Bitmask selecting every output."""
+    return (1 << n_outputs) - 1
+
+
+class Cube:
+    """An immutable product term with a multi-output tag.
+
+    Parameters
+    ----------
+    n_inputs:
+        Number of binary input variables.
+    inputs:
+        Positional-notation bitmask (two bits per input).
+    outputs:
+        Bitmask of outputs the cube asserts.
+    n_outputs:
+        Number of outputs of the enclosing function (used for printing
+        and for universe-sized masks).
+    """
+
+    __slots__ = ("n_inputs", "n_outputs", "inputs", "outputs")
+
+    def __init__(self, n_inputs: int, inputs: int, outputs: int, n_outputs: int = 1):
+        self.n_inputs = n_inputs
+        self.n_outputs = n_outputs
+        self.inputs = inputs & full_input_mask(n_inputs)
+        self.outputs = outputs & full_output_mask(n_outputs)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_string(cls, input_str: str, output_str: str = "1") -> "Cube":
+        """Build a cube from its Berkeley PLA row, e.g. ``Cube.from_string("10-", "01")``."""
+        inputs = 0
+        for i, ch in enumerate(input_str):
+            if ch not in _CHAR_TO_FIELD:
+                raise ValueError(f"invalid cube character {ch!r} in {input_str!r}")
+            inputs |= _CHAR_TO_FIELD[ch] << (2 * i)
+        outputs = 0
+        for k, ch in enumerate(output_str):
+            if ch in ("1", "4"):
+                outputs |= 1 << k
+            elif ch not in ("0", "-", "2", "~"):
+                raise ValueError(f"invalid output character {ch!r} in {output_str!r}")
+        return cls(len(input_str), inputs, outputs, n_outputs=len(output_str))
+
+    @classmethod
+    def full(cls, n_inputs: int, n_outputs: int = 1, outputs: Optional[int] = None) -> "Cube":
+        """The universal cube (all inputs ``-``), asserting ``outputs`` (default: all)."""
+        if outputs is None:
+            outputs = full_output_mask(n_outputs)
+        return cls(n_inputs, full_input_mask(n_inputs), outputs, n_outputs)
+
+    @classmethod
+    def from_minterm(cls, minterm: int, n_inputs: int, n_outputs: int = 1,
+                     outputs: Optional[int] = None) -> "Cube":
+        """The single-minterm cube for integer ``minterm`` (bit ``i`` = variable ``i``)."""
+        inputs = 0
+        for i in range(n_inputs):
+            field = BIT_ONE if (minterm >> i) & 1 else BIT_ZERO
+            inputs |= field << (2 * i)
+        if outputs is None:
+            outputs = full_output_mask(n_outputs)
+        return cls(n_inputs, inputs, outputs, n_outputs)
+
+    @classmethod
+    def from_literals(cls, n_inputs: int, literals: Iterable[Tuple[int, bool]],
+                      n_outputs: int = 1, outputs: Optional[int] = None) -> "Cube":
+        """Build a cube from ``(variable, positive)`` literal pairs.
+
+        ``(2, False)`` contributes the literal ``~x2``.
+        """
+        inputs = full_input_mask(n_inputs)
+        for var, positive in literals:
+            if not 0 <= var < n_inputs:
+                raise ValueError(f"variable {var} out of range for {n_inputs} inputs")
+            keep = BIT_ONE if positive else BIT_ZERO
+            inputs &= ~(BIT_DASH << (2 * var))
+            inputs |= keep << (2 * var)
+        if outputs is None:
+            outputs = full_output_mask(n_outputs)
+        return cls(n_inputs, inputs, outputs, n_outputs)
+
+    # ------------------------------------------------------------------
+    # field access
+    # ------------------------------------------------------------------
+    def field(self, var: int) -> int:
+        """The two-bit positional field of variable ``var``."""
+        return (self.inputs >> (2 * var)) & 0b11
+
+    def with_field(self, var: int, field: int) -> "Cube":
+        """A copy of this cube with variable ``var`` set to ``field``."""
+        cleared = self.inputs & ~(0b11 << (2 * var))
+        return Cube(self.n_inputs, cleared | ((field & 0b11) << (2 * var)),
+                    self.outputs, self.n_outputs)
+
+    def with_outputs(self, outputs: int) -> "Cube":
+        """A copy of this cube with a different output part."""
+        return Cube(self.n_inputs, self.inputs, outputs, self.n_outputs)
+
+    def literals(self) -> Iterator[Tuple[int, bool]]:
+        """Yield ``(variable, positive)`` for every literal in the product term."""
+        for var in range(self.n_inputs):
+            f = self.field(var)
+            if f == BIT_ONE:
+                yield (var, True)
+            elif f == BIT_ZERO:
+                yield (var, False)
+
+    def output_indices(self) -> Iterator[int]:
+        """Yield the indices of outputs this cube asserts."""
+        k, rest = 0, self.outputs
+        while rest:
+            if rest & 1:
+                yield k
+            k += 1
+            rest >>= 1
+
+    # ------------------------------------------------------------------
+    # predicates & measures
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """True when the cube contains no (minterm, output) pair."""
+        if self.outputs == 0:
+            return True
+        inputs = self.inputs
+        for _ in range(self.n_inputs):
+            if inputs & 0b11 == 0:
+                return True
+            inputs >>= 2
+        return False
+
+    def is_full(self) -> bool:
+        """True when every input field is ``-`` and every output is asserted."""
+        return (self.inputs == full_input_mask(self.n_inputs)
+                and self.outputs == full_output_mask(self.n_outputs))
+
+    def n_literals(self) -> int:
+        """Number of input literals (non-dash, non-empty fields)."""
+        count = 0
+        inputs = self.inputs
+        for _ in range(self.n_inputs):
+            if inputs & 0b11 in (BIT_ZERO, BIT_ONE):
+                count += 1
+            inputs >>= 2
+        return count
+
+    def n_dashes(self) -> int:
+        """Number of don't-care input fields."""
+        count = 0
+        inputs = self.inputs
+        for _ in range(self.n_inputs):
+            if inputs & 0b11 == BIT_DASH:
+                count += 1
+            inputs >>= 2
+        return count
+
+    def size(self) -> int:
+        """Number of (minterm, output) pairs the cube contains."""
+        if self.is_empty():
+            return 0
+        return (1 << self.n_dashes()) * bin(self.outputs).count("1")
+
+    def contains(self, other: "Cube") -> bool:
+        """True when ``other`` is a (not necessarily proper) sub-cube of ``self``."""
+        return (self.inputs | other.inputs) == self.inputs and \
+               (self.outputs | other.outputs) == self.outputs
+
+    def contains_minterm(self, minterm: int, output: int = 0) -> bool:
+        """True when the integer ``minterm`` of ``output`` lies inside the cube."""
+        if not (self.outputs >> output) & 1:
+            return False
+        for i in range(self.n_inputs):
+            bit = BIT_ONE if (minterm >> i) & 1 else BIT_ZERO
+            if not self.field(i) & bit:
+                return False
+        return True
+
+    def evaluate(self, assignment: Iterable[int]) -> bool:
+        """Evaluate the product term on a 0/1 assignment vector (input part only)."""
+        for i, value in enumerate(assignment):
+            bit = BIT_ONE if value else BIT_ZERO
+            if not self.field(i) & bit:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Cube") -> Optional["Cube"]:
+        """The largest cube contained in both, or ``None`` when disjoint."""
+        inputs = self.inputs & other.inputs
+        outputs = self.outputs & other.outputs
+        result = Cube(self.n_inputs, inputs, outputs, self.n_outputs)
+        return None if result.is_empty() else result
+
+    def intersects(self, other: "Cube") -> bool:
+        """True when the cubes share at least one (minterm, output) pair."""
+        if not self.outputs & other.outputs:
+            return False
+        inputs = self.inputs & other.inputs
+        for _ in range(self.n_inputs):
+            if inputs & 0b11 == 0:
+                return False
+            inputs >>= 2
+        return True
+
+    def distance(self, other: "Cube") -> int:
+        """Number of input variables in which the cubes conflict.
+
+        The output part adds one when the output sets are disjoint.
+        Distance 0 means the cubes intersect; distance 1 means a
+        consensus exists.
+        """
+        dist = 0
+        inputs = self.inputs & other.inputs
+        for _ in range(self.n_inputs):
+            if inputs & 0b11 == 0:
+                dist += 1
+            inputs >>= 2
+        if not self.outputs & other.outputs:
+            dist += 1
+        return dist
+
+    def consensus(self, other: "Cube") -> Optional["Cube"]:
+        """The consensus cube when the distance is exactly 1, else ``None``."""
+        conflict_var = None
+        n_conflicts = 0
+        for var in range(self.n_inputs):
+            if (self.field(var) & other.field(var)) == 0:
+                conflict_var = var
+                n_conflicts += 1
+                if n_conflicts > 1:
+                    return None
+        out = self.outputs & other.outputs
+        if n_conflicts == 1 and out:
+            merged = self.intersection_inputs(other)
+            merged |= BIT_DASH << (2 * conflict_var)
+            return Cube(self.n_inputs, merged, out, self.n_outputs)
+        if n_conflicts == 0 and not out:
+            # output-part consensus: shared input part, union of outputs
+            inputs = self.inputs & other.inputs
+            cube = Cube(self.n_inputs, inputs, self.outputs | other.outputs, self.n_outputs)
+            return None if cube.is_empty() else cube
+        return None
+
+    def intersection_inputs(self, other: "Cube") -> int:
+        """Bitwise AND of the input parts (helper for :meth:`consensus`)."""
+        return self.inputs & other.inputs
+
+    def supercube(self, other: "Cube") -> "Cube":
+        """The smallest cube containing both."""
+        return Cube(self.n_inputs, self.inputs | other.inputs,
+                    self.outputs | other.outputs, self.n_outputs)
+
+    def cofactor(self, other: "Cube") -> Optional["Cube"]:
+        """The Shannon cofactor of ``self`` with respect to cube ``other``.
+
+        Returns ``None`` when the cubes do not intersect (the cofactor
+        is empty).  Uses the standard positional rule: conflicting
+        fields empty the result, fields where ``other`` is specific are
+        raised to don't-care.
+        """
+        if not self.intersects(other):
+            return None
+        inputs = self.inputs | (~other.inputs & full_input_mask(self.n_inputs))
+        outputs = self.outputs | (~other.outputs & full_output_mask(self.n_outputs))
+        return Cube(self.n_inputs, inputs, outputs, self.n_outputs)
+
+    def complement_cubes(self) -> Iterator["Cube"]:
+        """Disjoint-sharp complement of the cube's input part.
+
+        Yields cubes whose union is exactly the set of input minterms
+        *outside* this cube, each carrying this cube's output part.
+        """
+        prefix = full_input_mask(self.n_inputs)
+        for var in range(self.n_inputs):
+            f = self.field(var)
+            if f in (BIT_ZERO, BIT_ONE):
+                flipped = BIT_ONE if f == BIT_ZERO else BIT_ZERO
+                inputs = (prefix & ~(0b11 << (2 * var))) | (flipped << (2 * var))
+                yield Cube(self.n_inputs, inputs, self.outputs, self.n_outputs)
+                prefix = (prefix & ~(0b11 << (2 * var))) | (f << (2 * var))
+
+    def minterms(self, output: Optional[int] = None) -> Iterator[int]:
+        """Enumerate the integer minterms of the input part.
+
+        When ``output`` is given, yields nothing unless the cube asserts
+        that output.  Exponential in the dash count — intended for small
+        functions and for test oracles.
+        """
+        if self.is_empty():
+            return
+        if output is not None and not (self.outputs >> output) & 1:
+            return
+        free = [v for v in range(self.n_inputs) if self.field(v) == BIT_DASH]
+        base = 0
+        for v in range(self.n_inputs):
+            if self.field(v) == BIT_ONE:
+                base |= 1 << v
+        for combo in range(1 << len(free)):
+            m = base
+            for j, v in enumerate(free):
+                if (combo >> j) & 1:
+                    m |= 1 << v
+            yield m
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cube):
+            return NotImplemented
+        return (self.n_inputs == other.n_inputs and self.n_outputs == other.n_outputs
+                and self.inputs == other.inputs and self.outputs == other.outputs)
+
+    def __hash__(self) -> int:
+        return hash((self.n_inputs, self.n_outputs, self.inputs, self.outputs))
+
+    def __repr__(self) -> str:
+        return f"Cube({self.input_string()!r}, {self.output_string()!r})"
+
+    def input_string(self) -> str:
+        """The Berkeley PLA input column string, e.g. ``"10-"``."""
+        return "".join(_FIELD_TO_CHAR[self.field(v)] for v in range(self.n_inputs))
+
+    def output_string(self) -> str:
+        """The Berkeley PLA output column string, e.g. ``"01"``."""
+        return "".join("1" if (self.outputs >> k) & 1 else "0"
+                       for k in range(self.n_outputs))
+
+    def __str__(self) -> str:
+        return f"{self.input_string()} {self.output_string()}"

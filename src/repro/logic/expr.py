@@ -1,0 +1,131 @@
+"""A small Boolean-expression front end.
+
+``parse_expression("a & ~b | b & c", ["a", "b", "c"])`` produces a
+:class:`~repro.logic.cover.Cover`, so examples and tests can state
+functions readably instead of spelling out cube strings.
+
+Grammar (precedence low to high)::
+
+    expr   := term ('|' term)*           # OR
+    term   := xorop ('&'? xorop)*        # AND ('&' optional by juxtaposition is NOT supported)
+    xorop  := factor ('^' factor)*       # XOR
+    factor := '~' factor | '(' expr ')' | '0' | '1' | identifier
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence
+
+from repro.logic.complement import complement_cover
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+
+_TOKEN_RE = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*|[01()|&^~])")
+
+
+class ExpressionError(ValueError):
+    """Raised on syntax errors or unknown identifiers."""
+
+
+def tokenize(text: str) -> List[str]:
+    """Split expression text into tokens; raises on stray characters."""
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            if text[pos:].strip() == "":
+                break
+            raise ExpressionError(f"unexpected character at {text[pos:]!r}")
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str], variables: Sequence[str]):
+        self.tokens = tokens
+        self.pos = 0
+        self.variables = list(variables)
+        self.index = {name: i for i, name in enumerate(self.variables)}
+        self.n = len(self.variables)
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ExpressionError("unexpected end of expression")
+        self.pos += 1
+        return token
+
+    # each rule returns a single-output Cover over self.n inputs
+    def expr(self) -> Cover:
+        cover = self.term()
+        while self.peek() == "|":
+            self.take()
+            cover = cover + self.term()
+        return cover.single_cube_containment()
+
+    def term(self) -> Cover:
+        cover = self.xorop()
+        while self.peek() == "&":
+            self.take()
+            cover = _and_covers(cover, self.xorop())
+        return cover
+
+    def xorop(self) -> Cover:
+        cover = self.factor()
+        while self.peek() == "^":
+            self.take()
+            rhs = self.factor()
+            cover = _xor_covers(cover, rhs)
+        return cover
+
+    def factor(self) -> Cover:
+        token = self.take()
+        if token == "~":
+            return complement_cover(self.factor())
+        if token == "(":
+            inner = self.expr()
+            if self.take() != ")":
+                raise ExpressionError("expected ')'")
+            return inner
+        if token == "0":
+            return Cover.empty(self.n, 1)
+        if token == "1":
+            return Cover.universe(self.n, 1)
+        if token in self.index:
+            var = self.index[token]
+            return Cover(self.n, 1, [Cube.from_literals(self.n, [(var, True)])])
+        raise ExpressionError(f"unknown identifier {token!r}")
+
+
+def _and_covers(a: Cover, b: Cover) -> Cover:
+    result = Cover(a.n_inputs, 1)
+    for ca in a.cubes:
+        for cb in b.cubes:
+            inter = ca.intersection(cb)
+            if inter is not None:
+                result.append(inter)
+    return result.single_cube_containment()
+
+
+def _xor_covers(a: Cover, b: Cover) -> Cover:
+    not_a = complement_cover(a)
+    not_b = complement_cover(b)
+    return (_and_covers(a, not_b) + _and_covers(not_a, b)).single_cube_containment()
+
+
+def parse_expression(text: str, variables: Sequence[str]) -> Cover:
+    """Parse ``text`` over the given variable names into a single-output cover.
+
+    The variable order fixes the input index of each name.
+    """
+    parser = _Parser(tokenize(text), variables)
+    cover = parser.expr()
+    if parser.peek() is not None:
+        raise ExpressionError(f"trailing tokens starting at {parser.peek()!r}")
+    return cover

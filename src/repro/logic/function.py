@@ -1,0 +1,184 @@
+"""Multi-output Boolean functions with don't-care sets.
+
+A :class:`BooleanFunction` packages the three covers two-level
+synthesis works with — ON-set, DC-set (don't care) and, lazily, the
+OFF-set — plus naming metadata.  Equivalence checking (exhaustive for
+small input counts, sampled otherwise) gives the test suite its oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.logic.complement import complement_cover
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+
+
+class BooleanFunction:
+    """An incompletely-specified multi-output Boolean function.
+
+    Parameters
+    ----------
+    on_set:
+        Cover of the minterms each output must assert.
+    dc_set:
+        Cover of the don't-care minterms (optional).
+    name:
+        Benchmark/function name used in reports.
+    input_labels, output_labels:
+        Optional signal names (``.ilb`` / ``.ob`` in PLA files).
+    """
+
+    def __init__(self, on_set: Cover, dc_set: Optional[Cover] = None,
+                 name: str = "f",
+                 input_labels: Optional[Sequence[str]] = None,
+                 output_labels: Optional[Sequence[str]] = None):
+        self.on_set = on_set
+        self.dc_set = dc_set if dc_set is not None else \
+            Cover.empty(on_set.n_inputs, on_set.n_outputs)
+        if (self.dc_set.n_inputs, self.dc_set.n_outputs) != \
+                (on_set.n_inputs, on_set.n_outputs):
+            raise ValueError("DC-set dimensions do not match ON-set")
+        self.name = name
+        self.input_labels = list(input_labels) if input_labels else \
+            [f"x{i}" for i in range(on_set.n_inputs)]
+        self.output_labels = list(output_labels) if output_labels else \
+            [f"y{k}" for k in range(on_set.n_outputs)]
+        self._off_set: Optional[Cover] = None
+
+    # ------------------------------------------------------------------
+    # dimensions
+    # ------------------------------------------------------------------
+    @property
+    def n_inputs(self) -> int:
+        """Number of input variables."""
+        return self.on_set.n_inputs
+
+    @property
+    def n_outputs(self) -> int:
+        """Number of outputs."""
+        return self.on_set.n_outputs
+
+    @property
+    def off_set(self) -> Cover:
+        """The OFF-set, computed once as ``complement(ON + DC)``."""
+        if self._off_set is None:
+            self._off_set = complement_cover(self.on_set + self.dc_set)
+        return self._off_set
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_truth_table(cls, outputs_by_minterm: Sequence[int], n_inputs: int,
+                         n_outputs: int = 1, name: str = "f") -> "BooleanFunction":
+        """Build from a dense table: ``outputs_by_minterm[m]`` is the output bitmask."""
+        if len(outputs_by_minterm) != (1 << n_inputs):
+            raise ValueError("truth table length must be 2**n_inputs")
+        on = Cover(n_inputs, n_outputs)
+        for minterm, mask in enumerate(outputs_by_minterm):
+            if mask:
+                on.append(Cube.from_minterm(minterm, n_inputs, n_outputs, outputs=mask))
+        return cls(on, name=name)
+
+    @classmethod
+    def random(cls, n_inputs: int, n_outputs: int, n_cubes: int, seed: int,
+               name: str = "random", dash_probability: float = 0.4,
+               dc_cubes: int = 0) -> "BooleanFunction":
+        """A seeded random function; the DC-set is made disjoint from the ON-set."""
+        rng = random.Random(seed)
+        on = Cover.random(n_inputs, n_outputs, n_cubes, rng, dash_probability)
+        dc = Cover(n_inputs, n_outputs)
+        if dc_cubes:
+            candidate = Cover.random(n_inputs, n_outputs, dc_cubes, rng,
+                                     dash_probability)
+            off = complement_cover(on)
+            for cube in candidate.cubes:
+                for off_cube in off.cubes:
+                    clipped = cube.intersection(off_cube)
+                    if clipped is not None:
+                        dc.append(clipped)
+            dc = dc.single_cube_containment()
+        return cls(on, dc, name=name)
+
+    # ------------------------------------------------------------------
+    # evaluation & equivalence
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: Sequence[int]) -> List[bool]:
+        """Evaluate the ON-set on an input vector (don't-cares read as 0)."""
+        return self.on_set.evaluate(assignment)
+
+    def is_dont_care(self, minterm: int, output: int) -> bool:
+        """True when (minterm, output) lies in the DC-set."""
+        return bool((self.dc_set.output_mask_for(minterm) >> output) & 1)
+
+    def equivalent_to(self, other_cover: Cover, max_exhaustive: int = 14,
+                      samples: int = 4096, seed: int = 0) -> bool:
+        """Check that ``other_cover`` implements this function.
+
+        ``other_cover`` must agree with the ON-set everywhere outside the
+        DC-set.  Exhaustive up to ``max_exhaustive`` inputs, seeded
+        random sampling beyond.
+        """
+        if (other_cover.n_inputs, other_cover.n_outputs) != \
+                (self.n_inputs, self.n_outputs):
+            return False
+        if self.n_inputs <= max_exhaustive:
+            minterms = range(1 << self.n_inputs)
+        else:
+            rng = random.Random(seed)
+            minterms = (rng.getrandbits(self.n_inputs) for _ in range(samples))
+        for minterm in minterms:
+            want = self.on_set.output_mask_for(minterm)
+            have = other_cover.output_mask_for(minterm)
+            dc = self.dc_set.output_mask_for(minterm)
+            if (want ^ have) & ~dc:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def with_output_phase(self, phases: Sequence[bool]) -> "BooleanFunction":
+        """The function with some outputs complemented.
+
+        ``phases[k]`` True keeps output ``k``; False replaces it with its
+        complement (the new ON-set of that output is the old OFF-set;
+        the DC-set is unchanged).  Used by output-phase assignment.
+        """
+        if len(phases) != self.n_outputs:
+            raise ValueError("need one phase per output")
+        on = Cover(self.n_inputs, self.n_outputs)
+        for output, keep in enumerate(phases):
+            source = self.on_set if keep else self.off_set
+            for cube in source.restrict_output(output).cubes:
+                on.append(Cube(self.n_inputs, cube.inputs, 1 << output,
+                               self.n_outputs))
+        return BooleanFunction(on.merge_identical_inputs(), self.dc_set.copy(),
+                               name=f"{self.name}.phased",
+                               input_labels=self.input_labels,
+                               output_labels=self.output_labels)
+
+    def restricted_to_output(self, output: int) -> "BooleanFunction":
+        """The single-output function of output ``output``."""
+        return BooleanFunction(self.on_set.restrict_output(output),
+                               self.dc_set.restrict_output(output),
+                               name=f"{self.name}.{self.output_labels[output]}",
+                               input_labels=self.input_labels,
+                               output_labels=[self.output_labels[output]])
+
+    def stats(self) -> dict:
+        """Summary dict used by reports: inputs, outputs, product terms."""
+        return {
+            "name": self.name,
+            "inputs": self.n_inputs,
+            "outputs": self.n_outputs,
+            "products": self.on_set.n_cubes(),
+            "literals": self.on_set.n_literals(),
+        }
+
+    def __repr__(self) -> str:
+        return (f"BooleanFunction({self.name!r}, i={self.n_inputs}, "
+                f"o={self.n_outputs}, p={self.on_set.n_cubes()})")

@@ -1,0 +1,142 @@
+"""Berkeley ``.pla`` file format reader and writer.
+
+The MCNC benchmark suite the paper evaluates ([8] in the paper) ships
+as Berkeley PLA files.  This module parses the common subset used by
+Espresso: ``.i``, ``.o``, ``.p``, ``.ilb``, ``.ob``, ``.type`` (``f``,
+``fd``, ``fr``, ``fdr``), cube rows, comments and ``.e``/``.end``.
+
+Output-plane characters follow Espresso semantics:
+
+========  ================================================
+char      meaning for (row, output)
+========  ================================================
+``1``/``4``  the row belongs to the output's ON-set
+``0``        not in this row (``fd``) / OFF-set member (``fr``)
+``-``/``2``  don't care (``fd``/``fdr`` types)
+``~``        no meaning (placeholder)
+========  ================================================
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TextIO, Union
+
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+from repro.logic.function import BooleanFunction
+
+
+class PLAFormatError(ValueError):
+    """Raised on malformed PLA input."""
+
+
+def parse_pla(source: Union[str, TextIO], name: str = "pla") -> BooleanFunction:
+    """Parse PLA text (a string or file object) into a :class:`BooleanFunction`."""
+    if hasattr(source, "read"):
+        text = source.read()
+    else:
+        text = source
+
+    n_inputs: Optional[int] = None
+    n_outputs: Optional[int] = None
+    declared_products: Optional[int] = None
+    pla_type = "fd"
+    input_labels: Optional[List[str]] = None
+    output_labels: Optional[List[str]] = None
+    rows: List[tuple] = []
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".i":
+                n_inputs = int(parts[1])
+            elif directive == ".o":
+                n_outputs = int(parts[1])
+            elif directive == ".p":
+                declared_products = int(parts[1])
+            elif directive == ".ilb":
+                input_labels = parts[1:]
+            elif directive == ".ob":
+                output_labels = parts[1:]
+            elif directive == ".type":
+                pla_type = parts[1]
+            elif directive in (".e", ".end"):
+                break
+            else:
+                # tolerated-but-ignored directives (.phase, .pair, ...)
+                continue
+        else:
+            parts = line.split()
+            if len(parts) == 1 and n_outputs in (None, 1):
+                parts.append("1")
+            if len(parts) != 2:
+                # allow "110 1 0" style with per-output spacing
+                parts = [parts[0], "".join(parts[1:])]
+            rows.append((line_no, parts[0], parts[1]))
+
+    if n_inputs is None or n_outputs is None:
+        raise PLAFormatError("missing .i or .o directive")
+
+    on = Cover(n_inputs, n_outputs)
+    dc = Cover(n_inputs, n_outputs)
+    off = Cover(n_inputs, n_outputs)
+    for line_no, in_str, out_str in rows:
+        if len(in_str) != n_inputs:
+            raise PLAFormatError(f"line {line_no}: expected {n_inputs} input columns")
+        if len(out_str) != n_outputs:
+            raise PLAFormatError(f"line {line_no}: expected {n_outputs} output columns")
+        on_mask = dc_mask = off_mask = 0
+        for k, ch in enumerate(out_str):
+            if ch in ("1", "4"):
+                on_mask |= 1 << k
+            elif ch in ("-", "2"):
+                if pla_type in ("fd", "fdr", "f"):
+                    dc_mask |= 1 << k
+            elif ch == "0":
+                if pla_type in ("fr", "fdr"):
+                    off_mask |= 1 << k
+            elif ch == "~":
+                continue
+            else:
+                raise PLAFormatError(f"line {line_no}: bad output char {ch!r}")
+        base = Cube.from_string(in_str, "0" * n_outputs)
+        if on_mask:
+            on.append(Cube(n_inputs, base.inputs, on_mask, n_outputs))
+        if dc_mask:
+            dc.append(Cube(n_inputs, base.inputs, dc_mask, n_outputs))
+        if off_mask:
+            off.append(Cube(n_inputs, base.inputs, off_mask, n_outputs))
+
+    if declared_products is not None and declared_products != len(rows):
+        # Espresso treats .p as advisory; we do too but keep the check soft.
+        pass
+
+    function = BooleanFunction(on, dc, name=name,
+                               input_labels=input_labels,
+                               output_labels=output_labels)
+    if pla_type in ("fr", "fdr") and len(off):
+        function._off_set = off  # trusted explicit OFF-set
+    return function
+
+
+def write_pla(function: BooleanFunction, include_labels: bool = True) -> str:
+    """Serialize a function's ON/DC sets to Berkeley ``fd``-type PLA text."""
+    lines = [f".i {function.n_inputs}", f".o {function.n_outputs}"]
+    if include_labels:
+        lines.append(".ilb " + " ".join(function.input_labels))
+        lines.append(".ob " + " ".join(function.output_labels))
+    lines.append(".type fd")
+    n_rows = function.on_set.n_cubes() + function.dc_set.n_cubes()
+    lines.append(f".p {n_rows}")
+    for cube in function.on_set.cubes:
+        lines.append(f"{cube.input_string()} {cube.output_string()}")
+    for cube in function.dc_set.cubes:
+        out = "".join("-" if (cube.outputs >> k) & 1 else "0"
+                      for k in range(function.n_outputs))
+        lines.append(f"{cube.input_string()} {out}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"

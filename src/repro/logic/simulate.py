@@ -1,0 +1,70 @@
+"""Vector evaluation and equivalence helpers.
+
+Thin utilities shared by tests, the switch-level circuit models and the
+benches: integer-minterm <-> bit-vector conversion, exhaustive and
+sampled cover equivalence, and difference reporting for debugging.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.logic.cover import Cover
+
+
+def minterm_to_vector(minterm: int, n_inputs: int) -> List[int]:
+    """Integer minterm to 0/1 list, bit ``i`` = variable ``i``."""
+    return [(minterm >> i) & 1 for i in range(n_inputs)]
+
+
+def vector_to_minterm(vector: Sequence[int]) -> int:
+    """0/1 list to integer minterm."""
+    minterm = 0
+    for i, bit in enumerate(vector):
+        if bit:
+            minterm |= 1 << i
+    return minterm
+
+
+def all_vectors(n_inputs: int) -> Iterator[List[int]]:
+    """Every input vector in minterm order (exponential)."""
+    for minterm in range(1 << n_inputs):
+        yield minterm_to_vector(minterm, n_inputs)
+
+
+def sample_vectors(n_inputs: int, samples: int, seed: int = 0) -> Iterator[List[int]]:
+    """Seeded random input vectors."""
+    rng = random.Random(seed)
+    for _ in range(samples):
+        yield minterm_to_vector(rng.getrandbits(n_inputs), n_inputs)
+
+
+def covers_equal(a: Cover, b: Cover, dc: Optional[Cover] = None,
+                 max_exhaustive: int = 14, samples: int = 4096,
+                 seed: int = 0) -> bool:
+    """Functional equality of two covers, modulo an optional DC-set."""
+    return first_difference(a, b, dc, max_exhaustive, samples, seed) is None
+
+
+def first_difference(a: Cover, b: Cover, dc: Optional[Cover] = None,
+                     max_exhaustive: int = 14, samples: int = 4096,
+                     seed: int = 0) -> Optional[Tuple[int, int, int]]:
+    """First (minterm, mask_a, mask_b) where the covers disagree, else ``None``.
+
+    Exhaustive up to ``max_exhaustive`` inputs, sampled beyond.
+    """
+    if (a.n_inputs, a.n_outputs) != (b.n_inputs, b.n_outputs):
+        raise ValueError("cover dimensions do not match")
+    if a.n_inputs <= max_exhaustive:
+        minterms: Sequence[int] = range(1 << a.n_inputs)
+    else:
+        rng = random.Random(seed)
+        minterms = [rng.getrandbits(a.n_inputs) for _ in range(samples)]
+    for minterm in minterms:
+        mask_a = a.output_mask_for(minterm)
+        mask_b = b.output_mask_for(minterm)
+        dc_mask = dc.output_mask_for(minterm) if dc is not None else 0
+        if (mask_a ^ mask_b) & ~dc_mask:
+            return (minterm, mask_a, mask_b)
+    return None

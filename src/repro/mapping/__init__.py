@@ -1,0 +1,27 @@
+"""Mapping minimized covers onto PLA hardware.
+
+* :mod:`repro.mapping.gnor_map` — covers onto GNOR planes (one column
+  per input, polarity programmed per device);
+* :mod:`repro.mapping.classical_map` — covers onto the dual-column
+  baseline PLA (Flash / EEPROM style);
+* :mod:`repro.mapping.partition` — splitting big functions into
+  CLB-sized blocks for the FPGA flow;
+* :mod:`repro.mapping.wpla_map` — Doppio-Espresso results onto the
+  4-plane Whirlpool ring.
+"""
+
+from repro.mapping.gnor_map import GNORPlaneConfig, map_cover_to_gnor
+from repro.mapping.classical_map import ClassicalPersonality, map_cover_to_classical
+from repro.mapping.partition import Partitioner, Block, PartitionResult
+from repro.mapping.wpla_map import map_doppio_to_wpla
+
+__all__ = [
+    "GNORPlaneConfig",
+    "map_cover_to_gnor",
+    "ClassicalPersonality",
+    "map_cover_to_classical",
+    "Partitioner",
+    "Block",
+    "PartitionResult",
+    "map_doppio_to_wpla",
+]

@@ -1,0 +1,86 @@
+"""Mapping a cover onto the classical dual-column PLA baseline.
+
+A classical (Flash / EEPROM floating-gate) PLA cannot invert
+internally, so every input is distributed on **two** columns — true and
+complemented — doubling the input-column count (the ``2I`` of the
+Table 1 area model).  Each crosspoint is a single-polarity device that
+is either programmed on (CONNECT) or left off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.logic.cover import Cover
+from repro.logic.cube import BIT_DASH, BIT_ONE, BIT_ZERO
+
+
+@dataclass
+class ClassicalPersonality:
+    """Programming of a classical dual-column NOR-NOR PLA.
+
+    Attributes
+    ----------
+    n_inputs, n_outputs, n_products:
+        Logical dimensions; the AND plane physically has ``2 *
+        n_inputs`` columns (column ``2i`` carries ``x_i``, column
+        ``2i + 1`` carries ``~x_i``).
+    and_plane:
+        ``and_plane[row][col]`` — True when the crosspoint device at
+        (product row, physical input column) is programmed on.
+    or_plane:
+        ``or_plane[output][row]`` — True when product ``row`` feeds
+        output ``output``.
+    """
+
+    n_inputs: int
+    n_outputs: int
+    n_products: int
+    and_plane: List[List[bool]]
+    or_plane: List[List[bool]]
+
+    def n_input_columns(self) -> int:
+        """Physical input columns (both polarities)."""
+        return 2 * self.n_inputs
+
+    def used_devices(self) -> int:
+        """Crosspoints programmed on."""
+        return (sum(sum(row) for row in self.and_plane)
+                + sum(sum(row) for row in self.or_plane))
+
+    def total_devices(self) -> int:
+        """All crosspoints of both planes."""
+        return self.n_products * (2 * self.n_inputs + self.n_outputs)
+
+
+def map_cover_to_classical(cover: Cover) -> ClassicalPersonality:
+    """Map a cover onto the dual-column baseline.
+
+    A NOR row realizes the product term by connecting, for every
+    literal, the column carrying the literal's *complement*: the row
+    goes high exactly when all connected columns are low.
+    """
+    and_plane: List[List[bool]] = []
+    for cube in cover.cubes:
+        row = [False] * (2 * cover.n_inputs)
+        for var in range(cover.n_inputs):
+            field = cube.field(var)
+            if field == BIT_ONE:        # literal x: connect ~x column
+                row[2 * var + 1] = True
+            elif field == BIT_ZERO:     # literal ~x: connect x column
+                row[2 * var] = True
+            elif field != BIT_DASH:
+                raise ValueError(f"cube {cube} has an empty input field")
+        and_plane.append(row)
+
+    or_plane = [[bool((cube.outputs >> output) & 1) for cube in cover.cubes]
+                for output in range(cover.n_outputs)]
+
+    return ClassicalPersonality(
+        n_inputs=cover.n_inputs,
+        n_outputs=cover.n_outputs,
+        n_products=len(cover.cubes),
+        and_plane=and_plane,
+        or_plane=or_plane,
+    )

@@ -1,0 +1,128 @@
+"""Mapping a minimized cover onto two GNOR planes.
+
+The first (AND) plane realizes each product term as one GNOR row over
+the **single** input columns — the literal polarity is programmed into
+the device instead of wired from a complemented column:
+
+* positive literal ``x``  → device INVERT (the NOR must see ``~x``),
+* negative literal ``~x`` → device PASS,
+* variable absent         → device DROP.
+
+The second (OR) plane NORs the selected product terms per output, which
+yields ``~f`` (or ``f`` when the output was phase-complemented): the
+``output_inverted`` flags record which outputs need the inverting
+buffer.  Output-phase assignment therefore costs nothing on this
+architecture — Section 5's "further degree of freedom".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.gnor import InputConfig
+from repro.logic.cover import Cover
+from repro.logic.cube import BIT_DASH, BIT_ONE, BIT_ZERO
+
+
+@dataclass
+class GNORPlaneConfig:
+    """Complete programming of a two-plane GNOR PLA.
+
+    Attributes
+    ----------
+    n_inputs, n_outputs, n_products:
+        Array dimensions (products = rows shared by both planes).
+    and_plane:
+        ``and_plane[row][col]`` — input-device configuration of product
+        ``row`` at input column ``col``.
+    or_plane:
+        ``or_plane[output][row]`` — PASS when product ``row`` feeds
+        output ``output``, DROP otherwise.
+    output_inverted:
+        ``True`` for outputs needing the inverting buffer after the OR
+        plane (i.e. outputs realized in positive phase).
+    """
+
+    n_inputs: int
+    n_outputs: int
+    n_products: int
+    and_plane: List[List[InputConfig]]
+    or_plane: List[List[InputConfig]]
+    output_inverted: List[bool]
+
+    def used_devices(self) -> int:
+        """Devices programmed to a conducting state (PASS or INVERT)."""
+        count = 0
+        for row in self.and_plane:
+            count += sum(1 for c in row if c is not InputConfig.DROP)
+        for row in self.or_plane:
+            count += sum(1 for c in row if c is not InputConfig.DROP)
+        return count
+
+    def total_devices(self) -> int:
+        """All crosspoint devices, programmed or not."""
+        return self.n_products * (self.n_inputs + self.n_outputs)
+
+
+_FIELD_TO_CONFIG = {
+    BIT_ONE: InputConfig.INVERT,   # literal x: NOR must see ~x
+    BIT_ZERO: InputConfig.PASS,    # literal ~x: NOR must see x
+    BIT_DASH: InputConfig.DROP,
+}
+
+
+def map_cover_to_gnor(cover: Cover,
+                      output_phases: Optional[Sequence[bool]] = None) -> GNORPlaneConfig:
+    """Map a cover onto GNOR planes.
+
+    Parameters
+    ----------
+    cover:
+        The minimized cover to implement.  When ``output_phases`` is
+        given, the cover is assumed to implement the *phased* function
+        (output ``k`` of the cover is ``~f_k`` whenever
+        ``output_phases[k]`` is False).
+    output_phases:
+        Phase flags from :func:`repro.espresso.phase.assign_output_phases`;
+        default all-positive.
+
+    Returns
+    -------
+    GNORPlaneConfig
+        A configuration whose simulation reproduces ``f`` exactly.
+    """
+    if output_phases is None:
+        output_phases = [True] * cover.n_outputs
+    if len(output_phases) != cover.n_outputs:
+        raise ValueError("need one phase flag per output")
+
+    and_plane: List[List[InputConfig]] = []
+    for cube in cover.cubes:
+        row = []
+        for var in range(cover.n_inputs):
+            field = cube.field(var)
+            if field not in _FIELD_TO_CONFIG:
+                raise ValueError(f"cube {cube} has an empty input field")
+            row.append(_FIELD_TO_CONFIG[field])
+        and_plane.append(row)
+
+    or_plane: List[List[InputConfig]] = []
+    for output in range(cover.n_outputs):
+        row = [InputConfig.PASS if (cube.outputs >> output) & 1
+               else InputConfig.DROP
+               for cube in cover.cubes]
+        or_plane.append(row)
+
+    # OR-plane NOR of the cover's products is ~g_k; the buffer inverts
+    # exactly when the cover's phase is positive (g = f).
+    output_inverted = [bool(phase) for phase in output_phases]
+
+    return GNORPlaneConfig(
+        n_inputs=cover.n_inputs,
+        n_outputs=cover.n_outputs,
+        n_products=len(cover.cubes),
+        and_plane=and_plane,
+        or_plane=or_plane,
+        output_inverted=output_inverted,
+    )

@@ -1,0 +1,31 @@
+"""Mapping a Doppio-Espresso result onto a Whirlpool PLA."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.device import DEFAULT_PARAMETERS, DeviceParameters
+from repro.espresso.doppio import DoppioResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.wpla import WhirlpoolPLA
+
+
+def map_doppio_to_wpla(result: DoppioResult, n_outputs: int,
+                       params: DeviceParameters = DEFAULT_PARAMETERS
+                       ) -> "WhirlpoolPLA":
+    # Imported here to break the core <-> mapping package cycle.
+    from repro.core.pla import AmbipolarPLA
+    from repro.core.wpla import WhirlpoolPLA
+    """Build the 4-plane Whirlpool PLA a :class:`DoppioResult` describes.
+
+    Each half-PLA is programmed from its group's phase-assigned cover,
+    with the phase flags becoming output-buffer polarities (free on the
+    GNOR architecture).
+    """
+    half_a = AmbipolarPLA.from_cover(result.result_a.cover,
+                                     result.result_a.phases, params)
+    half_b = AmbipolarPLA.from_cover(result.result_b.cover,
+                                     result.result_b.phases, params)
+    return WhirlpoolPLA(half_a, half_b, result.group_a, result.group_b,
+                        n_outputs)

@@ -1,0 +1,29 @@
+"""Test generation for programmed ambipolar-CNFET PLAs.
+
+The paper's fault-tolerance story (Section 5, [6]) presumes defects can
+be *located* so product terms can be remapped around them; this
+subpackage supplies that missing link:
+
+* :mod:`repro.testgen.faults` — the crosspoint fault model (stuck-off /
+  stuck-on per programmed device) and a fast symbolic fault simulator
+  over :class:`~repro.mapping.gnor_map.GNORPlaneConfig`;
+* :mod:`repro.testgen.atpg` — automatic test-pattern generation:
+  fault simulation over candidate vectors, greedy test-set compaction,
+  coverage reporting and redundant-fault identification.
+"""
+
+from repro.testgen.faults import (Fault, FaultSite, FaultSimulator,
+                                  enumerate_faults)
+from repro.testgen.atpg import (ATPGResult, deterministic_tests,
+                                generate_tests, locate_fault)
+
+__all__ = [
+    "Fault",
+    "FaultSite",
+    "FaultSimulator",
+    "enumerate_faults",
+    "ATPGResult",
+    "generate_tests",
+    "deterministic_tests",
+    "locate_fault",
+]

@@ -1,0 +1,105 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.logic.cover import Cover
+from repro.logic.cube import BIT_DASH, BIT_ONE, BIT_ZERO, Cube
+from repro.logic.function import BooleanFunction
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategies
+# ----------------------------------------------------------------------
+@st.composite
+def cubes(draw, max_inputs: int = 6, max_outputs: int = 3,
+          allow_empty: bool = False):
+    """A random well-formed cube."""
+    n = draw(st.integers(1, max_inputs))
+    m = draw(st.integers(1, max_outputs))
+    inputs = 0
+    choices = [BIT_ZERO, BIT_ONE, BIT_DASH]
+    if allow_empty:
+        choices.append(0)
+    for v in range(n):
+        inputs |= draw(st.sampled_from(choices)) << (2 * v)
+    lo = 0 if allow_empty else 1
+    outputs = draw(st.integers(lo, (1 << m) - 1))
+    return Cube(n, inputs, outputs, m)
+
+
+@st.composite
+def cube_pairs(draw, max_inputs: int = 6, max_outputs: int = 3):
+    """Two cubes sharing dimensions."""
+    n = draw(st.integers(1, max_inputs))
+    m = draw(st.integers(1, max_outputs))
+
+    def one():
+        inputs = 0
+        for v in range(n):
+            inputs |= draw(st.sampled_from([BIT_ZERO, BIT_ONE, BIT_DASH])) << (2 * v)
+        outputs = draw(st.integers(1, (1 << m) - 1))
+        return Cube(n, inputs, outputs, m)
+
+    return one(), one()
+
+
+@st.composite
+def covers(draw, max_inputs: int = 5, max_outputs: int = 3,
+           max_cubes: int = 8):
+    """A random cover (possibly empty)."""
+    n = draw(st.integers(1, max_inputs))
+    m = draw(st.integers(1, max_outputs))
+    k = draw(st.integers(0, max_cubes))
+    result = Cover(n, m)
+    for _ in range(k):
+        inputs = 0
+        for v in range(n):
+            inputs |= draw(st.sampled_from([BIT_ZERO, BIT_ONE, BIT_DASH])) << (2 * v)
+        outputs = draw(st.integers(1, (1 << m) - 1))
+        result.append(Cube(n, inputs, outputs, m))
+    return result
+
+
+@st.composite
+def functions(draw, max_inputs: int = 5, max_outputs: int = 3,
+              max_cubes: int = 6, with_dc: bool = False):
+    """A random BooleanFunction (seeded through hypothesis data)."""
+    seed = draw(st.integers(0, 10**6))
+    n = draw(st.integers(1, max_inputs))
+    m = draw(st.integers(1, max_outputs))
+    k = draw(st.integers(0, max_cubes))
+    dc = draw(st.integers(0, 2)) if with_dc else 0
+    return BooleanFunction.random(n, m, k, seed=seed, dc_cubes=dc)
+
+
+# ----------------------------------------------------------------------
+# plain fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def rng():
+    """A deterministic RNG shared within a test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def xor2():
+    """2-input XOR as a function."""
+    return BooleanFunction(Cover.from_strings(["10 1", "01 1"]), name="xor2")
+
+
+@pytest.fixture
+def small_multi():
+    """A small 3-input, 2-output function used across mapping tests."""
+    on = Cover.from_strings(["1-0 10", "011 11", "--1 01"])
+    return BooleanFunction(on, name="small_multi")
+
+
+def exhaustive_equal(cover_a: Cover, cover_b: Cover) -> bool:
+    """Truth-table equality of two covers (test oracle)."""
+    assert cover_a.n_inputs == cover_b.n_inputs
+    return cover_a.truth_table() == cover_b.truth_table()

@@ -1,0 +1,53 @@
+"""Tests for reporting and sweep helpers."""
+
+import pytest
+
+from repro.analysis.report import format_area, format_percent, render_table
+from repro.analysis.sweep import sweep
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[-1]
+        # columns align: 'value' header starts at the same offset everywhere
+        offset = lines[0].index("value")
+        assert lines[2][offset - 1] == " "
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+        assert text.splitlines()[1] == "======="
+
+    def test_row_width_check(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_format_area_integer(self):
+        assert format_area(34960) == "34 960"
+
+    def test_format_area_fractional(self):
+        assert format_area(1234.5) == "1 234.5"
+
+    def test_format_percent_sign(self):
+        assert format_percent(21.05) == "+21.1%"
+        assert format_percent(-3.1) == "-3.1%"
+
+
+class TestSweep:
+    def test_grid_product(self):
+        points = sweep(lambda a, b: {"sum": a + b},
+                       {"a": [1, 2], "b": [10, 20]})
+        assert len(points) == 4
+        assert points[0].params == {"a": 1, "b": 10}
+        assert points[-1].values == {"sum": 22}
+
+    def test_row_flattening(self):
+        points = sweep(lambda a: {"twice": 2 * a}, {"a": [3]})
+        assert points[0].row(["a"], ["twice"]) == [3, 6]
+
+    def test_insertion_order(self):
+        points = sweep(lambda x: {"v": x}, {"x": [3, 1, 2]})
+        assert [p.params["x"] for p in points] == [3, 1, 2]

@@ -1,0 +1,125 @@
+"""Tests for the Table 1 area model — including the exact paper values."""
+
+import pytest
+
+from repro.bench.mcnc import TABLE1_BENCHMARKS
+from repro.core.area import (CNFET_AMBIPOLAR, EEPROM, FLASH,
+                             TABLE1_TECHNOLOGIES, area_saving_percent,
+                             area_table, crossover_inputs, interconnect_area,
+                             pla_area)
+
+
+#: The nine published Table 1 body values, L^2.
+PAPER_TABLE1 = {
+    "max46": {"Flash": 34960, "EEPROM": 87400, "CNFET": 27600},
+    "apla": {"Flash": 32000, "EEPROM": 80000, "CNFET": 33000},
+    "t2": {"Flash": 104000, "EEPROM": 260000, "CNFET": 102960},
+}
+
+
+class TestBasicCells:
+    def test_cell_areas_are_first_table_row(self):
+        assert FLASH.cell_area_l2 == 40
+        assert EEPROM.cell_area_l2 == 100
+        assert CNFET_AMBIPOLAR.cell_area_l2 == 60
+
+    def test_cnfet_cell_50_percent_larger_than_flash(self):
+        """Paper: 'The CNFET basic cell is 50% larger than the Flash'."""
+        ratio = CNFET_AMBIPOLAR.cell_area_l2 / FLASH.cell_area_l2
+        assert ratio == pytest.approx(1.5)
+
+    def test_cnfet_cell_40_percent_smaller_than_eeprom(self):
+        """Paper: '... and 40% smaller than the EEPROM basic cell'."""
+        saving = area_saving_percent(CNFET_AMBIPOLAR.cell_area_l2,
+                                     EEPROM.cell_area_l2)
+        assert saving == pytest.approx(40.0)
+
+    def test_input_column_rule(self):
+        assert FLASH.input_columns(9) == 18
+        assert CNFET_AMBIPOLAR.input_columns(9) == 9
+
+
+class TestTable1Exact:
+    @pytest.mark.parametrize("stats", TABLE1_BENCHMARKS,
+                             ids=[s.name for s in TABLE1_BENCHMARKS])
+    def test_every_published_entry(self, stats):
+        for tech in TABLE1_TECHNOLOGIES:
+            got = pla_area(tech, stats.inputs, stats.outputs, stats.products)
+            assert got == PAPER_TABLE1[stats.name][tech.name]
+
+    def test_max46_saving_about_21_percent(self):
+        """Paper: 'e.g. in max46: saving ~21%' (vs Flash)."""
+        stats = TABLE1_BENCHMARKS[0]
+        cnfet = pla_area(CNFET_AMBIPOLAR, stats.inputs, stats.outputs,
+                         stats.products)
+        flash = pla_area(FLASH, stats.inputs, stats.outputs, stats.products)
+        assert area_saving_percent(cnfet, flash) == pytest.approx(21.05, abs=0.1)
+
+    def test_apla_overhead_about_3_percent(self):
+        """Paper: 'otherwise a small area overhead (3%) can be seen'."""
+        stats = TABLE1_BENCHMARKS[1]
+        cnfet = pla_area(CNFET_AMBIPOLAR, stats.inputs, stats.outputs,
+                         stats.products)
+        flash = pla_area(FLASH, stats.inputs, stats.outputs, stats.products)
+        assert area_saving_percent(cnfet, flash) == pytest.approx(-3.1, abs=0.1)
+
+    def test_eeprom_saving_up_to_68_percent(self):
+        """Paper: 'up to 68% less area' vs EEPROM."""
+        stats = TABLE1_BENCHMARKS[0]
+        cnfet = pla_area(CNFET_AMBIPOLAR, stats.inputs, stats.outputs,
+                         stats.products)
+        eeprom = pla_area(EEPROM, stats.inputs, stats.outputs, stats.products)
+        assert area_saving_percent(cnfet, eeprom) == pytest.approx(68.4, abs=0.1)
+
+    def test_cnfet_always_beats_eeprom(self):
+        for stats in TABLE1_BENCHMARKS:
+            cnfet = pla_area(CNFET_AMBIPOLAR, stats.inputs, stats.outputs,
+                             stats.products)
+            eeprom = pla_area(EEPROM, stats.inputs, stats.outputs,
+                              stats.products)
+            assert cnfet < eeprom
+
+    def test_area_table_builder(self):
+        rows = area_table(TABLE1_BENCHMARKS)
+        assert len(rows) == 3
+        assert rows[0]["CNFET"] == 27600
+
+
+class TestCrossover:
+    def test_crossover_is_at_inputs_equal_outputs(self):
+        """With the Table 1 constants the CNFET wins iff I > O."""
+        assert crossover_inputs(10) == pytest.approx(10.0)
+
+    def test_crossover_claim_holds_on_benchmarks(self):
+        """max46 (9 > 1) and t2 (17 > 16) save; apla (10 < 12) loses."""
+        for stats in TABLE1_BENCHMARKS:
+            cnfet = pla_area(CNFET_AMBIPOLAR, stats.inputs, stats.outputs,
+                             stats.products)
+            flash = pla_area(FLASH, stats.inputs, stats.outputs,
+                             stats.products)
+            if stats.inputs > stats.outputs:
+                assert cnfet < flash
+            else:
+                assert cnfet > flash
+
+    def test_crossover_infinite_when_cnfet_cell_too_big(self):
+        from repro.core.area import Technology
+        huge = Technology("huge", 90.0, dual_input_columns=False)
+        small = Technology("small", 40.0, dual_input_columns=True)
+        assert crossover_inputs(5, cnfet=huge, baseline=small) > 5
+
+
+class TestValidation:
+    def test_negative_dimension_raises(self):
+        with pytest.raises(ValueError):
+            pla_area(FLASH, -1, 2, 3)
+
+    def test_zero_products_zero_area(self):
+        assert pla_area(FLASH, 4, 2, 0) == 0
+
+    def test_saving_requires_positive_baseline(self):
+        with pytest.raises(ValueError):
+            area_saving_percent(10.0, 0.0)
+
+    def test_interconnect_area(self):
+        assert interconnect_area(CNFET_AMBIPOLAR, 4, 5) == 60 * 20

@@ -1,0 +1,145 @@
+"""Tests for the ROBDD engine."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic.bdd import FALSE, TRUE, BDDManager, covers_equivalent_bdd
+from repro.logic.complement import complement_cover
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+
+from conftest import covers
+
+
+class TestConstruction:
+    def test_terminals(self):
+        m = BDDManager(2)
+        assert m.apply_not(TRUE) == FALSE
+        assert m.apply_not(FALSE) == TRUE
+
+    def test_var_out_of_range(self):
+        with pytest.raises(ValueError):
+            BDDManager(2).var(5)
+
+    def test_hash_consing(self):
+        m = BDDManager(3)
+        assert m.var(1) == m.var(1)
+        assert m.apply_and(m.var(0), m.var(1)) == \
+            m.apply_and(m.var(0), m.var(1))
+
+    def test_reduction_rule(self):
+        m = BDDManager(2)
+        # node with equal children must collapse
+        assert m.node(0, TRUE, TRUE) == TRUE
+
+    def test_negated_variable(self):
+        m = BDDManager(1)
+        f = m.nvar(0)
+        assert m.evaluate(f, [0]) and not m.evaluate(f, [1])
+
+
+class TestConnectives:
+    def test_and_or_xor_truth(self):
+        m = BDDManager(2)
+        a, b = m.var(0), m.var(1)
+        for mm in range(4):
+            v = [mm & 1, (mm >> 1) & 1]
+            assert m.evaluate(m.apply_and(a, b), v) == (v[0] and v[1])
+            assert m.evaluate(m.apply_or(a, b), v) == (v[0] or v[1])
+            assert m.evaluate(m.apply_xor(a, b), v) == (v[0] != v[1])
+
+    def test_ite_mux(self):
+        m = BDDManager(3)
+        f = m.ite(m.var(2), m.var(1), m.var(0))
+        for mm in range(8):
+            v = [(mm >> i) & 1 for i in range(3)]
+            assert m.evaluate(f, v) == (v[1] if v[2] else v[0])
+
+    def test_double_negation(self):
+        m = BDDManager(3)
+        f = m.apply_or(m.var(0), m.apply_and(m.var(1), m.var(2)))
+        assert m.apply_not(m.apply_not(f)) == f
+
+    def test_canonical_equality(self):
+        """Same function built two ways yields the same node id."""
+        m = BDDManager(2)
+        a, b = m.var(0), m.var(1)
+        demorgan_left = m.apply_not(m.apply_and(a, b))
+        demorgan_right = m.apply_or(m.apply_not(a), m.apply_not(b))
+        assert demorgan_left == demorgan_right
+
+
+class TestCoverConversion:
+    @settings(max_examples=100, deadline=None)
+    @given(covers(max_inputs=5, max_outputs=2, max_cubes=6))
+    def test_from_cover_matches_truth_table(self, cover):
+        m = BDDManager(cover.n_inputs)
+        for k in range(cover.n_outputs):
+            f = m.from_cover_output(cover, k)
+            for mm in range(1 << cover.n_inputs):
+                v = [(mm >> i) & 1 for i in range(cover.n_inputs)]
+                assert m.evaluate(f, v) == \
+                    bool((cover.output_mask_for(mm) >> k) & 1)
+
+    def test_empty_cube_is_false(self):
+        m = BDDManager(2)
+        assert m.from_cube_inputs(Cube(2, 0, 1, 1)) == FALSE
+
+
+class TestQueries:
+    @settings(max_examples=100, deadline=None)
+    @given(covers(max_inputs=6, max_outputs=1, max_cubes=6))
+    def test_satcount_matches_enumeration(self, cover):
+        m = BDDManager(cover.n_inputs)
+        f = m.from_cover_output(cover, 0)
+        expected = sum(1 for mm in range(1 << cover.n_inputs)
+                       if cover.output_mask_for(mm))
+        assert m.satcount(f) == expected
+
+    def test_any_sat_returns_model(self):
+        m = BDDManager(4)
+        f = m.apply_and(m.var(1), m.apply_not(m.var(3)))
+        model = m.any_sat(f)
+        assert model is not None
+        assert m.evaluate(f, model)
+
+    def test_any_sat_none_for_false(self):
+        assert BDDManager(3).any_sat(FALSE) is None
+
+    def test_size_counts_nodes(self):
+        m = BDDManager(3)
+        parity = m.apply_xor(m.apply_xor(m.var(0), m.var(1)), m.var(2))
+        # parity BDD has n internal levels with 2 nodes below the root
+        assert m.size(parity) == 5
+
+
+class TestEquivalence:
+    def test_cover_vs_its_cleanup(self):
+        rng = random.Random(6)
+        for _ in range(20):
+            cover = Cover.random(rng.randint(1, 6), rng.randint(1, 3),
+                                 rng.randint(0, 7), rng)
+            assert covers_equivalent_bdd(cover,
+                                         cover.single_cube_containment())
+
+    def test_cover_vs_complement_differs(self):
+        rng = random.Random(7)
+        cover = Cover.random(5, 2, 5, rng)
+        assert not covers_equivalent_bdd(cover, complement_cover(cover))
+
+    def test_dc_masked_equivalence(self):
+        a = Cover.from_strings(["11 1"])
+        b = Cover.from_strings(["1- 1"])
+        dc = Cover.from_strings(["10 1"])
+        assert not covers_equivalent_bdd(a, b)
+        assert covers_equivalent_bdd(a, b, dc=dc)
+
+    def test_scales_past_truth_tables(self):
+        """17 inputs (the t2 size): trivial for BDDs."""
+        n = 17
+        a = Cover.from_strings(["1" + "-" * (n - 1) + " 1",
+                                "0" + "-" * (n - 1) + " 1"])
+        b = Cover.universe(n)
+        assert covers_equivalent_bdd(a, b)

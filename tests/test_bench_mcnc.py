@@ -1,0 +1,71 @@
+"""Tests for the MCNC benchmark registry and cover synthesis."""
+
+import pytest
+
+from repro.bench.mcnc import (EXTENDED_SUITE, TABLE1_BENCHMARKS,
+                              BenchmarkStats, benchmark_function,
+                              get_benchmark, synthesize_cover, verify_stats)
+from repro.espresso.irredundant import irredundant
+
+
+class TestRegistry:
+    def test_table1_triples_match_published_factorization(self):
+        """The dimensions that exactly reproduce the paper's areas."""
+        triples = {(s.name): (s.inputs, s.outputs, s.products)
+                   for s in TABLE1_BENCHMARKS}
+        assert triples == {"max46": (9, 1, 46), "apla": (10, 12, 25),
+                           "t2": (17, 16, 52)}
+
+    def test_table1_entries_tagged(self):
+        for stats in TABLE1_BENCHMARKS:
+            assert stats.source == "table1"
+
+    def test_get_benchmark(self):
+        assert get_benchmark("max46").inputs == 9
+
+    def test_get_benchmark_unknown(self):
+        with pytest.raises(KeyError):
+            get_benchmark("nope")
+
+    def test_extended_suite_includes_table1(self):
+        names = [s.name for s in EXTENDED_SUITE]
+        for stats in TABLE1_BENCHMARKS:
+            assert stats.name in names
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("stats", TABLE1_BENCHMARKS,
+                             ids=[s.name for s in TABLE1_BENCHMARKS])
+    def test_exact_product_count(self, stats):
+        cover = synthesize_cover(stats, seed=0)
+        assert verify_stats(stats, cover)
+
+    def test_synthesized_cover_is_irredundant(self):
+        stats = get_benchmark("apla")
+        cover = synthesize_cover(stats, seed=1)
+        assert irredundant(cover).n_cubes() == cover.n_cubes()
+
+    def test_different_seeds_different_content(self):
+        stats = get_benchmark("max46")
+        a = synthesize_cover(stats, seed=0)
+        b = synthesize_cover(stats, seed=1)
+        assert a.to_strings() != b.to_strings()
+
+    def test_same_seed_same_content(self):
+        stats = get_benchmark("max46")
+        assert synthesize_cover(stats, seed=2).to_strings() == \
+            synthesize_cover(stats, seed=2).to_strings()
+
+    def test_benchmark_function_wrapper(self):
+        f = benchmark_function(get_benchmark("syn_small"), seed=3)
+        assert f.name == "syn_small"
+        assert f.on_set.n_cubes() == 12
+
+    def test_every_output_used(self):
+        """Synthetic multi-output benchmarks must exercise all outputs."""
+        stats = get_benchmark("apla")
+        cover = synthesize_cover(stats, seed=0)
+        union = 0
+        for cube in cover.cubes:
+            union |= cube.outputs
+        assert union == (1 << stats.outputs) - 1

@@ -1,0 +1,74 @@
+"""Tests for the structured workload generators."""
+
+import pytest
+
+from repro.bench.synth import (address_decoder, adder_carry,
+                               majority_function, parity_function,
+                               random_sop)
+from repro.espresso import minimize
+
+
+class TestDecoder:
+    def test_one_hot_property(self):
+        f = address_decoder(3)
+        for m in range(8):
+            mask = f.on_set.output_mask_for(m)
+            assert mask == 1 << m
+
+    def test_dimensions(self):
+        f = address_decoder(2)
+        assert f.n_inputs == 2 and f.n_outputs == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            address_decoder(0)
+
+
+class TestMajority:
+    def test_majority3(self):
+        f = majority_function(3)
+        for m in range(8):
+            want = 1 if bin(m).count("1") >= 2 else 0
+            assert f.on_set.output_mask_for(m) == want
+
+    def test_custom_threshold(self):
+        f = majority_function(4, threshold=1)  # OR
+        assert f.on_set.output_mask_for(0) == 0
+        assert all(f.on_set.output_mask_for(m) for m in range(1, 16))
+
+    def test_minimizes_to_known_size(self):
+        assert minimize(majority_function(3)).n_cubes() == 3
+
+
+class TestParity:
+    def test_parity_values(self):
+        f = parity_function(3)
+        for m in range(8):
+            assert f.on_set.output_mask_for(m) == bin(m).count("1") % 2
+
+    def test_parity_is_two_level_worst_case(self):
+        assert minimize(parity_function(4)).n_cubes() == 8
+
+
+class TestAdderCarry:
+    def test_carry_values(self):
+        f = adder_carry(2)
+        for m in range(16):
+            a, b = m & 3, m >> 2
+            want = 1 if a + b >= 4 else 0
+            assert f.on_set.output_mask_for(m) == want
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adder_carry(0)
+
+
+class TestRandomSop:
+    def test_deterministic(self):
+        a = random_sop(5, 2, 6, seed=1)
+        b = random_sop(5, 2, 6, seed=1)
+        assert a.on_set.truth_table() == b.on_set.truth_table()
+
+    def test_dimensions(self):
+        f = random_sop(6, 3, 4, seed=2)
+        assert (f.n_inputs, f.n_outputs) == (6, 3)

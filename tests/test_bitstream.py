@@ -1,0 +1,95 @@
+"""Tests for configuration bitstreams."""
+
+import pytest
+
+from repro.core.interconnect import CrosspointArray
+from repro.espresso import minimize
+from repro.fpga.bitstream import (BitstreamError, deserialize_crossbar,
+                                  deserialize_pla, program_pla_from_bitstream,
+                                  serialize_crossbar, serialize_pla)
+from repro.logic.function import BooleanFunction
+from repro.mapping.gnor_map import map_cover_to_gnor
+
+
+def sample_config(seed=0, n=4, o=2, cubes=5):
+    f = BooleanFunction.random(n, o, cubes, seed=seed)
+    return f, map_cover_to_gnor(minimize(f))
+
+
+class TestPLARoundtrip:
+    def test_roundtrip_preserves_configuration(self):
+        _f, config = sample_config()
+        data = serialize_pla(config)
+        decoded = deserialize_pla(data)
+        assert decoded.and_plane == config.and_plane
+        assert decoded.or_plane == config.or_plane
+        assert decoded.output_inverted == config.output_inverted
+        assert (decoded.n_inputs, decoded.n_outputs, decoded.n_products) == \
+            (config.n_inputs, config.n_outputs, config.n_products)
+
+    def test_loader_reprograms_functionally(self):
+        f, config = sample_config(seed=3)
+        data = serialize_pla(config)
+        pla, reports = program_pla_from_bitstream(data)
+        assert all(report.verified for report in reports)
+        assert pla.truth_table() == f.on_set.truth_table()
+
+    def test_loader_cycle_counts(self):
+        _f, config = sample_config(seed=4)
+        _pla, reports = program_pla_from_bitstream(serialize_pla(config))
+        assert reports[0].cycles == config.n_products * config.n_inputs
+        assert reports[1].cycles == config.n_products * config.n_outputs
+
+    def test_compactness(self):
+        _f, config = sample_config(seed=5)
+        data = serialize_pla(config)
+        payload_bits = 2 * config.total_devices() + config.n_outputs
+        assert len(data) == 12 + (payload_bits + 7) // 8
+
+    def test_phase_flags_roundtrip(self):
+        f = BooleanFunction.random(4, 2, 4, seed=6)
+        from repro.espresso import assign_output_phases
+        result = assign_output_phases(f)
+        config = map_cover_to_gnor(result.cover, result.phases)
+        decoded = deserialize_pla(serialize_pla(config))
+        assert decoded.output_inverted == config.output_inverted
+
+
+class TestCrossbarRoundtrip:
+    def test_roundtrip(self):
+        array = CrosspointArray(3, 5)
+        array.connect(0, 4)
+        array.connect(2, 1)
+        decoded = deserialize_crossbar(serialize_crossbar(array))
+        assert decoded.connections() == array.connections()
+        assert (decoded.n_horizontal, decoded.n_vertical) == (3, 5)
+
+    def test_empty_crossbar(self):
+        array = CrosspointArray(2, 2)
+        decoded = deserialize_crossbar(serialize_crossbar(array))
+        assert decoded.connections() == []
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(BitstreamError):
+            deserialize_pla(b"XXXX" + b"\x00" * 20)
+
+    def test_truncated(self):
+        _f, config = sample_config()
+        data = serialize_pla(config)
+        with pytest.raises(BitstreamError):
+            deserialize_pla(data[:14])
+
+    def test_kind_mismatch(self):
+        array = CrosspointArray(2, 2)
+        data = serialize_crossbar(array)
+        with pytest.raises(BitstreamError):
+            deserialize_pla(data)
+
+    def test_bad_version(self):
+        _f, config = sample_config()
+        data = bytearray(serialize_pla(config))
+        data[4] = 99
+        with pytest.raises(BitstreamError):
+            deserialize_pla(bytes(data))

@@ -1,0 +1,47 @@
+"""Tests for cover-to-classical-personality mapping."""
+
+import pytest
+
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+from repro.mapping.classical_map import map_cover_to_classical
+
+
+class TestAndPlane:
+    def test_positive_literal_connects_complement_column(self):
+        personality = map_cover_to_classical(Cover.from_strings(["1 1"]))
+        assert personality.and_plane[0] == [False, True]
+
+    def test_negative_literal_connects_true_column(self):
+        personality = map_cover_to_classical(Cover.from_strings(["0 1"]))
+        assert personality.and_plane[0] == [True, False]
+
+    def test_dash_connects_nothing(self):
+        personality = map_cover_to_classical(Cover.from_strings(["- 1"]))
+        assert personality.and_plane[0] == [False, False]
+
+    def test_column_count_doubled(self):
+        personality = map_cover_to_classical(Cover.from_strings(["10- 1"]))
+        assert personality.n_input_columns() == 6
+
+    def test_empty_field_rejected(self):
+        with pytest.raises(ValueError):
+            map_cover_to_classical(Cover(1, 1, [Cube(1, 0, 1, 1)]))
+
+
+class TestOrPlaneAndCounting:
+    def test_or_plane_selection(self):
+        cover = Cover.from_strings(["1- 10", "-1 01"])
+        personality = map_cover_to_classical(cover)
+        assert personality.or_plane[0] == [True, False]
+        assert personality.or_plane[1] == [False, True]
+
+    def test_total_devices_uses_dual_columns(self):
+        cover = Cover.from_strings(["10 1", "01 1"])
+        personality = map_cover_to_classical(cover)
+        assert personality.total_devices() == 2 * (2 * 2 + 1)
+
+    def test_used_devices(self):
+        cover = Cover.from_strings(["10 1"])
+        personality = map_cover_to_classical(cover)
+        assert personality.used_devices() == 2 + 1

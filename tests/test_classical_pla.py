@@ -1,0 +1,71 @@
+"""Tests for the classical dual-column PLA baseline."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.classical_pla import ClassicalPLA
+from repro.logic.cover import Cover
+from repro.logic.function import BooleanFunction
+
+from conftest import functions
+
+
+class TestDimensions:
+    def test_dual_columns(self, small_multi):
+        pla = ClassicalPLA.from_cover(small_multi.on_set)
+        assert pla.n_columns() == 2 * 3 + 2
+
+    def test_cell_count(self, small_multi):
+        pla = ClassicalPLA.from_cover(small_multi.on_set)
+        assert pla.n_cells() == 3 * 8
+
+    def test_column_overhead_vs_gnor(self, small_multi):
+        from repro.core.pla import AmbipolarPLA
+        classical = ClassicalPLA.from_cover(small_multi.on_set)
+        gnor = AmbipolarPLA.from_cover(small_multi.on_set)
+        assert classical.n_columns() - gnor.n_columns() == 3  # one per input
+
+
+class TestSimulation:
+    def test_input_columns_both_polarities(self, small_multi):
+        pla = ClassicalPLA.from_cover(small_multi.on_set)
+        columns = pla.input_columns([1, 0, 1])
+        assert columns == [1, 0, 0, 1, 1, 0]
+
+    def test_simple_sop(self):
+        cover = Cover.from_strings(["10- 1", "--1 1"])
+        pla = ClassicalPLA.from_cover(cover)
+        for m in range(8):
+            a, b, c = m & 1, (m >> 1) & 1, (m >> 2) & 1
+            want = 1 if (a and not b) or c else 0
+            assert pla.evaluate([a, b, c]) == [want]
+
+    def test_product_terms(self):
+        cover = Cover.from_strings(["10- 1", "--1 1"])
+        pla = ClassicalPLA.from_cover(cover)
+        assert pla.product_terms([1, 0, 0]) == [1, 0]
+
+    def test_input_length_check(self, small_multi):
+        pla = ClassicalPLA.from_cover(small_multi.on_set)
+        with pytest.raises(ValueError):
+            pla.evaluate([1])
+
+    @settings(max_examples=60, deadline=None)
+    @given(functions(max_inputs=5, max_outputs=3, max_cubes=6))
+    def test_matches_cover_truth_table(self, f):
+        pla = ClassicalPLA.from_cover(f.on_set.single_cube_containment())
+        assert pla.truth_table() == f.on_set.truth_table()
+
+    @settings(max_examples=30, deadline=None)
+    @given(functions(max_inputs=4, max_outputs=2, max_cubes=5))
+    def test_agrees_with_gnor_pla(self, f):
+        from repro.core.pla import AmbipolarPLA
+        cover = f.on_set.single_cube_containment()
+        classical = ClassicalPLA.from_cover(cover)
+        gnor = AmbipolarPLA.from_cover(cover)
+        assert classical.truth_table() == gnor.truth_table()
+
+    def test_from_function_minimizes(self):
+        on = Cover.from_strings(["11 1", "10 1"])
+        pla = ClassicalPLA.from_function(BooleanFunction(on))
+        assert pla.n_products == 1

@@ -1,0 +1,161 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.logic.pla_format import parse_pla
+
+PLA_TEXT = """\
+.i 4
+.o 2
+.ilb a b c d
+.ob f g
+10-- 10
+-11- 11
+0--1 01
+1111 10
+.e
+"""
+
+
+@pytest.fixture
+def pla_file(tmp_path):
+    path = tmp_path / "demo.pla"
+    path.write_text(PLA_TEXT)
+    return str(path)
+
+
+class TestInfo:
+    def test_prints_stats(self, pla_file, capsys):
+        assert main(["info", pla_file]) == 0
+        out = capsys.readouterr().out
+        assert "inputs    4" in out
+        assert "outputs   2" in out
+        assert "products  4" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["info", "/nonexistent.pla"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestMinimize:
+    def test_stdout_is_valid_pla(self, pla_file, capsys):
+        assert main(["minimize", pla_file]) == 0
+        out = capsys.readouterr().out
+        minimized = parse_pla(out)
+        original = parse_pla(PLA_TEXT)
+        assert minimized.on_set.truth_table() == \
+            original.on_set.truth_table()
+
+    def test_output_file(self, pla_file, tmp_path, capsys):
+        out_path = tmp_path / "min.pla"
+        assert main(["minimize", pla_file, "-o", str(out_path)]) == 0
+        assert out_path.exists()
+        assert "wrote" in capsys.readouterr().err
+
+    def test_phase_mode(self, pla_file, capsys):
+        assert main(["minimize", pla_file, "--phase"]) == 0
+        captured = capsys.readouterr()
+        assert "phases:" in captured.err
+
+
+class TestArea:
+    def test_three_technologies(self, pla_file, capsys):
+        assert main(["area", pla_file]) == 0
+        out = capsys.readouterr().out
+        for name in ("Flash", "EEPROM", "CNFET"):
+            assert name in out
+
+    def test_minimize_flag_shrinks(self, pla_file, capsys):
+        main(["area", pla_file])
+        raw = capsys.readouterr().out
+        main(["area", pla_file, "--minimize"])
+        minimized = capsys.readouterr().out
+        assert "P=4" in raw and "P=3" in minimized
+
+
+class TestSimulate:
+    def test_vectors(self, pla_file, capsys):
+        assert main(["simulate", pla_file, "1000", "0110"]) == 0
+        out = capsys.readouterr().out
+        assert "1000 -> 10" in out
+        assert "0110 -> 11" in out
+
+    def test_bad_vector_rejected(self, pla_file, capsys):
+        assert main(["simulate", pla_file, "10"]) == 2
+        assert "bad vector" in capsys.readouterr().err
+
+
+class TestMap:
+    def test_bitstream_roundtrip(self, pla_file, tmp_path, capsys):
+        out_path = tmp_path / "demo.bit"
+        assert main(["map", pla_file, "-o", str(out_path)]) == 0
+        from repro.fpga.bitstream import program_pla_from_bitstream
+        pla, reports = program_pla_from_bitstream(out_path.read_bytes())
+        assert all(r.verified for r in reports)
+        original = parse_pla(PLA_TEXT)
+        assert pla.truth_table() == original.on_set.truth_table()
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "34 960" in out and "102 960" in out
+
+    def test_table2_small(self, capsys):
+        assert main(["table2", "--grid", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Occupied area" in out
+        assert "frequency gain" in out
+
+
+KISS_TEXT = """\
+.i 1
+.o 1
+.s 2
+.r off
+1 off on 1
+0 off off 0
+1 on on 0
+0 on off 0
+.e
+"""
+
+
+@pytest.fixture
+def kiss_file(tmp_path):
+    path = tmp_path / "toggle.kiss"
+    path.write_text(KISS_TEXT)
+    return str(path)
+
+
+class TestFsmCommand:
+    def test_synthesis_stats(self, kiss_file, capsys):
+        assert main(["fsm", kiss_file]) == 0
+        out = capsys.readouterr().out
+        assert "states            2" in out
+        assert "encoding          binary" in out
+
+    def test_encoding_choice(self, kiss_file, capsys):
+        assert main(["fsm", kiss_file, "--encoding", "one-hot"]) == 0
+        assert "one-hot" in capsys.readouterr().out
+
+    def test_logic_export_is_valid_pla(self, kiss_file, tmp_path, capsys):
+        out_path = tmp_path / "logic.pla"
+        assert main(["fsm", kiss_file, "-o", str(out_path)]) == 0
+        logic = parse_pla(out_path.read_text())
+        # 1 fsm input + 1 state bit in; 1 state bit + 1 output out
+        assert logic.n_inputs == 2 and logic.n_outputs == 2
+
+
+class TestAtpgCommand:
+    def test_stats_and_vector_file(self, pla_file, tmp_path, capsys):
+        out_path = tmp_path / "tests.txt"
+        assert main(["atpg", pla_file, "--minimize",
+                     "-o", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out
+        vectors = out_path.read_text().splitlines()
+        assert vectors
+        assert all(len(v) == 4 and set(v) <= {"0", "1"} for v in vectors)

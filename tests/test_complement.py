@@ -1,0 +1,76 @@
+"""Tests for unate-recursive cover complementation."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.logic.complement import complement_cover, complement_output
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+from repro.logic.tautology import is_tautology
+
+from conftest import covers
+
+
+class TestBasics:
+    def test_complement_of_empty_is_universe(self):
+        comp = complement_cover(Cover.empty(3))
+        assert is_tautology(comp)
+
+    def test_complement_of_universe_is_empty(self):
+        comp = complement_cover(Cover.universe(3))
+        assert comp.is_empty()
+
+    def test_single_literal(self):
+        comp = complement_cover(Cover.from_strings(["1- 1"]))
+        assert comp.truth_table() == [1, 0, 1, 0]
+
+    def test_single_cube_sharp(self):
+        comp = complement_cover(Cover.from_strings(["11 1"]))
+        assert comp.truth_table() == [1, 1, 1, 0]
+
+    def test_xor_complement_is_xnor(self):
+        comp = complement_cover(Cover.from_strings(["10 1", "01 1"]))
+        assert comp.truth_table() == [1, 0, 0, 1]
+
+    def test_result_has_no_contained_cubes(self):
+        rng = random.Random(17)
+        cover = Cover.random(5, 1, 6, rng)
+        comp = complement_cover(cover)
+        for i, a in enumerate(comp.cubes):
+            for j, b in enumerate(comp.cubes):
+                if i != j:
+                    assert not b.contains(a)
+
+    def test_complement_output_selects_one(self):
+        cover = Cover.from_strings(["1- 10", "-1 01"])
+        comp0 = complement_output(cover, 0)
+        assert comp0.n_outputs == 1
+        assert comp0.truth_table() == [1, 0, 1, 0]
+
+
+class TestInvolution:
+    @settings(max_examples=150, deadline=None)
+    @given(covers(max_inputs=5, max_outputs=3, max_cubes=6))
+    def test_complement_is_exact(self, cover):
+        comp = complement_cover(cover)
+        full = (1 << cover.n_outputs) - 1
+        for m in range(1 << cover.n_inputs):
+            a = cover.output_mask_for(m)
+            b = comp.output_mask_for(m)
+            assert a ^ b == full
+            assert a & b == 0
+
+    @settings(max_examples=80, deadline=None)
+    @given(covers(max_inputs=4, max_outputs=2, max_cubes=5))
+    def test_double_complement_is_identity(self, cover):
+        twice = complement_cover(complement_cover(cover))
+        assert twice.truth_table() == cover.truth_table()
+
+    def test_union_with_complement_is_tautology(self):
+        rng = random.Random(3)
+        for _ in range(30):
+            cover = Cover.random(rng.randint(1, 5), rng.randint(1, 3),
+                                 rng.randint(0, 6), rng)
+            union = cover + complement_cover(cover)
+            assert is_tautology(union)

@@ -1,0 +1,114 @@
+"""Corner cases of the device/circuit core."""
+
+import pytest
+
+from repro.core.classical_pla import ClassicalPLA
+from repro.core.defects import DefectMap, DefectModel, DefectType
+from repro.core.device import AmbipolarCNFET, DeviceParameters, Polarity
+from repro.core.gnor import GNORGate, InputConfig
+from repro.core.interconnect import CrosspointArray
+from repro.core.pla import AmbipolarPLA
+from repro.core.programming import ProgrammingController
+from repro.core.wpla import WhirlpoolPLA
+from repro.logic.cover import Cover
+
+
+class TestSingleDeviceExtremes:
+    def test_one_input_gnor_is_inverter_or_buffer(self):
+        inverter = GNORGate(1, [InputConfig.PASS])
+        assert inverter.truth_table() == [1, 0]  # NOR(x) = ~x
+        buffer_like = GNORGate(1, [InputConfig.INVERT])
+        assert buffer_like.truth_table() == [0, 1]  # NOR(~x) = x
+
+    def test_vdd_scaling_moves_thresholds(self):
+        low = DeviceParameters(vdd=0.6)
+        device = AmbipolarCNFET(params=low)
+        device.program(Polarity.N_TYPE)
+        assert device.pg_charge == pytest.approx(0.6)
+        assert device.polarity is Polarity.N_TYPE
+
+    def test_charge_exactly_at_window_edge(self):
+        device = AmbipolarCNFET()
+        device.program_voltage(0.75)  # exactly V+ - PG_TOLERANCE*vdd
+        assert device.polarity is Polarity.N_TYPE
+
+
+class TestSingleRowPLA:
+    def test_one_product_one_output(self):
+        pla = AmbipolarPLA.from_cover(Cover.from_strings(["101 1"]))
+        assert pla.n_products == 1
+        for m in range(8):
+            vector = [(m >> i) & 1 for i in range(3)]
+            assert pla.evaluate(vector) == [1 if m == 0b101 else 0]
+
+    def test_full_cube_product(self):
+        pla = AmbipolarPLA.from_cover(Cover.from_strings(["-- 1"]))
+        assert all(pla.evaluate([m & 1, (m >> 1) & 1]) == [1]
+                   for m in range(4))
+
+    def test_classical_single_row(self):
+        pla = ClassicalPLA.from_cover(Cover.from_strings(["10 1"]))
+        assert pla.evaluate([1, 0]) == [1]
+        assert pla.evaluate([0, 0]) == [0]
+
+
+class TestMinimalArrays:
+    def test_one_by_one_crossbar(self):
+        array = CrosspointArray(1, 1)
+        array.connect(0, 0)
+        assert array.wires_connected(("h", 0), ("v", 0))
+        values = array.propagate({("h", 0): 1})
+        assert values[("v", 0)] == 1
+
+    def test_single_cell_programming(self):
+        grid = [[AmbipolarCNFET()]]
+        controller = ProgrammingController(grid)
+        report = controller.program_array([[Polarity.P_TYPE]])
+        assert report.verified and report.cycles == 1
+
+    def test_two_output_wpla_smallest_split(self):
+        from repro.espresso import doppio_espresso
+        from repro.logic.function import BooleanFunction
+        from repro.mapping.wpla_map import map_doppio_to_wpla
+        f = BooleanFunction(Cover.from_strings(["1- 10", "-1 01"]))
+        result = doppio_espresso(f)
+        wpla = map_doppio_to_wpla(result, 2)
+        assert len(result.group_a) == 1 and len(result.group_b) == 1
+        assert wpla.truth_table() == f.on_set.truth_table()
+
+
+class TestDefectEdges:
+    def test_full_defect_map(self):
+        model = DefectModel(p_stuck_off=1.0)
+        defect_map = DefectMap.sample(4, 4, model, seed=1)
+        assert defect_map.n_defects() == 16
+        assert all(d is DefectType.STUCK_OFF
+                   for _r, _c, d in defect_map.iter_defects())
+
+    def test_injection_overrides_future_programming(self):
+        grid = [[AmbipolarCNFET()]]
+        DefectMap(1, 1, {(0, 0): DefectType.STUCK_ON}).inject(grid)
+        # even reprogramming cannot fix a hard short (instance patch)
+        grid[0][0].program(Polarity.OFF)
+        assert grid[0][0].conducts(cg_high=True)
+
+    def test_tube_statistics_extreme(self):
+        model = DefectModel.from_tube_statistics(4, p_tube_open=1.0,
+                                                 p_tube_metallic=0.0)
+        assert model.p_stuck_off == pytest.approx(1.0)
+        assert model.p_stuck_on == 0.0
+
+
+class TestDynamicOrdering:
+    def test_precharge_after_evaluate_recovers(self):
+        gate = GNORGate(1, [InputConfig.PASS])
+        from repro.core.gnor import Phase
+        gate.step(Phase.PRECHARGE, [0])
+        gate.step(Phase.EVALUATE, [1])   # discharged
+        assert gate.step(Phase.PRECHARGE, [1]) == 1  # recovered
+
+    def test_gnor_output_stable_across_repeat_evaluates(self):
+        gate = GNORGate(2, [InputConfig.PASS, InputConfig.INVERT])
+        for _ in range(3):
+            assert gate.evaluate([0, 1]) == 1
+            assert gate.evaluate([1, 1]) == 0

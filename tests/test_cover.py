@@ -1,0 +1,174 @@
+"""Unit tests for covers (sums of products)."""
+
+import random
+
+import pytest
+
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+
+
+class TestConstruction:
+    def test_from_strings(self):
+        cover = Cover.from_strings(["10- 1", "0-1 1"])
+        assert cover.n_inputs == 3
+        assert cover.n_outputs == 1
+        assert len(cover) == 2
+
+    def test_from_strings_default_output(self):
+        cover = Cover.from_strings(["10"])
+        assert cover.cubes[0].outputs == 1
+
+    def test_from_strings_empty_raises(self):
+        with pytest.raises(ValueError):
+            Cover.from_strings([])
+
+    def test_empty_and_universe(self):
+        assert Cover.empty(3).is_empty()
+        universe = Cover.universe(3)
+        assert all(universe.output_mask_for(m) for m in range(8))
+
+    def test_append_checks_dimensions(self):
+        cover = Cover(3, 1)
+        with pytest.raises(ValueError):
+            cover.append(Cube.from_string("10"))
+
+    def test_random_is_seed_deterministic(self):
+        a = Cover.random(4, 2, 5, random.Random(3))
+        b = Cover.random(4, 2, 5, random.Random(3))
+        assert a == b
+
+    def test_copy_is_independent(self):
+        cover = Cover.from_strings(["1- 1"])
+        clone = cover.copy()
+        clone.append(Cube.from_string("01", "1"))
+        assert len(cover) == 1 and len(clone) == 2
+
+    def test_concatenation_is_or(self):
+        a = Cover.from_strings(["10 1"])
+        b = Cover.from_strings(["01 1"])
+        combined = a + b
+        assert combined.output_mask_for(0b01) == 1
+        assert combined.output_mask_for(0b10) == 1
+        assert combined.output_mask_for(0b00) == 0
+
+    def test_concatenation_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            Cover.from_strings(["1 1"]) + Cover.from_strings(["11 1"])
+
+
+class TestMeasures:
+    def test_cost_tuple(self):
+        cover = Cover.from_strings(["10- 1", "--1 1"])
+        cubes, in_lits, out_lits = cover.cost()
+        assert (cubes, in_lits, out_lits) == (2, 3, 2)
+
+    def test_n_literals(self):
+        cover = Cover.from_strings(["111 1", "--- 1"])
+        assert cover.n_literals() == 3
+
+    def test_is_empty_with_empty_cubes(self):
+        cover = Cover(2, 1, [Cube(2, 0, 1, 1)])
+        assert cover.is_empty()
+
+
+class TestEvaluation:
+    def test_evaluate_vector(self):
+        cover = Cover.from_strings(["1- 10", "-1 01"])
+        assert cover.evaluate([1, 0]) == [True, False]
+        assert cover.evaluate([0, 1]) == [False, True]
+        assert cover.evaluate([1, 1]) == [True, True]
+        assert cover.evaluate([0, 0]) == [False, False]
+
+    def test_truth_table_single_output(self):
+        cover = Cover.from_strings(["11 1"])
+        assert cover.truth_table() == [0, 0, 0, 1]
+
+    def test_truth_table_multi_output(self):
+        cover = Cover.from_strings(["1- 10", "-1 01"])
+        assert cover.truth_table() == [0, 0b01, 0b10, 0b11]
+
+    def test_output_mask_matches_evaluate(self):
+        rng = random.Random(5)
+        cover = Cover.random(4, 3, 6, rng)
+        for m in range(16):
+            vector = [(m >> i) & 1 for i in range(4)]
+            mask = cover.output_mask_for(m)
+            assert cover.evaluate(vector) == [(mask >> k) & 1 == 1
+                                              for k in range(3)]
+
+
+class TestStructural:
+    def test_restrict_output(self):
+        cover = Cover.from_strings(["1- 10", "-1 01", "11 11"])
+        first = cover.restrict_output(0)
+        assert first.n_outputs == 1
+        assert len(first) == 2
+
+    def test_cofactor_by_literal(self):
+        # f = a & b | ~a & c; cofactor on a=1 is b
+        cover = Cover.from_strings(["11- 1", "0-1 1"])
+        cof = cover.cofactor_var(0, True)
+        assert cof.truth_table() == Cover.from_strings(["-1- 1"]).truth_table()
+
+    def test_cofactor_by_cube(self):
+        cover = Cover.from_strings(["11 1", "00 1"])
+        literal = Cube.from_string("1-")
+        cof = cover.cofactor(literal)
+        assert len(cof) == 1  # the 00 cube vanishes
+
+    def test_without(self):
+        cover = Cover.from_strings(["11 1", "00 1"])
+        assert len(cover.without(0)) == 1
+        assert cover.without(0).cubes[0].input_string() == "00"
+
+    def test_single_cube_containment_drops_contained(self):
+        cover = Cover.from_strings(["1-- 1", "110 1", "0-- 1"])
+        cleaned = cover.single_cube_containment()
+        assert len(cleaned) == 2
+        assert cleaned.truth_table() == cover.truth_table()
+
+    def test_single_cube_containment_drops_empty(self):
+        cover = Cover(2, 1, [Cube(2, 0, 1, 1), Cube.from_string("1-")])
+        assert len(cover.single_cube_containment()) == 1
+
+    def test_merge_identical_inputs(self):
+        cover = Cover.from_strings(["1- 10", "1- 01", "0- 10"])
+        merged = cover.merge_identical_inputs()
+        assert len(merged) == 2
+        assert merged.truth_table() == cover.truth_table()
+
+    def test_sorted_by(self):
+        cover = Cover.from_strings(["111 1", "--- 1"])
+        ordered = cover.sorted_by(lambda c: c.n_literals())
+        assert ordered.cubes[0].input_string() == "---"
+
+
+class TestVariableStatistics:
+    def test_column_counts(self):
+        cover = Cover.from_strings(["10 1", "1- 1", "01 1"])
+        counts = cover.column_counts()
+        assert counts[0] == (1, 2)  # one '0', two '1'
+        assert counts[1] == (1, 1)
+
+    def test_most_binate_variable(self):
+        cover = Cover.from_strings(["10 1", "01 1", "11 1"])
+        # both variables binate; ties broken by total occurrences (equal),
+        # so the first maximal variable wins
+        assert cover.most_binate_variable() in (0, 1)
+
+    def test_most_binate_none_for_all_dash(self):
+        cover = Cover.from_strings(["-- 1"])
+        assert cover.most_binate_variable() is None
+
+    def test_unate_detection(self):
+        unate = Cover.from_strings(["1- 1", "-0 1"])
+        assert unate.is_unate()
+        assert unate.is_unate_in(0) and unate.is_unate_in(1)
+        binate = Cover.from_strings(["1- 1", "0- 1"])
+        assert not binate.is_unate()
+        assert not binate.is_unate_in(0)
+
+    def test_to_strings_roundtrip(self):
+        rows = ["10- 10", "0-1 01"]
+        assert Cover.from_strings(rows).to_strings() == rows

@@ -1,0 +1,251 @@
+"""Unit tests for the positional-notation cube algebra."""
+
+import pytest
+
+from repro.logic.cube import (BIT_DASH, BIT_ONE, BIT_ZERO, Cube,
+                              full_input_mask, full_output_mask)
+
+
+class TestConstruction:
+    def test_from_string_roundtrip(self):
+        cube = Cube.from_string("10-", "01")
+        assert cube.input_string() == "10-"
+        assert cube.output_string() == "01"
+
+    def test_from_string_fields(self):
+        cube = Cube.from_string("10-")
+        assert cube.field(0) == BIT_ONE
+        assert cube.field(1) == BIT_ZERO
+        assert cube.field(2) == BIT_DASH
+
+    def test_from_string_rejects_bad_input_char(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("1x0")
+
+    def test_from_string_rejects_bad_output_char(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("1", "z")
+
+    def test_full_cube(self):
+        cube = Cube.full(3, 2)
+        assert cube.input_string() == "---"
+        assert cube.outputs == 0b11
+        assert cube.is_full()
+
+    def test_full_cube_with_outputs(self):
+        cube = Cube.full(2, 3, outputs=0b101)
+        assert cube.outputs == 0b101
+        assert not cube.is_full()
+
+    def test_from_minterm(self):
+        cube = Cube.from_minterm(0b101, 3)
+        assert cube.input_string() == "101"
+
+    def test_from_minterm_zero(self):
+        cube = Cube.from_minterm(0, 3)
+        assert cube.input_string() == "000"
+
+    def test_from_literals(self):
+        cube = Cube.from_literals(4, [(0, True), (2, False)])
+        assert cube.input_string() == "1-0-"
+
+    def test_from_literals_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Cube.from_literals(2, [(5, True)])
+
+    def test_with_field(self):
+        cube = Cube.from_string("11")
+        modified = cube.with_field(0, BIT_DASH)
+        assert modified.input_string() == "-1"
+        assert cube.input_string() == "11"  # original untouched
+
+    def test_with_outputs(self):
+        cube = Cube.from_string("1", "10")
+        assert cube.with_outputs(0b01).output_string() == "10"
+
+
+class TestMeasures:
+    def test_literal_count(self):
+        assert Cube.from_string("10--1").n_literals() == 3
+
+    def test_dash_count(self):
+        assert Cube.from_string("10--1").n_dashes() == 2
+
+    def test_size_counts_minterms_times_outputs(self):
+        cube = Cube.from_string("1--", "11")
+        assert cube.size() == 4 * 2
+
+    def test_empty_cube_size_zero(self):
+        cube = Cube(2, 0b1100, 1, 1)  # variable 0 has empty field
+        assert cube.is_empty()
+        assert cube.size() == 0
+
+    def test_empty_outputs_is_empty(self):
+        cube = Cube(2, full_input_mask(2), 0, 2)
+        assert cube.is_empty()
+
+    def test_literals_iterator(self):
+        cube = Cube.from_string("0-1")
+        assert list(cube.literals()) == [(0, False), (2, True)]
+
+    def test_output_indices(self):
+        cube = Cube.from_string("1", "101")
+        assert list(cube.output_indices()) == [0, 2]
+
+
+class TestContainment:
+    def test_contains_subcube(self):
+        big = Cube.from_string("1--")
+        small = Cube.from_string("101")
+        assert big.contains(small)
+        assert not small.contains(big)
+
+    def test_contains_is_reflexive(self):
+        cube = Cube.from_string("01-")
+        assert cube.contains(cube)
+
+    def test_contains_respects_outputs(self):
+        big = Cube.from_string("1-", "10")
+        small = Cube.from_string("11", "01")
+        assert not big.contains(small)
+
+    def test_contains_minterm(self):
+        cube = Cube.from_string("1-0")
+        assert cube.contains_minterm(0b001)
+        assert cube.contains_minterm(0b011)
+        assert not cube.contains_minterm(0b101)
+
+    def test_contains_minterm_checks_output(self):
+        cube = Cube.from_string("1", "01")
+        assert not cube.contains_minterm(1, output=0)
+        assert cube.contains_minterm(1, output=1)
+
+    def test_evaluate(self):
+        cube = Cube.from_string("1-0")
+        assert cube.evaluate([1, 0, 0])
+        assert cube.evaluate([1, 1, 0])
+        assert not cube.evaluate([0, 0, 0])
+
+
+class TestAlgebra:
+    def test_intersection_overlapping(self):
+        a = Cube.from_string("1--")
+        b = Cube.from_string("-0-")
+        inter = a.intersection(b)
+        assert inter is not None
+        assert inter.input_string() == "10-"
+
+    def test_intersection_disjoint_returns_none(self):
+        a = Cube.from_string("1--")
+        b = Cube.from_string("0--")
+        assert a.intersection(b) is None
+
+    def test_intersection_disjoint_outputs(self):
+        a = Cube.from_string("1", "10")
+        b = Cube.from_string("1", "01")
+        assert a.intersection(b) is None
+
+    def test_intersects_predicate_matches_intersection(self):
+        a = Cube.from_string("1-0", "11")
+        b = Cube.from_string("110", "01")
+        assert a.intersects(b) == (a.intersection(b) is not None)
+
+    def test_distance_zero_iff_intersecting(self):
+        a = Cube.from_string("1--")
+        b = Cube.from_string("-11")
+        assert a.distance(b) == 0
+
+    def test_distance_counts_conflicts(self):
+        a = Cube.from_string("10")
+        b = Cube.from_string("01")
+        assert a.distance(b) == 2
+
+    def test_distance_output_conflict_adds_one(self):
+        a = Cube.from_string("1", "10")
+        b = Cube.from_string("1", "01")
+        assert a.distance(b) == 1
+
+    def test_consensus_adjacent(self):
+        a = Cube.from_string("1-1")
+        b = Cube.from_string("1-0")
+        consensus = a.consensus(b)
+        assert consensus is not None
+        assert consensus.input_string() == "1--"
+
+    def test_consensus_distance_two_is_none(self):
+        a = Cube.from_string("11")
+        b = Cube.from_string("00")
+        assert a.consensus(b) is None
+
+    def test_consensus_output_part(self):
+        a = Cube.from_string("1-", "10")
+        b = Cube.from_string("11", "01")
+        consensus = a.consensus(b)
+        assert consensus is not None
+        assert consensus.input_string() == "11"
+        assert consensus.outputs == 0b11
+
+    def test_supercube(self):
+        a = Cube.from_string("101")
+        b = Cube.from_string("111")
+        assert a.supercube(b).input_string() == "1-1"
+
+    def test_supercube_contains_both(self):
+        a = Cube.from_string("10", "01")
+        b = Cube.from_string("01", "10")
+        sup = a.supercube(b)
+        assert sup.contains(a) and sup.contains(b)
+
+    def test_cofactor_against_overlapping(self):
+        a = Cube.from_string("1-0")
+        c = Cube.from_string("1--")
+        cof = a.cofactor(c)
+        assert cof is not None
+        assert cof.input_string() == "--0"
+
+    def test_cofactor_disjoint_is_none(self):
+        a = Cube.from_string("0--")
+        c = Cube.from_string("1--")
+        assert a.cofactor(c) is None
+
+    def test_complement_cubes_partition(self):
+        cube = Cube.from_string("10-")
+        complements = list(cube.complement_cubes())
+        # complement has one cube per literal and is disjoint from the cube
+        assert len(complements) == 2
+        covered = set(cube.minterms())
+        complement_minterms = set()
+        for comp in complements:
+            for m in comp.minterms():
+                assert m not in covered
+                assert m not in complement_minterms  # disjoint sharp
+                complement_minterms.add(m)
+        assert covered | complement_minterms == set(range(8))
+
+    def test_minterms_enumeration(self):
+        cube = Cube.from_string("1-0")
+        assert sorted(cube.minterms()) == [0b001, 0b011]
+
+    def test_minterms_respects_output_filter(self):
+        cube = Cube.from_string("1", "01")  # asserts output 1 only
+        assert list(cube.minterms(output=0)) == []
+        assert list(cube.minterms(output=1)) == [1]
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = Cube.from_string("10-", "1")
+        b = Cube.from_string("10-", "1")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_different_outputs(self):
+        a = Cube.from_string("1", "10")
+        b = Cube.from_string("1", "01")
+        assert a != b
+
+    def test_str_format(self):
+        assert str(Cube.from_string("0-1", "10")) == "0-1 10"
+
+    def test_repr_contains_strings(self):
+        assert "0-1" in repr(Cube.from_string("0-1"))

@@ -1,0 +1,95 @@
+"""Tests for the device-level defect models."""
+
+import random
+
+import pytest
+
+from repro.core.defects import DefectMap, DefectModel, DefectType
+from repro.core.device import AmbipolarCNFET, Polarity
+
+
+class TestDefectModel:
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            DefectModel(p_stuck_off=0.8, p_stuck_on=0.5)
+
+    def test_total_rate(self):
+        model = DefectModel(0.1, 0.05, 0.02)
+        assert model.total_rate() == pytest.approx(0.17)
+
+    def test_sample_distribution(self):
+        model = DefectModel(p_stuck_off=0.3, p_stuck_on=0.2)
+        rng = random.Random(1)
+        counts = {None: 0, DefectType.STUCK_OFF: 0, DefectType.STUCK_ON: 0,
+                  DefectType.PG_LEAK: 0}
+        for _ in range(10000):
+            counts[model.sample(rng)] += 1
+        assert counts[DefectType.STUCK_OFF] == pytest.approx(3000, rel=0.1)
+        assert counts[DefectType.STUCK_ON] == pytest.approx(2000, rel=0.1)
+        assert counts[DefectType.PG_LEAK] == 0
+
+    def test_from_tube_statistics_all_open(self):
+        model = DefectModel.from_tube_statistics(1, p_tube_open=0.1,
+                                                 p_tube_metallic=0.0)
+        assert model.p_stuck_off == pytest.approx(0.1)
+        assert model.p_stuck_on == 0.0
+
+    def test_from_tube_statistics_redundancy_helps(self):
+        one = DefectModel.from_tube_statistics(1, 0.1, 0.0)
+        four = DefectModel.from_tube_statistics(4, 0.1, 0.0)
+        assert four.p_stuck_off < one.p_stuck_off
+
+    def test_from_tube_statistics_metallic_hurts_with_more_tubes(self):
+        one = DefectModel.from_tube_statistics(1, 0.0, 0.05)
+        four = DefectModel.from_tube_statistics(4, 0.0, 0.05)
+        assert four.p_stuck_on > one.p_stuck_on
+
+    def test_from_tube_statistics_needs_tubes(self):
+        with pytest.raises(ValueError):
+            DefectModel.from_tube_statistics(0, 0.1, 0.1)
+
+
+class TestDefectMap:
+    def test_sampling_is_deterministic(self):
+        model = DefectModel(p_stuck_off=0.1)
+        a = DefectMap.sample(10, 10, model, seed=5)
+        b = DefectMap.sample(10, 10, model, seed=5)
+        assert a.defects == b.defects
+
+    def test_zero_rate_gives_clean_map(self):
+        clean = DefectMap.sample(5, 5, DefectModel(), seed=1)
+        assert clean.n_defects() == 0
+
+    def test_defect_queries(self):
+        defect_map = DefectMap(3, 3, {(1, 2): DefectType.STUCK_ON,
+                                      (2, 0): DefectType.STUCK_OFF})
+        assert defect_map.defect_at(1, 2) is DefectType.STUCK_ON
+        assert defect_map.defect_at(0, 0) is None
+        assert defect_map.defective_rows() == [1, 2]
+        assert defect_map.row_defects(1) == {2: DefectType.STUCK_ON}
+        assert list(defect_map.iter_defects()) == [
+            (1, 2, DefectType.STUCK_ON), (2, 0, DefectType.STUCK_OFF)]
+
+    def test_inject_stuck_on(self):
+        grid = [[AmbipolarCNFET()]]
+        DefectMap(1, 1, {(0, 0): DefectType.STUCK_ON}).inject(grid)
+        assert grid[0][0].conducts(cg_high=True)
+        assert grid[0][0].conducts(cg_high=False)
+
+    def test_inject_stuck_off(self):
+        grid = [[AmbipolarCNFET()]]
+        grid[0][0].program(Polarity.N_TYPE)
+        DefectMap(1, 1, {(0, 0): DefectType.STUCK_OFF}).inject(grid)
+        assert not grid[0][0].conducts(cg_high=True)
+        assert not grid[0][0].conducts(cg_high=False)
+
+    def test_inject_only_touches_defective(self):
+        grid = [[AmbipolarCNFET(), AmbipolarCNFET()]]
+        grid[0][1].program(Polarity.N_TYPE)
+        DefectMap(1, 2, {(0, 0): DefectType.PG_LEAK}).inject(grid)
+        assert grid[0][1].conducts(cg_high=True)
+
+    def test_rate_scales_defect_count(self):
+        low = DefectMap.sample(30, 30, DefectModel(p_stuck_off=0.01), seed=2)
+        high = DefectMap.sample(30, 30, DefectModel(p_stuck_off=0.2), seed=2)
+        assert high.n_defects() > low.n_defects()

@@ -1,0 +1,109 @@
+"""Tests for the three-state ambipolar CNFET device model (Fig 1)."""
+
+import pytest
+
+from repro.core.device import (DEFAULT_PARAMETERS, AmbipolarCNFET,
+                               DeviceParameters, Polarity, make_device,
+                               scaled_parameters)
+
+
+class TestParameters:
+    def test_pg_levels(self):
+        params = DeviceParameters(vdd=1.2)
+        assert params.v_plus == 1.2
+        assert params.v_minus == 0.0
+        assert params.v_zero == pytest.approx(0.6)
+
+    def test_pg_voltage_lookup(self):
+        params = DeviceParameters()
+        assert params.pg_voltage(Polarity.N_TYPE) == params.v_plus
+        assert params.pg_voltage(Polarity.P_TYPE) == params.v_minus
+        assert params.pg_voltage(Polarity.OFF) == params.v_zero
+
+    def test_cell_area_is_paper_value(self):
+        assert DEFAULT_PARAMETERS.cell_area_l2 == 60.0
+
+    def test_scaled_parameters(self):
+        scaled = scaled_parameters(90.0)
+        assert scaled.c_gate == pytest.approx(DEFAULT_PARAMETERS.c_gate * 2)
+        assert scaled.r_on == DEFAULT_PARAMETERS.r_on
+
+
+class TestProgramming:
+    def test_fresh_device_is_off(self):
+        device = AmbipolarCNFET()
+        assert device.polarity is Polarity.OFF
+
+    def test_program_each_state(self):
+        device = AmbipolarCNFET()
+        for polarity in Polarity:
+            device.program(polarity)
+            assert device.polarity is polarity
+
+    def test_program_voltage_bounds(self):
+        device = AmbipolarCNFET()
+        with pytest.raises(ValueError):
+            device.program_voltage(-0.1)
+        with pytest.raises(ValueError):
+            device.program_voltage(1.5)
+
+    def test_charge_window_tolerance(self):
+        device = AmbipolarCNFET()
+        device.program_voltage(0.80)  # within 0.25*vdd of V+
+        assert device.polarity is Polarity.N_TYPE
+        device.program_voltage(0.20)
+        assert device.polarity is Polarity.P_TYPE
+        device.program_voltage(0.5)
+        assert device.polarity is Polarity.OFF
+
+    def test_drifted_charge_reads_off(self):
+        device = AmbipolarCNFET()
+        device.program_voltage(0.6)  # too far from both rails
+        assert device.polarity is Polarity.OFF
+
+
+class TestConduction:
+    def test_n_type_conducts_on_high_cg(self):
+        device = make_device(Polarity.N_TYPE)
+        assert device.conducts(cg_high=True)
+        assert not device.conducts(cg_high=False)
+
+    def test_p_type_conducts_on_low_cg(self):
+        device = make_device(Polarity.P_TYPE)
+        assert device.conducts(cg_high=False)
+        assert not device.conducts(cg_high=True)
+
+    def test_off_never_conducts(self):
+        device = make_device(Polarity.OFF)
+        assert not device.conducts(cg_high=True)
+        assert not device.conducts(cg_high=False)
+
+    def test_conduction_map_is_fig1_table(self):
+        table = AmbipolarCNFET().conduction_map()
+        assert table[(Polarity.N_TYPE, True)] is True
+        assert table[(Polarity.N_TYPE, False)] is False
+        assert table[(Polarity.P_TYPE, True)] is False
+        assert table[(Polarity.P_TYPE, False)] is True
+        assert table[(Polarity.OFF, True)] is False
+        assert table[(Polarity.OFF, False)] is False
+
+    def test_conduction_map_restores_state(self):
+        device = make_device(Polarity.P_TYPE)
+        device.conduction_map()
+        assert device.polarity is Polarity.P_TYPE
+
+
+class TestElectrical:
+    def test_on_resistance_scales_with_tubes(self):
+        few = AmbipolarCNFET(params=DeviceParameters(tubes_per_device=1))
+        many = AmbipolarCNFET(params=DeviceParameters(tubes_per_device=4))
+        assert few.on_resistance() == pytest.approx(4 * many.on_resistance())
+
+    def test_capacitances_positive(self):
+        device = AmbipolarCNFET()
+        assert device.input_capacitance() > 0
+        assert device.output_capacitance() > 0
+
+    def test_repr_shows_state(self):
+        device = make_device(Polarity.N_TYPE)
+        assert "n" in repr(device)

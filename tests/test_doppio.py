@@ -1,0 +1,79 @@
+"""Tests for the Doppio-Espresso Whirlpool driver."""
+
+import pytest
+
+from repro.espresso.doppio import (_affinity_partition, _all_partitions,
+                                   doppio_espresso)
+from repro.logic.cover import Cover
+from repro.logic.function import BooleanFunction
+
+
+class TestPartitionEnumeration:
+    def test_all_partitions_cover_space(self):
+        partitions = _all_partitions(3)
+        # 2^(3-1) - 1 = 3 partitions with both sides non-empty
+        assert len(partitions) == 3
+        for group_a, group_b in partitions:
+            assert sorted(group_a + group_b) == [0, 1, 2]
+            assert group_a and group_b
+
+    def test_all_partitions_pin_output_zero(self):
+        for group_a, _group_b in _all_partitions(4):
+            assert 0 in group_a
+
+    def test_affinity_partition_balances(self):
+        f = BooleanFunction.random(6, 8, 10, seed=3)
+        group_a, group_b = _affinity_partition(f)
+        assert sorted(group_a + group_b) == list(range(8))
+        assert abs(len(group_a) - len(group_b)) <= 1
+
+
+class TestDoppio:
+    def test_requires_two_outputs(self):
+        f = BooleanFunction.random(3, 1, 3, seed=1)
+        with pytest.raises(ValueError):
+            doppio_espresso(f)
+
+    def test_groups_partition_outputs(self):
+        f = BooleanFunction.random(4, 4, 6, seed=2)
+        result = doppio_espresso(f)
+        assert sorted(result.group_a + result.group_b) == list(range(4))
+
+    def test_halves_implement_their_groups(self):
+        f = BooleanFunction.random(4, 3, 5, seed=3)
+        result = doppio_espresso(f)
+        for group, phase_result in ((result.group_a, result.result_a),
+                                    (result.group_b, result.result_b)):
+            for local, original in enumerate(group):
+                sub = f.restricted_to_output(original)
+                phased_cover = phase_result.cover.restrict_output(local)
+                want_phase = phase_result.phases[local]
+                for m in range(1 << f.n_inputs):
+                    got = phased_cover.output_mask_for(m)
+                    expected = sub.on_set.output_mask_for(m)
+                    if not want_phase:
+                        expected ^= 1
+                    assert got == expected
+
+    def test_cell_counts_positive(self):
+        f = BooleanFunction.random(5, 4, 7, seed=4)
+        result = doppio_espresso(f)
+        assert result.monolithic_cells > 0
+        assert result.whirlpool_cells > 0
+
+    def test_saving_percent_formula(self):
+        f = BooleanFunction.random(4, 2, 4, seed=5)
+        result = doppio_espresso(f)
+        expected = 100.0 * (1 - result.whirlpool_cells
+                            / result.monolithic_cells)
+        assert result.saving_percent() == pytest.approx(expected)
+
+    def test_exact_mode_explores_all_partitions(self):
+        f = BooleanFunction.random(3, 3, 4, seed=6)
+        result = doppio_espresso(f, exact_partition_limit=3)
+        assert result.partitions_evaluated == 3
+
+    def test_greedy_mode_single_partition(self):
+        f = BooleanFunction.random(4, 8, 8, seed=7)
+        result = doppio_espresso(f, exact_partition_limit=4)
+        assert result.partitions_evaluated == 1

@@ -1,0 +1,114 @@
+"""Tests for the EXPAND pass."""
+
+import random
+
+from repro.espresso.expand import expand, expand_cube, is_prime
+from repro.logic.complement import complement_cover
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+from repro.logic.function import BooleanFunction
+from repro.logic.tautology import covers_cube
+
+
+def off_set_of(on: Cover) -> Cover:
+    return complement_cover(on)
+
+
+class TestExpandCube:
+    def test_expands_to_fill_space(self):
+        on = Cover.from_strings(["11 1"])
+        off = Cover.empty(2)
+        prime = expand_cube(on.cubes[0], off)
+        assert prime.input_string() == "--"
+
+    def test_blocked_by_off_set(self):
+        on = Cover.from_strings(["11 1"])
+        off = Cover.from_strings(["00 1"])
+        prime = expand_cube(on.cubes[0], off)
+        # can raise one variable but never cover 00
+        assert prime.n_literals() >= 1
+        for off_cube in off.cubes:
+            assert not prime.intersects(off_cube)
+
+    def test_output_raising(self):
+        cube = Cube.from_string("11", "10")  # asserts output 0
+        off = Cover.from_strings(["00 11"])
+        prime = expand_cube(cube, off)
+        assert prime.outputs == 0b11  # output 1 is free to take
+
+    def test_output_raising_blocked(self):
+        cube = Cube.from_string("11", "10")   # asserts output 0
+        off = Cover.from_strings(["11 01"])   # output 1 is OFF at 11
+        prime = expand_cube(cube, off)
+        assert not (prime.outputs & 0b10)
+
+    def test_result_is_prime(self):
+        rng = random.Random(31)
+        for _ in range(40):
+            f = BooleanFunction.random(rng.randint(1, 5), 1,
+                                       rng.randint(1, 5),
+                                       seed=rng.randrange(10**6))
+            if f.on_set.is_empty():
+                continue
+            off = f.off_set
+            prime = expand_cube(f.on_set.cubes[0], off)
+            assert is_prime(prime, off)
+
+
+class TestExpandCover:
+    def test_preserves_function(self):
+        rng = random.Random(7)
+        for _ in range(40):
+            n = rng.randint(1, 5)
+            on = Cover.random(n, rng.randint(1, 3), rng.randint(1, 6), rng)
+            on = on.single_cube_containment()
+            if on.is_empty():
+                continue
+            off = complement_cover(on)
+            expanded = expand(on, off)
+            assert expanded.truth_table() == on.truth_table()
+
+    def test_never_intersects_off_set(self):
+        rng = random.Random(8)
+        for _ in range(30):
+            n = rng.randint(1, 5)
+            on = Cover.random(n, 1, rng.randint(1, 5), rng)
+            off = complement_cover(on)
+            expanded = expand(on, off)
+            for cube in expanded.cubes:
+                for off_cube in off.cubes:
+                    assert not cube.intersects(off_cube)
+
+    def test_cube_count_never_grows(self):
+        rng = random.Random(9)
+        for _ in range(30):
+            n = rng.randint(2, 5)
+            on = Cover.random(n, 1, rng.randint(2, 7), rng)
+            off = complement_cover(on)
+            assert len(expand(on, off)) <= len(on.single_cube_containment())
+
+    def test_expansion_with_dc(self):
+        # ON = 11, DC = 10 -> the prime "1-" must appear
+        on = Cover.from_strings(["11 1"])
+        dc = Cover.from_strings(["10 1"])
+        off = complement_cover(on + dc)
+        expanded = expand(on, off)
+        assert expanded.cubes[0].input_string() == "1-"
+
+    def test_covered_siblings_are_dropped(self):
+        on = Cover.from_strings(["11 1", "10 1"])
+        off = complement_cover(on)
+        expanded = expand(on, off)
+        assert len(expanded) == 1
+        assert expanded.cubes[0].input_string() == "1-"
+
+    def test_all_results_prime(self):
+        rng = random.Random(10)
+        for _ in range(25):
+            n = rng.randint(1, 5)
+            on = Cover.random(n, rng.randint(1, 2), rng.randint(1, 6), rng)
+            if on.is_empty():
+                continue
+            off = complement_cover(on)
+            for cube in expand(on, off).cubes:
+                assert is_prime(cube, off)

@@ -1,0 +1,78 @@
+"""Tests for the IRREDUNDANT pass."""
+
+import random
+
+from repro.espresso.irredundant import irredundant
+from repro.logic.cover import Cover
+from repro.logic.tautology import covers_cube
+
+
+class TestIrredundant:
+    def test_removes_duplicate(self):
+        cover = Cover.from_strings(["1- 1", "1- 1"])
+        assert len(irredundant(cover)) == 1
+
+    def test_removes_contained_cube(self):
+        cover = Cover.from_strings(["1-- 1", "110 1"])
+        assert len(irredundant(cover)) == 1
+
+    def test_removes_jointly_covered_cube(self):
+        # 11 is covered by "1-" even though no single other cube equals it
+        cover = Cover.from_strings(["1- 1", "11 1"])
+        result = irredundant(cover)
+        assert len(result) == 1
+        assert result.cubes[0].input_string() == "1-"
+
+    def test_keeps_essential_cubes(self):
+        cover = Cover.from_strings(["10 1", "01 1"])
+        assert len(irredundant(cover)) == 2
+
+    def test_consensus_middle_cube_removed(self):
+        # a&b | b&c | a&c over the right structure: the middle consensus
+        # cube ab is redundant for f = a&~c | ~a&c... use classic case:
+        # f = ab + bc' is irredundant; f = ab + ac + bc' has ac? no —
+        # use: 1-0 + -11 + 11- : 11- is covered by union? 110 by 1-0, 111 by -11
+        cover = Cover.from_strings(["1-0 1", "-11 1", "11- 1"])
+        result = irredundant(cover)
+        assert len(result) == 2
+        assert result.truth_table() == cover.truth_table()
+
+    def test_preserves_function(self):
+        rng = random.Random(12)
+        for _ in range(40):
+            n = rng.randint(1, 5)
+            cover = Cover.random(n, rng.randint(1, 3), rng.randint(0, 8), rng)
+            result = irredundant(cover)
+            assert result.truth_table() == cover.truth_table()
+
+    def test_result_is_irredundant(self):
+        rng = random.Random(13)
+        for _ in range(30):
+            n = rng.randint(1, 5)
+            cover = Cover.random(n, rng.randint(1, 2), rng.randint(1, 7), rng)
+            result = irredundant(cover)
+            for i in range(len(result)):
+                rest = result.without(i)
+                assert not covers_cube(rest, result.cubes[i])
+
+    def test_dc_set_enables_removal(self):
+        on = Cover.from_strings(["11 1", "00 1"])
+        dc = Cover.from_strings(["11 1"])
+        result = irredundant(on, dc)
+        assert len(result) == 1
+        assert result.cubes[0].input_string() == "00"
+
+    def test_empty_cover(self):
+        assert len(irredundant(Cover.empty(3))) == 0
+
+    def test_single_cube_untouched(self):
+        cover = Cover.from_strings(["101 1"])
+        assert len(irredundant(cover)) == 1
+
+    def test_multi_output_partial_redundancy(self):
+        # cube asserting both outputs is NOT redundant if only one output
+        # is covered elsewhere
+        cover = Cover.from_strings(["1- 11", "1- 10"])
+        result = irredundant(cover)
+        assert result.truth_table() == cover.truth_table()
+        assert any(c.outputs == 0b11 for c in result.cubes)

@@ -1,0 +1,143 @@
+"""Tests for the Espresso main loop and essential primes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.espresso import espresso, essential_primes, minimize
+from repro.espresso.expand import expand
+from repro.espresso.irredundant import irredundant
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+from repro.logic.function import BooleanFunction
+from repro.bench.synth import majority_function, parity_function
+
+from conftest import functions
+
+
+class TestEssentialPrimes:
+    def test_all_essential_when_disjoint(self):
+        cover = Cover.from_strings(["10 1", "01 1"])
+        essential, remainder = essential_primes(cover)
+        assert len(essential) == 2 and len(remainder) == 0
+
+    def test_redundant_prime_is_not_essential(self):
+        # three primes of xor-like structure where the consensus is redundant
+        cover = Cover.from_strings(["1-0 1", "-11 1", "11- 1"])
+        essential, remainder = essential_primes(cover)
+        assert len(essential) == 2
+        assert remainder.cubes[0].input_string() == "11-"
+
+    def test_dc_can_make_prime_inessential(self):
+        cover = Cover.from_strings(["11 1", "00 1"])
+        dc = Cover.from_strings(["11 1"])
+        essential, remainder = essential_primes(cover, dc)
+        assert len(essential) == 1
+        assert essential.cubes[0].input_string() == "00"
+
+
+class TestEspressoKnownResults:
+    def test_majority4_minimum(self):
+        # majority of 4 (>= 2 ones): minimum SOP is the 6 pair-products
+        result = espresso(majority_function(4, threshold=2))
+        assert result.cover.n_cubes() == 6
+
+    def test_majority3(self):
+        result = espresso(majority_function(3))
+        assert result.cover.n_cubes() == 3  # ab + bc + ac
+
+    def test_parity_cannot_shrink(self):
+        f = parity_function(4)
+        result = espresso(f)
+        assert result.cover.n_cubes() == 8  # 2^(n-1)
+
+    def test_full_cover_collapses_to_universe(self):
+        f = BooleanFunction.from_truth_table([1, 1, 1, 1], 2)
+        result = espresso(f)
+        assert result.cover.n_cubes() == 1
+        assert result.cover.cubes[0].input_string() == "--"
+
+    def test_empty_function(self):
+        f = BooleanFunction(Cover.empty(3))
+        result = espresso(f)
+        assert result.cover.n_cubes() == 0
+
+    def test_single_minterm(self):
+        f = BooleanFunction.from_truth_table([0, 0, 0, 1], 2)
+        result = espresso(f)
+        assert result.cover.n_cubes() == 1
+        assert result.cover.cubes[0].input_string() == "11"
+
+    def test_dc_enables_merging(self):
+        # ON = {11}, DC = {10}: minimum is the single cube 1-
+        on = Cover.from_strings(["11 1"])
+        dc = Cover.from_strings(["10 1"])
+        result = espresso(BooleanFunction(on, dc))
+        assert result.cover.n_cubes() == 1
+        assert result.cover.cubes[0].input_string() == "1-"
+
+    def test_multi_output_sharing(self):
+        # same product useful for both outputs should be shared
+        on = Cover.from_strings(["11 11", "10 10", "01 01"])
+        result = espresso(BooleanFunction(on))
+        assert result.cover.n_cubes() <= 3
+
+
+class TestEspressoInvariants:
+    @settings(max_examples=120, deadline=None)
+    @given(functions(max_inputs=5, max_outputs=3, max_cubes=7, with_dc=True))
+    def test_result_implements_function(self, f):
+        result = espresso(f)
+        assert f.equivalent_to(result.cover)
+
+    @settings(max_examples=80, deadline=None)
+    @given(functions(max_inputs=5, max_outputs=2, max_cubes=7))
+    def test_cost_never_increases(self, f):
+        result = espresso(f)
+        assert result.final_cost[0] <= max(f.on_set.single_cube_containment()
+                                           .n_cubes(), 0) or \
+            result.final_cost <= result.initial_cost
+
+    @settings(max_examples=60, deadline=None)
+    @given(functions(max_inputs=4, max_outputs=2, max_cubes=6))
+    def test_result_cubes_are_prime_and_irredundant(self, f):
+        result = espresso(f)
+        cover = result.cover
+        if not len(cover):
+            return
+        # no cube intersects the OFF-set
+        for cube in cover.cubes:
+            for off_cube in f.off_set.cubes:
+                assert not cube.intersects(off_cube)
+
+    def test_idempotence(self):
+        rng = random.Random(40)
+        for _ in range(15):
+            f = BooleanFunction.random(rng.randint(2, 5), rng.randint(1, 2),
+                                       rng.randint(1, 6),
+                                       seed=rng.randrange(10**6))
+            first = espresso(f)
+            again = espresso(BooleanFunction(first.cover, f.dc_set))
+            assert again.cover.n_cubes() == first.cover.n_cubes()
+
+    def test_without_essential_extraction(self):
+        f = majority_function(4, threshold=2)
+        result = espresso(f, extract_essentials=False)
+        assert f.equivalent_to(result.cover)
+        assert result.essential_count == 0
+
+    def test_cost_trace_recorded(self):
+        f = majority_function(4, threshold=2)
+        result = espresso(f)
+        assert len(result.cost_trace) == result.iterations
+
+    def test_minimize_wrapper(self):
+        f = majority_function(3)
+        assert minimize(f).n_cubes() == espresso(f).cover.n_cubes()
+
+    def test_iteration_bound_respected(self):
+        f = BooleanFunction.random(5, 2, 8, seed=777)
+        result = espresso(f, max_iterations=2)
+        assert result.iterations <= 2
+        assert f.equivalent_to(result.cover)

@@ -1,0 +1,81 @@
+"""Tests for the REDUCE pass."""
+
+import random
+
+from repro.espresso.reduce import reduce_cover, reduce_cube
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+
+
+class TestReduceCube:
+    def test_fully_covered_cube_reduces_to_empty(self):
+        cube = Cube.from_string("11")
+        rest = Cover.from_strings(["1- 1"])
+        reduced = reduce_cube(cube, rest)
+        assert reduced.is_empty()
+
+    def test_unsupported_cube_stays(self):
+        cube = Cube.from_string("1-")
+        rest = Cover.from_strings(["0- 1"])
+        reduced = reduce_cube(cube, rest)
+        assert reduced == cube
+
+    def test_partial_overlap_shrinks(self):
+        # cube "--" with rest covering "1-": reduce to "0-"
+        cube = Cube.from_string("--")
+        rest = Cover.from_strings(["1- 1"])
+        reduced = reduce_cube(cube, rest)
+        assert reduced.input_string() == "0-"
+
+    def test_output_dropping(self):
+        cube = Cube.from_string("1-", "11")
+        rest = Cover.from_strings(["1- 10"])  # output 0 covered elsewhere
+        reduced = reduce_cube(cube, rest)
+        assert reduced.outputs == 0b10
+
+
+class TestReduceCover:
+    def test_preserves_function(self):
+        rng = random.Random(21)
+        for _ in range(40):
+            n = rng.randint(1, 5)
+            cover = Cover.random(n, rng.randint(1, 3), rng.randint(0, 7), rng)
+            reduced = reduce_cover(cover)
+            assert reduced.truth_table() == cover.truth_table()
+
+    def test_preserves_function_with_dc(self):
+        rng = random.Random(22)
+        for _ in range(30):
+            n = rng.randint(1, 5)
+            cover = Cover.random(n, 1, rng.randint(1, 6), rng)
+            dc = Cover.random(n, 1, 1, rng)
+            reduced = reduce_cover(cover, dc)
+            # equal modulo DC
+            for m in range(1 << n):
+                a = cover.output_mask_for(m)
+                b = reduced.output_mask_for(m)
+                d = dc.output_mask_for(m)
+                assert (a ^ b) & ~d == 0
+
+    def test_cubes_never_grow(self):
+        rng = random.Random(23)
+        for _ in range(30):
+            n = rng.randint(1, 5)
+            cover = Cover.random(n, rng.randint(1, 2), rng.randint(1, 6), rng)
+            reduced = reduce_cover(cover)
+            # every reduced cube is contained in some original cube
+            for cube in reduced.cubes:
+                assert any(orig.contains(cube) for orig in cover.cubes)
+
+    def test_overlap_is_reduced(self):
+        cover = Cover.from_strings(["1- 1", "-1 1"])
+        reduced = reduce_cover(cover)
+        # one of the two cubes loses the shared 11 corner
+        sizes = sorted(c.size() for c in reduced.cubes)
+        assert sizes[0] == 1
+
+    def test_duplicate_collapses(self):
+        cover = Cover.from_strings(["1- 1", "1- 1"])
+        reduced = reduce_cover(cover)
+        assert reduced.truth_table() == cover.truth_table()
+        assert len(reduced) <= 2

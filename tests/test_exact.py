@@ -1,0 +1,104 @@
+"""Tests for exact minimization (Quine-McCluskey + branch and bound)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bench.synth import majority_function, parity_function
+from repro.espresso import espresso
+from repro.espresso.exact import (ExactMinimizationError, all_primes,
+                                  exact_minimize)
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+from repro.logic.function import BooleanFunction
+
+from conftest import functions
+
+
+class TestPrimeGeneration:
+    def test_xor_primes_are_minterms(self):
+        f = BooleanFunction.from_truth_table([0, 1, 1, 0], 2)
+        primes = all_primes(f)
+        assert len(primes) == 2
+        for mask in primes:
+            cube = Cube(2, mask, 1, 1)
+            assert cube.n_dashes() == 0
+
+    def test_majority3_has_three_primes(self):
+        primes = all_primes(majority_function(3))
+        assert len(primes) == 3
+        for mask in primes:
+            assert Cube(3, mask, 1, 1).n_literals() == 2
+
+    def test_tautology_single_prime(self):
+        f = BooleanFunction.from_truth_table([1, 1, 1, 1], 2)
+        primes = all_primes(f)
+        assert len(primes) == 1
+        assert Cube(2, primes[0], 1, 1).is_full()
+
+    def test_dc_extends_primes(self):
+        # ON = {11}, DC = {10}: the single prime is 1-
+        on = Cover.from_strings(["11 1"])
+        dc = Cover.from_strings(["10 1"])
+        primes = all_primes(BooleanFunction(on, dc))
+        assert [Cube(2, p, 1, 1).input_string() for p in primes] == ["1-"]
+
+    def test_primes_cover_on_set(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            n = rng.randint(1, 6)
+            f = BooleanFunction.random(n, 1, rng.randint(1, 6),
+                                       seed=rng.randrange(10**6))
+            primes = all_primes(f)
+            prime_cover = Cover(n, 1, [Cube(n, p, 1, 1) for p in primes])
+            for m in range(1 << n):
+                if f.on_set.output_mask_for(m):
+                    assert prime_cover.output_mask_for(m)
+
+
+class TestExactMinimize:
+    @pytest.mark.parametrize("function, optimum", [
+        (majority_function(3), 3),
+        (majority_function(4, threshold=2), 6),
+        (parity_function(3), 4),
+        (parity_function(4), 8),
+        (BooleanFunction.from_truth_table([1] * 16, 4), 1),
+        (BooleanFunction.from_truth_table([0] * 16, 4), 0),
+    ])
+    def test_known_optima(self, function, optimum):
+        result = exact_minimize(function)
+        assert result.optimum == optimum
+        assert function.equivalent_to(result.cover)
+
+    def test_multi_output_rejected(self):
+        f = BooleanFunction.random(3, 2, 3, seed=1)
+        with pytest.raises(ExactMinimizationError):
+            exact_minimize(f)
+
+    def test_input_limit_enforced(self):
+        f = BooleanFunction.random(14, 1, 3, seed=2)
+        with pytest.raises(ExactMinimizationError):
+            exact_minimize(f, max_inputs=12)
+
+    def test_result_is_prime_cover(self):
+        f = BooleanFunction.random(5, 1, 5, seed=3)
+        result = exact_minimize(f)
+        primes = set(all_primes(f))
+        for cube in result.cover.cubes:
+            assert cube.inputs in primes
+
+    @settings(max_examples=60, deadline=None)
+    @given(functions(max_inputs=5, max_outputs=1, max_cubes=6, with_dc=True))
+    def test_exact_implements_and_lower_bounds_espresso(self, f):
+        exact = exact_minimize(f)
+        assert f.equivalent_to(exact.cover)
+        heuristic = espresso(f).cover
+        assert exact.optimum <= heuristic.n_cubes()
+
+    def test_dc_exploited(self):
+        on = Cover.from_strings(["11 1"])
+        dc = Cover.from_strings(["10 1", "01 1"])
+        result = exact_minimize(BooleanFunction(on, dc))
+        assert result.optimum == 1
+        assert result.cover.cubes[0].n_literals() == 1

@@ -1,0 +1,43 @@
+"""Tests for CSV export."""
+
+import csv
+import io
+
+from repro.analysis.export import rows_to_csv, sweep_to_csv, write_csv
+from repro.analysis.sweep import sweep
+
+
+class TestRowsToCsv:
+    def test_header_and_rows(self):
+        text = rows_to_csv(["a", "b"], [[1, "x"], [2, "y"]])
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert parsed == [["a", "b"], ["1", "x"], ["2", "y"]]
+
+    def test_float_formatting(self):
+        text = rows_to_csv(["v"], [[0.30000000000000004]])
+        assert "0.3\n" in text
+
+    def test_quoting_of_commas(self):
+        text = rows_to_csv(["v"], [["hello, world"]])
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert parsed[1] == ["hello, world"]
+
+    def test_empty_rows(self):
+        text = rows_to_csv(["a"], [])
+        assert text == "a\n"
+
+
+class TestWriteCsv:
+    def test_roundtrip_through_file(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ["x"], [[1], [2]])
+        parsed = list(csv.reader(io.StringIO(path.read_text())))
+        assert parsed == [["x"], ["1"], ["2"]]
+
+
+class TestSweepExport:
+    def test_sweep_points(self):
+        points = sweep(lambda a: {"double": 2 * a}, {"a": [1, 2, 3]})
+        text = sweep_to_csv(points, ["a"], ["double"])
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert parsed[0] == ["a", "double"]
+        assert parsed[2] == ["2", "4"]

@@ -1,0 +1,95 @@
+"""Tests for the Boolean expression parser."""
+
+import pytest
+
+from repro.logic.expr import ExpressionError, parse_expression, tokenize
+
+
+def table(text, variables):
+    cover = parse_expression(text, variables)
+    return [cover.output_mask_for(m) for m in range(1 << len(variables))]
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        assert tokenize("a & ~b | (c)") == ["a", "&", "~", "b", "|", "(", "c", ")"]
+
+    def test_identifiers_with_digits(self):
+        assert tokenize("x1 ^ x2") == ["x1", "^", "x2"]
+
+    def test_rejects_stray_characters(self):
+        with pytest.raises(ExpressionError):
+            tokenize("a + b")
+
+
+class TestOperators:
+    def test_single_variable(self):
+        assert table("a", ["a"]) == [0, 1]
+
+    def test_negation(self):
+        assert table("~a", ["a"]) == [1, 0]
+
+    def test_double_negation(self):
+        assert table("~~a", ["a"]) == [0, 1]
+
+    def test_and(self):
+        assert table("a & b", ["a", "b"]) == [0, 0, 0, 1]
+
+    def test_or(self):
+        assert table("a | b", ["a", "b"]) == [0, 1, 1, 1]
+
+    def test_xor(self):
+        assert table("a ^ b", ["a", "b"]) == [0, 1, 1, 0]
+
+    def test_constants(self):
+        assert table("0", ["a"]) == [0, 0]
+        assert table("1", ["a"]) == [1, 1]
+
+    def test_precedence_and_over_or(self):
+        # a | b & c == a | (b & c)
+        want = [(m & 1) | (((m >> 1) & 1) & ((m >> 2) & 1)) for m in range(8)]
+        assert table("a | b & c", ["a", "b", "c"]) == want
+
+    def test_precedence_xor_over_and(self):
+        # a & b ^ c == a & (b ^ c)
+        want = [(m & 1) & (((m >> 1) & 1) ^ ((m >> 2) & 1)) for m in range(8)]
+        assert table("a & b ^ c", ["a", "b", "c"]) == want
+
+    def test_parentheses_override(self):
+        want = [((m & 1) | ((m >> 1) & 1)) & ((m >> 2) & 1) for m in range(8)]
+        assert table("(a | b) & c", ["a", "b", "c"]) == want
+
+    def test_demorgan(self):
+        left = table("~(a & b)", ["a", "b"])
+        right = table("~a | ~b", ["a", "b"])
+        assert left == right
+
+    def test_mux_expression(self):
+        # classic 2:1 mux
+        want = []
+        for m in range(8):
+            a, b, s = m & 1, (m >> 1) & 1, (m >> 2) & 1
+            want.append((a if not s else b))
+        assert table("~s & a | s & b", ["a", "b", "s"]) == want
+
+
+class TestErrors:
+    def test_unknown_identifier(self):
+        with pytest.raises(ExpressionError):
+            parse_expression("a & z", ["a", "b"])
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(ExpressionError):
+            parse_expression("(a | b", ["a", "b"])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ExpressionError):
+            parse_expression("a b", ["a", "b"])
+
+    def test_empty_expression(self):
+        with pytest.raises(ExpressionError):
+            parse_expression("", ["a"])
+
+    def test_dangling_operator(self):
+        with pytest.raises(ExpressionError):
+            parse_expression("a &", ["a"])

@@ -1,0 +1,119 @@
+"""Tests for the cascaded PLA/crossbar fabric compiler (Fig 3 at scale)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.fabric import compile_fabric, levelize
+from repro.logic.function import BooleanFunction
+from repro.mapping.partition import Partitioner
+
+from conftest import functions
+
+
+def partitioned(f, max_inputs=4, max_outputs=2, max_products=6):
+    return Partitioner(max_inputs, max_outputs, max_products).partition(f)
+
+
+class TestLayout:
+    def test_single_block_single_stage(self):
+        f = BooleanFunction.random(3, 1, 3, seed=1)
+        layout = levelize(partitioned(f, max_inputs=6))
+        assert layout.n_stages == 1
+        # bus 0 carries exactly the *consumed* primary inputs (unused
+        # inputs are dropped by liveness)
+        consumed = {s for b in layout.stages[0] for s in b.input_signals}
+        assert set(layout.buses[0]) == consumed
+        assert set(layout.buses[0]) <= set(layout.primary_inputs)
+
+    def test_deep_function_multi_stage(self):
+        f = BooleanFunction.random(8, 1, 6, seed=2, dash_probability=0.3)
+        layout = levelize(partitioned(f))
+        assert layout.n_stages >= 2
+
+    def test_stage_consumes_only_available_signals(self):
+        f = BooleanFunction.random(8, 2, 7, seed=3, dash_probability=0.3)
+        layout = levelize(partitioned(f))
+        for s, blocks in enumerate(layout.stages):
+            bus = set(layout.buses[s])
+            for block in blocks:
+                for signal in block.input_signals:
+                    assert signal in bus, (s, signal)
+
+    def test_primary_outputs_on_final_bus(self):
+        f = BooleanFunction.random(7, 2, 6, seed=4, dash_probability=0.3)
+        layout = levelize(partitioned(f))
+        final_bus = set(layout.buses[-1])
+        for signal in layout.primary_outputs:
+            assert signal in final_bus
+
+    def test_stage_of(self):
+        f = BooleanFunction.random(7, 1, 5, seed=5, dash_probability=0.3)
+        layout = levelize(partitioned(f))
+        for s, blocks in enumerate(layout.stages):
+            for block in blocks:
+                assert layout.stage_of(block.name) == s
+        with pytest.raises(KeyError):
+            layout.stage_of("nope")
+
+
+class TestCompiledFabric:
+    @settings(max_examples=40, deadline=None)
+    @given(functions(max_inputs=7, max_outputs=2, max_cubes=6))
+    def test_fabric_implements_function(self, f):
+        fabric = compile_fabric(partitioned(f))
+        for m in range(1 << f.n_inputs):
+            vector = [(m >> i) & 1 for i in range(f.n_inputs)]
+            mask = f.on_set.output_mask_for(m)
+            want = [(mask >> k) & 1 for k in range(f.n_outputs)]
+            assert fabric.evaluate_vector(vector) == want
+
+    def test_multi_stage_fabric_exercises_feedthrough(self):
+        # deep decomposition: the select variable must feed through
+        f = BooleanFunction.random(9, 1, 6, seed=7, dash_probability=0.25)
+        fabric = compile_fabric(partitioned(f, max_inputs=4))
+        assert fabric.n_stages >= 2
+        rng = random.Random(0)
+        for _ in range(64):
+            m = rng.getrandbits(9)
+            vector = [(m >> i) & 1 for i in range(9)]
+            want = [f.on_set.output_mask_for(m) & 1]
+            assert fabric.evaluate_vector(vector) == want
+
+    def test_named_evaluation(self):
+        f = BooleanFunction.random(4, 2, 4, seed=8)
+        partition = partitioned(f, max_inputs=6)
+        fabric = compile_fabric(partition)
+        assignment = {signal: 1 for signal in partition.primary_inputs}
+        result = fabric.evaluate(assignment)
+        assert set(result) == set(partition.primary_outputs)
+
+    def test_cell_accounting(self):
+        f = BooleanFunction.random(7, 1, 6, seed=9, dash_probability=0.3)
+        fabric = compile_fabric(partitioned(f))
+        assert fabric.total_cells() == \
+            fabric.pla_cells() + fabric.crossbar_cells()
+        assert fabric.pla_cells() > 0
+        assert fabric.area_l2() > 0
+
+    def test_stage_summaries(self):
+        f = BooleanFunction.random(7, 1, 6, seed=10, dash_probability=0.3)
+        fabric = compile_fabric(partitioned(f))
+        summaries = fabric.stage_summaries()
+        assert len(summaries) == fabric.n_stages
+        assert all(s["blocks"] >= 1 for s in summaries)
+
+    def test_broken_crosspoint_is_observable(self):
+        """Disconnecting a programmed crosspoint must break evaluation."""
+        f = BooleanFunction.random(5, 1, 4, seed=11, dash_probability=0.3)
+        fabric = compile_fabric(partitioned(f))
+        stage = fabric.stages[0]
+        connections = stage.crossbar.connections()
+        assert connections
+        h, v = connections[0]
+        stage.crossbar.disconnect(h, v)
+        with pytest.raises(RuntimeError, match="floating"):
+            for m in range(1 << f.n_inputs):
+                vector = [(m >> i) & 1 for i in range(f.n_inputs)]
+                fabric.evaluate_vector(vector)

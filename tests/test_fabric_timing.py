@@ -1,0 +1,103 @@
+"""Tests for fabric-cascade timing analysis."""
+
+import pytest
+
+from repro.bench.synth import parity_function
+from repro.core.pla import AmbipolarPLA
+from repro.espresso import minimize
+from repro.fabric import compile_fabric
+from repro.fabric.timing import analyze_fabric_timing, flat_pla_delay
+from repro.logic.function import BooleanFunction
+from repro.mapping.partition import Partitioner
+
+
+def fabric_for(f, max_inputs=4, max_products=10):
+    partition = Partitioner(max_inputs, 2, max_products).partition(f)
+    return compile_fabric(partition)
+
+
+class TestFabricTiming:
+    def test_report_structure(self):
+        fabric = fabric_for(BooleanFunction.random(7, 1, 6, seed=1,
+                                                   dash_probability=0.3))
+        report = analyze_fabric_timing(fabric)
+        assert len(report.stage_delays) == fabric.n_stages
+        assert len(report.crossbar_delays) == fabric.n_stages
+        assert report.critical_path_delay == pytest.approx(
+            sum(report.stage_delays) + sum(report.crossbar_delays))
+
+    def test_frequency_reciprocal(self):
+        fabric = fabric_for(BooleanFunction.random(6, 1, 5, seed=2,
+                                                   dash_probability=0.3))
+        report = analyze_fabric_timing(fabric)
+        assert report.max_frequency() == pytest.approx(
+            1.0 / report.critical_path_delay)
+
+    def test_more_stages_more_delay_terms(self):
+        shallow = fabric_for(BooleanFunction.random(4, 1, 4, seed=3),
+                             max_inputs=6)
+        deep = fabric_for(BooleanFunction.random(9, 1, 6, seed=3,
+                                                 dash_probability=0.25),
+                          max_inputs=4)
+        assert deep.n_stages > shallow.n_stages
+
+    def test_flat_delay_scales_with_products(self):
+        """The flat PLA's OR column spans every product row: its delay
+        grows linearly with the product count."""
+        small = flat_pla_delay(8, 1, 16)
+        big = flat_pla_delay(8, 1, 128)
+        huge = flat_pla_delay(12, 1, 2048)
+        assert small < big < huge
+
+    def test_parity_crossover_against_flat(self):
+        """Cascade stages stay small (4-input PLAs) while the flat PLA's
+        delay explodes with width: by parity-12 (2048 rows flat) the
+        measured cascade per-stage delays, extrapolated to the deeper
+        tree, win decisively."""
+        f = parity_function(8)
+        fabric = fabric_for(f)
+        report = analyze_fabric_timing(fabric)
+        # each cascade stage is far cheaper than the 128-row flat PLA
+        assert max(report.stage_delays) < flat_pla_delay(8, 1, 128) / 2
+        # conservative parity-12 cascade bound: 7 stages at the measured
+        # worst stage + worst crossbar (scaled 12/8 for the wider bus)
+        cascade_12_bound = 7 * (max(report.stage_delays)
+                                + 1.5 * max(report.crossbar_delays))
+        assert cascade_12_bound < flat_pla_delay(12, 1, 2048)
+
+    def test_small_function_flat_wins(self):
+        """For narrow logic the crossbar overhead dominates: flat wins."""
+        f = BooleanFunction.random(4, 2, 4, seed=5)
+        cover = minimize(f)
+        flat_delay = flat_pla_delay(4, 2, cover.n_cubes())
+        fabric = fabric_for(f, max_inputs=3, max_products=3)
+        if fabric.n_stages >= 2:
+            cascade_delay = analyze_fabric_timing(fabric).critical_path_delay
+            assert cascade_delay > flat_delay
+
+
+class TestPipelining:
+    def test_pipelined_beats_combinational_on_deep_fabric(self):
+        from repro.fabric.timing import pipelined_frequency
+        fabric = fabric_for(parity_function(8))
+        assert fabric.n_stages >= 3
+        report = analyze_fabric_timing(fabric)
+        assert pipelined_frequency(report) > report.max_frequency()
+
+    def test_single_stage_pipelining_is_identity(self):
+        from repro.fabric.timing import pipelined_frequency
+        fabric = fabric_for(BooleanFunction.random(4, 1, 3, seed=8),
+                            max_inputs=6)
+        if fabric.n_stages == 1:
+            report = analyze_fabric_timing(fabric)
+            assert pipelined_frequency(report) == \
+                pytest.approx(report.max_frequency())
+
+    def test_pipelined_clock_set_by_worst_stage(self):
+        from repro.fabric.timing import pipelined_frequency
+        fabric = fabric_for(BooleanFunction.random(8, 1, 6, seed=9,
+                                                   dash_probability=0.3))
+        report = analyze_fabric_timing(fabric)
+        worst = max(s + x for s, x in zip(report.stage_delays,
+                                          report.crossbar_delays))
+        assert pipelined_frequency(report) == pytest.approx(1.0 / worst)

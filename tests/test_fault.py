@@ -1,0 +1,233 @@
+"""Tests for the fault-tolerant PLA flow (Section 5, [6])."""
+
+import pytest
+
+from repro.core.defects import DefectMap, DefectModel, DefectType
+from repro.core.fault import (FaultTolerantPLA, row_compatible,
+                              row_requirements)
+from repro.core.gnor import InputConfig
+from repro.espresso import minimize
+from repro.logic.function import BooleanFunction
+from repro.mapping.gnor_map import map_cover_to_gnor
+
+
+def make_config(seed=0, n=4, o=2, cubes=5):
+    f = BooleanFunction.random(n, o, cubes, seed=seed)
+    return map_cover_to_gnor(minimize(f))
+
+
+class TestRowCompatibility:
+    def test_clean_row_is_compatible(self):
+        requirements = [InputConfig.PASS, InputConfig.DROP]
+        assert row_compatible(requirements, {})
+
+    def test_stuck_off_under_active_device_fails(self):
+        requirements = [InputConfig.PASS]
+        assert not row_compatible(requirements, {0: DefectType.STUCK_OFF})
+
+    def test_pg_leak_under_active_device_fails(self):
+        requirements = [InputConfig.INVERT]
+        assert not row_compatible(requirements, {0: DefectType.PG_LEAK})
+
+    def test_stuck_off_under_drop_is_harmless(self):
+        requirements = [InputConfig.DROP]
+        assert row_compatible(requirements, {0: DefectType.STUCK_OFF})
+
+    def test_stuck_on_under_drop_fails(self):
+        requirements = [InputConfig.DROP]
+        assert not row_compatible(requirements, {0: DefectType.STUCK_ON})
+
+    def test_stuck_on_is_fatal_everywhere(self):
+        # unconditional conduction pins the dynamic NOR row low: the
+        # product term dies whether the position is active or dropped
+        assert not row_compatible([InputConfig.PASS],
+                                  {0: DefectType.STUCK_ON})
+        assert not row_compatible([InputConfig.INVERT],
+                                  {0: DefectType.STUCK_ON})
+
+    def test_requirements_span_both_planes(self):
+        config = make_config()
+        requirements = row_requirements(config)
+        assert len(requirements) == config.n_products
+        assert all(len(row) == config.n_inputs + config.n_outputs
+                   for row in requirements)
+
+
+class TestRepair:
+    def test_clean_array_repairs_trivially(self):
+        config = make_config(seed=1)
+        ft = FaultTolerantPLA(config, spare_rows=0)
+        clean = DefectMap(ft.n_physical_rows, ft.n_columns)
+        result = ft.repair(clean)
+        assert result.success
+        assert result.spare_rows_used == 0
+
+    def test_defect_map_shape_check(self):
+        config = make_config(seed=2)
+        ft = FaultTolerantPLA(config, spare_rows=1)
+        with pytest.raises(ValueError):
+            ft.repair(DefectMap(1, 1))
+
+    def test_spare_row_rescues_dead_row(self):
+        config = make_config(seed=3)
+        ft = FaultTolerantPLA(config, spare_rows=1)
+        # kill every device in physical row 0 (stuck off)
+        defects = {(0, c): DefectType.STUCK_OFF for c in range(ft.n_columns)}
+        result = ft.repair(DefectMap(ft.n_physical_rows, ft.n_columns,
+                                     defects))
+        assert result.success
+        assert 0 not in result.assignment.values() or \
+            all(req is InputConfig.DROP
+                for req in row_requirements(config)[_logical_on_row(result, 0)])
+
+    def test_unrepairable_without_spares(self):
+        config = make_config(seed=4)
+        ft = FaultTolerantPLA(config, spare_rows=0)
+        # stuck-on everywhere: no row can host any DROP requirement
+        defects = {(r, c): DefectType.STUCK_ON
+                   for r in range(ft.n_physical_rows)
+                   for c in range(ft.n_columns)}
+        result = ft.repair(DefectMap(ft.n_physical_rows, ft.n_columns,
+                                     defects))
+        assert not result.success
+        assert result.unassigned == list(range(config.n_products))
+
+    def test_assignment_is_injective(self):
+        config = make_config(seed=5)
+        ft = FaultTolerantPLA(config, spare_rows=2)
+        defect_map = DefectMap.sample(ft.n_physical_rows, ft.n_columns,
+                                      DefectModel(p_stuck_off=0.05), seed=9)
+        result = ft.repair(defect_map)
+        values = list(result.assignment.values())
+        assert len(values) == len(set(values))
+
+    def test_assignment_respects_compatibility(self):
+        config = make_config(seed=6)
+        ft = FaultTolerantPLA(config, spare_rows=2)
+        defect_map = DefectMap.sample(ft.n_physical_rows, ft.n_columns,
+                                      DefectModel(p_stuck_off=0.08), seed=10)
+        result = ft.repair(defect_map)
+        requirements = row_requirements(config)
+        for logical, physical in result.assignment.items():
+            assert row_compatible(requirements[logical],
+                                  defect_map.row_defects(physical))
+
+    def test_negative_spares_rejected(self):
+        with pytest.raises(ValueError):
+            FaultTolerantPLA(make_config(), spare_rows=-1)
+
+
+class TestYield:
+    def test_yield_monotone_in_spares(self):
+        config = make_config(seed=7, n=5, o=2, cubes=6)
+        model = DefectModel(p_stuck_off=0.03, p_stuck_on=0.01)
+        yields = []
+        for spares in (0, 2, 4):
+            ft = FaultTolerantPLA(config, spare_rows=spares)
+            yields.append(ft.yield_estimate(model, trials=60, seed=1))
+        assert yields[0] <= yields[1] <= yields[2]
+
+    def test_repair_beats_unprotected(self):
+        config = make_config(seed=8, n=5, o=2, cubes=6)
+        model = DefectModel(p_stuck_off=0.04, p_stuck_on=0.02)
+        ft = FaultTolerantPLA(config, spare_rows=3)
+        assert ft.yield_estimate(model, trials=60, seed=2) >= \
+            ft.unprotected_yield(model, trials=60, seed=2)
+
+    def test_zero_defects_perfect_yield(self):
+        ft = FaultTolerantPLA(make_config(seed=9), spare_rows=0)
+        assert ft.yield_estimate(DefectModel(), trials=10) == 1.0
+
+
+def _logical_on_row(result, physical):
+    for logical, q in result.assignment.items():
+        if q == physical:
+            return logical
+    return None
+
+
+class TestSpareAllocation:
+    """The classical row/column spare-allocation variant."""
+
+    def _setup(self, seed=1, rate_off=0.06, rate_on=0.03, map_seed=3):
+        from repro.core.fault import allocate_spares, fatal_positions
+        f = BooleanFunction.random(5, 2, 6, seed=seed)
+        config = map_cover_to_gnor(minimize(f))
+        defect_map = DefectMap.sample(
+            config.n_products, config.n_inputs + config.n_outputs,
+            DefectModel(p_stuck_off=rate_off, p_stuck_on=rate_on),
+            seed=map_seed)
+        return config, defect_map
+
+    def test_clean_map_needs_nothing(self):
+        from repro.core.fault import allocate_spares
+        config, _ = self._setup()
+        clean = DefectMap(config.n_products,
+                          config.n_inputs + config.n_outputs)
+        allocation = allocate_spares(config, clean, 0, 0)
+        assert allocation.success
+        assert allocation.replaced_rows == []
+        assert allocation.replaced_columns == []
+
+    def test_every_fatal_defect_covered(self):
+        from repro.core.fault import allocate_spares
+        config, defect_map = self._setup()
+        allocation = allocate_spares(config, defect_map, 4, 3)
+        if allocation.success:
+            for r, c in allocation.fatal_defects:
+                assert r in allocation.replaced_rows or \
+                    c in allocation.replaced_columns
+
+    def test_budget_respected(self):
+        from repro.core.fault import allocate_spares
+        config, defect_map = self._setup(rate_off=0.15, rate_on=0.05)
+        allocation = allocate_spares(config, defect_map, 2, 1)
+        if allocation.success:
+            assert len(allocation.replaced_rows) <= 2
+            assert len(allocation.replaced_columns) <= 1
+
+    def test_zero_budget_fails_on_fatal_defects(self):
+        from repro.core.fault import allocate_spares, fatal_positions
+        config, defect_map = self._setup(rate_off=0.2, rate_on=0.1)
+        fatal = fatal_positions(config, defect_map)
+        if fatal:
+            assert not allocate_spares(config, defect_map, 0, 0).success
+
+    def test_column_spares_can_rescue(self):
+        from repro.core.fault import allocate_spares
+        config, _ = self._setup()
+        # one whole column stuck on: rows cannot cover it economically
+        column = 0
+        defects = {(r, column): DefectType.STUCK_ON
+                   for r in range(config.n_products)}
+        defect_map = DefectMap(config.n_products,
+                               config.n_inputs + config.n_outputs, defects)
+        row_only = allocate_spares(config, defect_map,
+                                   spare_rows=2, spare_columns=0)
+        with_column = allocate_spares(config, defect_map,
+                                      spare_rows=0, spare_columns=1)
+        assert not row_only.success
+        assert with_column.success
+        assert with_column.replaced_columns == [column]
+
+    def test_harmless_defects_ignored(self):
+        from repro.core.fault import fatal_positions
+        from repro.core.gnor import InputConfig
+        config, _ = self._setup()
+        # find a DROP position and put a stuck-off defect there
+        from repro.core.fault import row_requirements
+        requirements = row_requirements(config)
+        position = None
+        for r, row in enumerate(requirements):
+            for c, needed in enumerate(row):
+                if needed is InputConfig.DROP:
+                    position = (r, c)
+                    break
+            if position:
+                break
+        if position is None:
+            pytest.skip("no DROP position in this configuration")
+        defect_map = DefectMap(config.n_products,
+                               config.n_inputs + config.n_outputs,
+                               {position: DefectType.STUCK_OFF})
+        assert fatal_positions(config, defect_map) == []

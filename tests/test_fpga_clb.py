@@ -1,0 +1,58 @@
+"""Tests for CLB specifications."""
+
+import pytest
+
+from repro.core.area import CNFET_AMBIPOLAR, FLASH
+from repro.fpga.clb import (CLBSpec, ambipolar_pla_clb, first_principles_area,
+                            standard_pla_clb)
+
+
+class TestStandardCLB:
+    def test_dual_polarity(self):
+        assert standard_pla_clb().dual_polarity_inputs
+
+    def test_routed_pins_double_inputs(self):
+        spec = standard_pla_clb(9, 4, 20)
+        assert spec.routed_pins() == 2 * 9 + 4
+
+    def test_area_positive(self):
+        assert standard_pla_clb().area_l2 > 0
+
+    def test_logic_delay_positive(self):
+        assert standard_pla_clb().logic_delay() > 0
+
+
+class TestAmbipolarCLB:
+    def test_single_polarity(self):
+        assert not ambipolar_pla_clb().dual_polarity_inputs
+
+    def test_paper_emulation_halves_area(self):
+        std = standard_pla_clb(9, 4, 20)
+        amb = ambipolar_pla_clb(9, 4, 20, area_factor=0.5)
+        assert amb.area_l2 == pytest.approx(std.area_l2 / 2)
+
+    def test_routed_pins_single_inputs(self):
+        spec = ambipolar_pla_clb(9, 4, 20)
+        assert spec.routed_pins() == 9 + 4
+
+    def test_first_principles_mode(self):
+        spec = ambipolar_pla_clb(9, 4, 20, area_factor=None)
+        expected = first_principles_area(9, 4, 20, CNFET_AMBIPOLAR,
+                                         dual_polarity=False)
+        assert spec.area_l2 == pytest.approx(expected)
+
+    def test_first_principles_cnfet_smaller_than_standard(self):
+        std = first_principles_area(9, 4, 20, FLASH, dual_polarity=True)
+        amb = first_principles_area(9, 4, 20, CNFET_AMBIPOLAR,
+                                    dual_polarity=False)
+        assert amb < std
+
+    def test_gnor_logic_is_faster(self):
+        """One column per input means shorter rows and faster evaluate."""
+        std = standard_pla_clb(9, 4, 20)
+        amb = ambipolar_pla_clb(9, 4, 20)
+        assert amb.logic_delay() < std.logic_delay()
+
+    def test_tile_pitch_is_sqrt_area(self):
+        spec = ambipolar_pla_clb()
+        assert spec.tile_pitch_l() == pytest.approx(spec.area_l2 ** 0.5)

@@ -1,0 +1,72 @@
+"""Tests for the Table 2 emulation protocol (small fabrics for speed)."""
+
+import pytest
+
+from repro.fpga.emulate import generate_workload, run_emulation
+from repro.mapping.partition import Partitioner
+
+
+class TestWorkload:
+    def test_workload_hits_block_target(self):
+        partitioner = Partitioner(9, 4, 20)
+        partitions = generate_workload(seed=1, n_blocks_target=20,
+                                       partitioner=partitioner)
+        total = sum(len(p.blocks) for p in partitions)
+        assert total == 20
+
+    def test_workload_is_deterministic(self):
+        partitioner = Partitioner(9, 4, 20)
+        a = generate_workload(seed=2, n_blocks_target=12,
+                              partitioner=partitioner)
+        b = generate_workload(seed=2, n_blocks_target=12,
+                              partitioner=partitioner)
+        assert [len(p.blocks) for p in a] == [len(p.blocks) for p in b]
+
+    def test_blocks_respect_capacity(self):
+        partitioner = Partitioner(6, 3, 12)
+        partitions = generate_workload(seed=3, n_blocks_target=10,
+                                       partitioner=partitioner)
+        for partition in partitions:
+            for block in partition.blocks:
+                assert block.n_inputs <= 6
+                assert block.n_outputs <= 3
+                assert block.n_products <= 12
+
+
+class TestEmulation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_emulation(seed=1, grid_side=5, channel_capacity=16)
+
+    def test_standard_fabric_nearly_full(self, report):
+        assert report.standard.occupancy_percent >= 90.0
+
+    def test_cnfet_occupancy_about_half(self, report):
+        assert report.area_ratio == pytest.approx(0.5, abs=0.1)
+
+    def test_cnfet_is_faster(self, report):
+        """The Table 2 shape: the CNFET FPGA wins, by roughly 2x."""
+        assert report.frequency_gain > 1.4
+
+    def test_same_blocks_both_fabrics(self, report):
+        assert report.standard.netlist.n_blocks() == \
+            report.cnfet.netlist.n_blocks()
+
+    def test_standard_routes_more_signals(self, report):
+        """Inverted signals are not routed on the CNFET fabric."""
+        assert report.standard.netlist.n_nets() > \
+            report.cnfet.netlist.n_nets()
+        assert report.standard.netlist.n_nets() <= \
+            2 * report.cnfet.netlist.n_nets()
+
+    def test_table_rows_format(self, report):
+        rows = report.table_rows()
+        assert rows[0][0] == "Occupied area"
+        assert rows[1][0] == "Frequency"
+        assert rows[1][1].endswith("MHz")
+
+    def test_emulation_deterministic(self):
+        a = run_emulation(seed=4, grid_side=4, channel_capacity=16)
+        b = run_emulation(seed=4, grid_side=4, channel_capacity=16)
+        assert a.standard.frequency_mhz == b.standard.frequency_mhz
+        assert a.cnfet.frequency_mhz == b.cnfet.frequency_mhz

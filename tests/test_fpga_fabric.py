@@ -1,0 +1,77 @@
+"""Tests for the FPGA fabric grid."""
+
+import pytest
+
+from repro.fpga.clb import ambipolar_pla_clb, standard_pla_clb
+from repro.fpga.fabric import FPGAFabric
+
+
+class TestGeometry:
+    def test_site_count(self):
+        fabric = FPGAFabric(4, 3, standard_pla_clb())
+        assert fabric.n_sites() == 12
+        assert len(list(fabric.sites())) == 12
+
+    def test_contains(self):
+        fabric = FPGAFabric(3, 3, standard_pla_clb())
+        assert fabric.contains((0, 0))
+        assert fabric.contains((2, 2))
+        assert not fabric.contains((3, 0))
+        assert not fabric.contains((0, -1))
+
+    def test_neighbors_interior(self):
+        fabric = FPGAFabric(3, 3, standard_pla_clb())
+        assert len(fabric.neighbors((1, 1))) == 4
+
+    def test_neighbors_corner(self):
+        fabric = FPGAFabric(3, 3, standard_pla_clb())
+        assert len(fabric.neighbors((0, 0))) == 2
+
+    def test_edge_canonical_order(self):
+        fabric = FPGAFabric(3, 3, standard_pla_clb())
+        assert fabric.edge((1, 0), (0, 0)) == ((0, 0), (1, 0))
+
+    def test_edge_count(self):
+        fabric = FPGAFabric(3, 3, standard_pla_clb())
+        # 2 * w * (h-1) for a square grid: 3*2 horizontal + 3*2 vertical
+        assert len(list(fabric.edges())) == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FPGAFabric(0, 3, standard_pla_clb())
+        with pytest.raises(ValueError):
+            FPGAFabric(3, 3, standard_pla_clb(), channel_capacity=0)
+
+
+class TestPhysicalScale:
+    def test_die_area(self):
+        clb = standard_pla_clb()
+        fabric = FPGAFabric(4, 4, clb)
+        assert fabric.die_area_l2() == pytest.approx(16 * clb.area_l2)
+
+    def test_occupancy(self):
+        fabric = FPGAFabric(10, 10, standard_pla_clb())
+        assert fabric.occupancy(99) == pytest.approx(0.99)
+
+    def test_occupancy_overflow_raises(self):
+        fabric = FPGAFabric(2, 2, standard_pla_clb())
+        with pytest.raises(ValueError):
+            fabric.occupancy(5)
+
+    def test_sized_for(self):
+        fabric = FPGAFabric.sized_for(99, standard_pla_clb(), 0.99)
+        assert fabric.n_sites() >= 100
+        assert fabric.width == fabric.height
+
+    def test_same_die_grows_grid_for_smaller_clb(self):
+        std = FPGAFabric(10, 10, standard_pla_clb())
+        amb = FPGAFabric.same_die(std, ambipolar_pla_clb())
+        # half-area CLB: side grows by sqrt(2) -> 14
+        assert amb.width == 14
+        # die areas approximately preserved
+        assert amb.die_area_l2() == pytest.approx(std.die_area_l2(), rel=0.05)
+
+    def test_same_die_keeps_capacity_by_default(self):
+        std = FPGAFabric(5, 5, standard_pla_clb(), channel_capacity=17)
+        amb = FPGAFabric.same_die(std, ambipolar_pla_clb())
+        assert amb.channel_capacity == 17

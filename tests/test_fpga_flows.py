@@ -1,0 +1,88 @@
+"""Additional FPGA flow edge cases."""
+
+import pytest
+
+from repro.fpga.clb import ambipolar_pla_clb, standard_pla_clb
+from repro.fpga.emulate import implement, run_emulation
+from repro.fpga.fabric import FPGAFabric
+from repro.fpga.netlist import build_netlist
+from repro.fpga.placement import place
+from repro.fpga.routing import route
+from repro.fpga.timing import analyze_timing
+from repro.logic.function import BooleanFunction
+from repro.mapping.partition import Partitioner
+
+
+def single_block_partition(seed=1):
+    f = BooleanFunction.random(4, 2, 4, seed=seed, name=f"s{seed}")
+    return Partitioner(6, 2, 10).partition(f)
+
+
+class TestDegenerateDesigns:
+    def test_single_block_design(self):
+        partition = single_block_partition()
+        netlist = build_netlist([partition], dual_polarity=False)
+        fabric = FPGAFabric(3, 3, ambipolar_pla_clb())
+        placement = place(netlist, fabric, seed=0)
+        routing = route(netlist, placement, fabric)
+        report = analyze_timing(netlist, routing, fabric)
+        assert report.critical_path_delay > 0
+
+    def test_exactly_full_fabric(self):
+        partitions = [single_block_partition(seed) for seed in range(4)]
+        netlist = build_netlist(partitions, dual_polarity=False)
+        side = 2
+        while side * side < netlist.n_blocks():
+            side += 1
+        fabric = FPGAFabric(side, side, ambipolar_pla_clb())
+        placement = place(netlist, fabric, seed=1)
+        assert len(placement.sites) == netlist.n_blocks()
+
+    def test_one_by_one_fabric(self):
+        partition = single_block_partition()
+        netlist = build_netlist([partition], dual_polarity=False)
+        if netlist.n_blocks() == 1:
+            fabric = FPGAFabric(1, 1, ambipolar_pla_clb())
+            placement = place(netlist, fabric, seed=2)
+            routing = route(netlist, placement, fabric)
+            # all terminals share the single tile: zero wirelength
+            assert routing.total_wirelength == 0
+
+
+class TestImplementHelper:
+    def test_implement_picks_polarity_from_clb(self):
+        partitions = [single_block_partition(seed) for seed in (1, 2)]
+        std = implement(partitions,
+                        FPGAFabric(4, 4, standard_pla_clb(), 20), seed=0)
+        amb = implement(partitions,
+                        FPGAFabric(4, 4, ambipolar_pla_clb(), 20), seed=0)
+        assert std.netlist.n_nets() > amb.netlist.n_nets()
+
+    def test_occupancy_reported(self):
+        partitions = [single_block_partition(1)]
+        run = implement(partitions,
+                        FPGAFabric(4, 4, ambipolar_pla_clb(), 20), seed=0)
+        expected = 100.0 * run.netlist.n_blocks() / 16
+        assert run.occupancy_percent == pytest.approx(expected)
+
+
+class TestEmulationKnobs:
+    def test_area_factor_changes_grid(self):
+        tight = run_emulation(seed=1, grid_side=4, clb_area_factor=0.5,
+                              channel_capacity=16)
+        loose = run_emulation(seed=1, grid_side=4, clb_area_factor=0.9,
+                              channel_capacity=16)
+        assert tight.cnfet.fabric.n_sites() > loose.cnfet.fabric.n_sites()
+
+    def test_target_occupancy_knob(self):
+        half = run_emulation(seed=1, grid_side=4, target_occupancy=0.5,
+                             channel_capacity=16)
+        assert half.standard.occupancy_percent <= 55.0
+
+    def test_custom_clb_capacity(self):
+        report = run_emulation(seed=1, grid_side=4, clb_inputs=6,
+                               clb_outputs=3, clb_products=12,
+                               channel_capacity=16)
+        for block in report.standard.netlist.blocks.values():
+            assert block.n_inputs <= 6
+            assert block.n_outputs <= 3

@@ -1,0 +1,83 @@
+"""Tests for netlist construction and dual-polarity expansion."""
+
+import pytest
+
+from repro.fpga.netlist import Net, build_netlist
+from repro.logic.function import BooleanFunction
+from repro.mapping.partition import Partitioner
+
+
+def make_partitions(seeds, n=7, o=2, cubes=6):
+    partitioner = Partitioner(max_inputs=4, max_outputs=2, max_products=8)
+    result = []
+    for seed in seeds:
+        f = BooleanFunction.random(n, o, cubes, seed=seed,
+                                   name=f"w{seed}", dash_probability=0.3)
+        result.append(partitioner.partition(f))
+    return result
+
+
+class TestBuildNetlist:
+    def test_blocks_collected(self):
+        partitions = make_partitions([1, 2])
+        netlist = build_netlist(partitions, dual_polarity=False)
+        total = sum(len(p.blocks) for p in partitions)
+        assert netlist.n_blocks() == total
+
+    def test_duplicate_block_names_rejected(self):
+        partitions = make_partitions([1])
+        with pytest.raises(ValueError):
+            build_netlist([partitions[0], partitions[0]], dual_polarity=False)
+
+    def test_primary_io_recorded(self):
+        partitions = make_partitions([3])
+        netlist = build_netlist(partitions, dual_polarity=False)
+        assert len(netlist.primary_inputs) == 7
+        assert len(netlist.primary_outputs) == 2
+
+    def test_every_net_has_terminals(self):
+        netlist = build_netlist(make_partitions([4]), dual_polarity=False)
+        for net in netlist.nets:
+            assert net.n_terminals() >= 1
+
+    def test_nets_of_block(self):
+        netlist = build_netlist(make_partitions([5]), dual_polarity=False)
+        block = netlist.block_order()[0]
+        touching = netlist.nets_of_block(block)
+        assert touching
+        for net in touching:
+            assert net.source == block or block in net.sinks
+
+
+class TestDualPolarity:
+    def test_dual_roughly_doubles_nets(self):
+        """The paper: signals to route reduced 'by almost the factor 2'."""
+        partitions = make_partitions([1, 2, 3])
+        single = build_netlist(partitions, dual_polarity=False)
+        dual = build_netlist(partitions, dual_polarity=True)
+        assert single.n_nets() < dual.n_nets() <= 2 * single.n_nets()
+        # nets with block sinks are exactly doubled
+        sunk = [n for n in single.nets if n.sinks]
+        assert dual.n_nets() == single.n_nets() + len(sunk)
+
+    def test_complement_nets_marked(self):
+        dual = build_netlist(make_partitions([2]), dual_polarity=True)
+        complements = [n for n in dual.nets if n.is_complement]
+        assert complements
+        for net in complements:
+            assert net.name.endswith("#inv")
+
+    def test_complement_nets_mirror_sinks(self):
+        dual = build_netlist(make_partitions([2]), dual_polarity=True)
+        by_name = {n.name: n for n in dual.nets}
+        for net in dual.nets:
+            if net.is_complement:
+                base = by_name[net.name[:-len("#inv")]]
+                assert net.sinks == base.sinks
+                assert net.source == base.source
+
+    def test_primary_output_without_sinks_not_doubled(self):
+        dual = build_netlist(make_partitions([6]), dual_polarity=True)
+        for net in dual.nets:
+            if net.is_complement:
+                assert net.sinks  # only consumed signals are doubled

@@ -1,0 +1,86 @@
+"""Tests for simulated-annealing placement."""
+
+import pytest
+
+from repro.fpga.clb import standard_pla_clb
+from repro.fpga.fabric import FPGAFabric
+from repro.fpga.netlist import build_netlist
+from repro.fpga.placement import place
+from repro.logic.function import BooleanFunction
+from repro.mapping.partition import Partitioner
+
+
+def small_netlist(seeds=(1, 2), dual=False):
+    partitioner = Partitioner(max_inputs=4, max_outputs=2, max_products=8)
+    partitions = [partitioner.partition(
+        BooleanFunction.random(6, 2, 5, seed=s, name=f"w{s}",
+                               dash_probability=0.3))
+        for s in seeds]
+    return build_netlist(partitions, dual_polarity=dual)
+
+
+class TestPlacement:
+    def test_all_blocks_placed(self):
+        netlist = small_netlist()
+        fabric = FPGAFabric(6, 6, standard_pla_clb())
+        placement = place(netlist, fabric, seed=0)
+        assert set(placement.sites) == set(netlist.blocks)
+
+    def test_no_two_blocks_share_a_site(self):
+        netlist = small_netlist((1, 2, 3))
+        fabric = FPGAFabric(6, 6, standard_pla_clb())
+        placement = place(netlist, fabric, seed=1)
+        sites = list(placement.sites.values())
+        assert len(sites) == len(set(sites))
+
+    def test_sites_on_fabric(self):
+        netlist = small_netlist()
+        fabric = FPGAFabric(5, 5, standard_pla_clb())
+        placement = place(netlist, fabric, seed=2)
+        for site in placement.sites.values():
+            assert fabric.contains(site)
+
+    def test_overfull_netlist_rejected(self):
+        netlist = small_netlist((1, 2, 3, 4, 5))
+        fabric = FPGAFabric(2, 2, standard_pla_clb())
+        with pytest.raises(ValueError):
+            place(netlist, fabric, seed=0)
+
+    def test_deterministic_given_seed(self):
+        netlist = small_netlist()
+        fabric = FPGAFabric(6, 6, standard_pla_clb())
+        a = place(netlist, fabric, seed=7)
+        b = place(netlist, fabric, seed=7)
+        assert a.sites == b.sites
+        assert a.wirelength == b.wirelength
+
+    def test_annealing_beats_random_start(self):
+        netlist = small_netlist((1, 2, 3))
+        fabric = FPGAFabric(8, 8, standard_pla_clb())
+        quick = place(netlist, fabric, seed=3, moves_per_block=1,
+                      initial_temperature=0.01)
+        annealed = place(netlist, fabric, seed=3, moves_per_block=300)
+        assert annealed.wirelength <= quick.wirelength
+
+    def test_pads_assigned_for_all_primary_io(self):
+        netlist = small_netlist()
+        fabric = FPGAFabric(6, 6, standard_pla_clb())
+        placement = place(netlist, fabric, seed=4)
+        for signal in netlist.primary_inputs + netlist.primary_outputs:
+            assert signal in placement.pads
+
+    def test_pads_on_perimeter(self):
+        netlist = small_netlist()
+        fabric = FPGAFabric(6, 6, standard_pla_clb())
+        placement = place(netlist, fabric, seed=5)
+        for x, y in placement.pads.values():
+            assert x in (0, 5) or y in (0, 5)
+
+    def test_site_of_resolves_blocks_and_pads(self):
+        netlist = small_netlist()
+        fabric = FPGAFabric(6, 6, standard_pla_clb())
+        placement = place(netlist, fabric, seed=6)
+        block = netlist.block_order()[0]
+        assert placement.site_of(block) == placement.sites[block]
+        pad = netlist.primary_inputs[0]
+        assert placement.site_of(pad) == placement.pads[pad]

@@ -1,0 +1,87 @@
+"""Tests for FPGA static timing analysis."""
+
+import pytest
+
+from repro.fpga.clb import ambipolar_pla_clb, standard_pla_clb
+from repro.fpga.fabric import FPGAFabric
+from repro.fpga.netlist import build_netlist
+from repro.fpga.placement import place
+from repro.fpga.routing import route
+from repro.fpga.timing import WireDelayParameters, analyze_timing
+from repro.logic.function import BooleanFunction
+from repro.mapping.partition import Partitioner
+
+
+def timed_setup(clb=None, seeds=(1, 2), side=6, params=None, seed=0):
+    clb = clb or standard_pla_clb()
+    partitioner = Partitioner(max_inputs=4, max_outputs=2, max_products=8)
+    partitions = [partitioner.partition(
+        BooleanFunction.random(6, 2, 5, seed=s, name=f"w{s}",
+                               dash_probability=0.3))
+        for s in seeds]
+    netlist = build_netlist(partitions,
+                            dual_polarity=clb.dual_polarity_inputs)
+    fabric = FPGAFabric(side, side, clb, 20)
+    placement = place(netlist, fabric, seed=seed)
+    routing = route(netlist, placement, fabric)
+    report = analyze_timing(netlist, routing, fabric,
+                            params or WireDelayParameters())
+    return netlist, fabric, routing, report
+
+
+class TestTiming:
+    def test_positive_critical_path(self):
+        _n, _f, _r, report = timed_setup()
+        assert report.critical_path_delay > 0
+        assert report.max_frequency_hz == pytest.approx(
+            1 / report.critical_path_delay)
+
+    def test_frequency_units(self):
+        _n, _f, _r, report = timed_setup()
+        assert report.max_frequency_mhz() == pytest.approx(
+            report.max_frequency_hz / 1e6)
+
+    def test_critical_path_blocks_exist(self):
+        netlist, _f, _r, report = timed_setup()
+        for name in report.critical_path:
+            assert name in netlist.blocks
+
+    def test_every_net_has_a_delay(self):
+        netlist, _f, _r, report = timed_setup()
+        for net in netlist.nets:
+            assert net.name in report.net_delays
+            assert report.net_delays[net.name] > 0
+
+    def test_longer_wires_cost_more(self):
+        params = WireDelayParameters()
+        _n, _f, routing, report = timed_setup(params=params)
+        for name, routed in routing.routed.items():
+            base = params.connection_delay
+            if routed.wirelength == 0:
+                assert report.net_delays[name] == pytest.approx(base)
+            else:
+                assert report.net_delays[name] > base
+
+    def test_smaller_pitch_is_faster(self):
+        """The mechanism behind Table 2: half-area CLB -> shorter wires."""
+        _n1, _f1, _r1, std = timed_setup(standard_pla_clb(), seed=3)
+        _n2, _f2, _r2, amb = timed_setup(ambipolar_pla_clb(), seed=3)
+        assert amb.max_frequency_hz > std.max_frequency_hz
+
+    def test_congestion_beta_slows_down(self):
+        calm = WireDelayParameters(congestion_beta=0.0)
+        angry = WireDelayParameters(congestion_beta=50.0)
+        _n1, _f1, _r1, fast = timed_setup(params=calm, seeds=(1, 2, 3, 4),
+                                          side=7)
+        _n2, _f2, _r2, slow = timed_setup(params=angry, seeds=(1, 2, 3, 4),
+                                          side=7)
+        assert slow.critical_path_delay >= fast.critical_path_delay
+
+    def test_empty_netlist_degenerate(self):
+        from repro.fpga.netlist import Netlist
+        from repro.fpga.routing import RoutingResult
+        netlist = Netlist({}, [], [], [])
+        fabric = FPGAFabric(2, 2, standard_pla_clb())
+        routing = RoutingResult({}, {}, {}, 0, 0)
+        report = analyze_timing(netlist, routing, fabric)
+        assert report.critical_path_delay > 0

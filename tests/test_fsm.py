@@ -1,0 +1,181 @@
+"""Tests for FSM specification, encodings and PLA synthesis."""
+
+import random
+
+import pytest
+
+from repro.fsm import (FSM, SequentialPLA, binary_encoding, gray_encoding,
+                       one_hot_encoding, synthesize_fsm)
+from repro.fsm.machine import sequence_detector
+
+
+def random_complete_fsm(trial, n_states=4, n_in=2, n_out=2):
+    rng = random.Random(trial)
+    fsm = FSM(n_in, n_out, "q0", name=f"r{trial}")
+    for s in range(n_states):
+        fsm.add_state(f"q{s}")
+    for s in range(n_states):
+        for m in range(1 << n_in):
+            guard = "".join(str((m >> i) & 1) for i in range(n_in))
+            fsm.add_transition(
+                f"q{s}", guard, f"q{rng.randrange(n_states)}",
+                "".join(str(rng.randint(0, 1)) for _ in range(n_out)))
+    return fsm
+
+
+class TestMachine:
+    def test_validation(self):
+        fsm = FSM(2, 1, "a")
+        with pytest.raises(ValueError):
+            fsm.add_transition("a", "1", "b", "0")   # guard width
+        with pytest.raises(ValueError):
+            fsm.add_transition("a", "1-", "b", "01")  # output width
+        with pytest.raises(ValueError):
+            fsm.add_transition("a", "1x", "b", "0")   # guard chars
+
+    def test_states_auto_declared(self):
+        fsm = FSM(1, 1, "a")
+        fsm.add_transition("a", "1", "b", "0")
+        assert fsm.states == ["a", "b"]
+
+    def test_step_first_match_wins(self):
+        fsm = FSM(1, 1, "a")
+        fsm.add_transition("a", "1", "b", "1")
+        fsm.add_transition("a", "-", "c", "0")
+        assert fsm.step("a", [1]) == ("b", [1])
+        assert fsm.step("a", [0]) == ("c", [0])
+
+    def test_default_self_loop(self):
+        fsm = FSM(1, 1, "a")
+        fsm.add_transition("a", "1", "b", "1")
+        assert fsm.step("a", [0]) == ("a", [0])
+
+    def test_determinism_detection(self):
+        fsm = FSM(1, 1, "a")
+        fsm.add_transition("a", "1", "b", "1")
+        fsm.add_transition("a", "-", "c", "0")  # overlaps with different action
+        assert not fsm.is_deterministic()
+
+    def test_overlap_with_same_action_is_fine(self):
+        fsm = FSM(1, 1, "a")
+        fsm.add_transition("a", "1", "b", "1")
+        fsm.add_transition("a", "-", "b", "1")
+        assert fsm.is_deterministic()
+
+    def test_run_trace(self):
+        fsm = sequence_detector("11")
+        trace = fsm.run([[1], [1], [1], [0], [1], [1]])
+        assert [o[0] for _s, o in trace] == [0, 1, 1, 0, 0, 1]
+
+    def test_sequence_detector_overlapping(self):
+        fsm = sequence_detector("101")
+        stream = "1010101101"
+        trace = fsm.run([[int(c)] for c in stream])
+        history = ""
+        for (state, outputs), ch in zip(trace, stream):
+            history += ch
+            assert outputs[0] == (1 if history.endswith("101") else 0)
+
+    def test_sequence_detector_validation(self):
+        with pytest.raises(ValueError):
+            sequence_detector("")
+        with pytest.raises(ValueError):
+            sequence_detector("10x")
+
+
+class TestEncodings:
+    def test_binary_width(self):
+        enc = binary_encoding(["a", "b", "c", "d", "e"])
+        assert enc.n_bits == 3
+        assert len(set(enc.codes.values())) == 5
+
+    def test_gray_adjacent_states_differ_in_one_bit(self):
+        enc = gray_encoding([f"s{i}" for i in range(8)])
+        for i in range(7):
+            a = enc.code_of(f"s{i}")
+            b = enc.code_of(f"s{i+1}")
+            assert sum(x != y for x, y in zip(a, b)) == 1
+
+    def test_one_hot_property(self):
+        enc = one_hot_encoding(["a", "b", "c"])
+        assert enc.n_bits == 3
+        for state in ("a", "b", "c"):
+            assert sum(enc.code_of(state)) == 1
+
+    def test_state_of_inverse(self):
+        enc = binary_encoding(["a", "b", "c"])
+        for state in ("a", "b", "c"):
+            assert enc.state_of(enc.code_of(state)) == state
+
+    def test_state_of_unused_code_raises(self):
+        enc = binary_encoding(["a", "b", "c"])
+        with pytest.raises(KeyError):
+            enc.state_of((1, 1))
+
+    def test_single_state_machine(self):
+        enc = binary_encoding(["only"])
+        assert enc.n_bits == 1
+
+
+class TestSynthesis:
+    def test_nondeterministic_rejected(self):
+        fsm = FSM(1, 1, "a")
+        fsm.add_transition("a", "1", "b", "1")
+        fsm.add_transition("a", "-", "c", "0")
+        with pytest.raises(ValueError):
+            synthesize_fsm(fsm)
+
+    def test_detector_all_encodings(self):
+        fsm = sequence_detector("110")
+        stream = [[int(c)] for c in "110110011010110"]
+        reference = fsm.run(stream)
+        for encoder in (binary_encoding, gray_encoding, one_hot_encoding):
+            synth = synthesize_fsm(fsm, encoder(fsm.states))
+            synth.sequential.reset()
+            assert synth.sequential.run(stream) == reference, encoder.__name__
+
+    def test_random_walk_agreement(self):
+        rng = random.Random(77)
+        for trial in range(6):
+            fsm = random_complete_fsm(trial)
+            synth = synthesize_fsm(fsm)
+            stream = [[rng.randint(0, 1), rng.randint(0, 1)]
+                      for _ in range(40)]
+            assert synth.sequential.run(stream) == fsm.run(stream), trial
+
+    def test_incomplete_fsm_completed(self):
+        fsm = FSM(2, 1, "idle")
+        fsm.add_transition("idle", "1-", "busy", "0")
+        fsm.add_transition("busy", "-1", "idle", "1")
+        synth = synthesize_fsm(fsm)
+        stream = [[1, 0], [0, 0], [0, 1], [1, 1], [0, 0]]
+        assert synth.sequential.run(stream) == fsm.run(stream)
+
+    def test_reset(self):
+        fsm = sequence_detector("11")
+        synth = synthesize_fsm(fsm)
+        seq = synth.sequential
+        seq.run([[1], [1]])
+        assert seq.state != fsm.reset_state
+        seq.reset()
+        assert seq.state == fsm.reset_state
+
+    def test_input_width_checked(self):
+        synth = synthesize_fsm(sequence_detector("10"))
+        with pytest.raises(ValueError):
+            synth.sequential.step([1, 0])
+
+    def test_pla_dimensions(self):
+        fsm = sequence_detector("101")
+        synth = synthesize_fsm(fsm)
+        # PLA inputs = fsm inputs + state bits; outputs = state bits + fsm out
+        assert synth.pla.n_inputs == 1 + synth.encoding.n_bits
+        assert synth.pla.n_outputs == synth.encoding.n_bits + 1
+
+    def test_one_hot_wider_but_works(self):
+        fsm = sequence_detector("101")
+        binary = synthesize_fsm(fsm, binary_encoding(fsm.states))
+        one_hot = synthesize_fsm(fsm, one_hot_encoding(fsm.states))
+        assert one_hot.pla.n_inputs > binary.pla.n_inputs
+        stream = [[int(c)] for c in "1011010"]
+        assert one_hot.sequential.run(stream) == binary.sequential.run(stream)

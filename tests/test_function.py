@@ -1,0 +1,134 @@
+"""Tests for BooleanFunction (ON/DC/OFF semantics)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+from repro.logic.function import BooleanFunction
+from repro.logic.tautology import is_tautology
+
+from conftest import functions
+
+
+class TestConstruction:
+    def test_dimensions(self, small_multi):
+        assert small_multi.n_inputs == 3
+        assert small_multi.n_outputs == 2
+
+    def test_dc_dimension_mismatch_raises(self):
+        on = Cover.from_strings(["1- 1"])
+        dc = Cover.from_strings(["1-- 1"])
+        with pytest.raises(ValueError):
+            BooleanFunction(on, dc)
+
+    def test_default_labels(self, small_multi):
+        assert small_multi.input_labels == ["x0", "x1", "x2"]
+        assert small_multi.output_labels == ["y0", "y1"]
+
+    def test_from_truth_table(self):
+        f = BooleanFunction.from_truth_table([0, 1, 1, 0], 2)
+        assert f.evaluate([1, 0]) == [True]
+        assert f.evaluate([1, 1]) == [False]
+
+    def test_from_truth_table_length_check(self):
+        with pytest.raises(ValueError):
+            BooleanFunction.from_truth_table([0, 1], 2)
+
+    def test_random_is_deterministic(self):
+        a = BooleanFunction.random(4, 2, 5, seed=9)
+        b = BooleanFunction.random(4, 2, 5, seed=9)
+        assert a.on_set.truth_table() == b.on_set.truth_table()
+
+    def test_random_dc_disjoint_from_on(self):
+        f = BooleanFunction.random(5, 2, 5, seed=11, dc_cubes=3)
+        for m in range(1 << 5):
+            on = f.on_set.output_mask_for(m)
+            dc = f.dc_set.output_mask_for(m)
+            assert on & dc == 0
+
+
+class TestOffSet:
+    def test_off_set_partitions_space(self):
+        f = BooleanFunction.random(4, 2, 4, seed=2, dc_cubes=2)
+        for m in range(16):
+            on = f.on_set.output_mask_for(m)
+            dc = f.dc_set.output_mask_for(m)
+            off = f.off_set.output_mask_for(m)
+            assert on | dc | off == 0b11
+            assert on & off == 0
+
+    def test_off_set_is_cached(self):
+        f = BooleanFunction.random(3, 1, 3, seed=4)
+        assert f.off_set is f.off_set
+
+    def test_on_union_dc_union_off_tautology(self):
+        f = BooleanFunction.random(4, 2, 4, seed=8, dc_cubes=1)
+        assert is_tautology(f.on_set + f.dc_set + f.off_set)
+
+
+class TestEquivalence:
+    def test_equivalent_to_itself(self, small_multi):
+        assert small_multi.equivalent_to(small_multi.on_set)
+
+    def test_not_equivalent_to_complement(self, xor2):
+        other = Cover.from_strings(["11 1", "00 1"])
+        assert not xor2.equivalent_to(other)
+
+    def test_dc_makes_equivalent(self):
+        on = Cover.from_strings(["11 1"])
+        dc = Cover.from_strings(["10 1"])
+        f = BooleanFunction(on, dc)
+        with_dc_filled = Cover.from_strings(["1- 1"])
+        assert f.equivalent_to(with_dc_filled)
+
+    def test_dimension_mismatch_is_not_equivalent(self, xor2):
+        assert not xor2.equivalent_to(Cover.from_strings(["1-- 1"]))
+
+    def test_is_dont_care(self):
+        f = BooleanFunction(Cover.from_strings(["11 1"]),
+                            Cover.from_strings(["00 1"]))
+        assert f.is_dont_care(0, 0)
+        assert not f.is_dont_care(3, 0)
+
+
+class TestTransformations:
+    def test_with_output_phase_identity(self, small_multi):
+        same = small_multi.with_output_phase([True, True])
+        assert same.on_set.truth_table() == small_multi.on_set.truth_table()
+
+    def test_with_output_phase_complements(self, xor2):
+        flipped = xor2.with_output_phase([False])
+        assert flipped.on_set.truth_table() == [1, 0, 0, 1]
+
+    def test_with_output_phase_partial(self, small_multi):
+        phased = small_multi.with_output_phase([True, False])
+        for m in range(8):
+            original = small_multi.on_set.output_mask_for(m)
+            new = phased.on_set.output_mask_for(m)
+            assert (new & 1) == (original & 1)
+            assert ((new >> 1) & 1) == 1 - ((original >> 1) & 1)
+
+    def test_with_output_phase_length_check(self, xor2):
+        with pytest.raises(ValueError):
+            xor2.with_output_phase([True, False])
+
+    def test_restricted_to_output(self, small_multi):
+        single = small_multi.restricted_to_output(1)
+        assert single.n_outputs == 1
+        for m in range(8):
+            want = (small_multi.on_set.output_mask_for(m) >> 1) & 1
+            assert single.on_set.output_mask_for(m) == want
+
+    def test_stats_keys(self, small_multi):
+        stats = small_multi.stats()
+        assert stats["inputs"] == 3
+        assert stats["outputs"] == 2
+        assert stats["products"] == 3
+
+    @settings(max_examples=60, deadline=None)
+    @given(functions(max_inputs=4, max_outputs=3, max_cubes=5))
+    def test_double_phase_flip_is_identity(self, f):
+        phases = [False] * f.n_outputs
+        twice = f.with_output_phase(phases).with_output_phase(phases)
+        assert twice.on_set.truth_table() == f.on_set.truth_table()

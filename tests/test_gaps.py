@@ -1,0 +1,99 @@
+"""Gap-filling tests for smaller APIs not covered elsewhere."""
+
+import pytest
+
+from repro.core.device import DEFAULT_PARAMETERS, scaled_parameters
+from repro.fpga.netlist import Net, Netlist, build_netlist
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+from repro.logic.function import BooleanFunction
+
+
+class TestDeviceScaling:
+    def test_reference_pitch_is_identity(self):
+        scaled = scaled_parameters(45.0)
+        assert scaled.c_gate == DEFAULT_PARAMETERS.c_gate
+        assert scaled.c_junction == DEFAULT_PARAMETERS.c_junction
+
+    def test_capacitance_scales_linearly(self):
+        scaled = scaled_parameters(22.5)
+        assert scaled.c_gate == pytest.approx(DEFAULT_PARAMETERS.c_gate / 2)
+
+    def test_resistance_pitch_independent(self):
+        assert scaled_parameters(90.0).r_on == DEFAULT_PARAMETERS.r_on
+
+
+class TestCoverOddEnds:
+    def test_evaluate_minterm_alias(self):
+        cover = Cover.from_strings(["1- 10", "-1 01"])
+        for m in range(4):
+            assert cover.evaluate_minterm(m) == cover.output_mask_for(m)
+
+    def test_cover_equality(self):
+        a = Cover.from_strings(["1- 1"])
+        b = Cover.from_strings(["1- 1"])
+        c = Cover.from_strings(["-1 1"])
+        assert a == b
+        assert a != c
+
+    def test_getitem(self):
+        cover = Cover.from_strings(["10 1", "01 1"])
+        assert cover[1].input_string() == "01"
+
+    def test_without_out_of_order(self):
+        cover = Cover.from_strings(["10 1", "01 1", "11 1"])
+        remaining = cover.without(1)
+        assert [c.input_string() for c in remaining] == ["10", "11"]
+
+
+class TestFunctionOddEnds:
+    def test_multi_output_truth_table_constructor(self):
+        # outputs as bitmasks per minterm
+        f = BooleanFunction.from_truth_table([0b00, 0b01, 0b10, 0b11], 2,
+                                             n_outputs=2)
+        assert f.evaluate([1, 0]) == [True, False]
+        assert f.evaluate([1, 1]) == [True, True]
+
+    def test_repr(self):
+        f = BooleanFunction.random(3, 2, 3, seed=1, name="demo")
+        assert "demo" in repr(f)
+
+
+class TestNetlistOddEnds:
+    def test_net_terminal_count(self):
+        net = Net("sig", source="blk0", sinks=["blk1", "blk2"])
+        assert net.n_terminals() == 3
+        pad_net = Net("pi", source=None, sinks=["blk0"])
+        assert pad_net.n_terminals() == 1
+
+    def test_driver_of(self):
+        from repro.mapping.partition import Partitioner
+        f = BooleanFunction.random(5, 1, 4, seed=2, dash_probability=0.3)
+        partition = Partitioner(3, 1, 6).partition(f)
+        netlist = build_netlist([partition], dual_polarity=False)
+        for net in netlist.nets:
+            assert netlist.driver_of(net.name) == net.source
+
+    def test_fanin_nets(self):
+        from repro.mapping.partition import Partitioner
+        f = BooleanFunction.random(4, 1, 4, seed=3)
+        partition = Partitioner(6, 2, 10).partition(f)
+        netlist = build_netlist([partition], dual_polarity=False)
+        block = netlist.block_order()[0]
+        for net in netlist.fanin_nets(block):
+            assert block in net.sinks
+
+
+class TestCubeOddEnds:
+    def test_with_field_bounds(self):
+        cube = Cube.from_string("11")
+        modified = cube.with_field(1, 0b01)
+        assert modified.input_string() == "10"
+
+    def test_intersection_inputs_helper(self):
+        a = Cube.from_string("1-")
+        b = Cube.from_string("-0")
+        assert a.intersection_inputs(b) == (a.inputs & b.inputs)
+
+    def test_empty_cube_minterms(self):
+        assert list(Cube(2, 0, 1, 1).minterms()) == []

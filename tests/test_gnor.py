@@ -1,0 +1,138 @@
+"""Tests for the GNOR dynamic gate (Fig 2)."""
+
+import itertools
+
+import pytest
+
+from repro.core.device import Polarity
+from repro.core.gnor import GNORGate, InputConfig, Phase, fig2_gate
+
+
+def gnor_reference(configs, inputs):
+    """Oracle: NOR over the effective inputs."""
+    effective = []
+    for config, value in zip(configs, inputs):
+        if config is InputConfig.PASS:
+            effective.append(value)
+        elif config is InputConfig.INVERT:
+            effective.append(1 - value)
+    return 0 if any(effective) else 1
+
+
+class TestConfiguration:
+    def test_default_all_dropped(self):
+        gate = GNORGate(3)
+        assert gate.config() == [InputConfig.DROP] * 3
+
+    def test_configure_programs_devices(self):
+        gate = GNORGate(2, [InputConfig.PASS, InputConfig.INVERT])
+        assert gate.devices[0].polarity is Polarity.N_TYPE
+        assert gate.devices[1].polarity is Polarity.P_TYPE
+
+    def test_configure_length_check(self):
+        with pytest.raises(ValueError):
+            GNORGate(2).configure([InputConfig.PASS])
+
+    def test_configure_single_input(self):
+        gate = GNORGate(3)
+        gate.configure_input(1, InputConfig.INVERT)
+        assert gate.config()[1] is InputConfig.INVERT
+
+    def test_active_inputs(self):
+        gate = GNORGate(4, [InputConfig.PASS, InputConfig.DROP,
+                            InputConfig.INVERT, InputConfig.DROP])
+        assert gate.active_inputs() == [0, 2]
+
+    def test_needs_at_least_one_input(self):
+        with pytest.raises(ValueError):
+            GNORGate(0)
+
+    def test_to_polarity_mapping(self):
+        assert InputConfig.PASS.to_polarity() is Polarity.N_TYPE
+        assert InputConfig.INVERT.to_polarity() is Polarity.P_TYPE
+        assert InputConfig.DROP.to_polarity() is Polarity.OFF
+
+
+class TestDynamicBehaviour:
+    def test_precharge_sets_output_high(self):
+        gate = GNORGate(2, [InputConfig.PASS, InputConfig.PASS])
+        assert gate.step(Phase.PRECHARGE, [1, 1]) == 1
+
+    def test_evaluate_discharges_on_active_input(self):
+        gate = GNORGate(2, [InputConfig.PASS, InputConfig.PASS])
+        gate.step(Phase.PRECHARGE, [0, 0])
+        assert gate.step(Phase.EVALUATE, [1, 0]) == 0
+
+    def test_evaluate_holds_high_when_inactive(self):
+        gate = GNORGate(2, [InputConfig.PASS, InputConfig.PASS])
+        gate.step(Phase.PRECHARGE, [0, 0])
+        assert gate.step(Phase.EVALUATE, [0, 0]) == 1
+
+    def test_dynamic_node_stays_low_within_phase(self):
+        gate = GNORGate(1, [InputConfig.PASS])
+        gate.step(Phase.PRECHARGE, [0])
+        gate.step(Phase.EVALUATE, [1])   # discharge
+        assert gate.step(Phase.EVALUATE, [0]) == 0  # no recharge mid-phase
+
+    def test_waveform_events(self):
+        gate = GNORGate(1, [InputConfig.PASS])
+        events = gate.waveform([[0], [1]], period=2.0)
+        assert len(events) == 4
+        assert events[0].phase is Phase.PRECHARGE and events[0].output == 1
+        assert events[3].phase is Phase.EVALUATE and events[3].output == 0
+        assert events[2].time == pytest.approx(2.0)
+
+    def test_input_length_check(self):
+        gate = GNORGate(2, [InputConfig.PASS, InputConfig.PASS])
+        with pytest.raises(ValueError):
+            gate.evaluate([1])
+
+
+class TestFunctionality:
+    @pytest.mark.parametrize("configs", list(itertools.product(
+        [InputConfig.PASS, InputConfig.INVERT, InputConfig.DROP], repeat=3)))
+    def test_all_configurations_match_reference(self, configs):
+        gate = GNORGate(3, list(configs))
+        for m in range(8):
+            vector = [(m >> i) & 1 for i in range(3)]
+            assert gate.evaluate(vector) == gnor_reference(configs, vector)
+
+    def test_fig2_configuration(self):
+        """The paper's Fig 2: Y = NOR(A, ~B, D), C inhibited."""
+        gate = fig2_gate()
+        assert gate.config() == [InputConfig.PASS, InputConfig.INVERT,
+                                 InputConfig.DROP, InputConfig.PASS]
+        for m in range(16):
+            a, b, c, d = [(m >> i) & 1 for i in range(4)]
+            want = 0 if (a or (1 - b) or d) else 1
+            assert gate.evaluate([a, b, c, d]) == want
+
+    def test_fig2_ignores_inhibited_input(self):
+        gate = fig2_gate()
+        for m in range(8):
+            a, b, d = [(m >> i) & 1 for i in range(3)]
+            assert gate.evaluate([a, b, 0, d]) == gate.evaluate([a, b, 1, d])
+
+    def test_symbolic_function_matches_simulation(self):
+        import itertools as it
+        for configs in it.product([InputConfig.PASS, InputConfig.INVERT,
+                                   InputConfig.DROP], repeat=2):
+            gate = GNORGate(2, list(configs))
+            cover = gate.symbolic_function()
+            for m in range(4):
+                vector = [(m >> i) & 1 for i in range(2)]
+                assert bool(cover.output_mask_for(m)) == \
+                    bool(gate.evaluate(vector))
+
+    def test_truth_table_helper(self):
+        gate = GNORGate(2, [InputConfig.PASS, InputConfig.PASS])
+        assert gate.truth_table() == [1, 0, 0, 0]  # NOR
+
+    def test_all_dropped_is_constant_one(self):
+        gate = GNORGate(3)
+        assert all(gate.truth_table())
+
+    def test_repr_encodes_config(self):
+        gate = GNORGate(3, [InputConfig.PASS, InputConfig.INVERT,
+                            InputConfig.DROP])
+        assert "PI." in repr(gate)

@@ -1,0 +1,75 @@
+"""Tests for cover-to-GNOR-plane mapping."""
+
+import pytest
+
+from repro.core.gnor import InputConfig
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+from repro.mapping.gnor_map import map_cover_to_gnor
+
+
+class TestAndPlane:
+    def test_positive_literal_becomes_invert(self):
+        config = map_cover_to_gnor(Cover.from_strings(["1 1"]))
+        assert config.and_plane[0][0] is InputConfig.INVERT
+
+    def test_negative_literal_becomes_pass(self):
+        config = map_cover_to_gnor(Cover.from_strings(["0 1"]))
+        assert config.and_plane[0][0] is InputConfig.PASS
+
+    def test_dash_becomes_drop(self):
+        config = map_cover_to_gnor(Cover.from_strings(["- 1"]))
+        assert config.and_plane[0][0] is InputConfig.DROP
+
+    def test_row_per_product(self):
+        cover = Cover.from_strings(["10- 1", "0-1 1", "11- 1"])
+        config = map_cover_to_gnor(cover)
+        assert len(config.and_plane) == 3
+        assert config.n_products == 3
+
+    def test_empty_field_rejected(self):
+        cover = Cover(1, 1, [Cube(1, 0, 1, 1)])
+        with pytest.raises(ValueError):
+            map_cover_to_gnor(cover)
+
+
+class TestOrPlane:
+    def test_selection_follows_outputs(self):
+        cover = Cover.from_strings(["1- 10", "-1 01", "11 11"])
+        config = map_cover_to_gnor(cover)
+        assert config.or_plane[0] == [InputConfig.PASS, InputConfig.DROP,
+                                      InputConfig.PASS]
+        assert config.or_plane[1] == [InputConfig.DROP, InputConfig.PASS,
+                                      InputConfig.PASS]
+
+    def test_default_phases_all_inverted(self):
+        config = map_cover_to_gnor(Cover.from_strings(["1- 11"]))
+        assert config.output_inverted == [True, True]
+
+    def test_explicit_phases(self):
+        config = map_cover_to_gnor(Cover.from_strings(["1- 11"]),
+                                   output_phases=[True, False])
+        assert config.output_inverted == [True, False]
+
+    def test_phase_length_check(self):
+        with pytest.raises(ValueError):
+            map_cover_to_gnor(Cover.from_strings(["1- 11"]),
+                              output_phases=[True])
+
+
+class TestAccounting:
+    def test_total_devices(self):
+        cover = Cover.from_strings(["10- 10", "0-1 01"])
+        config = map_cover_to_gnor(cover)
+        assert config.total_devices() == 2 * (3 + 2)
+
+    def test_used_devices(self):
+        cover = Cover.from_strings(["10- 10", "0-1 01"])
+        config = map_cover_to_gnor(cover)
+        # 2 literals + 1 output tap per row
+        assert config.used_devices() == (2 + 1) + (2 + 1)
+
+    def test_used_less_than_total(self):
+        cover = Cover.from_strings(["1-- 10"])
+        config = map_cover_to_gnor(cover)
+        assert config.used_devices() < config.total_devices()

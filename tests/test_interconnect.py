@@ -1,0 +1,112 @@
+"""Tests for the crosspoint interconnect array (Section 4)."""
+
+import pytest
+
+from repro.core.interconnect import CrosspointArray
+
+
+class TestProgramming:
+    def test_fresh_array_disconnected(self):
+        array = CrosspointArray(3, 3)
+        assert array.connections() == []
+
+    def test_connect_and_query(self):
+        array = CrosspointArray(3, 3)
+        array.connect(1, 2)
+        assert array.is_connected(1, 2)
+        assert not array.is_connected(2, 1)
+
+    def test_disconnect(self):
+        array = CrosspointArray(2, 2)
+        array.connect(0, 0)
+        array.disconnect(0, 0)
+        assert not array.is_connected(0, 0)
+
+    def test_clear(self):
+        array = CrosspointArray(2, 2)
+        array.connect(0, 0)
+        array.connect(1, 1)
+        array.clear()
+        assert array.connections() == []
+
+    def test_program_pattern(self):
+        array = CrosspointArray(2, 3)
+        array.program_pattern([[True, False, True], [False, True, False]])
+        assert set(array.connections()) == {(0, 0), (0, 2), (1, 1)}
+
+    def test_program_pattern_dimension_check(self):
+        array = CrosspointArray(2, 2)
+        with pytest.raises(ValueError):
+            array.program_pattern([[True, False]])
+
+    def test_needs_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            CrosspointArray(0, 3)
+
+
+class TestConnectivity:
+    def test_direct_connection(self):
+        array = CrosspointArray(2, 2)
+        array.connect(0, 1)
+        assert array.wires_connected(("h", 0), ("v", 1))
+
+    def test_transitive_connection(self):
+        array = CrosspointArray(3, 3)
+        array.connect(0, 1)
+        array.connect(2, 1)
+        assert array.wires_connected(("h", 0), ("h", 2))
+
+    def test_disconnected_wires(self):
+        array = CrosspointArray(2, 2)
+        array.connect(0, 0)
+        assert not array.wires_connected(("h", 1), ("v", 0))
+
+    def test_propagate_values(self):
+        array = CrosspointArray(3, 3)
+        array.connect(0, 0)
+        array.connect(1, 0)
+        values = array.propagate({("h", 0): 1})
+        assert values[("v", 0)] == 1
+        assert values[("h", 1)] == 1
+        assert ("h", 2) not in values  # floating
+
+    def test_propagate_conflict_raises(self):
+        array = CrosspointArray(2, 1)
+        array.connect(0, 0)
+        array.connect(1, 0)
+        with pytest.raises(ValueError):
+            array.propagate({("h", 0): 1, ("h", 1): 0})
+
+    def test_propagate_multiple_components(self):
+        array = CrosspointArray(2, 2)
+        array.connect(0, 0)
+        array.connect(1, 1)
+        values = array.propagate({("h", 0): 1, ("h", 1): 0})
+        assert values[("v", 0)] == 1
+        assert values[("v", 1)] == 0
+
+
+class TestResistance:
+    def test_same_wire_zero(self):
+        array = CrosspointArray(2, 2)
+        assert array.path_resistance(("h", 0), ("h", 0)) == 0.0
+
+    def test_single_hop(self):
+        array = CrosspointArray(2, 2)
+        array.connect(0, 1)
+        r = array.path_resistance(("h", 0), ("v", 1))
+        assert r == pytest.approx(array.devices[0][0].on_resistance())
+
+    def test_two_hops(self):
+        array = CrosspointArray(2, 2)
+        array.connect(0, 0)
+        array.connect(1, 0)
+        r = array.path_resistance(("h", 0), ("h", 1))
+        assert r == pytest.approx(2 * array.devices[0][0].on_resistance())
+
+    def test_disconnected_returns_none(self):
+        array = CrosspointArray(2, 2)
+        assert array.path_resistance(("h", 0), ("v", 0)) is None
+
+    def test_cell_count(self):
+        assert CrosspointArray(4, 5).n_cells() == 20

@@ -1,0 +1,87 @@
+"""Tests for the KISS2 FSM format."""
+
+import io
+
+import pytest
+
+from repro.fsm import synthesize_fsm
+from repro.fsm.kiss import KISSFormatError, parse_kiss, write_kiss
+from repro.fsm.machine import sequence_detector
+
+SAMPLE = """\
+.i 1
+.o 1
+.s 2
+.p 4
+.r off
+1 off on 1
+0 off off 0
+1 on on 0
+0 on off 0
+.e
+"""
+
+
+class TestParsing:
+    def test_dimensions(self):
+        fsm = parse_kiss(SAMPLE, name="toggle")
+        assert fsm.n_inputs == 1 and fsm.n_outputs == 1
+        assert fsm.reset_state == "off"
+        assert set(fsm.states) == {"off", "on"}
+        assert len(fsm.transitions) == 4
+
+    def test_file_object(self):
+        fsm = parse_kiss(io.StringIO(SAMPLE))
+        assert len(fsm.transitions) == 4
+
+    def test_comments_tolerated(self):
+        text = ".i 1\n.o 1\n# comment\n.r a\n1 a a 1\n"
+        assert len(parse_kiss(text).transitions) == 1
+
+    def test_default_reset_is_first_row_state(self):
+        text = ".i 1\n.o 1\n0 s2 s1 0\n1 s1 s2 1\n"
+        assert parse_kiss(text).reset_state == "s2"
+
+    def test_dash_outputs_read_as_zero(self):
+        text = ".i 1\n.o 2\n.r a\n1 a b -1\n"
+        fsm = parse_kiss(text)
+        assert fsm.transitions[0].outputs == "01"
+
+    def test_star_next_state_self_loops(self):
+        text = ".i 1\n.o 1\n.r a\n1 a * 1\n"
+        fsm = parse_kiss(text)
+        assert fsm.transitions[0].target == "a"
+
+    def test_missing_directives(self):
+        with pytest.raises(KISSFormatError):
+            parse_kiss("1 a b 1\n")
+
+    def test_bad_column_count(self):
+        with pytest.raises(KISSFormatError):
+            parse_kiss(".i 1\n.o 1\n1 a b\n")
+
+    def test_guard_width_checked(self):
+        with pytest.raises(KISSFormatError):
+            parse_kiss(".i 2\n.o 1\n1 a b 1\n")
+
+    def test_empty_table(self):
+        with pytest.raises(KISSFormatError):
+            parse_kiss(".i 1\n.o 1\n.e\n")
+
+
+class TestRoundtrip:
+    def test_write_then_parse(self):
+        original = parse_kiss(SAMPLE, name="toggle")
+        again = parse_kiss(write_kiss(original), name="toggle2")
+        assert again.n_inputs == original.n_inputs
+        assert len(again.transitions) == len(original.transitions)
+        stream = [[1], [1], [0], [1], [0], [0], [1]]
+        assert again.run(stream) == original.run(stream)
+
+    def test_detector_roundtrip_and_synthesis(self):
+        fsm = sequence_detector("110")
+        again = parse_kiss(write_kiss(fsm), name="det")
+        stream = [[int(c)] for c in "1101100110"]
+        assert again.run(stream) == fsm.run(stream)
+        synth = synthesize_fsm(again)
+        assert synth.sequential.run(stream) == fsm.run(stream)

@@ -1,0 +1,123 @@
+"""Corner cases of the logic substrate and minimizer."""
+
+import pytest
+
+from repro.espresso import espresso, minimize
+from repro.logic.complement import complement_cover
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+from repro.logic.expr import parse_expression
+from repro.logic.function import BooleanFunction
+from repro.logic.tautology import is_tautology
+
+
+class TestOneInputFunctions:
+    def test_identity(self):
+        f = BooleanFunction(Cover.from_strings(["1 1"]))
+        result = espresso(f)
+        assert result.cover.truth_table() == [0, 1]
+
+    def test_inverter(self):
+        f = BooleanFunction(Cover.from_strings(["0 1"]))
+        assert minimize(f).truth_table() == [1, 0]
+
+    def test_constant_one_single_var(self):
+        f = BooleanFunction(Cover.from_strings(["1 1", "0 1"]))
+        cover = minimize(f)
+        assert cover.n_cubes() == 1
+        assert cover.cubes[0].n_dashes() == 1
+
+
+class TestDontCareHeavyFunctions:
+    def test_everything_dc_collapses_to_nothing(self):
+        on = Cover.from_strings(["11 1"])
+        dc = complement_cover(on) + on  # DC covers the whole space
+        # with the full space DC, the minimum cover is the universe or empty
+        result = espresso(BooleanFunction(Cover.empty(2, 1), dc))
+        assert result.cover.n_cubes() == 0
+
+    def test_on_plus_full_dc_gives_single_cube(self):
+        on = Cover.from_strings(["11 1"])
+        dc = complement_cover(on)
+        result = espresso(BooleanFunction(on, dc))
+        assert result.cover.n_cubes() == 1
+        assert result.cover.cubes[0].is_full() or \
+            result.cover.cubes[0].n_dashes() == 2
+
+    def test_dc_only_touching_one_output(self):
+        on = Cover.from_strings(["11 10", "00 01"])
+        dc = Cover.from_strings(["10 10"])
+        f = BooleanFunction(on, dc)
+        result = espresso(f)
+        assert f.equivalent_to(result.cover)
+
+
+class TestUnateFunctions:
+    def test_unate_minimization_is_containment_minimal(self):
+        # for a unate function the minimum cover is its set of primes;
+        # espresso must find exactly that
+        on = Cover.from_strings(["11- 1", "1-1 1", "-11 1", "111 1"])
+        f = BooleanFunction(on)
+        result = espresso(f)
+        assert result.cover.n_cubes() == 3
+        assert f.equivalent_to(result.cover)
+
+    def test_single_cube_is_fixed_point(self):
+        f = BooleanFunction(Cover.from_strings(["10-1 1"]))
+        assert minimize(f).to_strings() == ["10-1 1"]
+
+
+class TestExpressionEdge:
+    def test_deep_nesting(self):
+        text = "~(~(~(~(a))))"
+        cover = parse_expression(text, ["a"])
+        assert cover.truth_table() == [0, 1]
+
+    def test_xor_chain_parity(self):
+        cover = parse_expression("a ^ b ^ c ^ d", list("abcd"))
+        for m in range(16):
+            assert bool(cover.output_mask_for(m)) == \
+                (bin(m).count("1") % 2 == 1)
+
+    def test_constant_folding_results(self):
+        assert is_tautology(parse_expression("a | ~a | b", ["a", "b"]))
+        assert parse_expression("a & ~a", ["a"]).is_empty() or \
+            parse_expression("a & ~a", ["a"]).truth_table() == [0, 0]
+
+
+class TestCubeExtremes:
+    def test_max_width_cube(self):
+        n = 30
+        cube = Cube.full(n)
+        assert cube.n_dashes() == n
+        assert cube.size() == 1 << n
+
+    def test_wide_cover_complement(self):
+        n = 20
+        cover = Cover.from_strings(["1" + "-" * (n - 1) + " 1"])
+        comp = complement_cover(cover)
+        assert len(comp) == 1
+        assert comp.cubes[0].input_string() == "0" + "-" * (n - 1)
+
+    def test_all_outputs_cube(self):
+        cube = Cube.full(2, 8)
+        assert list(cube.output_indices()) == list(range(8))
+
+
+class TestCoverEdge:
+    def test_zero_cube_cover_operations(self):
+        empty = Cover.empty(3, 2)
+        assert empty.cost() == (0, 0, 0)
+        assert empty.column_counts() == [(0, 0)] * 3
+        assert empty.single_cube_containment().n_cubes() == 0
+        assert is_tautology(complement_cover(empty))
+
+    def test_merge_on_empty(self):
+        assert Cover.empty(2).merge_identical_inputs().n_cubes() == 0
+
+    def test_duplicate_heavy_cover(self):
+        rows = ["10 1"] * 10
+        cover = Cover.from_strings(rows)
+        assert cover.single_cube_containment().n_cubes() == 1
+        f = BooleanFunction(cover)
+        assert minimize(f).n_cubes() == 1

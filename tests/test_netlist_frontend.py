@@ -1,0 +1,124 @@
+"""Tests for the multi-level netlist front end."""
+
+import pytest
+
+from repro.fabric import compile_fabric
+from repro.logic.netlist_frontend import (Module, NetlistError, parse_module)
+
+FULL_ADDER = """\
+module fa
+input a b cin
+output sum cout
+p    = a ^ b
+g    = a & b
+sum  = p ^ cin
+cout = g | p & cin
+"""
+
+
+class TestParsing:
+    def test_ports(self):
+        module = parse_module(FULL_ADDER)
+        assert module.name == "fa"
+        assert module.inputs == ["a", "b", "cin"]
+        assert module.outputs == ["sum", "cout"]
+        assert len(module.assignments) == 4
+
+    def test_comments_and_blanks(self):
+        text = FULL_ADDER.replace("p    = a ^ b",
+                                  "# a comment\n\np = a ^ b  # trailing")
+        assert len(parse_module(text).assignments) == 4
+
+    def test_double_assignment_rejected(self):
+        text = "module m\ninput a\noutput f\nf = a\nf = ~a\n"
+        with pytest.raises(NetlistError, match="assigned twice"):
+            parse_module(text)
+
+    def test_input_reassignment_rejected(self):
+        text = "module m\ninput a\noutput a\na = ~a\n"
+        with pytest.raises(NetlistError):
+            parse_module(text)
+
+    def test_undefined_output_rejected(self):
+        text = "module m\ninput a\noutput f g\nf = a\n"
+        with pytest.raises(NetlistError, match="never assigned"):
+            parse_module(text)
+
+    def test_unknown_signal_in_expression(self):
+        text = "module m\ninput a\noutput f\nf = a & zz\n"
+        with pytest.raises(NetlistError):
+            parse_module(text)
+
+    def test_forward_reference_rejected(self):
+        # wires must be defined before use (DAG by construction)
+        text = "module m\ninput a\noutput f\nf = w\nw = a\n"
+        with pytest.raises(NetlistError):
+            parse_module(text)
+
+    def test_missing_ports_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_module("output f\nf = 1\n")
+        with pytest.raises(NetlistError):
+            parse_module("input a\n")
+
+
+class TestEvaluation:
+    def test_full_adder_truth(self):
+        module = parse_module(FULL_ADDER)
+        for m in range(8):
+            a, b, cin = m & 1, (m >> 1) & 1, (m >> 2) & 1
+            total = a + b + cin
+            assert module.evaluate_vector([a, b, cin]) == \
+                [total % 2, total // 2]
+
+    def test_named_evaluation(self):
+        module = parse_module(FULL_ADDER)
+        result = module.evaluate({"a": 1, "b": 1, "cin": 0})
+        assert result == {"sum": 0, "cout": 1}
+
+
+class TestFlatten:
+    def test_flat_function_matches(self):
+        module = parse_module(FULL_ADDER)
+        flat = module.flatten()
+        assert flat.input_labels == module.inputs
+        for m in range(8):
+            vector = [(m >> i) & 1 for i in range(3)]
+            mask = flat.on_set.output_mask_for(m)
+            assert [(mask >> k) & 1 for k in range(2)] == \
+                module.evaluate_vector(vector)
+
+    def test_deep_module_flattens(self):
+        text = ("module chain\ninput a b\noutput f\n"
+                "w0 = a ^ b\nw1 = w0 ^ a\nw2 = w1 ^ b\nf = w2 ^ w0\n")
+        module = parse_module(text)
+        flat = module.flatten()
+        for m in range(4):
+            vector = [m & 1, (m >> 1) & 1]
+            mask = flat.on_set.output_mask_for(m)
+            assert [mask & 1] == module.evaluate_vector(vector)
+
+
+class TestPartitionBridge:
+    def test_to_partition_evaluates(self):
+        module = parse_module(FULL_ADDER)
+        partition = module.to_partition()
+        for m in range(8):
+            vector = [(m >> i) & 1 for i in range(3)]
+            assignment = dict(zip(partition.primary_inputs, vector))
+            result = partition.evaluate(assignment)
+            want = module.evaluate_vector(vector)
+            assert [result[s] for s in partition.primary_outputs] == want
+
+    def test_compiles_to_fabric(self):
+        module = parse_module(FULL_ADDER)
+        fabric = compile_fabric(module.to_partition())
+        for m in range(8):
+            vector = [(m >> i) & 1 for i in range(3)]
+            assert fabric.evaluate_vector(vector) == \
+                module.evaluate_vector(vector)
+
+    def test_block_per_assignment(self):
+        module = parse_module(FULL_ADDER)
+        partition = module.to_partition()
+        assert len(partition.blocks) == 4

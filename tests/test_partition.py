@@ -1,0 +1,146 @@
+"""Tests for function partitioning into CLB-sized blocks."""
+
+import random
+
+import pytest
+
+from repro.bench.synth import adder_carry, parity_function
+from repro.logic.function import BooleanFunction
+from repro.mapping.partition import PartitionError, Partitioner
+
+
+def evaluate_partition(partition, f):
+    """Oracle: block-graph evaluation must equal the function."""
+    for m in range(1 << f.n_inputs):
+        assignment = {f"{f.name}.x{i}": (m >> i) & 1
+                      for i in range(f.n_inputs)}
+        result = partition.evaluate(assignment)
+        want = f.on_set.output_mask_for(m)
+        for k in range(f.n_outputs):
+            assert result[f"{f.name}.y{k}"] == (want >> k) & 1, (m, k)
+
+
+class TestCapacityValidation:
+    def test_minimum_inputs(self):
+        with pytest.raises(PartitionError):
+            Partitioner(max_inputs=2)
+
+    def test_minimum_products(self):
+        with pytest.raises(PartitionError):
+            Partitioner(max_products=1)
+
+
+class TestSmallFunctions:
+    def test_single_block_when_fits(self):
+        f = BooleanFunction.random(4, 2, 4, seed=1)
+        partition = Partitioner(max_inputs=8, max_outputs=4,
+                                max_products=20).partition(f)
+        assert len(partition.blocks) <= 2
+        evaluate_partition(partition, f)
+
+    def test_capacity_respected(self):
+        partitioner = Partitioner(max_inputs=5, max_outputs=2, max_products=6)
+        f = BooleanFunction.random(8, 3, 10, seed=2)
+        partition = partitioner.partition(f)
+        for block in partition.blocks:
+            assert block.n_inputs <= 5
+            assert block.n_outputs <= 2
+            assert block.n_products <= 6
+        evaluate_partition(partition, f)
+
+    def test_constant_zero_output(self):
+        from repro.logic.cover import Cover
+        f = BooleanFunction(Cover.empty(3, 1), name="zero")
+        partition = Partitioner(max_inputs=4).partition(f)
+        evaluate_partition(partition, f)
+
+    def test_constant_one_output(self):
+        f = BooleanFunction.from_truth_table([1, 1, 1, 1], 2, name="one")
+        partition = Partitioner(max_inputs=4).partition(f)
+        evaluate_partition(partition, f)
+
+
+class TestShannonDecomposition:
+    def test_wide_support_is_split(self):
+        partitioner = Partitioner(max_inputs=4, max_outputs=2, max_products=12)
+        f = BooleanFunction.random(7, 1, 6, seed=3, dash_probability=0.3)
+        partition = partitioner.partition(f)
+        assert len(partition.blocks) > 1
+        for block in partition.blocks:
+            assert block.n_inputs <= 4
+        evaluate_partition(partition, f)
+
+    def test_deep_recursion(self):
+        partitioner = Partitioner(max_inputs=3, max_outputs=1, max_products=8)
+        f = BooleanFunction.random(8, 1, 5, seed=4, dash_probability=0.3)
+        partition = partitioner.partition(f)
+        for block in partition.blocks:
+            assert block.n_inputs <= 3
+        evaluate_partition(partition, f)
+
+    def test_parity_partitions_correctly(self):
+        partitioner = Partitioner(max_inputs=4, max_outputs=1, max_products=10)
+        f = parity_function(6)
+        partition = partitioner.partition(f)
+        evaluate_partition(partition, f)
+
+    def test_adder_carry_partitions_correctly(self):
+        partitioner = Partitioner(max_inputs=5, max_outputs=1, max_products=12)
+        f = adder_carry(3)
+        partition = partitioner.partition(f)
+        evaluate_partition(partition, f)
+
+
+class TestRowSplitting:
+    def test_tall_cover_is_chunked(self):
+        partitioner = Partitioner(max_inputs=9, max_outputs=2, max_products=4)
+        f = parity_function(5)  # 16 products, support 5 <= 9
+        partition = partitioner.partition(f)
+        assert len(partition.blocks) > 1
+        for block in partition.blocks:
+            assert block.n_products <= 4
+        evaluate_partition(partition, f)
+
+
+class TestStructure:
+    def test_blocks_in_dependency_order(self):
+        partitioner = Partitioner(max_inputs=4, max_outputs=2, max_products=8)
+        f = BooleanFunction.random(8, 2, 7, seed=6, dash_probability=0.3)
+        partition = partitioner.partition(f)
+        available = set(partition.primary_inputs)
+        for block in partition.blocks:
+            assert all(s in available for s in block.input_signals)
+            available.update(block.output_signals)
+
+    def test_unique_block_names(self):
+        partitioner = Partitioner(max_inputs=4, max_outputs=2, max_products=8)
+        f = BooleanFunction.random(8, 3, 8, seed=7)
+        partition = partitioner.partition(f)
+        names = [b.name for b in partition.blocks]
+        assert len(names) == len(set(names))
+
+    def test_intermediate_signals_listed(self):
+        partitioner = Partitioner(max_inputs=4, max_outputs=1, max_products=8)
+        f = BooleanFunction.random(7, 1, 6, seed=8, dash_probability=0.3)
+        partition = partitioner.partition(f)
+        if len(partition.blocks) > 1:
+            assert partition.intermediate_signals()
+
+    def test_multi_output_grouping(self):
+        partitioner = Partitioner(max_inputs=9, max_outputs=4,
+                                  max_products=30)
+        f = BooleanFunction.random(5, 4, 6, seed=9)
+        partition = partitioner.partition(f)
+        # outputs sharing support should pack into few blocks
+        assert len(partition.blocks) <= 4
+        evaluate_partition(partition, f)
+
+    def test_randomized_correctness(self):
+        rng = random.Random(55)
+        partitioner = Partitioner(max_inputs=5, max_outputs=2, max_products=7)
+        for trial in range(10):
+            f = BooleanFunction.random(rng.randint(3, 8), rng.randint(1, 3),
+                                       rng.randint(1, 8),
+                                       seed=1000 + trial)
+            partition = partitioner.partition(f)
+            evaluate_partition(partition, f)

@@ -1,0 +1,67 @@
+"""Tests for output-phase assignment (Sasao / MINI II style)."""
+
+from hypothesis import given, settings
+
+from repro.espresso import assign_output_phases, minimize
+from repro.logic.cover import Cover
+from repro.logic.function import BooleanFunction
+from repro.bench.synth import parity_function
+
+from conftest import functions
+
+
+class TestPhaseAssignment:
+    def test_complement_cheaper_single_output(self):
+        # f with 2^n - 1 minterms: ~f is a single minterm, so the
+        # negative phase must win
+        table = [1] * 15 + [0]
+        f = BooleanFunction.from_truth_table(table, 4)
+        result = assign_output_phases(f)
+        assert result.phases == [False]
+        assert result.cover.n_cubes() <= 1  # single minterm of the complement
+
+    def test_positive_phase_kept_when_already_minimal(self):
+        table = [0] * 15 + [1]
+        f = BooleanFunction.from_truth_table(table, 4)
+        result = assign_output_phases(f)
+        assert result.phases == [True]
+
+    def test_final_never_worse_than_baseline(self):
+        for seed in range(8):
+            f = BooleanFunction.random(4, 3, 5, seed=seed)
+            result = assign_output_phases(f)
+            assert result.final_cost <= result.baseline_cost
+
+    def test_exact_mode_counts_evaluations(self):
+        f = BooleanFunction.random(3, 2, 3, seed=5)
+        result = assign_output_phases(f, exact_limit=2)
+        assert result.evaluated == 4  # 2^2 assignments
+
+    def test_greedy_mode_on_many_outputs(self):
+        f = BooleanFunction.random(4, 6, 6, seed=6)
+        result = assign_output_phases(f, exact_limit=4)
+        # greedy evaluates baseline + rounds * m, far fewer than 2^6
+        assert result.evaluated < 64
+        assert result.final_cost <= result.baseline_cost
+
+    @settings(max_examples=40, deadline=None)
+    @given(functions(max_inputs=4, max_outputs=3, max_cubes=5))
+    def test_phased_cover_implements_phased_function(self, f):
+        result = assign_output_phases(f)
+        phased = f.with_output_phase(result.phases)
+        assert phased.equivalent_to(result.cover)
+
+    def test_parity_is_phase_symmetric(self):
+        # parity and its complement both need 2^(n-1) terms: no gain
+        f = parity_function(3)
+        result = assign_output_phases(f)
+        baseline = minimize(f).n_cubes()
+        assert result.cover.n_cubes() == baseline
+
+    def test_phase_recovery_via_gnor(self):
+        # end-to-end: phases + GNOR mapping reproduce the original f
+        from repro.core.pla import AmbipolarPLA
+        for seed in (1, 2, 3):
+            f = BooleanFunction.random(4, 2, 5, seed=seed)
+            pla = AmbipolarPLA.from_function(f, phase_optimize=True)
+            assert pla.truth_table() == f.on_set.truth_table()

@@ -1,0 +1,118 @@
+"""Tests for the two-plane GNOR PLA (Figs 3-4)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.pla import AmbipolarPLA
+from repro.espresso import minimize
+from repro.logic.cover import Cover
+from repro.logic.function import BooleanFunction
+from repro.mapping.gnor_map import map_cover_to_gnor
+
+from conftest import functions
+
+
+class TestConstruction:
+    def test_from_cover_dimensions(self, small_multi):
+        pla = AmbipolarPLA.from_cover(small_multi.on_set)
+        assert pla.n_inputs == 3
+        assert pla.n_outputs == 2
+        assert pla.n_products == 3
+
+    def test_column_count_is_single_per_input(self, small_multi):
+        pla = AmbipolarPLA.from_cover(small_multi.on_set)
+        assert pla.n_columns() == 3 + 2  # I + O, the paper's saving
+
+    def test_cell_count(self, small_multi):
+        pla = AmbipolarPLA.from_cover(small_multi.on_set)
+        assert pla.n_cells() == 3 * 5
+
+    def test_from_function_minimizes(self):
+        on = Cover.from_strings(["11 1", "10 1"])  # collapses to 1-
+        pla = AmbipolarPLA.from_function(BooleanFunction(on))
+        assert pla.n_products == 1
+
+    def test_from_function_without_minimize(self):
+        on = Cover.from_strings(["11 1", "10 1"])
+        pla = AmbipolarPLA.from_function(BooleanFunction(on),
+                                         do_minimize=False)
+        assert pla.n_products == 2
+
+
+class TestSimulation:
+    def test_simple_sop(self):
+        # f = a & ~b | c
+        cover = Cover.from_strings(["10- 1", "--1 1"])
+        pla = AmbipolarPLA.from_cover(cover)
+        for m in range(8):
+            a, b, c = m & 1, (m >> 1) & 1, (m >> 2) & 1
+            want = 1 if (a and not b) or c else 0
+            assert pla.evaluate([a, b, c]) == [want]
+
+    def test_product_terms_visible(self):
+        cover = Cover.from_strings(["10- 1", "--1 1"])
+        pla = AmbipolarPLA.from_cover(cover)
+        assert pla.product_terms([1, 0, 0]) == [1, 0]
+        assert pla.product_terms([0, 0, 1]) == [0, 1]
+
+    def test_complemented_product_terms(self):
+        cover = Cover.from_strings(["10- 1"])
+        pla = AmbipolarPLA.from_cover(cover)
+        products = pla.product_terms([1, 0, 0])
+        complements = pla.product_terms_complemented([1, 0, 0])
+        assert all(p + q == 1 for p, q in zip(products, complements))
+
+    def test_input_length_check(self, small_multi):
+        pla = AmbipolarPLA.from_cover(small_multi.on_set)
+        with pytest.raises(ValueError):
+            pla.evaluate([0, 1])
+
+    def test_empty_cover_constant_zero(self):
+        pla = AmbipolarPLA.from_cover(Cover.empty(3, 2))
+        assert pla.evaluate([1, 1, 1]) == [0, 0]
+
+    def test_output_phase_false_gives_complement_path(self):
+        # cover implements ~f; PLA with phase=False must emit f
+        cover = Cover.from_strings(["0- 1"])  # ~a
+        pla = AmbipolarPLA.from_cover(cover, output_phases=[False])
+        assert pla.evaluate([1, 0]) == [1]   # f = a
+        assert pla.evaluate([0, 0]) == [0]
+
+    @settings(max_examples=80, deadline=None)
+    @given(functions(max_inputs=5, max_outputs=3, max_cubes=6))
+    def test_switch_level_matches_cover(self, f):
+        pla = AmbipolarPLA.from_cover(f.on_set.single_cube_containment())
+        assert pla.truth_table() == f.on_set.truth_table()
+
+    @settings(max_examples=40, deadline=None)
+    @given(functions(max_inputs=4, max_outputs=2, max_cubes=5))
+    def test_minimized_pla_implements_function(self, f):
+        pla = AmbipolarPLA.from_function(f)
+        assert pla.truth_table() == f.on_set.truth_table()
+
+    @settings(max_examples=30, deadline=None)
+    @given(functions(max_inputs=4, max_outputs=2, max_cubes=5))
+    def test_phase_optimized_pla_implements_function(self, f):
+        pla = AmbipolarPLA.from_function(f, phase_optimize=True)
+        assert pla.truth_table() == f.on_set.truth_table()
+
+
+class TestDeviceAccess:
+    def test_device_at_and_plane(self, small_multi):
+        pla = AmbipolarPLA.from_cover(small_multi.on_set)
+        device = pla.device_at("and", 0, 0)
+        assert device is pla.and_rows[0].devices[0]
+
+    def test_device_at_or_plane(self, small_multi):
+        pla = AmbipolarPLA.from_cover(small_multi.on_set)
+        device = pla.device_at("or", 2, 1)
+        assert device is pla.or_columns[1].devices[2]
+
+    def test_device_at_bad_plane(self, small_multi):
+        pla = AmbipolarPLA.from_cover(small_multi.on_set)
+        with pytest.raises(ValueError):
+            pla.device_at("nand", 0, 0)
+
+    def test_repr(self, small_multi):
+        pla = AmbipolarPLA.from_cover(small_multi.on_set)
+        assert "i=3" in repr(pla)

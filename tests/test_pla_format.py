@@ -1,0 +1,126 @@
+"""Tests for the Berkeley .pla reader/writer."""
+
+import io
+
+import pytest
+
+from repro.logic.function import BooleanFunction
+from repro.logic.cover import Cover
+from repro.logic.pla_format import PLAFormatError, parse_pla, write_pla
+
+
+SIMPLE = """\
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.type fd
+.p 3
+10- 10
+0-1 01
+111 11
+.e
+"""
+
+
+class TestParsing:
+    def test_dimensions(self):
+        f = parse_pla(SIMPLE)
+        assert f.n_inputs == 3 and f.n_outputs == 2
+
+    def test_labels(self):
+        f = parse_pla(SIMPLE)
+        assert f.input_labels == ["a", "b", "c"]
+        assert f.output_labels == ["f", "g"]
+
+    def test_cube_content(self):
+        f = parse_pla(SIMPLE)
+        assert f.on_set.n_cubes() == 3
+        assert f.evaluate([1, 0, 0]) == [True, False]
+        assert f.evaluate([1, 1, 1]) == [True, True]
+
+    def test_file_object_input(self):
+        f = parse_pla(io.StringIO(SIMPLE))
+        assert f.n_inputs == 3
+
+    def test_comments_and_blank_lines(self):
+        text = ".i 1\n# a comment\n.o 1\n\n1 1   # trailing comment\n.e\n"
+        f = parse_pla(text)
+        assert f.on_set.n_cubes() == 1
+
+    def test_dc_output_column(self):
+        text = ".i 2\n.o 2\n.type fd\n1- 1-\n.e\n"
+        f = parse_pla(text)
+        assert f.on_set.n_cubes() == 1
+        assert f.dc_set.n_cubes() == 1
+        assert f.dc_set.cubes[0].outputs == 0b10
+
+    def test_fr_type_off_set(self):
+        text = ".i 1\n.o 1\n.type fr\n1 1\n0 0\n.e\n"
+        f = parse_pla(text)
+        assert f.off_set.n_cubes() == 1
+        assert f.off_set.output_mask_for(0) == 1
+
+    def test_missing_directives_raise(self):
+        with pytest.raises(PLAFormatError):
+            parse_pla("10 1\n")
+
+    def test_wrong_input_width_raises(self):
+        with pytest.raises(PLAFormatError):
+            parse_pla(".i 3\n.o 1\n10 1\n")
+
+    def test_wrong_output_width_raises(self):
+        with pytest.raises(PLAFormatError):
+            parse_pla(".i 2\n.o 2\n10 1\n")
+
+    def test_bad_output_char_raises(self):
+        with pytest.raises(PLAFormatError):
+            parse_pla(".i 1\n.o 1\n1 x\n")
+
+    def test_single_output_row_without_output_column(self):
+        f = parse_pla(".i 2\n.o 1\n11\n")
+        assert f.on_set.n_cubes() == 1
+
+    def test_unknown_directives_tolerated(self):
+        f = parse_pla(".i 1\n.o 1\n.phase 1\n1 1\n.e\n")
+        assert f.on_set.n_cubes() == 1
+
+    def test_end_stops_parsing(self):
+        f = parse_pla(".i 1\n.o 1\n1 1\n.e\n0 1\n")
+        assert f.on_set.n_cubes() == 1
+
+    def test_spaced_output_columns(self):
+        f = parse_pla(".i 2\n.o 2\n11 1 0\n")
+        assert f.on_set.cubes[0].outputs == 0b01
+
+
+class TestWriting:
+    def test_roundtrip_preserves_function(self):
+        f = parse_pla(SIMPLE, name="orig")
+        again = parse_pla(write_pla(f))
+        assert again.on_set.truth_table() == f.on_set.truth_table()
+        assert again.dc_set.truth_table() == f.dc_set.truth_table()
+
+    def test_roundtrip_with_dc(self):
+        text = ".i 2\n.o 2\n.type fd\n1- 1-\n-1 01\n.e\n"
+        f = parse_pla(text)
+        again = parse_pla(write_pla(f))
+        assert again.dc_set.truth_table() == f.dc_set.truth_table()
+
+    def test_written_labels(self):
+        f = parse_pla(SIMPLE)
+        text = write_pla(f)
+        assert ".ilb a b c" in text
+        assert ".ob f g" in text
+
+    def test_written_without_labels(self):
+        f = parse_pla(SIMPLE)
+        text = write_pla(f, include_labels=False)
+        assert ".ilb" not in text
+
+    def test_random_roundtrips(self):
+        for seed in range(10):
+            f = BooleanFunction.random(4, 3, 5, seed=seed, dc_cubes=1)
+            again = parse_pla(write_pla(f))
+            assert again.on_set.truth_table() == f.on_set.truth_table()
+            assert again.dc_set.truth_table() == f.dc_set.truth_table()

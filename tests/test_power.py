@@ -1,0 +1,113 @@
+"""Tests for the dynamic-PLA energy model."""
+
+import random
+
+import pytest
+
+from repro.core.classical_pla import ClassicalPLA
+from repro.core.pla import AmbipolarPLA
+from repro.core.power import PLAPowerModel, compare_energy
+from repro.espresso import minimize
+from repro.logic.cover import Cover
+from repro.logic.function import BooleanFunction
+
+
+def vectors_for(n, count, seed):
+    rng = random.Random(seed)
+    return [[rng.randint(0, 1) for _ in range(n)] for _ in range(count)]
+
+
+class TestGNOREnergy:
+    def test_inactive_product_discharges_row(self):
+        # product 111 maps to three INVERT devices; on the all-zero
+        # stream they all conduct, the NOR row discharges every cycle
+        # (row low = product term false) while the OR column stays quiet
+        cover = Cover.from_strings(["111 1"])
+        pla = AmbipolarPLA.from_cover(cover)
+        report = PLAPowerModel().gnor_energy(pla, [[0, 0, 0]] * 10)
+        assert report.row_discharges == 10
+        assert report.column_discharges == 0
+
+    def test_active_product_keeps_row_high(self):
+        cover = Cover.from_strings(["111 1"])
+        pla = AmbipolarPLA.from_cover(cover)
+        report = PLAPowerModel().gnor_energy(pla, [[1, 1, 1]] * 10)
+        assert report.row_discharges == 0
+        assert report.column_discharges == 10  # output column discharges
+
+    def test_energy_matches_event_accounting(self):
+        from repro.core.timing import DEFAULT_TIMING, PLATimingModel
+        cover = Cover.from_strings(["1-- 1", "-1- 1"])
+        pla = AmbipolarPLA.from_cover(cover)
+        model = PLAPowerModel()
+        stream = vectors_for(3, 16, seed=1)
+        report = model.gnor_energy(pla, stream)
+        timing = PLATimingModel(3, 1, 2, DEFAULT_TIMING)
+        vdd = DEFAULT_TIMING.device.vdd
+        expected = (report.row_discharges * timing.row_wire_capacitance()
+                    + report.column_discharges
+                    * timing.column_wire_capacitance()) * vdd ** 2
+        assert report.energy_j == pytest.approx(expected)
+
+    def test_energy_scales_with_cycles(self):
+        cover = Cover.from_strings(["11 1"])
+        pla = AmbipolarPLA.from_cover(cover)
+        model = PLAPowerModel()
+        short = model.gnor_energy(pla, vectors_for(2, 8, seed=2))
+        long = model.gnor_energy(pla, vectors_for(2, 8, seed=2) * 3)
+        assert long.energy_j == pytest.approx(3 * short.energy_j)
+        assert long.cycles == 24
+
+    def test_per_cycle_average(self):
+        cover = Cover.from_strings(["1- 1"])
+        pla = AmbipolarPLA.from_cover(cover)
+        report = PLAPowerModel().gnor_energy(pla, vectors_for(2, 10, 3))
+        assert report.energy_per_cycle() == \
+            pytest.approx(report.energy_j / 10)
+
+    def test_empty_stream(self):
+        cover = Cover.from_strings(["1- 1"])
+        pla = AmbipolarPLA.from_cover(cover)
+        report = PLAPowerModel().gnor_energy(pla, [])
+        assert report.energy_j == 0.0
+        assert report.energy_per_cycle() == 0.0
+
+
+class TestComparison:
+    def test_classical_pays_for_inverters_and_wider_rows(self):
+        f = BooleanFunction.random(6, 2, 6, seed=4)
+        cover = minimize(f)
+        gnor = AmbipolarPLA.from_cover(cover)
+        classical = ClassicalPLA.from_cover(cover)
+        stream = vectors_for(6, 64, seed=5)
+        result = compare_energy(gnor, classical, stream)
+        assert result["classical_over_gnor"] > 1.0
+
+    def test_inverter_toggles_counted(self):
+        f = BooleanFunction.random(4, 1, 3, seed=6)
+        cover = minimize(f)
+        classical = ClassicalPLA.from_cover(cover)
+        model = PLAPowerModel()
+        # alternating all-zeros / all-ones: every input toggles each cycle
+        stream = [[0] * 4, [1] * 4] * 8
+        report = model.classical_energy(classical, stream)
+        assert report.inverter_toggles == 4 * (len(stream) - 1)
+
+    def test_gnor_has_no_inverter_events(self):
+        f = BooleanFunction.random(4, 1, 3, seed=7)
+        pla = AmbipolarPLA.from_cover(minimize(f))
+        report = PLAPowerModel().gnor_energy(pla, vectors_for(4, 16, 8))
+        assert report.inverter_toggles == 0
+
+    def test_same_discharge_counts_same_cover(self):
+        """Both architectures implement the same logic: identical
+        product/output activity, energy differs only via capacitance."""
+        f = BooleanFunction.random(5, 2, 5, seed=9)
+        cover = minimize(f)
+        gnor = AmbipolarPLA.from_cover(cover)
+        classical = ClassicalPLA.from_cover(cover)
+        stream = vectors_for(5, 32, seed=10)
+        model = PLAPowerModel()
+        g = model.gnor_energy(gnor, stream)
+        c = model.classical_energy(classical, stream)
+        assert g.column_discharges == c.column_discharges

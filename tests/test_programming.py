@@ -1,0 +1,116 @@
+"""Tests for the configuration-phase programming protocol (Fig 4)."""
+
+import pytest
+
+from repro.core.device import AmbipolarCNFET, Polarity
+from repro.core.programming import ProgrammingController
+
+
+def make_grid(rows, cols):
+    return [[AmbipolarCNFET() for _ in range(cols)] for _ in range(rows)]
+
+
+def checkerboard_targets(rows, cols):
+    states = [Polarity.N_TYPE, Polarity.P_TYPE, Polarity.OFF]
+    return [[states[(r + c) % 3] for c in range(cols)] for r in range(rows)]
+
+
+class TestSingleCycle:
+    def test_select_and_program(self):
+        grid = make_grid(2, 2)
+        controller = ProgrammingController(grid)
+        controller.select_and_program(1, 0, Polarity.P_TYPE)
+        assert grid[1][0].polarity is Polarity.P_TYPE
+        assert controller.cycles_used == 1
+
+    def test_other_devices_untouched_without_disturb(self):
+        grid = make_grid(2, 2)
+        controller = ProgrammingController(grid)
+        grid[0][0].program(Polarity.N_TYPE)
+        controller.select_and_program(1, 1, Polarity.P_TYPE)
+        assert grid[0][0].polarity is Polarity.N_TYPE
+
+    def test_log_when_enabled(self):
+        grid = make_grid(1, 2)
+        controller = ProgrammingController(grid, keep_log=True)
+        controller.select_and_program(0, 1, Polarity.N_TYPE)
+        assert len(controller._log) == 1
+        entry = controller._log[0]
+        assert (entry.row, entry.column) == (0, 1)
+        assert entry.vpg == grid[0][1].params.v_plus
+
+
+class TestArrayProgramming:
+    def test_cycle_count_is_rows_times_columns(self):
+        grid = make_grid(3, 4)
+        controller = ProgrammingController(grid)
+        report = controller.program_array(checkerboard_targets(3, 4))
+        assert report.cycles == 12
+
+    def test_ideal_programming_verifies(self):
+        grid = make_grid(4, 4)
+        controller = ProgrammingController(grid)
+        targets = checkerboard_targets(4, 4)
+        report = controller.program_array(targets)
+        assert report.verified
+        assert report.mismatches == []
+        for r in range(4):
+            for c in range(4):
+                assert grid[r][c].polarity is targets[r][c]
+
+    def test_target_shape_check(self):
+        grid = make_grid(2, 2)
+        controller = ProgrammingController(grid)
+        with pytest.raises(ValueError):
+            controller.program_array([[Polarity.OFF] * 3] * 2)
+
+    def test_rectangular_grid_check(self):
+        grid = [[AmbipolarCNFET()], [AmbipolarCNFET(), AmbipolarCNFET()]]
+        with pytest.raises(ValueError):
+            ProgrammingController(grid)
+
+    def test_empty_grid_check(self):
+        with pytest.raises(ValueError):
+            ProgrammingController([])
+
+
+class TestDisturb:
+    def test_disturb_counts_halfselected(self):
+        grid = make_grid(3, 3)
+        controller = ProgrammingController(grid, disturb_per_halfselect=0.01)
+        controller.select_and_program(1, 1, Polarity.N_TYPE)
+        # half-selected: same row (2) + same column (2) = 4 victims
+        assert controller._disturbs == 4
+
+    def test_disturb_drifts_toward_v0(self):
+        grid = make_grid(2, 2)
+        grid[0][1].program(Polarity.N_TYPE)
+        controller = ProgrammingController(grid, disturb_per_halfselect=0.1)
+        before = grid[0][1].pg_charge
+        controller.select_and_program(0, 0, Polarity.P_TYPE)
+        assert grid[0][1].pg_charge < before
+
+    def test_heavy_disturb_causes_mismatch(self):
+        grid = make_grid(6, 6)
+        controller = ProgrammingController(grid, disturb_per_halfselect=0.2)
+        targets = [[Polarity.N_TYPE] * 6 for _ in range(6)]
+        report = controller.program_array(targets)
+        assert not report.verified
+        assert report.disturb_events > 0
+
+    def test_reprogram_loop_recovers_ideal_cells(self):
+        grid = make_grid(3, 3)
+        controller = ProgrammingController(grid)
+        report = controller.reprogram_mismatches(checkerboard_targets(3, 3))
+        assert report.verified
+
+    def test_reprogram_loop_reports_honestly(self):
+        grid = make_grid(4, 4)
+        controller = ProgrammingController(grid, disturb_per_halfselect=0.05)
+        targets = [[Polarity.N_TYPE] * 4 for _ in range(4)]
+        report = controller.reprogram_mismatches(targets, max_passes=5)
+        # the final report must agree with an independent read-back
+        assert report.mismatches == controller.verify(targets)
+        assert report.verified == (not report.mismatches)
+        # extra passes really happened (more cycles than one full walk)
+        assert report.cycles > 16

@@ -1,0 +1,144 @@
+"""Cross-module property-based tests (hypothesis).
+
+These are the library's load-bearing invariants: the cube algebra's
+lattice laws, minimizer soundness, and the agreement between symbolic
+covers and switch-level circuit simulation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classical_pla import ClassicalPLA
+from repro.core.pla import AmbipolarPLA
+from repro.espresso import espresso, minimize
+from repro.logic.complement import complement_cover
+from repro.logic.cover import Cover
+from repro.logic.tautology import covers_cube, is_tautology
+
+from conftest import cube_pairs, cubes, covers, functions
+
+
+class TestCubeLattice:
+    @settings(max_examples=200, deadline=None)
+    @given(cube_pairs())
+    def test_intersection_commutes(self, pair):
+        a, b = pair
+        x = a.intersection(b)
+        y = b.intersection(a)
+        assert x == y
+
+    @settings(max_examples=200, deadline=None)
+    @given(cube_pairs())
+    def test_supercube_commutes_and_contains(self, pair):
+        a, b = pair
+        sup = a.supercube(b)
+        assert sup == b.supercube(a)
+        assert sup.contains(a) and sup.contains(b)
+
+    @settings(max_examples=200, deadline=None)
+    @given(cube_pairs())
+    def test_intersection_contained_in_both(self, pair):
+        a, b = pair
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains(inter) and b.contains(inter)
+
+    @settings(max_examples=200, deadline=None)
+    @given(cube_pairs())
+    def test_distance_zero_iff_intersects(self, pair):
+        a, b = pair
+        assert (a.distance(b) == 0) == a.intersects(b)
+
+    @settings(max_examples=150, deadline=None)
+    @given(cube_pairs())
+    def test_containment_antisymmetry(self, pair):
+        a, b = pair
+        if a.contains(b) and b.contains(a):
+            assert a == b
+
+    @settings(max_examples=150, deadline=None)
+    @given(cubes())
+    def test_minterm_count_matches_size(self, cube):
+        input_minterms = len(list(cube.minterms()))
+        outputs = bin(cube.outputs).count("1")
+        assert input_minterms * outputs == cube.size()
+
+    @settings(max_examples=150, deadline=None)
+    @given(cube_pairs())
+    def test_consensus_is_covered_by_union(self, pair):
+        a, b = pair
+        consensus = a.consensus(b)
+        if consensus is not None:
+            union = Cover(a.n_inputs, a.n_outputs, [a, b])
+            assert covers_cube(union, consensus)
+
+
+class TestCoverAlgebra:
+    @settings(max_examples=150, deadline=None)
+    @given(covers(max_inputs=5, max_outputs=2, max_cubes=6))
+    def test_single_cube_containment_preserves_function(self, cover):
+        assert cover.single_cube_containment().truth_table() == \
+            cover.truth_table()
+
+    @settings(max_examples=150, deadline=None)
+    @given(covers(max_inputs=5, max_outputs=3, max_cubes=6))
+    def test_merge_identical_inputs_preserves_function(self, cover):
+        assert cover.merge_identical_inputs().truth_table() == \
+            cover.truth_table()
+
+    @settings(max_examples=100, deadline=None)
+    @given(covers(max_inputs=4, max_outputs=2, max_cubes=5))
+    def test_demorgan_on_covers(self, cover):
+        # ~(~F) == F and F + ~F == 1
+        comp = complement_cover(cover)
+        assert is_tautology(cover + comp)
+        assert complement_cover(comp).truth_table() == cover.truth_table()
+
+    @settings(max_examples=100, deadline=None)
+    @given(covers(max_inputs=4, max_outputs=1, max_cubes=5))
+    def test_cofactor_shannon_expansion(self, cover):
+        """F == x' F_x' + x F_x at every point."""
+        if cover.n_inputs < 1:
+            return
+        low = cover.cofactor_var(0, False)
+        high = cover.cofactor_var(0, True)
+        for m in range(1 << cover.n_inputs):
+            branch = high if m & 1 else low
+            assert branch.output_mask_for(m) == cover.output_mask_for(m)
+
+
+class TestMinimizerSoundness:
+    @settings(max_examples=100, deadline=None)
+    @given(functions(max_inputs=5, max_outputs=2, max_cubes=6, with_dc=True))
+    def test_espresso_sound_and_off_disjoint(self, f):
+        result = espresso(f)
+        assert f.equivalent_to(result.cover)
+        for cube in result.cover.cubes:
+            for off_cube in f.off_set.cubes:
+                assert not cube.intersects(off_cube)
+
+    @settings(max_examples=50, deadline=None)
+    @given(functions(max_inputs=4, max_outputs=2, max_cubes=5))
+    def test_minimized_never_bigger_than_cleaned_input(self, f):
+        cleaned = f.on_set.single_cube_containment()
+        assert minimize(f).n_cubes() <= max(cleaned.n_cubes(), 1)
+
+
+class TestCircuitAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(functions(max_inputs=4, max_outputs=3, max_cubes=5))
+    def test_gnor_and_classical_plas_agree(self, f):
+        """Both architectures, programmed from the same cover, are the
+        same Boolean machine — the paper's equivalence claim."""
+        cover = f.on_set.single_cube_containment()
+        gnor = AmbipolarPLA.from_cover(cover)
+        classical = ClassicalPLA.from_cover(cover)
+        assert gnor.truth_table() == classical.truth_table() == \
+            cover.truth_table()
+
+    @settings(max_examples=40, deadline=None)
+    @given(functions(max_inputs=4, max_outputs=2, max_cubes=5))
+    def test_full_flow_pla_equals_function(self, f):
+        """minimize -> phase-assign -> map -> switch-level simulate."""
+        pla = AmbipolarPLA.from_function(f, phase_optimize=True)
+        assert pla.truth_table() == f.on_set.truth_table()

@@ -1,0 +1,120 @@
+"""System-level property tests spanning the extension subsystems."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric import compile_fabric
+from repro.fpga.bitstream import (deserialize_crossbar, deserialize_pla,
+                                  program_pla_from_bitstream,
+                                  serialize_crossbar, serialize_pla)
+from repro.core.interconnect import CrosspointArray
+from repro.fsm import FSM, synthesize_fsm
+from repro.fsm.kiss import parse_kiss, write_kiss
+from repro.logic.verify import check_equivalence
+from repro.mapping.gnor_map import map_cover_to_gnor
+from repro.mapping.partition import Partitioner
+
+from conftest import covers, functions
+
+
+class TestBitstreamProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(covers(max_inputs=5, max_outputs=3, max_cubes=6))
+    def test_pla_bitstream_roundtrip(self, cover):
+        cover = cover.single_cube_containment()
+        if not len(cover):
+            return
+        config = map_cover_to_gnor(cover)
+        decoded = deserialize_pla(serialize_pla(config))
+        assert decoded.and_plane == config.and_plane
+        assert decoded.or_plane == config.or_plane
+        assert decoded.output_inverted == config.output_inverted
+
+    @settings(max_examples=30, deadline=None)
+    @given(functions(max_inputs=4, max_outputs=2, max_cubes=5))
+    def test_bitstream_loader_functional(self, f):
+        cover = f.on_set.single_cube_containment()
+        if not len(cover):
+            return
+        config = map_cover_to_gnor(cover)
+        pla, reports = program_pla_from_bitstream(serialize_pla(config))
+        assert all(report.verified for report in reports)
+        assert pla.truth_table() == cover.truth_table()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(0, 10**6))
+    def test_crossbar_bitstream_roundtrip(self, n_h, n_v, seed):
+        rng = random.Random(seed)
+        array = CrosspointArray(n_h, n_v)
+        for h in range(n_h):
+            for v in range(n_v):
+                if rng.random() < 0.3:
+                    array.connect(h, v)
+        decoded = deserialize_crossbar(serialize_crossbar(array))
+        assert decoded.connections() == array.connections()
+
+
+class TestFabricProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(functions(max_inputs=6, max_outputs=2, max_cubes=5))
+    def test_fabric_equals_flat_cover(self, f):
+        partition = Partitioner(4, 2, 6).partition(f)
+        fabric = compile_fabric(partition)
+        for m in range(1 << f.n_inputs):
+            vector = [(m >> i) & 1 for i in range(f.n_inputs)]
+            mask = f.on_set.output_mask_for(m)
+            want = [(mask >> k) & 1 for k in range(f.n_outputs)]
+            assert fabric.evaluate_vector(vector) == want
+
+
+class TestVerifyAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(covers(max_inputs=6, max_outputs=2, max_cubes=6),
+           covers(max_inputs=6, max_outputs=2, max_cubes=6))
+    def test_bdd_and_truth_table_oracles_agree(self, a, b):
+        if (a.n_inputs, a.n_outputs) != (b.n_inputs, b.n_outputs):
+            return
+        via_tt = check_equivalence(a, b, exhaustive_limit=10)
+        via_bdd = check_equivalence(a, b, exhaustive_limit=0)
+        assert via_tt.equivalent == via_bdd.equivalent
+        assert via_tt.method == "truth-table"
+        assert via_bdd.method == "bdd"
+
+
+class TestKissProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 4), st.integers(1, 2), st.integers(0, 10**6))
+    def test_kiss_roundtrip_preserves_behaviour(self, n_states, n_in, seed):
+        rng = random.Random(seed)
+        fsm = FSM(n_in, 1, "q0", name="prop")
+        for s in range(n_states):
+            fsm.add_state(f"q{s}")
+        for s in range(n_states):
+            for m in range(1 << n_in):
+                guard = "".join(str((m >> i) & 1) for i in range(n_in))
+                fsm.add_transition(f"q{s}", guard,
+                                   f"q{rng.randrange(n_states)}",
+                                   str(rng.randint(0, 1)))
+        again = parse_kiss(write_kiss(fsm), name="again")
+        stream = [[rng.randint(0, 1) for _ in range(n_in)]
+                  for _ in range(25)]
+        assert again.run(stream) == fsm.run(stream)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 3), st.integers(0, 10**6))
+    def test_synthesis_of_roundtripped_fsm(self, n_states, seed):
+        rng = random.Random(seed)
+        fsm = FSM(1, 1, "q0", name="prop2")
+        for s in range(n_states):
+            fsm.add_state(f"q{s}")
+        for s in range(n_states):
+            for bit in "01":
+                fsm.add_transition(f"q{s}", bit,
+                                   f"q{rng.randrange(n_states)}",
+                                   str(rng.randint(0, 1)))
+        again = parse_kiss(write_kiss(fsm))
+        synth = synthesize_fsm(again)
+        stream = [[rng.randint(0, 1)] for _ in range(30)]
+        assert synth.sequential.run(stream) == fsm.run(stream)

@@ -1,0 +1,106 @@
+"""Tests for PG charge retention and refresh scheduling."""
+
+import math
+
+import pytest
+
+from repro.core.device import DEFAULT_PARAMETERS, AmbipolarCNFET, Polarity
+from repro.core.retention import RetentionModel
+
+
+class TestChargeDecay:
+    def test_initial_charge_is_programmed_level(self):
+        model = RetentionModel(tau_seconds=5.0)
+        assert model.charge_at(0.0, Polarity.N_TYPE) == \
+            DEFAULT_PARAMETERS.v_plus
+        assert model.charge_at(0.0, Polarity.P_TYPE) == \
+            DEFAULT_PARAMETERS.v_minus
+
+    def test_decays_toward_v0(self):
+        model = RetentionModel(tau_seconds=1.0)
+        v0 = DEFAULT_PARAMETERS.v_zero
+        assert abs(model.charge_at(50.0, Polarity.N_TYPE) - v0) < 1e-9
+        assert abs(model.charge_at(50.0, Polarity.P_TYPE) - v0) < 1e-9
+
+    def test_monotone_decay(self):
+        model = RetentionModel(tau_seconds=2.0)
+        charges = [model.charge_at(t, Polarity.N_TYPE)
+                   for t in (0.0, 1.0, 2.0, 4.0)]
+        assert all(b < a for a, b in zip(charges, charges[1:]))
+
+    def test_symmetric_for_p_type(self):
+        model = RetentionModel(tau_seconds=2.0)
+        v0 = DEFAULT_PARAMETERS.v_zero
+        up = model.charge_at(1.0, Polarity.N_TYPE) - v0
+        down = v0 - model.charge_at(1.0, Polarity.P_TYPE)
+        assert up == pytest.approx(down)
+
+    def test_off_state_is_fixed_point(self):
+        model = RetentionModel(tau_seconds=1.0)
+        assert model.charge_at(3.0, Polarity.OFF) == \
+            pytest.approx(DEFAULT_PARAMETERS.v_zero)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetentionModel(tau_seconds=0.0)
+        with pytest.raises(ValueError):
+            RetentionModel(1.0).charge_at(-1.0, Polarity.N_TYPE)
+
+
+class TestRetentionTime:
+    def test_device_still_reads_right_before_retention_time(self):
+        model = RetentionModel(tau_seconds=3.0)
+        t_ret = model.retention_time()
+        device = AmbipolarCNFET()
+        device.program_voltage(model.charge_at(t_ret * 0.99,
+                                               Polarity.N_TYPE))
+        assert device.polarity is Polarity.N_TYPE
+
+    def test_device_reads_off_after_retention_time(self):
+        model = RetentionModel(tau_seconds=3.0)
+        t_ret = model.retention_time()
+        device = AmbipolarCNFET()
+        device.program_voltage(model.charge_at(t_ret * 1.01,
+                                               Polarity.N_TYPE))
+        assert device.polarity is Polarity.OFF
+
+    def test_scales_with_tau(self):
+        assert RetentionModel(10.0).retention_time() == pytest.approx(
+            10 * RetentionModel(1.0).retention_time() / 1.0)
+
+    def test_known_value(self):
+        # half = 0.5, window = 0.25: t = tau * ln(0.5 / 0.25) = tau ln 2
+        model = RetentionModel(tau_seconds=1.0)
+        assert model.retention_time() == pytest.approx(math.log(2.0))
+
+
+class TestRefresh:
+    def test_interval_below_retention(self):
+        model = RetentionModel(tau_seconds=4.0)
+        assert model.refresh_interval(2.0) == \
+            pytest.approx(model.retention_time() / 2.0)
+
+    def test_safety_factor_validated(self):
+        with pytest.raises(ValueError):
+            RetentionModel(1.0).refresh_interval(0.5)
+
+    def test_overhead_scales_with_array_size(self):
+        model = RetentionModel(tau_seconds=10.0)
+        small = model.refresh_overhead(10, 10, 1e-6)
+        large = model.refresh_overhead(100, 100, 1e-6)
+        assert large == pytest.approx(100 * small)
+
+    def test_overhead_capped_at_one(self):
+        model = RetentionModel(tau_seconds=1e-9)  # absurdly leaky
+        assert model.refresh_overhead(100, 100, 1e-3) == 1.0
+
+    def test_overhead_tiny_for_realistic_arrays(self):
+        # 10-second tau, 50x25 array, microsecond programming cycles:
+        # refresh costs well under a percent of the time
+        model = RetentionModel(tau_seconds=10.0)
+        overhead = model.refresh_overhead(50, 25, 1e-6)
+        assert overhead < 0.01
+
+    def test_overhead_validation(self):
+        with pytest.raises(ValueError):
+            RetentionModel(1.0).refresh_overhead(0, 5, 1e-6)

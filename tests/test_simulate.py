@@ -1,0 +1,68 @@
+"""Tests for the vector evaluation / equivalence helpers."""
+
+import pytest
+
+from repro.logic.cover import Cover
+from repro.logic.simulate import (all_vectors, covers_equal, first_difference,
+                                  minterm_to_vector, sample_vectors,
+                                  vector_to_minterm)
+
+
+class TestConversions:
+    def test_minterm_to_vector(self):
+        assert minterm_to_vector(0b101, 3) == [1, 0, 1]
+
+    def test_vector_to_minterm(self):
+        assert vector_to_minterm([1, 0, 1]) == 0b101
+
+    def test_roundtrip(self):
+        for m in range(16):
+            assert vector_to_minterm(minterm_to_vector(m, 4)) == m
+
+    def test_all_vectors_count_and_order(self):
+        vectors = list(all_vectors(3))
+        assert len(vectors) == 8
+        assert vectors[0] == [0, 0, 0]
+        assert vectors[5] == [1, 0, 1]
+
+    def test_sample_vectors_deterministic(self):
+        a = list(sample_vectors(6, 10, seed=3))
+        b = list(sample_vectors(6, 10, seed=3))
+        assert a == b
+
+
+class TestEquivalence:
+    def test_equal_covers(self):
+        a = Cover.from_strings(["1- 1", "-1 1"])
+        b = Cover.from_strings(["-1 1", "1- 1"])
+        assert covers_equal(a, b)
+
+    def test_unequal_covers_report_difference(self):
+        a = Cover.from_strings(["1- 1"])
+        b = Cover.from_strings(["-1 1"])
+        diff = first_difference(a, b)
+        assert diff is not None
+        minterm, mask_a, mask_b = diff
+        assert mask_a != mask_b
+
+    def test_dc_set_masks_difference(self):
+        a = Cover.from_strings(["11 1"])
+        b = Cover.from_strings(["1- 1"])
+        dc = Cover.from_strings(["10 1"])
+        assert not covers_equal(a, b)
+        assert covers_equal(a, b, dc=dc)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            covers_equal(Cover.from_strings(["1 1"]),
+                         Cover.from_strings(["11 1"]))
+
+    def test_sampled_mode_on_large_inputs(self):
+        a = Cover.from_strings(["1" + "-" * 15 + " 1"])
+        b = Cover.from_strings(["1" + "-" * 15 + " 1"])
+        assert covers_equal(a, b, max_exhaustive=8, samples=200)
+
+    def test_sampled_mode_finds_gross_difference(self):
+        a = Cover.universe(16)
+        b = Cover.empty(16)
+        assert not covers_equal(a, b, max_exhaustive=8, samples=50)

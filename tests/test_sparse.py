@@ -1,0 +1,107 @@
+"""Tests for the MAKE_SPARSE and LAST_GASP passes."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.espresso import espresso
+from repro.espresso.sparse import last_gasp, make_sparse
+from repro.logic.complement import complement_cover
+from repro.logic.cover import Cover
+from repro.logic.function import BooleanFunction
+
+from conftest import covers, functions
+
+
+def out_literals(cover):
+    return sum(bin(c.outputs).count("1") for c in cover.cubes)
+
+
+class TestMakeSparse:
+    def test_drops_redundant_output_tap(self):
+        # second cube's output-0 tap is redundant (first covers it)
+        cover = Cover.from_strings(["1- 10", "1- 11"])
+        sparse = make_sparse(cover)
+        assert sparse.truth_table() == cover.truth_table()
+        assert out_literals(sparse) < out_literals(cover)
+
+    def test_keeps_needed_taps(self):
+        cover = Cover.from_strings(["1- 10", "-1 01"])
+        sparse = make_sparse(cover)
+        assert out_literals(sparse) == out_literals(cover)
+
+    def test_never_empties_a_needed_cube(self):
+        cover = Cover.from_strings(["1- 11", "1- 11"])
+        sparse = make_sparse(cover)
+        assert sparse.truth_table() == cover.truth_table()
+
+    @settings(max_examples=100, deadline=None)
+    @given(covers(max_inputs=5, max_outputs=3, max_cubes=6))
+    def test_function_preserved(self, cover):
+        sparse = make_sparse(cover)
+        assert sparse.truth_table() == cover.truth_table()
+
+    @settings(max_examples=60, deadline=None)
+    @given(covers(max_inputs=4, max_outputs=3, max_cubes=5))
+    def test_output_literals_never_grow(self, cover):
+        assert out_literals(make_sparse(cover)) <= out_literals(cover)
+
+    def test_dc_enables_lowering(self):
+        on = Cover.from_strings(["1- 11"])
+        dc = Cover.from_strings(["1- 01"])
+        sparse = make_sparse(on, dc)
+        # output 0 of the cube is entirely DC-covered... it is not: DC
+        # covers output 0 over 1-, so the tap may drop
+        assert out_literals(sparse) <= out_literals(on)
+
+
+class TestLastGasp:
+    def test_never_worse(self):
+        rng = random.Random(5)
+        for _ in range(25):
+            n = rng.randint(2, 5)
+            f = BooleanFunction.random(n, rng.randint(1, 2),
+                                       rng.randint(2, 7),
+                                       seed=rng.randrange(10**6))
+            cover = f.on_set.single_cube_containment()
+            if len(cover) < 2:
+                continue
+            off = f.off_set
+            result = last_gasp(cover, off)
+            assert result.cost() <= cover.cost()
+            assert result.truth_table() == cover.truth_table()
+
+    def test_trivial_covers_passthrough(self):
+        cover = Cover.from_strings(["1- 1"])
+        off = complement_cover(cover)
+        assert last_gasp(cover, off) == cover
+
+    def test_classic_stall_escape(self):
+        # three maximal cubes where one prime covers two reductions:
+        # f = ab + a'c + bc ; bc is the consensus and is redundant, but
+        # for a stalled cover {ab, a'c, bc-reduced...} last_gasp finds it
+        cover = Cover.from_strings(["11- 1", "0-1 1", "-11 1"])
+        off = complement_cover(cover)
+        result = last_gasp(cover, off)
+        assert result.truth_table() == cover.truth_table()
+        assert len(result) <= len(cover)
+
+
+class TestEspressoIntegration:
+    @settings(max_examples=60, deadline=None)
+    @given(functions(max_inputs=5, max_outputs=2, max_cubes=6))
+    def test_full_pipeline_with_finishing_passes(self, f):
+        with_passes = espresso(f)
+        without = espresso(f, use_last_gasp=False, use_make_sparse=False)
+        assert f.equivalent_to(with_passes.cover)
+        assert f.equivalent_to(without.cover)
+        assert with_passes.cover.n_cubes() <= without.cover.n_cubes()
+
+    def test_sparse_reduces_programmed_devices(self):
+        from repro.mapping.gnor_map import map_cover_to_gnor
+        cover = Cover.from_strings(["1-- 11", "1-- 10", "-1- 01"])
+        dense_devices = map_cover_to_gnor(
+            cover.single_cube_containment()).used_devices()
+        sparse_devices = map_cover_to_gnor(
+            make_sparse(cover.single_cube_containment())).used_devices()
+        assert sparse_devices <= dense_devices

@@ -1,0 +1,67 @@
+"""Tests for the one-call benchmark-suite evaluator."""
+
+import csv
+import io
+
+import pytest
+
+from repro.bench.mcnc import TABLE1_BENCHMARKS
+from repro.bench.suite import (SUITE_HEADERS, evaluate_suite, render_suite,
+                               suite_csv, suite_rows)
+
+
+@pytest.fixture(scope="module")
+def table1_entries():
+    return evaluate_suite(TABLE1_BENCHMARKS, seed=0)
+
+
+class TestEvaluation:
+    def test_one_entry_per_benchmark(self, table1_entries):
+        assert [e.stats.name for e in table1_entries] == \
+            ["max46", "apla", "t2"]
+
+    def test_areas_match_table1(self, table1_entries):
+        max46 = table1_entries[0]
+        assert max46.flash_area == 34960
+        assert max46.eeprom_area == 87400
+        assert max46.cnfet_area == 27600
+
+    def test_savings_match_paper(self, table1_entries):
+        max46, apla, _t2 = table1_entries
+        assert max46.saving_vs_flash == pytest.approx(21.05, abs=0.1)
+        assert apla.saving_vs_flash == pytest.approx(-3.1, abs=0.1)
+        assert max46.saving_vs_eeprom == pytest.approx(68.4, abs=0.1)
+
+    def test_gnor_always_faster(self, table1_entries):
+        for entry in table1_entries:
+            assert entry.gnor_frequency_hz > entry.classical_frequency_hz
+
+    def test_device_occupancy_sane(self, table1_entries):
+        for entry in table1_entries:
+            assert 0 < entry.programmed_devices <= entry.total_devices
+            dims_product = entry.stats.products * \
+                (entry.stats.inputs + entry.stats.outputs)
+            assert entry.total_devices == dims_product
+
+    def test_default_suite_covers_registry(self):
+        from repro.bench.mcnc import EXTENDED_SUITE
+        entries = evaluate_suite(seed=0)
+        assert len(entries) == len(EXTENDED_SUITE)
+
+
+class TestRendering:
+    def test_render_contains_all_names(self, table1_entries):
+        text = render_suite(table1_entries)
+        for name in ("max46", "apla", "t2"):
+            assert name in text
+
+    def test_rows_match_headers(self, table1_entries):
+        for row in suite_rows(table1_entries):
+            assert len(row) == len(SUITE_HEADERS)
+
+    def test_csv_parses(self, table1_entries):
+        parsed = list(csv.reader(io.StringIO(suite_csv(table1_entries))))
+        assert parsed[0] == SUITE_HEADERS
+        assert len(parsed) == 4
+        assert parsed[1][0] == "max46"
+        assert parsed[1][6] == "27600"

@@ -1,0 +1,99 @@
+"""Tests for the unate-recursive tautology check."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+from repro.logic.tautology import covers_cube, is_tautology
+
+from conftest import covers
+
+
+class TestBasics:
+    def test_universe_is_tautology(self):
+        assert is_tautology(Cover.universe(4))
+
+    def test_empty_is_not_tautology(self):
+        assert not is_tautology(Cover.empty(3))
+
+    def test_single_variable_split(self):
+        assert is_tautology(Cover.from_strings(["1 1", "0 1"]))
+        assert not is_tautology(Cover.from_strings(["1 1"]))
+
+    def test_complementary_pair(self):
+        assert is_tautology(Cover.from_strings(["1- 1", "0- 1"]))
+
+    def test_xor_cover_is_not_tautology(self):
+        assert not is_tautology(Cover.from_strings(["10 1", "01 1"]))
+
+    def test_full_minterm_enumeration(self):
+        cover = Cover(2, 1, [Cube.from_minterm(m, 2) for m in range(4)])
+        assert is_tautology(cover)
+
+    def test_missing_one_minterm(self):
+        cover = Cover(3, 1, [Cube.from_minterm(m, 3) for m in range(7)])
+        assert not is_tautology(cover)
+
+    def test_unate_reduction_path(self):
+        # unate in variable 0 (only positive); tautology iff the dashed
+        # subcover is one — here it is not
+        cover = Cover.from_strings(["1- 1", "-1 1"])
+        assert not is_tautology(cover)
+
+    def test_multi_output_checks_each_output(self):
+        cover = Cover.from_strings(["1- 11", "0- 10"])
+        assert not is_tautology(cover)  # output 1 misses a=0
+        cover2 = Cover.from_strings(["1- 11", "0- 11"])
+        assert is_tautology(cover2)
+
+    def test_zero_inputs_edge(self):
+        cover = Cover(0, 1, [Cube(0, 0, 1, 1)])
+        assert is_tautology(cover)
+
+
+class TestCoversCube:
+    def test_cover_contains_its_own_cube(self):
+        cover = Cover.from_strings(["1-- 1", "0-- 1"])
+        assert covers_cube(cover, Cube.from_string("11-"))
+
+    def test_cover_missing_region(self):
+        cover = Cover.from_strings(["1-- 1"])
+        assert not covers_cube(cover, Cube.from_string("-1-"))
+
+    def test_multi_cube_cooperation(self):
+        # two cubes jointly cover "1--" though neither alone does
+        cover = Cover.from_strings(["11- 1", "10- 1"])
+        assert covers_cube(cover, Cube.from_string("1--"))
+
+    def test_output_aware_containment(self):
+        cover = Cover.from_strings(["1- 10"])
+        assert not covers_cube(cover, Cube.from_string("1-", "01"))
+        assert covers_cube(cover, Cube.from_string("1-", "10"))
+
+    def test_multi_output_joint(self):
+        cover = Cover.from_strings(["1- 11", "0- 01"])
+        assert covers_cube(cover, Cube.from_string("--", "01"))
+        assert not covers_cube(cover, Cube.from_string("--", "11"))
+
+
+class TestAgainstTruthTable:
+    @settings(max_examples=300, deadline=None)
+    @given(covers(max_inputs=5, max_outputs=2, max_cubes=8))
+    def test_matches_exhaustive_check(self, cover):
+        full_mask = (1 << cover.n_outputs) - 1
+        expected = all(cover.output_mask_for(m) == full_mask
+                       for m in range(1 << cover.n_inputs))
+        assert is_tautology(cover) == expected
+
+    def test_randomized_deep(self):
+        rng = random.Random(99)
+        for _ in range(200):
+            n = rng.randint(1, 7)
+            cover = Cover.random(n, 1, rng.randint(0, 10), rng,
+                                 dash_probability=0.6)
+            expected = all(cover.output_mask_for(m)
+                           for m in range(1 << n))
+            assert is_tautology(cover) == expected

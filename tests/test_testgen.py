@@ -1,0 +1,242 @@
+"""Tests for fault simulation, ATPG and fault location."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.gnor import InputConfig
+from repro.core.pla import AmbipolarPLA
+from repro.espresso import minimize
+from repro.logic.cover import Cover
+from repro.logic.function import BooleanFunction
+from repro.mapping.gnor_map import map_cover_to_gnor
+from repro.testgen import (Fault, FaultSimulator, FaultSite,
+                           enumerate_faults, generate_tests, locate_fault)
+
+from conftest import functions
+
+
+def config_of(rows):
+    return map_cover_to_gnor(Cover.from_strings(rows))
+
+
+class TestFaultEnumeration:
+    def test_counts(self):
+        config = config_of(["10 1"])  # 1 product, 2 inputs, 1 output
+        faults = enumerate_faults(config)
+        # AND: 2 stuck-on + 2 stuck-off (both positions programmed);
+        # OR: 1 stuck-on + 1 stuck-off (the single tap is PASS)
+        assert len(faults) == 6
+
+    def test_redundant_skipped_on_drop(self):
+        config = config_of(["1- 1"])  # input 1 dropped
+        faults = enumerate_faults(config)
+        drop_stuck_off = [f for f in faults if f.site is FaultSite.AND
+                          and f.column == 1 and not f.stuck_on]
+        assert drop_stuck_off == []
+
+    def test_include_redundant_flag(self):
+        config = config_of(["1- 1"])
+        all_faults = enumerate_faults(config, include_redundant=True)
+        assert len(all_faults) > len(enumerate_faults(config))
+
+    def test_str(self):
+        fault = Fault(FaultSite.AND, 2, 1, stuck_on=True)
+        assert str(fault) == "and[2,1] stuck-on"
+
+
+class TestFaultSimulator:
+    def test_healthy_matches_switch_level(self):
+        f = BooleanFunction.random(4, 2, 5, seed=1)
+        config = map_cover_to_gnor(minimize(f))
+        simulator = FaultSimulator(config)
+        pla = AmbipolarPLA(config)
+        for m in range(16):
+            vector = [(m >> i) & 1 for i in range(4)]
+            assert simulator.evaluate(vector) == pla.evaluate(vector)
+
+    def test_and_stuck_on_kills_product(self):
+        config = config_of(["11 1"])
+        simulator = FaultSimulator(config)
+        fault = Fault(FaultSite.AND, 0, 0, stuck_on=True)
+        # product can never fire: output constant 0
+        for m in range(4):
+            vector = [m & 1, (m >> 1) & 1]
+            assert simulator.evaluate(vector, fault) == [0]
+
+    def test_and_stuck_off_drops_literal(self):
+        config = config_of(["11 1"])  # f = a & b
+        simulator = FaultSimulator(config)
+        fault = Fault(FaultSite.AND, 0, 0, stuck_on=False)
+        # literal a dropped: faulty f = b
+        assert simulator.evaluate([0, 1], fault) == [1]
+        assert simulator.evaluate([0, 0], fault) == [0]
+
+    def test_or_stuck_off_drops_product(self):
+        config = config_of(["1- 1", "-1 1"])  # f = a | b
+        simulator = FaultSimulator(config)
+        fault = Fault(FaultSite.OR, 0, 0, stuck_on=False)
+        # first product dropped: faulty f = b
+        assert simulator.evaluate([1, 0], fault) == [0]
+        assert simulator.evaluate([0, 1], fault) == [1]
+
+    def test_or_stuck_on_pins_output(self):
+        config = config_of(["11 1"])
+        simulator = FaultSimulator(config)
+        fault = Fault(FaultSite.OR, 0, 0, stuck_on=True)
+        for m in range(4):
+            vector = [m & 1, (m >> 1) & 1]
+            assert simulator.evaluate(vector, fault) == [1]
+
+    def test_input_width_checked(self):
+        simulator = FaultSimulator(config_of(["11 1"]))
+        with pytest.raises(ValueError):
+            simulator.evaluate([1])
+
+    def test_detects(self):
+        config = config_of(["11 1"])
+        simulator = FaultSimulator(config)
+        fault = Fault(FaultSite.AND, 0, 0, stuck_on=False)
+        assert simulator.detects([0, 1], fault)
+        assert not simulator.detects([1, 1], fault)
+
+    def test_fault_signature(self):
+        config = config_of(["11 1"])
+        simulator = FaultSimulator(config)
+        fault = Fault(FaultSite.AND, 0, 0, stuck_on=False)
+        signature = simulator.fault_signature([[0, 1], [1, 1]], fault)
+        assert signature == (1, 0)
+
+
+class TestATPG:
+    def test_full_coverage_on_and2(self):
+        result = generate_tests(config_of(["11 1"]))
+        assert result.coverage == 1.0
+        assert result.undetected == []
+        assert 1 <= result.n_tests() <= 4
+
+    def test_test_set_covers_all_detected(self):
+        f = BooleanFunction.random(5, 2, 5, seed=3)
+        config = map_cover_to_gnor(minimize(f))
+        result = generate_tests(config)
+        simulator = FaultSimulator(config)
+        for fault in result.detected:
+            assert any(simulator.detects(test, fault)
+                       for test in result.tests), str(fault)
+
+    def test_compaction_is_real(self):
+        """The greedy set must be far smaller than the candidate pool."""
+        f = BooleanFunction.random(6, 2, 6, seed=4)
+        config = map_cover_to_gnor(minimize(f))
+        result = generate_tests(config)
+        assert result.n_tests() < result.candidate_pool_size / 2
+
+    def test_sampled_mode_beyond_limit(self):
+        f = BooleanFunction.random(12, 1, 6, seed=5, dash_probability=0.6)
+        config = map_cover_to_gnor(minimize(f))
+        result = generate_tests(config, exhaustive_limit=8, samples=128)
+        assert result.candidate_pool_size <= 128
+        assert result.coverage > 0.5
+
+    @settings(max_examples=25, deadline=None)
+    @given(functions(max_inputs=5, max_outputs=2, max_cubes=5))
+    def test_coverage_property(self, f):
+        cover = minimize(f)
+        if not len(cover):
+            return
+        config = map_cover_to_gnor(cover)
+        result = generate_tests(config)
+        simulator = FaultSimulator(config)
+        # undetected faults are genuinely undetectable by any pool vector
+        for fault in result.undetected:
+            for m in range(1 << config.n_inputs):
+                vector = [(m >> i) & 1 for i in range(config.n_inputs)]
+                assert not simulator.detects(vector, fault), str(fault)
+
+
+class TestLocation:
+    def test_healthy_array_locates_as_none(self):
+        config = config_of(["11 1", "0- 1"])
+        result = generate_tests(config)
+        simulator = FaultSimulator(config)
+        observed = [simulator.evaluate(test) for test in result.tests]
+        candidates = locate_fault(config, result.tests, observed)
+        assert None in candidates
+
+    def test_injected_fault_is_candidate(self):
+        f = BooleanFunction.random(4, 2, 4, seed=6)
+        config = map_cover_to_gnor(minimize(f))
+        result = generate_tests(config)
+        simulator = FaultSimulator(config)
+        for fault in result.detected[:5]:
+            observed = [simulator.evaluate(test, fault)
+                        for test in result.tests]
+            candidates = locate_fault(config, result.tests, observed)
+            assert fault in candidates
+            assert None not in candidates  # response differs from healthy
+
+    def test_equivalent_faults_co_locate(self):
+        """Location returns *all* consistent candidates, not just one."""
+        config = config_of(["11 1"])
+        result = generate_tests(config)
+        simulator = FaultSimulator(config)
+        # AND stuck-on at (0,0) and OR stuck-off of the product are
+        # equivalent (both kill the only product term)
+        fault_a = Fault(FaultSite.AND, 0, 0, stuck_on=True)
+        observed = [simulator.evaluate(test, fault_a)
+                    for test in result.tests]
+        candidates = locate_fault(config, result.tests, observed)
+        assert fault_a in candidates
+        assert len(candidates) >= 2
+
+
+class TestDeterministicATPG:
+    def test_full_coverage_on_redundancy_free_cover(self):
+        from repro.testgen import deterministic_tests
+        # irredundant prime cover with no sharing: every fault testable
+        config = config_of(["10 1", "01 1"])
+        result = deterministic_tests(config)
+        assert result.coverage == 1.0
+
+    def test_matches_exhaustive_atpg_on_small_arrays(self):
+        from repro.testgen import deterministic_tests
+        for seed in (1, 2, 3, 4):
+            f = BooleanFunction.random(5, 2, 5, seed=seed)
+            config = map_cover_to_gnor(minimize(f))
+            exhaustive = generate_tests(config, exhaustive_limit=5)
+            deterministic = deterministic_tests(config)
+            # the closed-form generator finds every fault the exhaustive
+            # pool can (and vice versa: both are exact here)
+            assert len(deterministic.detected) == len(exhaustive.detected), \
+                seed
+
+    def test_undetected_faults_are_redundant(self):
+        from repro.testgen import deterministic_tests
+        f = BooleanFunction.random(5, 2, 6, seed=9)
+        config = map_cover_to_gnor(minimize(f))
+        result = deterministic_tests(config)
+        simulator = FaultSimulator(config)
+        for fault in result.undetected:
+            for m in range(1 << config.n_inputs):
+                vector = [(m >> i) & 1 for i in range(config.n_inputs)]
+                assert not simulator.detects(vector, fault), str(fault)
+
+    def test_compacted_set_covers_all_detected(self):
+        from repro.testgen import deterministic_tests
+        f = BooleanFunction.random(6, 2, 6, seed=10)
+        config = map_cover_to_gnor(minimize(f))
+        result = deterministic_tests(config)
+        simulator = FaultSimulator(config)
+        for fault in result.detected:
+            assert any(simulator.detects(test, fault)
+                       for test in result.tests), str(fault)
+
+    def test_scales_past_truth_table_pool(self):
+        from repro.testgen import deterministic_tests
+        f = BooleanFunction.random(14, 1, 6, seed=11, dash_probability=0.5)
+        config = map_cover_to_gnor(minimize(f))
+        result = deterministic_tests(config)
+        # no exponential pool involved: test count stays tiny
+        assert result.n_tests() < 100
+        assert result.coverage > 0.9

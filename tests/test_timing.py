@@ -1,0 +1,69 @@
+"""Tests for the PLA delay model."""
+
+import pytest
+
+from repro.core.timing import (DEFAULT_TIMING, PLATimingModel,
+                               TimingParameters, classical_timing)
+
+
+class TestPlaneDelays:
+    def test_delays_positive(self):
+        model = PLATimingModel(8, 4, 20)
+        assert model.and_plane_delay() > 0
+        assert model.or_plane_delay() > 0
+        assert model.precharge_delay() > 0
+
+    def test_row_capacitance_grows_with_columns(self):
+        small = PLATimingModel(4, 2, 10)
+        large = PLATimingModel(16, 2, 10)
+        assert large.row_wire_capacitance() > small.row_wire_capacitance()
+
+    def test_column_capacitance_grows_with_products(self):
+        small = PLATimingModel(4, 2, 5)
+        large = PLATimingModel(4, 2, 50)
+        assert large.column_wire_capacitance() > small.column_wire_capacitance()
+
+    def test_evaluate_delay_composition(self):
+        model = PLATimingModel(8, 4, 20)
+        expected = (model.and_plane_delay() + model.or_plane_delay()
+                    + model.params.buffer_delay)
+        assert model.evaluate_delay() == pytest.approx(expected)
+
+    def test_cycle_time_includes_precharge(self):
+        model = PLATimingModel(8, 4, 20)
+        assert model.cycle_time() > model.evaluate_delay()
+
+    def test_frequency_is_reciprocal(self):
+        model = PLATimingModel(8, 4, 20)
+        assert model.max_frequency() == pytest.approx(1 / model.cycle_time())
+
+
+class TestArchitectureComparison:
+    def test_dual_column_baseline_is_slower(self):
+        """The classical PLA's rows span 2I columns: more wire, more delay."""
+        gnor = PLATimingModel(9, 4, 20)
+        classical = classical_timing(9, 4, 20)
+        assert classical.and_plane_delay() > gnor.and_plane_delay()
+        assert classical.max_frequency() < gnor.max_frequency()
+
+    def test_same_or_plane_delay(self):
+        gnor = PLATimingModel(9, 4, 20)
+        classical = classical_timing(9, 4, 20)
+        assert classical.or_plane_delay() == pytest.approx(gnor.or_plane_delay())
+
+    def test_more_tubes_faster(self):
+        from repro.core.device import DeviceParameters
+        slow = PLATimingModel(8, 4, 20, TimingParameters(
+            device=DeviceParameters(tubes_per_device=1)))
+        fast = PLATimingModel(8, 4, 20, TimingParameters(
+            device=DeviceParameters(tubes_per_device=8)))
+        assert fast.evaluate_delay() < slow.evaluate_delay()
+
+    def test_bigger_array_slower(self):
+        small = PLATimingModel(4, 2, 10)
+        large = PLATimingModel(16, 8, 60)
+        assert large.cycle_time() > small.cycle_time()
+
+    def test_default_parameters_shared(self):
+        model = PLATimingModel(4, 2, 8)
+        assert model.params is DEFAULT_TIMING

@@ -1,0 +1,65 @@
+"""Tests for the unateness helpers."""
+
+import pytest
+
+from repro.espresso.unate import (binate_variables, cube_literal_positions,
+                                  minimal_unate_cover, unate_variables)
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+
+
+class TestUnateDetection:
+    def test_positive_unate(self):
+        cover = Cover.from_strings(["1- 1", "11 1"])
+        assert unate_variables(cover) == [True, True]
+
+    def test_negative_unate(self):
+        cover = Cover.from_strings(["0- 1"])
+        assert unate_variables(cover)[0] is False
+
+    def test_binate_detected(self):
+        cover = Cover.from_strings(["1- 1", "0- 1"])
+        assert unate_variables(cover)[0] is None
+        assert binate_variables(cover) == [0]
+
+    def test_absent_variable_counts_positive(self):
+        cover = Cover.from_strings(["-1 1"])
+        assert unate_variables(cover)[0] is True
+
+    def test_binate_variables_multiple(self):
+        cover = Cover.from_strings(["10 1", "01 1"])
+        assert binate_variables(cover) == [0, 1]
+
+
+class TestMinimalUnateCover:
+    def test_containment_removal_suffices(self):
+        cover = Cover.from_strings(["1- 1", "11 1", "-1 1"])
+        minimal = minimal_unate_cover(cover)
+        assert len(minimal) == 2
+        assert minimal.truth_table() == cover.truth_table()
+
+    def test_rejects_binate_cover(self):
+        cover = Cover.from_strings(["1- 1", "0- 1"])
+        with pytest.raises(ValueError):
+            minimal_unate_cover(cover)
+
+    def test_already_minimal_untouched(self):
+        cover = Cover.from_strings(["1- 1", "-1 1"])
+        assert len(minimal_unate_cover(cover)) == 2
+
+
+class TestLiteralPositions:
+    def test_all_raisable_positions(self):
+        cube = Cube.from_string("10-", "10")
+        positions = cube_literal_positions(cube)
+        kinds = [(kind, pos) for kind, pos in positions]
+        # input 0 = '1' (raise bit 0), input 1 = '0' (raise bit 3),
+        # output 1 missing
+        assert ("input", 0) in kinds
+        assert ("input", 3) in kinds
+        assert ("output", 1) in kinds
+        assert len(kinds) == 3
+
+    def test_full_cube_has_none(self):
+        cube = Cube.full(3, 2)
+        assert cube_literal_positions(cube) == []

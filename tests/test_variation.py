@@ -1,0 +1,107 @@
+"""Tests for parameter variation and Monte-Carlo timing."""
+
+import random
+
+import pytest
+
+from repro.core.device import DEFAULT_PARAMETERS
+from repro.core.timing import DEFAULT_TIMING, PLATimingModel
+from repro.core.variation import (TimingDistribution, VariationModel,
+                                  monte_carlo_cycle_time, sigma_sweep)
+
+
+class TestSampling:
+    def test_zero_sigma_is_nominal(self):
+        model = VariationModel(0.0, 0.0, 0.0)
+        rng = random.Random(1)
+        timing = model.sample_timing(rng)
+        assert timing.device.r_on == DEFAULT_TIMING.device.r_on
+        assert timing.c_wire_per_cell == DEFAULT_TIMING.c_wire_per_cell
+
+    def test_sampling_perturbs(self):
+        model = VariationModel(0.2, 0.2, 0.0)
+        rng = random.Random(2)
+        timing = model.sample_timing(rng)
+        assert timing.device.r_on != DEFAULT_TIMING.device.r_on
+
+    def test_parameters_stay_positive(self):
+        model = VariationModel(1.5, 1.5, 0.0)  # absurd sigma
+        rng = random.Random(3)
+        for _ in range(200):
+            timing = model.sample_timing(rng)
+            assert timing.device.r_on > 0
+            assert timing.device.c_gate > 0
+
+
+class TestMisread:
+    def test_zero_sigma_never_misreads(self):
+        assert VariationModel(sigma_pg_charge=0.0).pg_misread_probability() == 0
+
+    def test_probability_monotone_in_sigma(self):
+        probabilities = [VariationModel(sigma_pg_charge=s)
+                         .pg_misread_probability()
+                         for s in (0.02, 0.05, 0.10, 0.20)]
+        assert all(b > a for a, b in zip(probabilities, probabilities[1:]))
+        assert all(0 <= p <= 0.5 for p in probabilities)
+
+    def test_known_value(self):
+        # sigma = margin: one-sided one-sigma tail ~ 15.87%
+        from repro.core.device import PG_TOLERANCE
+        margin = PG_TOLERANCE * DEFAULT_PARAMETERS.vdd
+        p = VariationModel(sigma_pg_charge=margin).pg_misread_probability()
+        assert p == pytest.approx(0.1587, abs=0.001)
+
+
+class TestMonteCarlo:
+    def test_deterministic_given_seed(self):
+        model = VariationModel()
+        a = monte_carlo_cycle_time(8, 4, 20, model, trials=50, seed=7)
+        b = monte_carlo_cycle_time(8, 4, 20, model, trials=50, seed=7)
+        assert a.samples == b.samples
+
+    def test_mean_near_nominal(self):
+        model = VariationModel(0.05, 0.05, 0.0)
+        dist = monte_carlo_cycle_time(8, 4, 20, model, trials=400, seed=8)
+        nominal = PLATimingModel(8, 4, 20).cycle_time()
+        assert dist.mean() == pytest.approx(nominal, rel=0.05)
+
+    def test_spread_grows_with_sigma(self):
+        tight = monte_carlo_cycle_time(8, 4, 20, VariationModel(0.02, 0.02),
+                                       trials=200, seed=9)
+        wide = monte_carlo_cycle_time(8, 4, 20, VariationModel(0.3, 0.3),
+                                      trials=200, seed=9)
+        assert wide.std() > tight.std()
+
+    def test_percentiles_ordered(self):
+        dist = monte_carlo_cycle_time(8, 4, 20, VariationModel(),
+                                      trials=100, seed=10)
+        assert dist.percentile(0.05) <= dist.percentile(0.5) \
+            <= dist.percentile(0.95)
+
+    def test_percentile_bounds_checked(self):
+        dist = TimingDistribution([1.0, 2.0])
+        with pytest.raises(ValueError):
+            dist.percentile(1.5)
+
+    def test_yield_monotone_in_target(self):
+        dist = monte_carlo_cycle_time(8, 4, 20, VariationModel(),
+                                      trials=100, seed=11)
+        relaxed = dist.timing_yield(1.0 / dist.percentile(0.95))
+        strict = dist.timing_yield(1.0 / dist.percentile(0.05))
+        assert relaxed >= strict
+        assert relaxed >= 0.9
+
+    def test_trials_validated(self):
+        with pytest.raises(ValueError):
+            monte_carlo_cycle_time(4, 2, 8, VariationModel(), trials=0)
+
+
+class TestSweep:
+    def test_yield_degrades_with_sigma(self):
+        nominal = PLATimingModel(9, 4, 20).cycle_time()
+        target = 1.0 / (nominal * 1.10)  # 10% slack
+        rows = sigma_sweep(9, 4, 20, sigmas=(0.02, 0.15, 0.4),
+                           target_frequency_hz=target, trials=150, seed=12)
+        yields = [row["yield"] for row in rows]
+        assert yields[0] > yields[-1]
+        assert all(row["p95_ps"] >= 0 for row in rows)

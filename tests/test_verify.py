@@ -1,0 +1,73 @@
+"""Tests for the unified equivalence checker."""
+
+import pytest
+
+from repro.logic.cover import Cover
+from repro.logic.verify import (EquivalenceResult, assert_equivalent,
+                                check_equivalence)
+
+
+class TestMethodSelection:
+    def test_small_uses_truth_table(self):
+        a = Cover.from_strings(["1- 1"])
+        result = check_equivalence(a, a)
+        assert result.equivalent and result.method == "truth-table"
+
+    def test_large_uses_bdd(self):
+        a = Cover.from_strings(["1" + "-" * 14 + " 1"])
+        result = check_equivalence(a, a)
+        assert result.equivalent and result.method == "bdd"
+
+    def test_limit_is_configurable(self):
+        a = Cover.from_strings(["1-- 1"])
+        result = check_equivalence(a, a, exhaustive_limit=2)
+        assert result.method == "bdd"
+
+
+class TestCounterexamples:
+    def test_truth_table_counterexample(self):
+        a = Cover.from_strings(["11 1"])
+        b = Cover.from_strings(["1- 1"])
+        result = check_equivalence(a, b)
+        assert not result.equivalent
+        v = result.counterexample
+        m = sum(bit << i for i, bit in enumerate(v))
+        assert a.output_mask_for(m) != b.output_mask_for(m)
+
+    def test_bdd_counterexample(self):
+        n = 15
+        a = Cover.from_strings(["1" + "-" * (n - 1) + " 1"])
+        b = Cover.from_strings(["-" * n + " 1"])
+        result = check_equivalence(a, b)
+        assert not result.equivalent and result.method == "bdd"
+        m = sum(bit << i for i, bit in enumerate(result.counterexample))
+        assert a.output_mask_for(m) != b.output_mask_for(m)
+
+    def test_output_index_reported(self):
+        a = Cover.from_strings(["1- 10"])
+        b = Cover.from_strings(["1- 11"])
+        result = check_equivalence(a, b)
+        assert result.output == 1
+
+    def test_dc_set_respected(self):
+        a = Cover.from_strings(["11 1"])
+        b = Cover.from_strings(["1- 1"])
+        dc = Cover.from_strings(["10 1"])
+        assert check_equivalence(a, b, dc=dc).equivalent
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            check_equivalence(Cover.from_strings(["1 1"]),
+                              Cover.from_strings(["11 1"]))
+
+
+class TestAssertHelper:
+    def test_passes_silently(self):
+        a = Cover.from_strings(["0- 1"])
+        assert_equivalent(a, a)
+
+    def test_raises_with_counterexample(self):
+        a = Cover.from_strings(["11 1"])
+        b = Cover.from_strings(["00 1"])
+        with pytest.raises(AssertionError, match="differ at input"):
+            assert_equivalent(a, b)

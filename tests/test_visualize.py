@@ -1,0 +1,75 @@
+"""Tests for the ASCII fabric visualizations."""
+
+from repro.fpga.clb import standard_pla_clb
+from repro.fpga.fabric import FPGAFabric
+from repro.fpga.netlist import build_netlist
+from repro.fpga.placement import place
+from repro.fpga.routing import route
+from repro.fpga.visualize import (congestion_map, occupancy_map,
+                                  wirelength_histogram)
+from repro.logic.function import BooleanFunction
+from repro.mapping.partition import Partitioner
+
+
+def routed_design(side=6, seeds=(1, 2)):
+    partitioner = Partitioner(max_inputs=4, max_outputs=2, max_products=8)
+    partitions = [partitioner.partition(
+        BooleanFunction.random(6, 2, 5, seed=s, name=f"w{s}",
+                               dash_probability=0.3))
+        for s in seeds]
+    netlist = build_netlist(partitions, dual_polarity=False)
+    fabric = FPGAFabric(side, side, standard_pla_clb())
+    placement = place(netlist, fabric, seed=0)
+    return netlist, fabric, placement, route(netlist, placement, fabric)
+
+
+class TestOccupancyMap:
+    def test_grid_dimensions(self):
+        netlist, fabric, placement, _routing = routed_design()
+        text = occupancy_map(placement, fabric)
+        lines = text.splitlines()
+        assert len(lines) == fabric.height + 1
+        assert all(len(line) == fabric.width for line in lines[:-1])
+
+    def test_occupied_count_matches(self):
+        netlist, fabric, placement, _routing = routed_design()
+        text = occupancy_map(placement, fabric)
+        hashes = sum(line.count("#") for line in text.splitlines()[:-1])
+        assert hashes == netlist.n_blocks()
+
+    def test_summary_line(self):
+        netlist, fabric, placement, _routing = routed_design()
+        assert "sites occupied" in occupancy_map(placement, fabric)
+
+
+class TestCongestionMap:
+    def test_grid_dimensions(self):
+        _n, fabric, _p, routing = routed_design()
+        lines = congestion_map(routing, fabric).splitlines()
+        assert len(lines) == fabric.height + 1
+        assert all(len(line) == fabric.width for line in lines[:-1])
+
+    def test_peak_reported(self):
+        _n, fabric, _p, routing = routed_design()
+        assert "peak channel utilization" in congestion_map(routing, fabric)
+
+    def test_empty_routing(self):
+        from repro.fpga.routing import RoutingResult
+        fabric = FPGAFabric(3, 3, standard_pla_clb())
+        routing = RoutingResult({}, {}, {}, 0, 0)
+        text = congestion_map(routing, fabric)
+        assert "peak channel utilization: 0%" in text
+
+
+class TestHistogram:
+    def test_counts_all_nets(self):
+        _n, _f, _p, routing = routed_design()
+        text = wirelength_histogram(routing)
+        total = sum(int(line.rsplit(" ", 1)[1])
+                    for line in text.splitlines())
+        assert total == len(routing.routed)
+
+    def test_empty(self):
+        from repro.fpga.routing import RoutingResult
+        routing = RoutingResult({}, {}, {}, 0, 0)
+        assert "no routed nets" in wirelength_histogram(routing)

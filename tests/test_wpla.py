@@ -1,0 +1,73 @@
+"""Tests for the Whirlpool PLA (4 GNOR planes)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.pla import AmbipolarPLA
+from repro.core.wpla import WhirlpoolPLA
+from repro.espresso import doppio_espresso
+from repro.logic.cover import Cover
+from repro.logic.function import BooleanFunction
+from repro.mapping.wpla_map import map_doppio_to_wpla
+
+from conftest import functions
+
+
+def build_wpla(f):
+    return map_doppio_to_wpla(doppio_espresso(f), f.n_outputs)
+
+
+class TestConstruction:
+    def test_groups_must_partition(self):
+        f = BooleanFunction.random(3, 2, 3, seed=1)
+        half = AmbipolarPLA.from_cover(f.on_set.restrict_output(0))
+        with pytest.raises(ValueError):
+            WhirlpoolPLA(half, half, [0], [0], 2)
+
+    def test_halves_must_share_inputs(self):
+        a = AmbipolarPLA.from_cover(Cover.from_strings(["1- 1"]))
+        b = AmbipolarPLA.from_cover(Cover.from_strings(["1-- 1"]))
+        with pytest.raises(ValueError):
+            WhirlpoolPLA(a, b, [0], [1], 2)
+
+    def test_four_planes(self):
+        f = BooleanFunction.random(4, 2, 4, seed=2)
+        assert build_wpla(f).n_planes == 4
+
+    def test_cell_and_product_counts(self):
+        f = BooleanFunction.random(4, 3, 5, seed=3)
+        wpla = build_wpla(f)
+        assert wpla.n_cells() == (wpla.half_a.n_cells()
+                                  + wpla.half_b.n_cells())
+        assert wpla.n_products() == (wpla.half_a.n_products
+                                     + wpla.half_b.n_products)
+
+
+class TestFunctionality:
+    @settings(max_examples=25, deadline=None)
+    @given(functions(max_inputs=4, max_outputs=4, max_cubes=5))
+    def test_wpla_implements_function(self, f):
+        if f.n_outputs < 2:
+            return
+        wpla = build_wpla(f)
+        assert wpla.truth_table() == f.on_set.truth_table()
+
+    def test_output_interleaving(self):
+        # make a function where the two outputs differ observably
+        on = Cover.from_strings(["1- 10", "-1 01"])
+        f = BooleanFunction(on)
+        wpla = build_wpla(f)
+        assert wpla.evaluate([1, 0]) == [1, 0]
+        assert wpla.evaluate([0, 1]) == [0, 1]
+
+    def test_narrower_than_monolith(self):
+        """Each ring half sees only its own output columns."""
+        f = BooleanFunction.random(5, 4, 8, seed=9)
+        wpla = build_wpla(f)
+        mono = AmbipolarPLA.from_function(f)
+        assert wpla.half_a.n_columns() < mono.n_columns()
+        assert wpla.half_b.n_columns() < mono.n_columns()
+
+    def test_repr(self):
+        f = BooleanFunction.random(3, 2, 3, seed=5)
+        assert "WhirlpoolPLA" in repr(build_wpla(f))
