@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""Kernel-vs-scalar performance benchmark (writes ``BENCH_perf.json``).
+
+Times the bit-sliced NumPy kernels of :mod:`repro.kernels` against the
+scalar Python fallback (``REPRO_KERNEL=python``) on the workloads they
+replaced:
+
+* exhaustive cover equivalence at 16 inputs — the acceptance metric
+  (target: >= 5x),
+* MCNC-suite response evaluation (exhaustive truth tables for small
+  input counts, 4096-minterm sampled sweeps for large ones),
+* switch-level vs bit-sliced PLA truth-table enumeration,
+* ATPG fault dropping (the (vector, fault) detection matrix).
+
+The JSON report is the start of a perf trajectory: subsequent PRs can
+diff ``BENCH_perf.json`` to catch regressions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py [--quick] [-o FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from typing import Callable, List
+
+from repro import kernels
+from repro.bench.mcnc import TABLE1_BENCHMARKS, get_benchmark, synthesize_cover
+from repro.core.pla import AmbipolarPLA
+from repro.logic.cover import Cover
+from repro.logic.verify import check_equivalence
+from repro.mapping.gnor_map import map_cover_to_gnor
+from repro.testgen.atpg import generate_tests
+
+#: Acceptance threshold for the exhaustive-equivalence headline number.
+TARGET_SPEEDUP = 5.0
+
+
+def _best_of(fn: Callable[[], object], reps: int) -> float:
+    """Best wall time of ``reps`` runs of ``fn``."""
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _compare(name: str, detail: str, scalar_fn: Callable[[], object],
+             kernel_fn: Callable[[], object], scalar_reps: int,
+             kernel_reps: int) -> dict:
+    """Time both backends and return one result record."""
+    with kernels.forced_backend("numpy"):
+        kernel_fn()  # warm caches / fault in packing outside the clock
+        kernel_s = _best_of(kernel_fn, kernel_reps)
+    with kernels.forced_backend("python"):
+        scalar_s = _best_of(scalar_fn, scalar_reps)
+    speedup = scalar_s / kernel_s if kernel_s > 0 else float("inf")
+    print(f"  {name:<28} scalar {scalar_s * 1000:10.1f} ms   "
+          f"kernel {kernel_s * 1000:8.2f} ms   {speedup:8.1f}x")
+    return {"name": name, "detail": detail,
+            "scalar_s": round(scalar_s, 6), "kernel_s": round(kernel_s, 6),
+            "speedup": round(speedup, 2)}
+
+
+def bench_equivalence16(results: List[dict], seed: int, quick: bool) -> dict:
+    """The acceptance metric: exhaustive equivalence at n_inputs=16."""
+    rng = random.Random(seed)
+    a = Cover.random(16, 1, 24, rng)
+    b = a.copy()
+
+    # fresh copies per run so the scalar minterm memo cannot carry over
+    record = _compare(
+        "equivalence_exhaustive_n16", "2^16 minterms, 24 cubes, 1 output",
+        lambda: check_equivalence(a.copy(), b.copy(), exhaustive_limit=16),
+        lambda: check_equivalence(a.copy(), b.copy(), exhaustive_limit=16),
+        scalar_reps=1, kernel_reps=3 if quick else 5)
+    results.append(record)
+    return record
+
+
+def bench_mcnc(results: List[dict], seed: int, quick: bool) -> None:
+    """Response evaluation across the MCNC registry entries."""
+    names = ["max46"] if quick else [s.name for s in TABLE1_BENCHMARKS]
+    samples = 1024 if quick else 4096
+    for name in names:
+        stats = get_benchmark(name)
+        cover = synthesize_cover(stats, seed=seed)
+        if stats.inputs <= 12:
+            results.append(_compare(
+                f"truth_table_{name}",
+                f"exhaustive 2^{stats.inputs}, {len(cover.cubes)} cubes, "
+                f"{stats.outputs} outputs",
+                lambda c=cover: c.copy().truth_table(),
+                lambda c=cover: c.copy().truth_table(),
+                scalar_reps=1, kernel_reps=3))
+        else:
+            rng = random.Random(seed + 1)
+            minterms = [rng.getrandbits(stats.inputs) for _ in range(samples)]
+
+            def scalar_eval(c=cover, ms=minterms):
+                fresh = c.copy()
+                return [fresh.output_mask_for(m) for m in ms]
+
+            def kernel_eval(c=cover, ms=minterms):
+                return kernels.bitslice.eval_minterms(c.copy(), ms)
+
+            results.append(_compare(
+                f"sampled_eval_{name}",
+                f"{samples} sampled minterms of 2^{stats.inputs}, "
+                f"{len(cover.cubes)} cubes",
+                scalar_eval, kernel_eval, scalar_reps=1, kernel_reps=3))
+
+
+def bench_pla_enumeration(results: List[dict], seed: int, quick: bool) -> None:
+    """Switch-level vs bit-sliced GNOR-PLA response enumeration."""
+    stats = get_benchmark("syn_small" if quick else "max46")
+    cover = synthesize_cover(stats, seed=seed)
+    pla = AmbipolarPLA.from_cover(cover)
+    results.append(_compare(
+        f"pla_truth_table_{stats.name}",
+        f"two-plane GNOR array {pla.n_products}x{pla.n_columns()}, "
+        f"2^{pla.n_inputs} vectors",
+        pla.truth_table, pla.truth_table, scalar_reps=1, kernel_reps=3))
+
+
+def bench_atpg(results: List[dict], seed: int, quick: bool) -> None:
+    """ATPG fault dropping: the (vector, fault) detection matrix."""
+    stats = get_benchmark("syn_small" if quick else "syn_dec5")
+    cover = synthesize_cover(stats, seed=seed)
+    config = map_cover_to_gnor(cover)
+    results.append(_compare(
+        f"atpg_fault_dropping_{stats.name}",
+        f"{config.n_products}x{config.n_inputs + config.n_outputs} array, "
+        f"exhaustive 2^{config.n_inputs} candidate pool",
+        lambda: generate_tests(config),
+        lambda: generate_tests(config),
+        scalar_reps=1, kernel_reps=3))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (CI smoke); the n=16 "
+                             "acceptance metric always runs")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("-o", "--output", default="BENCH_perf.json",
+                        help="report path (default: BENCH_perf.json)")
+    args = parser.parse_args(argv)
+
+    if not kernels._HAVE_NUMPY:
+        print("NumPy unavailable: nothing to compare", file=sys.stderr)
+        return 1
+
+    print(f"bench_perf (quick={args.quick}, seed={args.seed})")
+    results: List[dict] = []
+    headline = bench_equivalence16(results, args.seed, args.quick)
+    bench_mcnc(results, args.seed, args.quick)
+    bench_pla_enumeration(results, args.seed, args.quick)
+    bench_atpg(results, args.seed, args.quick)
+
+    passed = headline["speedup"] >= TARGET_SPEEDUP
+    report = {
+        "suite": "bench_perf",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "quick": args.quick,
+        "seed": args.seed,
+        "results": results,
+        "acceptance": {
+            "metric": "equivalence_exhaustive_n16",
+            "speedup": headline["speedup"],
+            "threshold": TARGET_SPEEDUP,
+            "pass": passed,
+        },
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    print(f"acceptance: {headline['speedup']:.1f}x >= {TARGET_SPEEDUP}x "
+          f"-> {'PASS' if passed else 'FAIL'}")
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,12 +4,20 @@ Runs every registry benchmark through the full pipeline — synthetic
 cover, GNOR mapping, Table 1 area model, delay model — and aggregates
 the results into a single report usable from Python, the CLI
 (``python -m repro suite``) or CSV export.
+
+Benchmarks are independent of each other (each synthesizes its cover
+from the shared base ``seed`` alone), so the suite parallelizes across
+a process pool: ``evaluate_suite(..., jobs=N)`` / ``python -m repro
+suite --jobs N``.  Results are bit-identical for any job count — the
+pool map preserves registry order and every worker derives its
+randomness from the benchmark's own seeded generator.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.export import rows_to_csv
 from repro.analysis.report import format_area, format_percent, render_table
@@ -51,32 +59,43 @@ class SuiteEntry:
     total_devices: int
 
 
+def _evaluate_one(task: Tuple[BenchmarkStats, int]) -> SuiteEntry:
+    """Full pipeline for one benchmark (top-level: process-pool safe)."""
+    stats, seed = task
+    function = benchmark_function(stats, seed=seed)
+    config = map_cover_to_gnor(function.on_set)
+    dims = (config.n_inputs, config.n_outputs, config.n_products)
+    flash = pla_area(FLASH, *dims)
+    eeprom = pla_area(EEPROM, *dims)
+    cnfet = pla_area(CNFET_AMBIPOLAR, *dims)
+    return SuiteEntry(
+        stats=stats,
+        flash_area=flash,
+        eeprom_area=eeprom,
+        cnfet_area=cnfet,
+        saving_vs_flash=area_saving_percent(cnfet, flash),
+        saving_vs_eeprom=area_saving_percent(cnfet, eeprom),
+        gnor_frequency_hz=PLATimingModel(*dims).max_frequency(),
+        classical_frequency_hz=classical_timing(*dims).max_frequency(),
+        programmed_devices=config.used_devices(),
+        total_devices=config.total_devices(),
+    )
+
+
 def evaluate_suite(benchmarks: Optional[Sequence[BenchmarkStats]] = None,
-                   seed: int = 0) -> List[SuiteEntry]:
-    """Evaluate the registry (or a custom list) end to end."""
+                   seed: int = 0, jobs: int = 1) -> List[SuiteEntry]:
+    """Evaluate the registry (or a custom list) end to end.
+
+    ``jobs > 1`` fans the benchmarks out over a process pool; entry
+    order and content are identical to the sequential run.
+    """
     if benchmarks is None:
         benchmarks = EXTENDED_SUITE
-    entries: List[SuiteEntry] = []
-    for stats in benchmarks:
-        function = benchmark_function(stats, seed=seed)
-        config = map_cover_to_gnor(function.on_set)
-        dims = (config.n_inputs, config.n_outputs, config.n_products)
-        flash = pla_area(FLASH, *dims)
-        eeprom = pla_area(EEPROM, *dims)
-        cnfet = pla_area(CNFET_AMBIPOLAR, *dims)
-        entries.append(SuiteEntry(
-            stats=stats,
-            flash_area=flash,
-            eeprom_area=eeprom,
-            cnfet_area=cnfet,
-            saving_vs_flash=area_saving_percent(cnfet, flash),
-            saving_vs_eeprom=area_saving_percent(cnfet, eeprom),
-            gnor_frequency_hz=PLATimingModel(*dims).max_frequency(),
-            classical_frequency_hz=classical_timing(*dims).max_frequency(),
-            programmed_devices=config.used_devices(),
-            total_devices=config.total_devices(),
-        ))
-    return entries
+    tasks = [(stats, seed) for stats in benchmarks]
+    if jobs > 1 and len(tasks) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            return list(pool.map(_evaluate_one, tasks))
+    return [_evaluate_one(task) for task in tasks]
 
 
 SUITE_HEADERS = ["benchmark", "I", "O", "P", "flash_l2", "eeprom_l2",

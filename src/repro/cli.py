@@ -199,7 +199,7 @@ def _cmd_atpg(args) -> int:
 
 def _cmd_suite(args) -> int:
     from repro.bench.suite import (evaluate_suite, render_suite, suite_csv)
-    entries = evaluate_suite(seed=args.seed)
+    entries = evaluate_suite(seed=args.seed, jobs=args.jobs)
     print(render_suite(entries))
     if args.csv:
         with open(args.csv, "w") as handle:
@@ -261,6 +261,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("suite", help="evaluate the whole benchmark registry")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel worker processes (default 1; results are "
+                        "identical for any job count)")
     p.add_argument("--csv", help="also export the rows as CSV")
     p.set_defaults(handler=_cmd_suite)
 

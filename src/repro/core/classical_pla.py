@@ -106,7 +106,16 @@ class ClassicalPLA:
         return outputs
 
     def truth_table(self) -> List[int]:
-        """Output bitmask per input minterm (tests only)."""
+        """Output bitmask per input minterm (exponential).
+
+        Bit-sliced over the personality matrices when the kernels are
+        enabled; scalar NOR-NOR walk otherwise.
+        """
+        from repro import kernels
+        if kernels.enabled() and self.n_outputs <= kernels.bitslice.WORD:
+            return kernels.bitslice.classical_truth_table(
+                self.personality.and_plane, self.personality.or_plane,
+                self.n_inputs)
         table = []
         for minterm in range(1 << self.n_inputs):
             vector = [(minterm >> i) & 1 for i in range(self.n_inputs)]

@@ -195,7 +195,19 @@ class GNORGate:
         return Cover(self.n_inputs, 1, [cube])
 
     def truth_table(self) -> List[int]:
-        """Exhaustive evaluation (for tests; exponential in inputs)."""
+        """Exhaustive evaluation (exponential in inputs).
+
+        Uses the bit-sliced kernel on the gate's programmed NOR
+        function when enabled; the scalar path cycles the dynamic gate
+        switch by switch (``REPRO_KERNEL=python``).
+        """
+        from repro import kernels
+        if kernels.enabled():
+            configs = self.config()
+            return kernels.bitslice.nor_gate_truth_table(
+                [c is InputConfig.PASS for c in configs],
+                [c is InputConfig.INVERT for c in configs],
+                self.n_inputs)
         results = []
         for minterm in range(1 << self.n_inputs):
             vector = [(minterm >> i) & 1 for i in range(self.n_inputs)]

@@ -134,7 +134,15 @@ class AmbipolarPLA:
         return outputs
 
     def truth_table(self) -> List[int]:
-        """Output bitmask per input minterm (exponential; tests only)."""
+        """Output bitmask per input minterm (exponential).
+
+        Bit-sliced over the plane configuration when the kernels are
+        enabled; the scalar path (``REPRO_KERNEL=python``) walks every
+        minterm through the switch-level gates.
+        """
+        from repro import kernels
+        if kernels.enabled() and self.n_outputs <= kernels.bitslice.WORD:
+            return kernels.bitslice.config_truth_table(self.config)
         table = []
         for minterm in range(1 << self.n_inputs):
             vector = [(minterm >> i) & 1 for i in range(self.n_inputs)]

@@ -76,7 +76,26 @@ class WhirlpoolPLA:
         return outputs
 
     def truth_table(self) -> List[int]:
-        """Output bitmask per minterm (tests only)."""
+        """Output bitmask per minterm.
+
+        With the kernels enabled, each half's table is enumerated
+        bit-sliced and the halves are interleaved back into the
+        original output order; the scalar path evaluates every minterm
+        through the switch-level halves.
+        """
+        from repro import kernels
+        if kernels.enabled() and self.n_outputs <= kernels.bitslice.WORD:
+            table_a = self.half_a.truth_table()
+            table_b = self.half_b.truth_table()
+            table = []
+            for mask_a, mask_b in zip(table_a, table_b):
+                mask = 0
+                for local, original in enumerate(self.group_a):
+                    mask |= ((mask_a >> local) & 1) << original
+                for local, original in enumerate(self.group_b):
+                    mask |= ((mask_b >> local) & 1) << original
+                table.append(mask)
+            return table
         table = []
         for minterm in range(1 << self.n_inputs):
             vector = [(minterm >> i) & 1 for i in range(self.n_inputs)]

@@ -47,6 +47,31 @@ class ExactMinimizationError(ValueError):
     """Raised for unsupported instances (multi-output, too many inputs)."""
 
 
+def _care_minterms(function: BooleanFunction) -> List[int]:
+    """Minterms of ON ∪ DC (output 0), bit-sliced when available."""
+    from repro import kernels
+    n = function.n_inputs
+    if kernels.enabled():
+        on = set(int(m) for m in
+                 kernels.bitslice.true_minterms(function.on_set, 0))
+        on.update(int(m) for m in
+                  kernels.bitslice.true_minterms(function.dc_set, 0))
+        return sorted(on)
+    return [m for m in range(1 << n)
+            if (function.on_set.output_mask_for(m)
+                | function.dc_set.output_mask_for(m)) & 1]
+
+
+def _on_minterms(function: BooleanFunction) -> List[int]:
+    """Minterms of the ON-set (output 0), bit-sliced when available."""
+    from repro import kernels
+    if kernels.enabled():
+        return [int(m) for m in
+                kernels.bitslice.true_minterms(function.on_set, 0)]
+    return [m for m in range(1 << function.n_inputs)
+            if function.on_set.output_mask_for(m) & 1]
+
+
 def all_primes(function: BooleanFunction) -> List[int]:
     """All prime-implicant input masks of a single-output function.
 
@@ -56,11 +81,8 @@ def all_primes(function: BooleanFunction) -> List[int]:
     """
     n = function.n_inputs
     current: Set[int] = set()
-    for minterm in range(1 << n):
-        mask = function.on_set.output_mask_for(minterm) | \
-            function.dc_set.output_mask_for(minterm)
-        if mask & 1:
-            current.add(Cube.from_minterm(minterm, n).inputs)
+    for minterm in _care_minterms(function):
+        current.add(Cube.from_minterm(minterm, n).inputs)
 
     primes: Set[int] = set()
     while current:
@@ -101,18 +123,25 @@ def exact_minimize(function: BooleanFunction, max_inputs: int = 12,
 
     n = function.n_inputs
     primes = all_primes(function)
-    on_minterms = [m for m in range(1 << n)
-                   if function.on_set.output_mask_for(m) & 1]
+    on_minterms = _on_minterms(function)
     if not on_minterms:
         return ExactResult(Cover.empty(n, 1), len(primes), 0, 0)
 
     # covering table: minterm -> set of prime indices covering it
+    from repro import kernels
     prime_cubes = [Cube(n, mask, 1, 1) for mask in primes]
     coverers: Dict[int, FrozenSet[int]] = {}
-    for m in on_minterms:
-        covering = frozenset(i for i, cube in enumerate(prime_cubes)
-                             if _input_contains(cube, m))
-        coverers[m] = covering
+    if kernels.enabled() and prime_cubes:
+        import numpy as np
+        matrix = kernels.bitslice.prime_cover_matrix(
+            Cover(n, 1, prime_cubes), on_minterms)
+        for t, m in enumerate(on_minterms):
+            coverers[m] = frozenset(int(i) for i in
+                                    np.flatnonzero(matrix[:, t]))
+    else:
+        for m in on_minterms:
+            coverers[m] = frozenset(i for i, cube in enumerate(prime_cubes)
+                                    if _input_contains(cube, m))
 
     chosen, nodes = _solve_covering(coverers, len(prime_cubes), max_nodes)
     cover = Cover(n, 1, [prime_cubes[i] for i in sorted(chosen)])

@@ -1,0 +1,92 @@
+"""Evaluation-kernel backend selection.
+
+The library has two implementations of every truth-table-sized
+computation:
+
+* the original scalar Python loops (always available, and the oracle
+  in the differential tests), and
+* the bit-sliced NumPy kernels of :mod:`repro.kernels.bitslice`, which
+  evaluate 64 input vectors per machine word.
+
+Which one runs is decided here.  The default is the NumPy backend when
+NumPy imports; setting the environment variable ``REPRO_KERNEL=python``
+forces the scalar fallback (``REPRO_KERNEL=numpy`` forces the kernels
+and raises at first use when NumPy is missing).  Tests and benchmarks
+can override programmatically::
+
+    from repro import kernels
+    with kernels.forced_backend("python"):
+        ...   # scalar oracle
+
+Call sites gate on :func:`enabled` and keep their scalar code as the
+fallback, so behaviour is identical either way — only the speed
+changes.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+try:
+    from repro.kernels import bitslice
+    _HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy is baked into the image
+    bitslice = None  # type: ignore[assignment]
+    _HAVE_NUMPY = False
+
+#: Environment variable selecting the backend ("numpy" or "python").
+BACKEND_ENV = "REPRO_KERNEL"
+
+_forced: Optional[str] = None
+
+
+def backend() -> str:
+    """The active backend name: ``"numpy"`` or ``"python"``.
+
+    Resolution order: programmatic override (:func:`set_backend` /
+    :func:`forced_backend`), then the ``REPRO_KERNEL`` environment
+    variable, then auto-detection (NumPy when importable).
+    """
+    choice = _forced
+    if choice is None:
+        choice = os.environ.get(BACKEND_ENV, "").strip().lower() or "auto"
+    if choice in ("python", "scalar", "off"):
+        return "python"
+    if choice in ("numpy", "bitslice"):
+        if not _HAVE_NUMPY:
+            raise RuntimeError(
+                "REPRO_KERNEL=numpy requested but NumPy is not importable")
+        return "numpy"
+    return "numpy" if _HAVE_NUMPY else "python"
+
+
+def set_backend(name: Optional[str]) -> None:
+    """Force a backend (``"numpy"`` / ``"python"``); ``None`` re-enables
+    environment/auto selection."""
+    global _forced
+    if name is not None and name not in ("numpy", "python"):
+        raise ValueError(f"unknown kernel backend {name!r}")
+    _forced = name
+
+
+@contextmanager
+def forced_backend(name: Optional[str]) -> Iterator[None]:
+    """Temporarily force a backend (used by tests and benchmarks)."""
+    global _forced
+    previous = _forced
+    set_backend(name)
+    try:
+        yield
+    finally:
+        _forced = previous
+
+
+def enabled() -> bool:
+    """True when the bit-sliced NumPy kernels should be used."""
+    return backend() == "numpy"
+
+
+__all__ = ["BACKEND_ENV", "backend", "bitslice", "enabled",
+           "forced_backend", "set_backend"]

@@ -25,13 +25,27 @@ class Cover:
         Initial cube iterable; dimension-checked.
     """
 
-    __slots__ = ("n_inputs", "n_outputs", "cubes")
+    __slots__ = ("n_inputs", "n_outputs", "cubes",
+                 "_version", "_mask_cache", "_mask_version",
+                 "_pack", "_pack_version")
+
+    #: Entries kept in the per-cover minterm->mask memo before it is
+    #: reset (bounds memory on huge sampled sweeps).
+    _MASK_CACHE_LIMIT = 1 << 18
 
     def __init__(self, n_inputs: int, n_outputs: int = 1,
                  cubes: Optional[Iterable[Cube]] = None):
         self.n_inputs = n_inputs
         self.n_outputs = n_outputs
         self.cubes: List[Cube] = []
+        # Mutation counter: bumped by append(), the cover's only
+        # mutator.  Both evaluation caches (the scalar minterm memo and
+        # the kernels' packed-array form) validate against it.
+        self._version = 0
+        self._mask_cache: Optional[dict] = None
+        self._mask_version = -1
+        self._pack = None
+        self._pack_version = -1
         if cubes is not None:
             for cube in cubes:
                 self.append(cube)
@@ -96,6 +110,7 @@ class Cover:
                 f"cube dimensions ({cube.n_inputs}, {cube.n_outputs}) do not match "
                 f"cover dimensions ({self.n_inputs}, {self.n_outputs})")
         self.cubes.append(cube)
+        self._version += 1
 
     def __len__(self) -> int:
         return len(self.cubes)
@@ -171,15 +186,34 @@ class Cover:
         return True
 
     def output_mask_for(self, minterm: int) -> int:
-        """Bitmask of outputs asserted for the given input minterm."""
-        result = 0
-        for cube in self.cubes:
-            if self._input_part_contains(cube, minterm):
-                result |= cube.outputs
+        """Bitmask of outputs asserted for the given input minterm.
+
+        Results are memoized per cover (the memo is invalidated by
+        :meth:`append` through the mutation counter), so repeated walks
+        over the same cover — truth tables, sampled sweeps, the exact
+        minimizer's covering table — pay the cube scan once per
+        minterm.
+        """
+        cache = self._mask_cache
+        if cache is None or self._mask_version != self._version:
+            cache = self._mask_cache = {}
+            self._mask_version = self._version
+        elif len(cache) > self._MASK_CACHE_LIMIT:
+            cache.clear()
+        result = cache.get(minterm)
+        if result is None:
+            result = 0
+            for cube in self.cubes:
+                if self._input_part_contains(cube, minterm):
+                    result |= cube.outputs
+            cache[minterm] = result
         return result
 
     def truth_table(self) -> List[int]:
         """Output bitmask for every input minterm (exponential; small n only)."""
+        from repro import kernels
+        if kernels.enabled() and self.n_outputs <= kernels.bitslice.WORD:
+            return kernels.bitslice.cover_truth_table(self)
         return [self.output_mask_for(m) for m in range(1 << self.n_inputs)]
 
     # ------------------------------------------------------------------

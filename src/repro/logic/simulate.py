@@ -10,6 +10,7 @@ from __future__ import annotations
 import random
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro import kernels
 from repro.logic.cover import Cover
 
 
@@ -33,34 +34,51 @@ def all_vectors(n_inputs: int) -> Iterator[List[int]]:
         yield minterm_to_vector(minterm, n_inputs)
 
 
-def sample_vectors(n_inputs: int, samples: int, seed: int = 0) -> Iterator[List[int]]:
-    """Seeded random input vectors."""
-    rng = random.Random(seed)
+def sample_vectors(n_inputs: int, samples: int, seed: int = 0,
+                   rng: Optional[random.Random] = None) -> Iterator[List[int]]:
+    """Seeded random input vectors.
+
+    Pass an explicit ``rng`` to share/advance a caller-owned generator
+    (the parallel suite and property tests use this for reproducible
+    sub-streams); ``seed`` is used only when ``rng`` is omitted.
+    """
+    if rng is None:
+        rng = random.Random(seed)
     for _ in range(samples):
         yield minterm_to_vector(rng.getrandbits(n_inputs), n_inputs)
 
 
 def covers_equal(a: Cover, b: Cover, dc: Optional[Cover] = None,
                  max_exhaustive: int = 14, samples: int = 4096,
-                 seed: int = 0) -> bool:
+                 seed: int = 0, rng: Optional[random.Random] = None) -> bool:
     """Functional equality of two covers, modulo an optional DC-set."""
-    return first_difference(a, b, dc, max_exhaustive, samples, seed) is None
+    return first_difference(a, b, dc, max_exhaustive, samples, seed,
+                            rng=rng) is None
 
 
 def first_difference(a: Cover, b: Cover, dc: Optional[Cover] = None,
                      max_exhaustive: int = 14, samples: int = 4096,
-                     seed: int = 0) -> Optional[Tuple[int, int, int]]:
+                     seed: int = 0,
+                     rng: Optional[random.Random] = None
+                     ) -> Optional[Tuple[int, int, int]]:
     """First (minterm, mask_a, mask_b) where the covers disagree, else ``None``.
 
-    Exhaustive up to ``max_exhaustive`` inputs, sampled beyond.
+    Exhaustive up to ``max_exhaustive`` inputs, sampled beyond (seeded
+    via ``seed``, or an explicit ``rng`` when given).
     """
     if (a.n_inputs, a.n_outputs) != (b.n_inputs, b.n_outputs):
         raise ValueError("cover dimensions do not match")
+    use_kernel = kernels.enabled() and a.n_outputs <= kernels.bitslice.WORD
     if a.n_inputs <= max_exhaustive:
+        if use_kernel:
+            return kernels.bitslice.exhaustive_difference(a, b, dc)
         minterms: Sequence[int] = range(1 << a.n_inputs)
     else:
-        rng = random.Random(seed)
+        if rng is None:
+            rng = random.Random(seed)
         minterms = [rng.getrandbits(a.n_inputs) for _ in range(samples)]
+        if use_kernel:
+            return kernels.bitslice.sampled_difference(a, b, minterms, dc)
     for minterm in minterms:
         mask_a = a.output_mask_for(minterm)
         mask_b = b.output_mask_for(minterm)

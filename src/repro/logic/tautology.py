@@ -19,7 +19,8 @@ tautology iff each output's input-part cover is.
 
 from __future__ import annotations
 
-from repro.logic.cube import BIT_DASH, BIT_ONE, BIT_ZERO, full_input_mask
+from repro.logic.cube import (BIT_DASH, BIT_ONE, BIT_ZERO, Cube,
+                              full_input_mask)
 from repro.logic.cover import Cover
 
 
@@ -42,11 +43,28 @@ def covers_cube(cover: Cover, cube) -> bool:
     return is_tautology(cover.cofactor(cube))
 
 
+#: Above this input count the recursive procedure wins over the
+#: exhaustive bit-sliced sweep (which is O(2^n / 64) per cube).
+_KERNEL_TAUT_INPUT_LIMIT = 14
+#: Below this cube count the recursion terminates fast enough that
+#: packing for the kernel is not worth it.
+_KERNEL_TAUT_MIN_CUBES = 8
+
+
 def _taut_single(cover: Cover) -> bool:
-    """Tautology for a single-output cover (recursive)."""
+    """Tautology for a single-output cover (recursive or bit-sliced)."""
     n = cover.n_inputs
     full = full_input_mask(n)
     cubes = [c.inputs for c in cover.cubes if not c.is_empty() and c.outputs]
+    # Terminal cases stay scalar; the kernel only takes over when the
+    # recursion would actually have work to do.
+    if (len(cubes) >= _KERNEL_TAUT_MIN_CUBES
+            and n <= _KERNEL_TAUT_INPUT_LIMIT
+            and not any(mask == full for mask in cubes)):
+        from repro import kernels
+        if kernels.enabled():
+            single = Cover(n, 1, [Cube(n, mask, 1, 1) for mask in cubes])
+            return kernels.bitslice.cover_is_tautology(single)
     return _taut_masks(cubes, n, full)
 
 

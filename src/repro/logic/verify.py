@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import kernels
 from repro.logic.bdd import BDDManager, FALSE, covers_equivalent_bdd
 from repro.logic.cover import Cover
 
@@ -53,6 +54,16 @@ def check_equivalence(a: Cover, b: Cover, dc: Optional[Cover] = None,
         raise ValueError("cover dimensions do not match")
 
     if a.n_inputs <= exhaustive_limit:
+        if kernels.enabled() and a.n_outputs <= kernels.bitslice.WORD:
+            found = kernels.bitslice.exhaustive_difference(a, b, dc)
+            if found is None:
+                return EquivalenceResult(True, "truth-table")
+            minterm, mask_a, mask_b = found
+            dc_mask = dc.output_mask_for(minterm) if dc is not None else 0
+            diff = (mask_a ^ mask_b) & ~dc_mask
+            vector = [(minterm >> i) & 1 for i in range(a.n_inputs)]
+            output = (diff & -diff).bit_length() - 1
+            return EquivalenceResult(False, "truth-table", vector, output)
         for minterm in range(1 << a.n_inputs):
             mask_a = a.output_mask_for(minterm)
             mask_b = b.output_mask_for(minterm)

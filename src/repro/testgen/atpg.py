@@ -49,11 +49,13 @@ class ATPGResult:
 
 
 def _candidate_pool(n_inputs: int, exhaustive_limit: int, samples: int,
-                    seed: int) -> List[List[int]]:
+                    seed: int,
+                    rng: Optional[random.Random] = None) -> List[List[int]]:
     if n_inputs <= exhaustive_limit:
         return [[(m >> i) & 1 for i in range(n_inputs)]
                 for m in range(1 << n_inputs)]
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     pool = []
     seen: Set[int] = set()
     for _ in range(samples):
@@ -64,19 +66,20 @@ def _candidate_pool(n_inputs: int, exhaustive_limit: int, samples: int,
     return pool
 
 
-def generate_tests(config: GNORPlaneConfig, exhaustive_limit: int = 10,
-                   samples: int = 512, seed: int = 0) -> ATPGResult:
-    """Generate a compact single-fault test set for a configuration.
+def _detection_table(config: GNORPlaneConfig, faults: List[Fault],
+                     pool: Sequence[Sequence[int]]) -> Dict[int, Set[int]]:
+    """``{vector_index: detected fault indices}`` over a vector pool.
 
-    Greedy set cover: repeatedly pick the candidate vector detecting the
-    most still-uncovered faults.  Coverage is measured against every
-    enumerated non-trivially-redundant fault.
+    Bit-sliced when the kernels are enabled; the scalar fallback runs
+    the (vector, fault) double loop through the symbolic simulator.
+    Both produce identical sets in identical insertion order, so the
+    greedy compaction downstream is deterministic across backends.
     """
+    from repro import kernels
+    if kernels.enabled() and pool:
+        return kernels.bitslice.detection_sets(config, faults, pool)
     simulator = FaultSimulator(config)
-    faults = enumerate_faults(config)
-    pool = _candidate_pool(config.n_inputs, exhaustive_limit, samples, seed)
-
-    detection: Dict[int, Set[int]] = {}  # vector index -> fault indices
+    detection: Dict[int, Set[int]] = {}
     for vi, vector in enumerate(pool):
         good = simulator.evaluate(vector)
         caught: Set[int] = set()
@@ -85,6 +88,24 @@ def generate_tests(config: GNORPlaneConfig, exhaustive_limit: int = 10,
                 caught.add(fi)
         if caught:
             detection[vi] = caught
+    return detection
+
+
+def generate_tests(config: GNORPlaneConfig, exhaustive_limit: int = 10,
+                   samples: int = 512, seed: int = 0,
+                   rng: Optional[random.Random] = None) -> ATPGResult:
+    """Generate a compact single-fault test set for a configuration.
+
+    Greedy set cover: repeatedly pick the candidate vector detecting the
+    most still-uncovered faults.  Coverage is measured against every
+    enumerated non-trivially-redundant fault.  The random candidate
+    pool (used above ``exhaustive_limit`` inputs) is seeded by ``seed``
+    or driven by an explicit ``rng`` for reproducible composition.
+    """
+    faults = enumerate_faults(config)
+    pool = _candidate_pool(config.n_inputs, exhaustive_limit, samples, seed,
+                           rng=rng)
+    detection = _detection_table(config, faults, pool)
 
     detectable: Set[int] = set()
     for caught in detection.values():
@@ -199,7 +220,6 @@ def deterministic_tests(config: GNORPlaneConfig) -> ATPGResult:
     from repro.logic.cube import BIT_DASH, BIT_ONE, BIT_ZERO, Cube as _Cube
 
     n = config.n_inputs
-    simulator = FaultSimulator(config)
     faults = enumerate_faults(config)
 
     # rebuild the product cubes and per-output groupings from the config
@@ -279,13 +299,7 @@ def deterministic_tests(config: GNORPlaneConfig) -> ATPGResult:
                         break
 
     # greedy compaction against the true detection matrix over `tests`
-    detection: Dict[int, Set[int]] = {}
-    for ti, vector in enumerate(tests):
-        good = simulator.evaluate(vector)
-        caught = {fi for fi, fault in enumerate(faults)
-                  if simulator.evaluate(vector, fault) != good}
-        if caught:
-            detection[ti] = caught
+    detection = _detection_table(config, faults, tests)
     detectable: Set[int] = set()
     for caught in detection.values():
         detectable |= caught

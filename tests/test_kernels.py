@@ -1,0 +1,323 @@
+"""Differential tests: bit-sliced kernels vs the scalar fallback.
+
+Every kernel-accelerated path (truth tables, equivalence, tautology,
+sampled evaluation, fault dropping, minterm expansion, the core device
+models) is run under both ``REPRO_KERNEL`` backends on hypothesis-made
+inputs — up to 12 inputs / 4 outputs, including don't-care sets and
+empty (contradictory) cubes — and must agree bit for bit.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.core.classical_pla import ClassicalPLA
+from repro.core.gnor import GNORGate, InputConfig
+from repro.core.pla import AmbipolarPLA
+from repro.espresso import doppio_espresso
+from repro.espresso.exact import exact_minimize
+from repro.logic.cover import Cover
+from repro.logic.cube import BIT_DASH, BIT_ONE, BIT_ZERO, Cube
+from repro.logic.function import BooleanFunction
+from repro.logic.simulate import first_difference, sample_vectors
+from repro.logic.tautology import is_tautology
+from repro.logic.verify import check_equivalence
+from repro.mapping.gnor_map import map_cover_to_gnor
+from repro.mapping.wpla_map import map_doppio_to_wpla
+from repro.testgen.atpg import deterministic_tests, generate_tests
+
+np = pytest.importorskip("numpy")
+
+bitslice = kernels.bitslice
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def wide_covers(draw, max_inputs: int = 12, max_outputs: int = 4,
+                max_cubes: int = 10, allow_empty_fields: bool = True):
+    """Covers up to the sizes the kernels are specified for.
+
+    ``allow_empty_fields`` admits the 00 positional field — a
+    contradictory (empty) cube that accepts no minterm — which the
+    kernels must reject identically to the scalar path.
+    """
+    n = draw(st.integers(1, max_inputs))
+    m = draw(st.integers(1, max_outputs))
+    k = draw(st.integers(0, max_cubes))
+    fields = [BIT_ZERO, BIT_ONE, BIT_DASH, BIT_DASH]
+    if allow_empty_fields:
+        fields = fields + [0]
+    cover = Cover(n, m)
+    for _ in range(k):
+        inputs = 0
+        for v in range(n):
+            inputs |= draw(st.sampled_from(fields)) << (2 * v)
+        outputs = draw(st.integers(0, (1 << m) - 1))
+        cover.append(Cube(n, inputs, outputs, m))
+    return cover
+
+
+def both_backends(fn):
+    """Run ``fn()`` under each backend and return the two results."""
+    with kernels.forced_backend("numpy"):
+        kernel_result = fn()
+    with kernels.forced_backend("python"):
+        scalar_result = fn()
+    return kernel_result, scalar_result
+
+
+# ----------------------------------------------------------------------
+# packing layer
+# ----------------------------------------------------------------------
+class TestPacking:
+    def test_pack_shapes(self):
+        cover = Cover.from_strings(["10- 11", "0-1 01"])
+        pack = bitslice.pack_cover(cover)
+        assert pack.block0.shape == (2, 3)
+        assert pack.block1.shape == (2, 3)
+        assert pack.outputs.shape == (2,)
+
+    def test_pack_is_cached_until_append(self):
+        cover = Cover.from_strings(["1- 1"])
+        first = bitslice.pack_cover(cover)
+        assert bitslice.pack_cover(cover) is first
+        cover.append(Cube.from_string("-0"))
+        second = bitslice.pack_cover(cover)
+        assert second is not first
+        assert second.block0.shape[0] == 2
+
+    def test_minterm_pack_roundtrip(self):
+        rng = random.Random(7)
+        minterms = [rng.getrandbits(9) for _ in range(200)]
+        packed = bitslice.pack_minterms(minterms, 9)
+        assert packed.shape == (9, (len(minterms) + 63) // 64)
+        for i in range(9):
+            bits = bitslice.unpack_bits(packed[i], len(minterms))
+            assert [int(b) for b in bits] == \
+                [(m >> i) & 1 for m in minterms]
+
+    def test_detection_sets_keys_ascend(self):
+        cover = BooleanFunction.random(4, 2, 5, seed=3).on_set
+        config = map_cover_to_gnor(cover)
+        from repro.testgen.faults import enumerate_faults
+        faults = enumerate_faults(config)
+        pool = [[(m >> i) & 1 for i in range(4)] for m in range(16)]
+        table = bitslice.detection_sets(config, faults, pool)
+        keys = list(table)
+        assert keys == sorted(keys)
+
+
+# ----------------------------------------------------------------------
+# cover evaluation
+# ----------------------------------------------------------------------
+class TestCoverKernels:
+    @settings(max_examples=40, deadline=None)
+    @given(wide_covers(max_inputs=10))
+    def test_truth_table_matches_scalar(self, cover):
+        kernel_tt, scalar_tt = both_backends(
+            lambda: cover.copy().truth_table())
+        assert kernel_tt == scalar_tt
+
+    @settings(max_examples=40, deadline=None)
+    @given(wide_covers(max_inputs=12), st.integers(0, 2**32 - 1))
+    def test_eval_minterms_matches_scalar(self, cover, seed):
+        rng = random.Random(seed)
+        minterms = [rng.getrandbits(cover.n_inputs) for _ in range(100)]
+        kernel_masks = [int(m) for m in
+                        bitslice.eval_minterms(cover, minterms)]
+        scalar_masks = [cover.copy().output_mask_for(m) for m in minterms]
+        assert kernel_masks == scalar_masks
+
+    def test_empty_cube_accepts_nothing(self):
+        cover = Cover(3, 1, [Cube(3, 0, 1, 1)])  # all fields 00
+        assert cover.truth_table() == [0] * 8
+        pack = bitslice.pack_cover(cover)
+        words = bitslice.cube_accepts(pack,
+                                      bitslice.exhaustive_slices(3, 0, 1))
+        assert int(words[0, 0]) & 0xFF == 0
+
+    def test_zero_output_cube_drives_nothing(self):
+        cover = Cover(2, 2, [Cube(2, 0b1111, 0, 2)])
+        kernel_tt, scalar_tt = both_backends(
+            lambda: cover.copy().truth_table())
+        assert kernel_tt == scalar_tt == [0] * 4
+
+    @settings(max_examples=30, deadline=None)
+    @given(wide_covers(max_inputs=12, allow_empty_fields=False),
+           st.integers(0, 2**16 - 1))
+    def test_true_minterms_matches_scalar(self, cover, output_seed):
+        output = output_seed % cover.n_outputs
+        kernel = [int(m) for m in bitslice.true_minterms(cover, output)]
+        scalar = [m for m in range(1 << cover.n_inputs)
+                  if cover.copy().output_mask_for(m) >> output & 1]
+        assert kernel == scalar
+
+
+# ----------------------------------------------------------------------
+# equivalence / tautology
+# ----------------------------------------------------------------------
+class TestVerifyKernels:
+    @settings(max_examples=40, deadline=None)
+    @given(wide_covers(max_inputs=10, max_outputs=4), st.integers(0, 3),
+           st.booleans())
+    def test_check_equivalence_matches_scalar(self, cover, extra, perturb):
+        other = cover.copy()
+        rng = random.Random(extra)
+        if perturb and extra:
+            noise = Cover.random(cover.n_inputs, cover.n_outputs, extra, rng)
+            for cube in noise.cubes:
+                other.append(cube)
+        kernel_res, scalar_res = both_backends(
+            lambda: check_equivalence(cover.copy(), other.copy(),
+                                      exhaustive_limit=12))
+        assert kernel_res == scalar_res
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_equivalence_with_dc_matches_scalar(self, seed):
+        f = BooleanFunction.random(6, 3, 6, seed=seed, dc_cubes=2)
+        g = BooleanFunction.random(6, 3, 6, seed=seed + 1)
+        kernel_res, scalar_res = both_backends(
+            lambda: check_equivalence(f.on_set.copy(), g.on_set.copy(),
+                                      dc=f.dc_set.copy()))
+        assert kernel_res == scalar_res
+
+    @settings(max_examples=40, deadline=None)
+    @given(wide_covers(max_inputs=10, max_outputs=1, max_cubes=14))
+    def test_tautology_matches_scalar(self, cover):
+        kernel_res, scalar_res = both_backends(
+            lambda: is_tautology(cover.copy()))
+        assert kernel_res == scalar_res
+
+    def test_tautology_kernel_path_universe(self):
+        # >= 8 cubes and no universal row: splits of the universe
+        cover = Cover(4, 1, [Cube.from_minterm(m, 4) for m in range(16)])
+        with kernels.forced_backend("numpy"):
+            assert is_tautology(cover)
+        cover2 = Cover(4, 1, [Cube.from_minterm(m, 4) for m in range(15)])
+        with kernels.forced_backend("numpy"):
+            assert not is_tautology(cover2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_first_difference_matches_scalar(self, seed):
+        f = BooleanFunction.random(7, 2, 5, seed=seed)
+        g = BooleanFunction.random(7, 2, 5, seed=seed + 9)
+        kernel_res, scalar_res = both_backends(
+            lambda: first_difference(f.on_set.copy(), g.on_set.copy(),
+                                     max_exhaustive=8))
+        assert kernel_res == scalar_res
+
+
+# ----------------------------------------------------------------------
+# device models
+# ----------------------------------------------------------------------
+class TestModelKernels:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_ambipolar_pla_truth_table(self, seed):
+        cover = BooleanFunction.random(6, 3, 8, seed=seed).on_set
+        pla = AmbipolarPLA.from_cover(cover)
+        kernel_tt, scalar_tt = both_backends(pla.truth_table)
+        assert kernel_tt == scalar_tt
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_classical_pla_truth_table(self, seed):
+        cover = BooleanFunction.random(6, 3, 8, seed=seed).on_set
+        pla = ClassicalPLA.from_cover(cover)
+        kernel_tt, scalar_tt = both_backends(pla.truth_table)
+        assert kernel_tt == scalar_tt
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_wpla_truth_table(self, seed):
+        f = BooleanFunction.random(5, 2, 6, seed=seed)
+        wpla = map_doppio_to_wpla(doppio_espresso(f), f.n_outputs)
+        kernel_tt, scalar_tt = both_backends(wpla.truth_table)
+        assert kernel_tt == scalar_tt
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.sampled_from(list(InputConfig)), min_size=1,
+                    max_size=8))
+    def test_gnor_gate_truth_table(self, configs):
+        gate = GNORGate(len(configs), configs)
+        kernel_tt, scalar_tt = both_backends(gate.truth_table)
+        assert kernel_tt == scalar_tt
+
+
+# ----------------------------------------------------------------------
+# ATPG and exact minimization
+# ----------------------------------------------------------------------
+class TestFlowKernels:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_generate_tests_matches_scalar(self, seed):
+        cover = BooleanFunction.random(5, 2, 6, seed=seed).on_set
+        config = map_cover_to_gnor(cover)
+        kernel_res, scalar_res = both_backends(
+            lambda: generate_tests(config))
+        assert kernel_res == scalar_res
+
+    def test_deterministic_tests_matches_scalar(self):
+        cover = BooleanFunction.random(5, 3, 8, seed=11).on_set
+        config = map_cover_to_gnor(cover)
+        kernel_res, scalar_res = both_backends(
+            lambda: deterministic_tests(config))
+        assert kernel_res == scalar_res
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_exact_minimize_matches_scalar(self, seed):
+        f = BooleanFunction.random(5, 1, 5, seed=seed, dc_cubes=1)
+        kernel_res, scalar_res = both_backends(lambda: exact_minimize(f))
+        assert kernel_res.optimum == scalar_res.optimum
+        assert kernel_res.n_primes == scalar_res.n_primes
+        assert kernel_res.cover.to_strings() == scalar_res.cover.to_strings()
+
+
+# ----------------------------------------------------------------------
+# seeding hygiene / determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_sample_vectors_seed_equals_rng(self):
+        by_seed = list(sample_vectors(20, 50, seed=5))
+        by_rng = list(sample_vectors(20, 50, rng=random.Random(5)))
+        assert by_seed == by_rng
+        assert list(sample_vectors(20, 50, seed=6)) != by_seed
+
+    def test_generate_tests_seeded_repeatable(self):
+        cover = BooleanFunction.random(12, 2, 6, seed=2).on_set
+        config = map_cover_to_gnor(cover)
+        first = generate_tests(config, exhaustive_limit=8, samples=64,
+                               seed=3)
+        second = generate_tests(config, exhaustive_limit=8, samples=64,
+                                seed=3)
+        third = generate_tests(config, exhaustive_limit=8, samples=64,
+                               rng=random.Random(3))
+        assert first == second == third
+
+    def test_suite_jobs_do_not_change_results(self):
+        from repro.bench.mcnc import get_benchmark
+        from repro.bench.suite import evaluate_suite
+        subset = [get_benchmark("syn_dec5"), get_benchmark("syn_small")]
+        sequential = evaluate_suite(subset, seed=0, jobs=1)
+        parallel = evaluate_suite(subset, seed=0, jobs=4)
+        assert sequential == parallel
+
+    def test_backend_switch_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV, "python")
+        kernels.set_backend(None)
+        try:
+            assert not kernels.enabled()
+            monkeypatch.setenv(kernels.BACKEND_ENV, "numpy")
+            assert kernels.enabled()
+        finally:
+            kernels.set_backend(None)
