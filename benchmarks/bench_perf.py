@@ -5,19 +5,24 @@ Times the bit-sliced NumPy kernels of :mod:`repro.kernels` against the
 scalar Python fallback (``REPRO_KERNEL=python``) on the workloads they
 replaced:
 
-* exhaustive cover equivalence at 16 inputs — the acceptance metric
-  (target: >= 5x),
+* exhaustive cover equivalence at 16 inputs — the evaluation
+  acceptance metric (target: >= 5x),
+* Espresso minimization of the Table 1 MCNC benchmarks end to end
+  (``minimize_max46`` / ``minimize_apla`` / ``minimize_t2``) on the
+  cover-matrix engine — the minimization acceptance metric (>= 5x on
+  the largest), with per-phase profiling snapshots embedded,
 * MCNC-suite response evaluation (exhaustive truth tables for small
   input counts, 4096-minterm sampled sweeps for large ones),
 * switch-level vs bit-sliced PLA truth-table enumeration,
 * ATPG fault dropping (the (vector, fault) detection matrix).
 
 The JSON report is the start of a perf trajectory: subsequent PRs can
-diff ``BENCH_perf.json`` to catch regressions.
+diff ``BENCH_perf.json`` to catch regressions
+(``benchmarks/check_bench_schema.py`` validates its shape in CI).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_perf.py [--quick] [-o FILE]
+    PYTHONPATH=src python benchmarks/bench_perf.py [--quick] [--jobs N] [-o FILE]
 """
 
 from __future__ import annotations
@@ -30,9 +35,11 @@ import sys
 import time
 from typing import Callable, List
 
-from repro import kernels
-from repro.bench.mcnc import TABLE1_BENCHMARKS, get_benchmark, synthesize_cover
+from repro import kernels, perf
+from repro.bench.mcnc import (TABLE1_BENCHMARKS, benchmark_function,
+                              get_benchmark, synthesize_cover)
 from repro.core.pla import AmbipolarPLA
+from repro.espresso.espresso import espresso
 from repro.logic.cover import Cover
 from repro.logic.verify import check_equivalence
 from repro.mapping.gnor_map import map_cover_to_gnor
@@ -40,6 +47,9 @@ from repro.testgen.atpg import generate_tests
 
 #: Acceptance threshold for the exhaustive-equivalence headline number.
 TARGET_SPEEDUP = 5.0
+#: Acceptance threshold for end-to-end minimization on the largest
+#: Table 1 benchmark (t2: 17 inputs, 592 OFF-cubes).
+MINIMIZE_TARGET_SPEEDUP = 5.0
 
 
 def _best_of(fn: Callable[[], object], reps: int) -> float:
@@ -52,21 +62,40 @@ def _best_of(fn: Callable[[], object], reps: int) -> float:
     return best
 
 
-def _compare(name: str, detail: str, scalar_fn: Callable[[], object],
-             kernel_fn: Callable[[], object], scalar_reps: int,
-             kernel_reps: int) -> dict:
-    """Time both backends and return one result record."""
+def _time_backends(scalar_fn: Callable[[], object],
+                   kernel_fn: Callable[[], object],
+                   scalar_reps: int, kernel_reps: int) -> tuple:
+    """``(scalar_s, kernel_s)`` best-of wall times on the two backends."""
     with kernels.forced_backend("numpy"):
         kernel_fn()  # warm caches / fault in packing outside the clock
         kernel_s = _best_of(kernel_fn, kernel_reps)
     with kernels.forced_backend("python"):
         scalar_s = _best_of(scalar_fn, scalar_reps)
+    return scalar_s, kernel_s
+
+
+def _record(name: str, detail: str, scalar_s: float, kernel_s: float) -> dict:
     speedup = scalar_s / kernel_s if kernel_s > 0 else float("inf")
-    print(f"  {name:<28} scalar {scalar_s * 1000:10.1f} ms   "
-          f"kernel {kernel_s * 1000:8.2f} ms   {speedup:8.1f}x")
     return {"name": name, "detail": detail,
             "scalar_s": round(scalar_s, 6), "kernel_s": round(kernel_s, 6),
             "speedup": round(speedup, 2)}
+
+
+def _print_record(record: dict) -> None:
+    print(f"  {record['name']:<28} scalar {record['scalar_s'] * 1000:10.1f} ms   "
+          f"kernel {record['kernel_s'] * 1000:8.2f} ms   "
+          f"{record['speedup']:8.1f}x")
+
+
+def _compare(name: str, detail: str, scalar_fn: Callable[[], object],
+             kernel_fn: Callable[[], object], scalar_reps: int,
+             kernel_reps: int) -> dict:
+    """Time both backends and return one result record."""
+    scalar_s, kernel_s = _time_backends(scalar_fn, kernel_fn,
+                                        scalar_reps, kernel_reps)
+    record = _record(name, detail, scalar_s, kernel_s)
+    _print_record(record)
+    return record
 
 
 def bench_equivalence16(results: List[dict], seed: int, quick: bool) -> dict:
@@ -83,6 +112,60 @@ def bench_equivalence16(results: List[dict], seed: int, quick: bool) -> dict:
         scalar_reps=1, kernel_reps=3 if quick else 5)
     results.append(record)
     return record
+
+
+def _bench_minimize_one(task: tuple) -> dict:
+    """Worker: time espresso on one MCNC benchmark on both backends.
+
+    Runs in its own process under ``--jobs``; returns the result record
+    (with the kernel run's per-phase perf snapshot attached) instead of
+    printing, so parent output stays ordered.
+    """
+    name, seed, kernel_reps = task
+    stats = get_benchmark(name)
+    function = benchmark_function(stats, seed=seed)
+    function.off_set  # materialize the OFF-set outside the clock
+
+    with kernels.forced_backend("numpy"):
+        kernel_cover = espresso(function).cover
+    with kernels.forced_backend("python"):
+        scalar_cover = espresso(function).cover
+    if kernel_cover != scalar_cover:  # pragma: no cover - differential guard
+        raise AssertionError(f"backends disagree on minimize_{name}")
+
+    perf.reset()
+    scalar_s, kernel_s = _time_backends(
+        lambda: espresso(function), lambda: espresso(function),
+        scalar_reps=1, kernel_reps=kernel_reps)
+    record = _record(
+        f"minimize_{name}",
+        f"espresso end-to-end, I={stats.inputs} O={stats.outputs} "
+        f"P={stats.products}, covers bit-identical across backends",
+        scalar_s, kernel_s)
+    record["perf"] = perf.snapshot()
+    return record
+
+
+def bench_minimize(results: List[dict], seed: int, quick: bool,
+                   jobs: int) -> List[dict]:
+    """End-to-end Espresso minimization on the cover-matrix engine.
+
+    All three Table 1 benchmarks run even under ``--quick`` (the whole
+    trio takes about a second) so the minimization acceptance metric is
+    always judged on ``t2``, the largest.
+    """
+    names = [stats.name for stats in TABLE1_BENCHMARKS]
+    tasks = [(name, seed, 2 if quick else 3) for name in names]
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            records = list(pool.map(_bench_minimize_one, tasks))
+    else:
+        records = [_bench_minimize_one(task) for task in tasks]
+    for record in records:
+        _print_record(record)
+        results.append(record)
+    return records
 
 
 def bench_mcnc(results: List[dict], seed: int, quick: bool) -> None:
@@ -150,6 +233,10 @@ def main(argv=None) -> int:
                         help="smaller workloads (CI smoke); the n=16 "
                              "acceptance metric always runs")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel worker processes for the minimize "
+                             "benchmarks (default 1; results are identical, "
+                             "though timings can contend for cores)")
     parser.add_argument("-o", "--output", default="BENCH_perf.json",
                         help="report path (default: BENCH_perf.json)")
     args = parser.parse_args(argv)
@@ -158,20 +245,27 @@ def main(argv=None) -> int:
         print("NumPy unavailable: nothing to compare", file=sys.stderr)
         return 1
 
-    print(f"bench_perf (quick={args.quick}, seed={args.seed})")
+    print(f"bench_perf (quick={args.quick}, seed={args.seed}, "
+          f"jobs={args.jobs})")
     results: List[dict] = []
     headline = bench_equivalence16(results, args.seed, args.quick)
+    minimize_records = bench_minimize(results, args.seed, args.quick,
+                                      args.jobs)
     bench_mcnc(results, args.seed, args.quick)
     bench_pla_enumeration(results, args.seed, args.quick)
     bench_atpg(results, args.seed, args.quick)
 
+    # The minimize acceptance judges the largest benchmark (t2).
+    minimize_headline = minimize_records[-1]
     passed = headline["speedup"] >= TARGET_SPEEDUP
+    minimize_passed = minimize_headline["speedup"] >= MINIMIZE_TARGET_SPEEDUP
     report = {
         "suite": "bench_perf",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
         "quick": args.quick,
         "seed": args.seed,
+        "jobs": args.jobs,
         "results": results,
         "acceptance": {
             "metric": "equivalence_exhaustive_n16",
@@ -179,14 +273,23 @@ def main(argv=None) -> int:
             "threshold": TARGET_SPEEDUP,
             "pass": passed,
         },
+        "acceptance_minimize": {
+            "metric": minimize_headline["name"],
+            "speedup": minimize_headline["speedup"],
+            "threshold": MINIMIZE_TARGET_SPEEDUP,
+            "pass": minimize_passed,
+        },
     }
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print(f"wrote {args.output}")
-    print(f"acceptance: {headline['speedup']:.1f}x >= {TARGET_SPEEDUP}x "
-          f"-> {'PASS' if passed else 'FAIL'}")
-    return 0 if passed else 1
+    print(f"acceptance (evaluation):   {headline['speedup']:.1f}x >= "
+          f"{TARGET_SPEEDUP}x -> {'PASS' if passed else 'FAIL'}")
+    print(f"acceptance (minimization): {minimize_headline['speedup']:.1f}x "
+          f">= {MINIMIZE_TARGET_SPEEDUP}x on {minimize_headline['name']} "
+          f"-> {'PASS' if minimize_passed else 'FAIL'}")
+    return 0 if passed and minimize_passed else 1
 
 
 if __name__ == "__main__":

@@ -6,7 +6,11 @@ CNFET, plus the savings the text quotes (~21 % vs Flash on ``max46``,
 3 % overhead on ``apla``, up to 68 % vs EEPROM).
 
 Run with ``pytest benchmarks/bench_table1.py --benchmark-only``.
+Set ``REPRO_JOBS=N`` to synthesize/map the three benchmarks in parallel
+worker processes (rows are identical for any job count).
 """
+
+import os
 
 import pytest
 
@@ -26,17 +30,33 @@ PAPER = {
 }
 
 
-def compute_table1():
-    """All Table 1 rows from the area model + mapped benchmark covers."""
+def _table1_row(stats):
+    """One benchmark row: synthetic cover -> GNOR mapping -> areas."""
+    config = map_cover_to_gnor(benchmark_function(stats, seed=0).on_set)
+    areas = tuple(pla_area(tech, config.n_inputs, config.n_outputs,
+                           config.n_products)
+                  for tech in TABLE1_TECHNOLOGIES)
+    return (f"{stats.name} (L2)",) + areas
+
+
+def compute_table1(jobs=None):
+    """All Table 1 rows from the area model + mapped benchmark covers.
+
+    ``jobs`` (default: the ``REPRO_JOBS`` environment variable, else 1)
+    fans the per-benchmark synthesis/mapping out over worker processes;
+    ``pool.map`` preserves benchmark order, so the rows are identical
+    for any job count.
+    """
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "1"))
     rows = [("Basic cell (L2)", FLASH.cell_area_l2, EEPROM.cell_area_l2,
              CNFET_AMBIPOLAR.cell_area_l2)]
-    for stats in TABLE1_BENCHMARKS:
-        # run the real pipeline: synthetic cover -> GNOR mapping -> dims
-        config = map_cover_to_gnor(benchmark_function(stats, seed=0).on_set)
-        areas = tuple(pla_area(tech, config.n_inputs, config.n_outputs,
-                               config.n_products)
-                      for tech in TABLE1_TECHNOLOGIES)
-        rows.append((f"{stats.name} (L2)",) + areas)
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            rows.extend(pool.map(_table1_row, TABLE1_BENCHMARKS))
+    else:
+        rows.extend(_table1_row(stats) for stats in TABLE1_BENCHMARKS)
     return rows
 
 

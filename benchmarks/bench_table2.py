@@ -8,7 +8,11 @@ were calibrated once against the *standard* run only, so the CNFET
 numbers are produced by the mechanism, not fitted.
 
 Run with ``pytest benchmarks/bench_table2.py --benchmark-only``.
+Set ``REPRO_JOBS=2`` to place-and-route the two fabrics in parallel
+worker processes (the report is identical for any job count).
 """
+
+import os
 
 import pytest
 
@@ -23,7 +27,9 @@ PAPER = {
 
 
 def test_table2(benchmark, capsys):
-    report = benchmark.pedantic(run_emulation, rounds=1, iterations=1)
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    report = benchmark.pedantic(run_emulation, kwargs={"jobs": jobs},
+                                rounds=1, iterations=1)
 
     # shape assertions: the CNFET fabric must win by roughly the paper's
     # factor, with about half the occupied area

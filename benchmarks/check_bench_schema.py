@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Validate a ``BENCH_perf.json`` report against the expected schema.
+
+A tiny dependency-free checker (no ``jsonschema`` in the image) used by
+CI to catch drift in the benchmark report format before downstream
+tooling diffs perf trajectories across PRs.  Checks:
+
+* required top-level fields and their types;
+* every result record has ``name`` / ``detail`` / ``scalar_s`` /
+  ``kernel_s`` / ``speedup`` with sane values;
+* at least three ``minimize_*`` records, each carrying an embedded
+  profiling snapshot with Espresso phase timers;
+* both acceptance blocks are well-formed and report ``pass: true``.
+
+Usage::
+
+    python benchmarks/check_bench_schema.py [BENCH_perf.json ...]
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import sys
+from typing import List
+
+#: Minimum ``minimize_*`` records per report (the Table 1 trio).
+MIN_MINIMIZE_RESULTS = 3
+
+_RESULT_FIELDS = {
+    "name": str,
+    "detail": str,
+    "scalar_s": numbers.Real,
+    "kernel_s": numbers.Real,
+    "speedup": numbers.Real,
+}
+
+_TOP_FIELDS = {
+    "suite": str,
+    "timestamp": str,
+    "python": str,
+    "quick": bool,
+    "seed": int,
+    "results": list,
+    "acceptance": dict,
+    "acceptance_minimize": dict,
+}
+
+_ACCEPTANCE_FIELDS = {
+    "metric": str,
+    "speedup": numbers.Real,
+    "threshold": numbers.Real,
+    "pass": bool,
+}
+
+
+def _check_fields(obj: dict, spec: dict, where: str, errors: List[str]) -> None:
+    for field, kind in spec.items():
+        if field not in obj:
+            errors.append(f"{where}: missing field {field!r}")
+        elif not isinstance(obj[field], kind):
+            errors.append(f"{where}: field {field!r} has type "
+                          f"{type(obj[field]).__name__}, expected "
+                          f"{getattr(kind, '__name__', kind)}")
+
+
+def validate_report(report: dict) -> List[str]:
+    """All schema violations found in one parsed report (empty = valid)."""
+    errors: List[str] = []
+    _check_fields(report, _TOP_FIELDS, "report", errors)
+
+    minimize_count = 0
+    for i, result in enumerate(report.get("results", [])):
+        where = f"results[{i}]"
+        if not isinstance(result, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        _check_fields(result, _RESULT_FIELDS, where, errors)
+        for field in ("scalar_s", "kernel_s", "speedup"):
+            value = result.get(field)
+            if isinstance(value, numbers.Real) and value < 0:
+                errors.append(f"{where}: {field} is negative")
+        name = result.get("name", "")
+        if isinstance(name, str) and name.startswith("minimize_"):
+            minimize_count += 1
+            snapshot = result.get("perf")
+            if not isinstance(snapshot, dict):
+                errors.append(f"{where}: minimize record lacks a perf "
+                              f"snapshot")
+            elif not any(t.startswith("espresso.")
+                         for t in snapshot.get("timers", {})):
+                errors.append(f"{where}: perf snapshot has no espresso "
+                              f"phase timers")
+    if minimize_count < MIN_MINIMIZE_RESULTS:
+        errors.append(f"report: only {minimize_count} minimize_* results, "
+                      f"expected >= {MIN_MINIMIZE_RESULTS}")
+
+    for block in ("acceptance", "acceptance_minimize"):
+        data = report.get(block)
+        if isinstance(data, dict):
+            _check_fields(data, _ACCEPTANCE_FIELDS, block, errors)
+            if data.get("pass") is not True:
+                errors.append(f"{block}: pass is not true")
+    return errors
+
+
+def main(argv=None) -> int:
+    paths = (argv if argv is not None else sys.argv[1:]) or ["BENCH_perf.json"]
+    failed = False
+    for path in paths:
+        try:
+            with open(path) as handle:
+                report = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable ({exc})")
+            failed = True
+            continue
+        errors = validate_report(report)
+        if errors:
+            failed = True
+            print(f"{path}: {len(errors)} schema violation(s)")
+            for error in errors:
+                print(f"  - {error}")
+        else:
+            print(f"{path}: OK ({len(report['results'])} results, "
+                  f"minimize acceptance "
+                  f"{report['acceptance_minimize']['speedup']}x)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

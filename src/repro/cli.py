@@ -128,7 +128,8 @@ def _cmd_table1(_args) -> int:
 
 def _cmd_table2(args) -> int:
     from repro.fpga.emulate import run_emulation
-    report = run_emulation(seed=args.seed, grid_side=args.grid)
+    report = run_emulation(seed=args.seed, grid_side=args.grid,
+                           jobs=args.jobs)
     rows = [list(row) for row in report.table_rows()]
     print(render_table(["", "Standard FPGA", "CNFET FPGA"], rows,
                        title="Table 2: Frequency of standard FPGA and "
@@ -208,11 +209,28 @@ def _cmd_suite(args) -> int:
     return 0
 
 
+#: Performance knobs, shown in ``repro --help`` and mirrored in the
+#: README "Performance" section (keep the two in sync).
+PERFORMANCE_EPILOG = """\
+performance:
+  REPRO_KERNEL=numpy|python|auto
+        backend for the bit-sliced evaluation kernels and the
+        cover-matrix cube algebra (default: auto — NumPy when
+        importable, scalar Python otherwise; results are identical
+        either way)
+  --jobs N
+        `suite` and `table2` accept parallel worker processes
+        (ProcessPoolExecutor); results are identical for any job count
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Ambipolar-CNFET PLA toolkit (DAC 2008 reproduction)")
+        description="Ambipolar-CNFET PLA toolkit (DAC 2008 reproduction)",
+        epilog=PERFORMANCE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("info", help="print a PLA file's statistics")
@@ -274,6 +292,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--grid", type=int, default=8,
                    help="standard-fabric grid side (default 8)")
     p.add_argument("--seed", type=int, default=2)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel worker processes for the two fabric "
+                        "implementations (default 1; results are "
+                        "identical for any job count)")
     p.set_defaults(handler=_cmd_table2)
 
     return parser

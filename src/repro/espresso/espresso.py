@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro import perf
 from repro.espresso.essential import essential_primes
 from repro.espresso.expand import expand
 from repro.espresso.irredundant import irredundant
@@ -76,13 +77,16 @@ def espresso(function: BooleanFunction, max_iterations: int = 20,
         empty = Cover.empty(function.n_inputs, function.n_outputs)
         return EspressoResult(empty, initial_cost, empty.cost(), 0, 0, [])
 
-    current = expand(on, off)
-    current = irredundant(current, dc)
+    with perf.timer("espresso.expand"):
+        current = expand(on, off)
+    with perf.timer("espresso.irredundant"):
+        current = irredundant(current, dc)
 
     essentials: Optional[Cover] = None
     working_dc = dc
     if extract_essentials:
-        essentials, current = essential_primes(current, dc)
+        with perf.timer("espresso.essential"):
+            essentials, current = essential_primes(current, dc)
         working_dc = dc + essentials
 
     best = current
@@ -92,9 +96,12 @@ def espresso(function: BooleanFunction, max_iterations: int = 20,
 
     while iterations < max_iterations:
         iterations += 1
-        reduced = reduce_cover(current, working_dc)
-        expanded = expand(reduced, off)
-        current = irredundant(expanded, working_dc)
+        with perf.timer("espresso.reduce"):
+            reduced = reduce_cover(current, working_dc)
+        with perf.timer("espresso.expand"):
+            expanded = expand(reduced, off)
+        with perf.timer("espresso.irredundant"):
+            current = irredundant(expanded, working_dc)
         cost = _loop_cost(current, essentials)
         trace.append(cost)
         if cost < best_cost:
@@ -105,18 +112,21 @@ def espresso(function: BooleanFunction, max_iterations: int = 20,
 
     if use_last_gasp:
         from repro.espresso.sparse import last_gasp
-        gasped = last_gasp(best, off, working_dc)
+        with perf.timer("espresso.last_gasp"):
+            gasped = last_gasp(best, off, working_dc)
         if gasped.cost() < best.cost():
             best = gasped
             trace.append(_loop_cost(best, essentials))
 
     result_cover = best
     if essentials is not None and len(essentials):
-        result_cover = irredundant(best + essentials, dc)
+        with perf.timer("espresso.irredundant"):
+            result_cover = irredundant(best + essentials, dc)
     result_cover = result_cover.single_cube_containment()
     if use_make_sparse:
         from repro.espresso.sparse import make_sparse
-        result_cover = make_sparse(result_cover, dc)
+        with perf.timer("espresso.make_sparse"):
+            result_cover = make_sparse(result_cover, dc)
 
     return EspressoResult(
         cover=result_cover,

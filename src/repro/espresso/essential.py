@@ -20,18 +20,33 @@ def essential_primes(cover: Cover, dc_set: Optional[Cover] = None) \
 
     ``cover`` must consist of primes (run :func:`repro.espresso.expand`
     first); a prime is flagged essential when the rest of the cover plus
-    the DC-set fails to cover it.
+    the DC-set fails to cover it.  On the kernel backend the cover +
+    DC-set is packed once and each "rest" probe is a masked matrix
+    cofactor (same machinery as :mod:`repro.espresso.irredundant`).
     """
     if dc_set is None:
         dc_set = Cover.empty(cover.n_inputs, cover.n_outputs)
 
+    cubes = list(cover.cubes)
+    from repro.espresso.irredundant import _probe_matrix, _rest_covers_cube
+    matrix = _probe_matrix(cubes, dc_set, cover.n_inputs, cover.n_outputs)
+    if matrix is not None:
+        import numpy as np
+        drop = np.zeros(matrix.n_cubes, dtype=bool)
+
     essential = Cover(cover.n_inputs, cover.n_outputs)
     remainder = Cover(cover.n_inputs, cover.n_outputs)
-    cubes = list(cover.cubes)
     for i, cube in enumerate(cubes):
-        rest = Cover(cover.n_inputs, cover.n_outputs,
-                     cubes[:i] + cubes[i + 1:] + list(dc_set.cubes))
-        if covers_cube(rest, cube):
+        if matrix is not None:
+            drop[:] = False
+            drop[i] = True
+            covered = _rest_covers_cube(matrix, drop, cube,
+                                        cover.n_inputs, cover.n_outputs)
+        else:
+            rest = Cover(cover.n_inputs, cover.n_outputs,
+                         cubes[:i] + cubes[i + 1:] + list(dc_set.cubes))
+            covered = covers_cube(rest, cube)
+        if covered:
             remainder.append(cube)
         else:
             essential.append(cube)

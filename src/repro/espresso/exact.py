@@ -156,6 +156,25 @@ def _input_contains(cube: Cube, minterm: int) -> bool:
     return True
 
 
+#: Below this column count the plain Python subset loop beats packing
+#: the membership matrix for :func:`repro.kernels.cubematrix.subset_matrix`.
+_SUBSET_MATRIX_MIN_COLUMNS = 16
+
+
+def _column_subset_matrix(columns: Dict[int, Set[int]],
+                          order: Sequence[int]):
+    """Pairwise subset matrix over ``order`` — ``[j][i]`` iff
+    ``columns[order[j]] <= columns[order[i]]`` — or ``None`` when the
+    scalar comparison loop should run instead."""
+    from repro import kernels
+    if (not kernels.enabled() or kernels.cubematrix is None
+            or len(order) < _SUBSET_MATRIX_MIN_COLUMNS):
+        return None
+    universe = sorted({m for col in columns.values() for m in col})
+    return kernels.cubematrix.subset_matrix(
+        [columns[p] for p in order], universe)
+
+
 def _solve_covering(coverers: Dict[int, FrozenSet[int]], n_primes: int,
                     max_nodes: int) -> Tuple[Set[int], int]:
     """Minimum unate covering via reduction + branch and bound."""
@@ -201,13 +220,16 @@ def _solve_covering(coverers: Dict[int, FrozenSet[int]], n_primes: int,
                     columns.setdefault(prime, set()).add(m)
             order = sorted(columns, key=lambda p: -len(columns[p]))
             dominated: Set[int] = set()
+            subset = _column_subset_matrix(columns, order)
             for i, p in enumerate(order):
                 if p in dominated:
                     continue
-                for q in order[i + 1:]:
+                for j in range(i + 1, len(order)):
+                    q = order[j]
                     if q in dominated:
                         continue
-                    if columns[q] <= columns[p]:
+                    if (subset[j][i] if subset is not None
+                            else columns[q] <= columns[p]):
                         dominated.add(q)
             if dominated:
                 new_remaining = {m: frozenset(c - dominated)

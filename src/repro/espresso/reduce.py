@@ -8,12 +8,19 @@ cube covers.  The classical formula is::
 
 The complement is computed per output in the cofactor space using the
 unate-recursive complementation of :mod:`repro.logic.complement`.
+
+On the kernel backend the cofactor step runs on the matrix engine
+(:meth:`repro.logic.cover.Cover.cofactor` packs ``rest`` and cofactors
+all rows at once) and the tautology pre-test hits the memoized kernel
+path; the unate-recursive complement itself is still scalar (a known
+remaining hot spot — see the ROADMAP open items).
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro import perf
 from repro.logic.complement import complement_cover
 from repro.logic.cover import Cover
 from repro.logic.cube import Cube, full_input_mask
@@ -53,7 +60,9 @@ def reduce_cube(cube: Cube, rest: Cover) -> Optional[Cube]:
     cofactored = rest.cofactor(cube)
     if is_tautology(cofactored):
         # Everything under the cube is covered elsewhere: reduce to nothing.
+        perf.count("reduce.vanished")
         return Cube(cube.n_inputs, 0, 0, cube.n_outputs)
+    perf.count("reduce.complemented")
 
     n = cube.n_inputs
     super_inputs = 0

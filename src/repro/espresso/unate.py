@@ -22,6 +22,10 @@ def unate_variables(cover: Cover) -> List[Optional[bool]]:
     A variable appearing in no cube is reported positive-unate by
     convention (monotone both ways).
     """
+    matrix = cover._cube_matrix()
+    if matrix is not None:
+        from repro.kernels import cubematrix as cm
+        return cm.unate_signs(matrix)
     result: List[Optional[bool]] = []
     for zeros, ones in cover.column_counts():
         if zeros == 0:

@@ -171,8 +171,8 @@ def run_emulation(seed: int = 2, grid_side: int = 10,
                   clb_products: int = 20,
                   channel_capacity: int = 28,
                   clb_area_factor: float = 0.5,
-                  wire_params: WireDelayParameters = DEFAULT_WIRE_DELAY
-                  ) -> EmulationReport:
+                  wire_params: WireDelayParameters = DEFAULT_WIRE_DELAY,
+                  jobs: int = 1) -> EmulationReport:
     """Run the full Table 2 protocol.
 
     Parameters
@@ -189,6 +189,11 @@ def run_emulation(seed: int = 2, grid_side: int = 10,
     clb_area_factor:
         The paper's emulation ratio (0.5 = "half of the area for every
         CLB").
+    jobs:
+        With ``jobs > 1`` the two fabric implementations (standard and
+        CNFET) run in separate worker processes.  They are independent
+        place-and-route problems over the same workload, so the report
+        is identical for any job count.
     """
     std_clb = standard_pla_clb(clb_inputs, clb_outputs, clb_products)
     amb_clb = ambipolar_pla_clb(clb_inputs, clb_outputs, clb_products,
@@ -201,6 +206,16 @@ def run_emulation(seed: int = 2, grid_side: int = 10,
     std_fabric = FPGAFabric(grid_side, grid_side, std_clb, channel_capacity)
     amb_fabric = FPGAFabric.same_die(std_fabric, amb_clb, channel_capacity)
 
-    standard = implement(partitions, std_fabric, seed, wire_params)
-    cnfet = implement(partitions, amb_fabric, seed, wire_params)
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            std_future = pool.submit(implement, partitions, std_fabric,
+                                     seed, wire_params)
+            amb_future = pool.submit(implement, partitions, amb_fabric,
+                                     seed, wire_params)
+            standard = std_future.result()
+            cnfet = amb_future.result()
+    else:
+        standard = implement(partitions, std_fabric, seed, wire_params)
+        cnfet = implement(partitions, amb_fabric, seed, wire_params)
     return EmulationReport(standard=standard, cnfet=cnfet)

@@ -5,8 +5,10 @@ computation:
 
 * the original scalar Python loops (always available, and the oracle
   in the differential tests), and
-* the bit-sliced NumPy kernels of :mod:`repro.kernels.bitslice`, which
-  evaluate 64 input vectors per machine word.
+* the NumPy kernels — :mod:`repro.kernels.bitslice` evaluates 64 input
+  vectors per machine word, and :mod:`repro.kernels.cubematrix` runs
+  the minimizer's cube algebra (distance, containment, cofactor, ...)
+  as whole-cover matrix operations.
 
 Which one runs is decided here.  The default is the NumPy backend when
 NumPy imports; setting the environment variable ``REPRO_KERNEL=python``
@@ -31,9 +33,11 @@ from typing import Iterator, Optional
 
 try:
     from repro.kernels import bitslice
+    from repro.kernels import cubematrix
     _HAVE_NUMPY = True
 except ImportError:  # pragma: no cover - numpy is baked into the image
     bitslice = None  # type: ignore[assignment]
+    cubematrix = None  # type: ignore[assignment]
     _HAVE_NUMPY = False
 
 #: Environment variable selecting the backend ("numpy" or "python").
@@ -88,5 +92,5 @@ def enabled() -> bool:
     return backend() == "numpy"
 
 
-__all__ = ["BACKEND_ENV", "backend", "bitslice", "enabled",
+__all__ = ["BACKEND_ENV", "backend", "bitslice", "cubematrix", "enabled",
            "forced_backend", "set_backend"]

@@ -27,7 +27,8 @@ class Cover:
 
     __slots__ = ("n_inputs", "n_outputs", "cubes",
                  "_version", "_mask_cache", "_mask_version",
-                 "_pack", "_pack_version")
+                 "_pack", "_pack_version",
+                 "_matrix", "_matrix_version")
 
     #: Entries kept in the per-cover minterm->mask memo before it is
     #: reset (bounds memory on huge sampled sweeps).
@@ -46,6 +47,8 @@ class Cover:
         self._mask_version = -1
         self._pack = None
         self._pack_version = -1
+        self._matrix = None
+        self._matrix_version = -1
         if cubes is not None:
             for cube in cubes:
                 self.append(cube)
@@ -225,8 +228,31 @@ class Cover:
                  for cube in self.cubes if (cube.outputs >> output) & 1]
         return Cover(self.n_inputs, 1, cubes)
 
+    def _cube_matrix(self):
+        """The packed :class:`~repro.kernels.cubematrix.CubeMatrix` when
+        the matrix engine applies to this cover, else ``None``.
+
+        The engine is skipped for small covers (packing overhead beats
+        the win below :data:`~repro.kernels.cubematrix.MIN_CUBES` cubes)
+        and for covers wider than one output word.
+        """
+        from repro import kernels
+        if not kernels.enabled() or kernels.cubematrix is None:
+            return None
+        cm = kernels.cubematrix
+        if self.n_outputs > cm.MAX_OUTPUTS or len(self.cubes) < cm.MIN_CUBES:
+            return None
+        return cm.matrix_of(self)
+
     def cofactor(self, cube: Cube) -> "Cover":
         """The cover's Shannon cofactor with respect to ``cube``."""
+        matrix = self._cube_matrix()
+        if matrix is not None:
+            from repro.kernels import cubematrix as cm
+            pairs = cm.cofactor_pairs(matrix, cube.inputs, cube.outputs)
+            cubes = [Cube(self.n_inputs, inp, out, self.n_outputs)
+                     for inp, out in pairs]
+            return Cover(self.n_inputs, self.n_outputs, cubes)
         cubes = []
         for c in self.cubes:
             cf = c.cofactor(cube)
@@ -252,6 +278,12 @@ class Cover:
         """
         order = sorted(range(len(self.cubes)),
                        key=lambda i: -self.cubes[i].size())
+        matrix = self._cube_matrix()
+        if matrix is not None:
+            from repro.kernels import cubematrix as cm
+            kept_idx = cm.scc_indices(matrix, order)
+            return Cover(self.n_inputs, self.n_outputs,
+                         [self.cubes[i] for i in kept_idx])
         kept: List[Cube] = []
         for i in order:
             cube = self.cubes[i]
@@ -284,7 +316,11 @@ class Cover:
     # ------------------------------------------------------------------
     def column_counts(self) -> List[Tuple[int, int]]:
         """Per variable, ``(count of 0-literals, count of 1-literals)``."""
-        counts = [(0, 0)] * self.n_inputs
+        matrix = self._cube_matrix()
+        if matrix is not None:
+            from repro.kernels import cubematrix as cm
+            zeros_a, ones_a = cm.column_counts(matrix)
+            return list(zip(zeros_a.tolist(), ones_a.tolist()))
         zeros = [0] * self.n_inputs
         ones = [0] * self.n_inputs
         for cube in self.cubes:

@@ -63,13 +63,20 @@ class Cube:
         and for universe-sized masks).
     """
 
-    __slots__ = ("n_inputs", "n_outputs", "inputs", "outputs")
+    __slots__ = ("n_inputs", "n_outputs", "inputs", "outputs",
+                 "_n_literals", "_n_dashes")
 
     def __init__(self, n_inputs: int, inputs: int, outputs: int, n_outputs: int = 1):
         self.n_inputs = n_inputs
         self.n_outputs = n_outputs
         self.inputs = inputs & full_input_mask(n_inputs)
         self.outputs = outputs & full_output_mask(n_outputs)
+        # Literal/dash counts are memoized lazily.  Cubes are immutable
+        # (all algebra returns new cubes), so unlike the Cover caches no
+        # version counter is needed — the masks these derive from can
+        # never change after __init__.
+        self._n_literals: Optional[int] = None
+        self._n_dashes: Optional[int] = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -182,24 +189,28 @@ class Cube:
                 and self.outputs == full_output_mask(self.n_outputs))
 
     def n_literals(self) -> int:
-        """Number of input literals (non-dash, non-empty fields)."""
-        count = 0
-        inputs = self.inputs
-        for _ in range(self.n_inputs):
-            if inputs & 0b11 in (BIT_ZERO, BIT_ONE):
-                count += 1
-            inputs >>= 2
-        return count
+        """Number of input literals (non-dash, non-empty fields); memoized."""
+        if self._n_literals is None:
+            count = 0
+            inputs = self.inputs
+            for _ in range(self.n_inputs):
+                if inputs & 0b11 in (BIT_ZERO, BIT_ONE):
+                    count += 1
+                inputs >>= 2
+            self._n_literals = count
+        return self._n_literals
 
     def n_dashes(self) -> int:
-        """Number of don't-care input fields."""
-        count = 0
-        inputs = self.inputs
-        for _ in range(self.n_inputs):
-            if inputs & 0b11 == BIT_DASH:
-                count += 1
-            inputs >>= 2
-        return count
+        """Number of don't-care input fields; memoized."""
+        if self._n_dashes is None:
+            count = 0
+            inputs = self.inputs
+            for _ in range(self.n_inputs):
+                if inputs & 0b11 == BIT_DASH:
+                    count += 1
+                inputs >>= 2
+            self._n_dashes = count
+        return self._n_dashes
 
     def size(self) -> int:
         """Number of (minterm, output) pairs the cube contains."""

@@ -50,12 +50,50 @@ _KERNEL_TAUT_INPUT_LIMIT = 14
 #: packing for the kernel is not worth it.
 _KERNEL_TAUT_MIN_CUBES = 8
 
+#: Memo of tautology verdicts keyed on the cover's semantic signature
+#: (input count + the *set* of non-empty input masks — tautology is
+#: order- and duplicate-insensitive).  Only consulted on the kernel
+#: backend, so the scalar path stays a pure, memo-free oracle for the
+#: differential tests.  The Espresso loop re-tests the same cofactored
+#: covers many times (IRREDUNDANT and the essential split both probe
+#: ``covers_cube`` on near-identical remainders), which is where the
+#: hits come from.
+_TAUT_MEMO: dict = {}
+#: Verdicts kept before the memo is reset (bounds memory).
+_TAUT_MEMO_LIMIT = 1 << 15
+#: Below this cube count the verdict is cheaper than the lookup.
+_TAUT_MEMO_MIN_CUBES = 4
+
 
 def _taut_single(cover: Cover) -> bool:
     """Tautology for a single-output cover (recursive or bit-sliced)."""
     n = cover.n_inputs
     full = full_input_mask(n)
     cubes = [c.inputs for c in cover.cubes if not c.is_empty() and c.outputs]
+
+    memo_key = None
+    if len(cubes) >= _TAUT_MEMO_MIN_CUBES:
+        from repro import kernels
+        if kernels.enabled():
+            memo_key = (n, frozenset(cubes))
+            cached = _TAUT_MEMO.get(memo_key)
+            if cached is not None:
+                from repro import perf
+                perf.count("taut.memo_hit")
+                return cached
+
+    result = _taut_single_uncached(cubes, n, full)
+    if memo_key is not None:
+        from repro import perf
+        perf.count("taut.memo_miss")
+        if len(_TAUT_MEMO) >= _TAUT_MEMO_LIMIT:
+            _TAUT_MEMO.clear()
+        _TAUT_MEMO[memo_key] = result
+    return result
+
+
+def _taut_single_uncached(cubes, n: int, full: int) -> bool:
+    """The memo-free verdict (recursive or bit-sliced)."""
     # Terminal cases stay scalar; the kernel only takes over when the
     # recursion would actually have work to do.
     if (len(cubes) >= _KERNEL_TAUT_MIN_CUBES

@@ -1,0 +1,87 @@
+"""Lightweight profiling: accumulating phase timers and event counters.
+
+The minimizer and the benchmark drivers need to answer "where did the
+time go" without an external profiler: which Espresso phase dominates,
+how often the tautology memo hits, how many raises EXPAND tested.  This
+module keeps process-global accumulators that hot paths update with
+near-zero overhead; :func:`snapshot` renders them into the plain dict
+that the benchmark drivers embed in ``BENCH_perf.json``.
+
+Usage::
+
+    from repro import perf
+
+    with perf.timer("espresso.expand"):
+        ...                       # accumulates wall time + call count
+    perf.count("taut.memo_hit")   # bumps a counter
+
+    perf.reset()                  # start a measurement window
+    ...
+    data = perf.snapshot()        # {"timers": {...}, "counters": {...}}
+
+The accumulators are per-process: parallel drivers collect a snapshot
+inside each worker and merge them with :func:`merge` on the way out.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+# name -> [total_seconds, calls]
+_timers: Dict[str, List[float]] = {}
+# name -> count
+_counters: Dict[str, int] = {}
+
+
+@contextmanager
+def timer(name: str) -> Iterator[None]:
+    """Accumulate wall time and a call count under ``name``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        entry = _timers.get(name)
+        if entry is None:
+            _timers[name] = [elapsed, 1]
+        else:
+            entry[0] += elapsed
+            entry[1] += 1
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Bump the counter ``name`` by ``amount``."""
+    _counters[name] = _counters.get(name, 0) + amount
+
+
+def reset() -> None:
+    """Clear all accumulators (start of a measurement window)."""
+    _timers.clear()
+    _counters.clear()
+
+
+def snapshot() -> dict:
+    """The accumulators as a JSON-ready dict (accumulation continues)."""
+    return {
+        "timers": {name: {"seconds": round(entry[0], 6), "calls": entry[1]}
+                   for name, entry in sorted(_timers.items())},
+        "counters": dict(sorted(_counters.items())),
+    }
+
+
+def merge(into: dict, other: dict) -> dict:
+    """Merge one :func:`snapshot` dict into another (for parallel workers)."""
+    for name, entry in other.get("timers", {}).items():
+        dst = into.setdefault("timers", {}).setdefault(
+            name, {"seconds": 0.0, "calls": 0})
+        dst["seconds"] = round(dst["seconds"] + entry["seconds"], 6)
+        dst["calls"] += entry["calls"]
+    for name, value in other.get("counters", {}).items():
+        counters = into.setdefault("counters", {})
+        counters[name] = counters.get(name, 0) + value
+    return into
+
+
+__all__ = ["count", "merge", "reset", "snapshot", "timer"]
