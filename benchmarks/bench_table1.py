@@ -43,20 +43,18 @@ def compute_table1(jobs=None):
     """All Table 1 rows from the area model + mapped benchmark covers.
 
     ``jobs`` (default: the ``REPRO_JOBS`` environment variable, else 1)
-    fans the per-benchmark synthesis/mapping out over worker processes;
-    ``pool.map`` preserves benchmark order, so the rows are identical
-    for any job count.
+    fans the per-benchmark synthesis/mapping out over crash-isolated
+    worker processes (:func:`repro.runner.run_tasks`); task order is
+    preserved, so the rows are identical for any job count.
     """
+    from repro.runner import run_tasks
     if jobs is None:
         jobs = int(os.environ.get("REPRO_JOBS", "1"))
     rows = [("Basic cell (L2)", FLASH.cell_area_l2, EEPROM.cell_area_l2,
              CNFET_AMBIPOLAR.cell_area_l2)]
-    if jobs > 1:
-        from concurrent.futures import ProcessPoolExecutor
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            rows.extend(pool.map(_table1_row, TABLE1_BENCHMARKS))
-    else:
-        rows.extend(_table1_row(stats) for stats in TABLE1_BENCHMARKS)
+    tasks = [(stats.name, stats) for stats in TABLE1_BENCHMARKS]
+    report = run_tasks(_table1_row, tasks, jobs=jobs)
+    rows.extend(report.values())
     return rows
 
 

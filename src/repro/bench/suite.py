@@ -8,16 +8,22 @@ the results into a single report usable from Python, the CLI
 Benchmarks are independent of each other (each synthesizes its cover
 from the shared base ``seed`` alone), so the suite parallelizes across
 a process pool: ``evaluate_suite(..., jobs=N)`` / ``python -m repro
-suite --jobs N``.  Results are bit-identical for any job count — the
-pool map preserves registry order and every worker derives its
+suite --jobs N``.  Results are bit-identical for any job count — tasks
+are aggregated in registry order and every worker derives its
 randomness from the benchmark's own seeded generator.
+
+Execution goes through the resilient runner (:mod:`repro.runner`):
+workers are crash-isolated and retried, per-task timeouts come from
+``REPRO_TASK_TIMEOUT``, and an optional JSONL checkpoint makes long
+suite runs resumable (``evaluate_suite(..., checkpoint=..., resume=True)``).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import List, Optional, Sequence, Tuple
+
+from repro import runner as resilient
 
 from repro.analysis.export import rows_to_csv
 from repro.analysis.report import format_area, format_percent, render_table
@@ -82,20 +88,43 @@ def _evaluate_one(task: Tuple[BenchmarkStats, int]) -> SuiteEntry:
     )
 
 
+def _entry_to_json(entry: SuiteEntry) -> dict:
+    """Checkpoint encoding of a :class:`SuiteEntry`."""
+    record = asdict(entry)
+    record["stats"] = asdict(entry.stats)
+    return record
+
+
+def _entry_from_json(record: dict) -> SuiteEntry:
+    record = dict(record)
+    record["stats"] = BenchmarkStats(**record["stats"])
+    return SuiteEntry(**record)
+
+
 def evaluate_suite(benchmarks: Optional[Sequence[BenchmarkStats]] = None,
-                   seed: int = 0, jobs: int = 1) -> List[SuiteEntry]:
+                   seed: int = 0, jobs: int = 1,
+                   timeout: Optional[float] = None, retries: int = 2,
+                   checkpoint: Optional[str] = None,
+                   resume: bool = False) -> List[SuiteEntry]:
     """Evaluate the registry (or a custom list) end to end.
 
-    ``jobs > 1`` fans the benchmarks out over a process pool; entry
-    order and content are identical to the sequential run.
+    ``jobs > 1`` fans the benchmarks out over crash-isolated worker
+    processes via :func:`repro.runner.run_tasks`; entry order and
+    content are identical to the sequential run.  ``checkpoint`` (a
+    JSONL path) plus ``resume=True`` skips benchmarks completed by an
+    interrupted earlier run.  A benchmark that keeps failing after
+    ``retries`` raises :class:`repro.runner.TaskFailure` with the
+    structured per-task report instead of a mid-run traceback.
     """
     if benchmarks is None:
         benchmarks = EXTENDED_SUITE
-    tasks = [(stats, seed) for stats in benchmarks]
-    if jobs > 1 and len(tasks) > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-            return list(pool.map(_evaluate_one, tasks))
-    return [_evaluate_one(task) for task in tasks]
+    tasks = [({"benchmark": stats.name, "seed": seed}, (stats, seed))
+             for stats in benchmarks]
+    report = resilient.run_tasks(
+        _evaluate_one, tasks, jobs=min(jobs, len(tasks)) if jobs > 1 else 1,
+        timeout=timeout, retries=retries, checkpoint=checkpoint,
+        resume=resume, encode=_entry_to_json, decode=_entry_from_json)
+    return report.values()
 
 
 SUITE_HEADERS = ["benchmark", "I", "O", "P", "flash_l2", "eeprom_l2",

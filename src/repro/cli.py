@@ -20,6 +20,7 @@ from typing import List, Optional
 from repro.analysis.report import format_area, format_percent, render_table
 from repro.core.area import (CNFET_AMBIPOLAR, EEPROM, FLASH,
                              area_saving_percent, pla_area)
+from repro.errors import ReproInputError
 from repro.espresso import assign_output_phases, espresso
 from repro.logic.function import BooleanFunction
 from repro.logic.pla_format import parse_pla, write_pla
@@ -29,6 +30,13 @@ from repro.mapping.gnor_map import map_cover_to_gnor
 def _load(path: str) -> BooleanFunction:
     with open(path) as handle:
         return parse_pla(handle, name=path)
+
+
+def _default_checkpoint(kind: str, *parts: object) -> str:
+    """Deterministic checkpoint path for resumable sweeps."""
+    import os
+    tag = "-".join(str(p) for p in parts)
+    return os.path.join(".repro", f"{kind}-{tag}.ckpt.jsonl")
 
 
 def _cmd_info(args) -> int:
@@ -200,12 +208,75 @@ def _cmd_atpg(args) -> int:
 
 def _cmd_suite(args) -> int:
     from repro.bench.suite import (evaluate_suite, render_suite, suite_csv)
-    entries = evaluate_suite(seed=args.seed, jobs=args.jobs)
+    checkpoint = args.checkpoint
+    if checkpoint is None and args.resume:
+        checkpoint = _default_checkpoint("suite", args.seed)
+    entries = evaluate_suite(seed=args.seed, jobs=args.jobs,
+                             retries=args.retries, checkpoint=checkpoint,
+                             resume=args.resume)
     print(render_suite(entries))
     if args.csv:
         with open(args.csv, "w") as handle:
             handle.write(suite_csv(entries))
         print(f"wrote {args.csv}", file=sys.stderr)
+    return 0
+
+
+def _cmd_yield(args) -> int:
+    import json
+    from repro.robustness.yield_engine import YieldSettings, estimate_yield
+    from repro.bench.mcnc import get_benchmark
+    try:
+        get_benchmark(args.benchmark)
+    except KeyError as exc:
+        raise ReproInputError(str(exc.args[0]))
+    if args.rate is not None:
+        p_off, p_on = args.rate * 0.7, args.rate * 0.3
+    else:
+        p_off, p_on = args.p_stuck_off, args.p_stuck_on
+    settings = YieldSettings(
+        benchmark=args.benchmark, samples=args.samples, seed=args.seed,
+        p_stuck_off=p_off, p_stuck_on=p_on, spare_rows=args.spare_rows,
+        spare_cols=args.spare_cols, correlated=args.correlated,
+        reminimize=not args.no_reminimize)
+    checkpoint = args.checkpoint or _default_checkpoint(
+        "yield", args.benchmark, args.samples, args.seed)
+    report = estimate_yield(settings, jobs=args.jobs,
+                            checkpoint=checkpoint, resume=args.resume,
+                            retries=args.retries)
+    data = report.to_json()
+    raw_lo, raw_hi = data["raw_ci95"]
+    rep_lo, rep_hi = data["repaired_ci95"]
+    rows = [
+        ["array", f"{report.n_products}x"
+                  f"{report.n_inputs + report.n_outputs} "
+                  f"(+{settings.spare_rows} rows, "
+                  f"+{settings.spare_cols} cols)"],
+        ["samples", report.samples],
+        ["defect rates", f"off={settings.p_stuck_off:g} "
+                         f"on={settings.p_stuck_on:g}"
+                         + (" (row-correlated)" if settings.correlated
+                            else "")],
+        ["mean defects/array", f"{data['mean_defects_per_array']:.2f}"],
+        ["raw yield", f"{report.raw_yield:.4f}  "
+                      f"[{raw_lo:.4f}, {raw_hi:.4f}]"],
+        ["repaired yield", f"{report.repaired_yield:.4f}  "
+                           f"[{rep_lo:.4f}, {rep_hi:.4f}]"],
+        ["repair statuses", " ".join(f"{k}={v}" for k, v in
+                                     sorted(report.status_counts.items()))],
+        ["irreparable", data["irreparable"]],
+        ["degraded correctness",
+         f"mean={data['degraded_mean_correct']:.6f} "
+         f"worst={data['degraded_worst_correct']:.6f}"],
+    ]
+    print(render_table(["field", "value"], rows,
+                       title=f"Manufacturing yield: {args.benchmark} "
+                             f"(seed {args.seed})"))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
     return 0
 
 
@@ -219,8 +290,18 @@ performance:
         importable, scalar Python otherwise; results are identical
         either way)
   --jobs N
-        `suite` and `table2` accept parallel worker processes
-        (ProcessPoolExecutor); results are identical for any job count
+        `suite`, `yield` and `table2` accept parallel worker processes
+        (crash-isolated, retried, see repro.runner); results are
+        identical for any job count
+
+robustness:
+  REPRO_TASK_TIMEOUT=SECONDS
+        per-task wall-clock limit for parallel runs; a worker past the
+        limit is recycled and the task retried
+  --checkpoint FILE / --resume
+        `suite` and `yield` checkpoint completed tasks to a JSONL
+        file; --resume after a crash reuses them and yields a
+        bit-identical final report
 """
 
 
@@ -283,7 +364,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parallel worker processes (default 1; results are "
                         "identical for any job count)")
     p.add_argument("--csv", help="also export the rows as CSV")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retry budget per benchmark (default 2)")
+    p.add_argument("--checkpoint", help="JSONL checkpoint file (default: "
+                                        ".repro/suite-<seed>.ckpt.jsonl "
+                                        "when --resume is given)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip benchmarks already in the checkpoint")
     p.set_defaults(handler=_cmd_suite)
+
+    p = sub.add_parser("yield", help="Monte Carlo manufacturing yield of a "
+                                     "benchmark's GNOR fabric, with "
+                                     "spare-aware repair")
+    p.add_argument("--benchmark", required=True,
+                   help="registry benchmark name (max46, apla, t2, syn_*)")
+    p.add_argument("--samples", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--rate", type=float, default=None,
+                   help="total per-device defect rate, split 70/30 into "
+                        "stuck-off/stuck-on (overrides --p-stuck-*)")
+    p.add_argument("--p-stuck-off", type=float, default=0.0014)
+    p.add_argument("--p-stuck-on", type=float, default=0.0006)
+    p.add_argument("--spare-rows", type=int, default=2,
+                   help="spare product rows for repair (default 2)")
+    p.add_argument("--spare-cols", type=int, default=1,
+                   help="spare input columns for repair (default 1)")
+    p.add_argument("--correlated", action="store_true",
+                   help="cluster defects along tube rows")
+    p.add_argument("--no-reminimize", action="store_true",
+                   help="disable the EXPAND/IRREDUNDANT repair fallback")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel worker processes (default 1; the report "
+                        "is identical for any job count)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retry budget per sample chunk (default 2)")
+    p.add_argument("--checkpoint",
+                   help="JSONL checkpoint file (default: "
+                        ".repro/yield-<bench>-<samples>-<seed>.ckpt.jsonl)")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse chunks checkpointed by an interrupted run; "
+                        "the final report is bit-identical")
+    p.add_argument("--json", help="also write the report as JSON")
+    p.set_defaults(handler=_cmd_yield)
 
     p = sub.add_parser("table1", help="reproduce the paper's Table 1")
     p.set_defaults(handler=_cmd_table1)
@@ -307,6 +429,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except ReproInputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -74,6 +74,23 @@ class DefectModel:
         """Overall per-device defect probability."""
         return self.p_stuck_off + self.p_stuck_on + self.p_pg_leak
 
+    def scaled(self, factor: float) -> "DefectModel":
+        """The model with every rate multiplied by ``factor``.
+
+        Used for correlated sampling (a "bad" tube row is the same
+        failure physics at an elevated rate).  Rates are renormalized
+        when the scaled total would exceed 1.
+        """
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        off = self.p_stuck_off * factor
+        on = self.p_stuck_on * factor
+        leak = self.p_pg_leak * factor
+        total = off + on + leak
+        if total > 1.0:
+            off, on, leak = off / total, on / total, leak / total
+        return DefectModel(p_stuck_off=off, p_stuck_on=on, p_pg_leak=leak)
+
     def sample(self, rng: random.Random) -> Optional[DefectType]:
         """Draw the defect (or ``None``) of one device."""
         roll = rng.random()
@@ -106,6 +123,33 @@ class DefectMap:
         for r in range(n_rows):
             for c in range(n_columns):
                 defect = model.sample(rng)
+                if defect is not None:
+                    defects[(r, c)] = defect
+        return cls(n_rows, n_columns, defects)
+
+    @classmethod
+    def sample_row_correlated(cls, n_rows: int, n_columns: int,
+                              model: DefectModel, seed: int,
+                              p_bad_row: float = 0.02,
+                              boost: float = 8.0) -> "DefectMap":
+        """Sample a map with defects clustered along tube rows.
+
+        CNT growth defects correlate along the tube direction: a
+        misaligned or contaminated growth region degrades a whole row.
+        Each row is independently "bad" with probability ``p_bad_row``;
+        bad rows sample from ``model.scaled(boost)``, healthy rows from
+        ``model`` itself.  ``boost <= 1`` (or ``p_bad_row = 0``) reduces
+        to :meth:`sample`'s independent statistics.
+        """
+        if not 0.0 <= p_bad_row <= 1.0:
+            raise ValueError("p_bad_row must be a probability")
+        rng = random.Random(seed)
+        boosted = model.scaled(boost)
+        defects = {}
+        for r in range(n_rows):
+            row_model = boosted if rng.random() < p_bad_row else model
+            for c in range(n_columns):
+                defect = row_model.sample(rng)
                 if defect is not None:
                     defects[(r, c)] = defect
         return cls(n_rows, n_columns, defects)

@@ -1,0 +1,44 @@
+"""Shared user-facing exception types.
+
+Anything a *user input* can trigger — a malformed ``.pla`` file, a bad
+KISS2 state table, an unknown benchmark name — raises
+:class:`ReproInputError` (or a subclass) carrying enough context to
+print a one-line diagnosis at the CLI boundary instead of a traceback
+from deep inside a parser.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReproInputError(ValueError):
+    """Malformed user input (file content, CLI argument, ...).
+
+    Parameters
+    ----------
+    message:
+        What is wrong.
+    source:
+        The file (or logical source) the input came from.
+    line:
+        1-based line number inside ``source``, when known.
+    """
+
+    def __init__(self, message: str, source: Optional[str] = None,
+                 line: Optional[int] = None):
+        self.message = message
+        self.source = source
+        self.line = line
+        super().__init__(str(self))
+
+    def __str__(self) -> str:
+        prefix = ""
+        if self.source is not None and self.line is not None:
+            prefix = f"{self.source}:{self.line}: "
+        elif self.source is not None:
+            prefix = f"{self.source}: "
+        return prefix + self.message
+
+
+__all__ = ["ReproInputError"]

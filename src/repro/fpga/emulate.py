@@ -207,15 +207,19 @@ def run_emulation(seed: int = 2, grid_side: int = 10,
     amb_fabric = FPGAFabric.same_die(std_fabric, amb_clb, channel_capacity)
 
     if jobs > 1:
-        from concurrent.futures import ProcessPoolExecutor
-        with ProcessPoolExecutor(max_workers=2) as pool:
-            std_future = pool.submit(implement, partitions, std_fabric,
-                                     seed, wire_params)
-            amb_future = pool.submit(implement, partitions, amb_fabric,
-                                     seed, wire_params)
-            standard = std_future.result()
-            cnfet = amb_future.result()
+        # resilient fan-out: the two independent place-and-route runs
+        # are crash-isolated and retried (see repro.runner)
+        from repro.runner import run_tasks
+        tasks = [("standard", (partitions, std_fabric, seed, wire_params)),
+                 ("cnfet", (partitions, amb_fabric, seed, wire_params))]
+        standard, cnfet = run_tasks(_implement_task, tasks, jobs=2).values()
     else:
         standard = implement(partitions, std_fabric, seed, wire_params)
         cnfet = implement(partitions, amb_fabric, seed, wire_params)
     return EmulationReport(standard=standard, cnfet=cnfet)
+
+
+def _implement_task(payload):
+    """Top-level (picklable) wrapper for the resilient runner."""
+    partitions, fabric, seed, wire_params = payload
+    return implement(partitions, fabric, seed, wire_params)

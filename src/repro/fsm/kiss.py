@@ -22,15 +22,40 @@ from __future__ import annotations
 
 from typing import List, Optional, TextIO, Union
 
+from repro.errors import ReproInputError
 from repro.fsm.machine import FSM
 
 
-class KISSFormatError(ValueError):
-    """Raised on malformed KISS2 input."""
+class KISSFormatError(ReproInputError):
+    """Raised on malformed KISS2 input (with file/line context)."""
+
+
+def _int_arg(parts: List[str], what: str, name: str,
+             line_no: int) -> int:
+    """Parse a directive's integer argument, or raise with context."""
+    if len(parts) < 2:
+        raise KISSFormatError(f"{what} needs an argument", source=name,
+                              line=line_no)
+    try:
+        value = int(parts[1])
+    except ValueError:
+        raise KISSFormatError(
+            f"{what} argument {parts[1]!r} is not an integer",
+            source=name, line=line_no) from None
+    if value < 0:
+        raise KISSFormatError(f"{what} must be non-negative, got {value}",
+                              source=name, line=line_no)
+    return value
 
 
 def parse_kiss(source: Union[str, TextIO], name: str = "kiss") -> FSM:
-    """Parse KISS2 text (string or file object) into an :class:`FSM`."""
+    """Parse KISS2 text (string or file object) into an :class:`FSM`.
+
+    Malformed input — truncated ``.i``/``.o``/``.s``/``.r`` directives,
+    non-integer arguments, wrong column counts, bad guard bits — raises
+    :class:`KISSFormatError` (a :class:`repro.errors.ReproInputError`)
+    carrying ``name`` and the 1-based line number.
+    """
     text = source.read() if hasattr(source, "read") else source
 
     n_inputs: Optional[int] = None
@@ -47,14 +72,17 @@ def parse_kiss(source: Union[str, TextIO], name: str = "kiss") -> FSM:
             parts = line.split()
             directive = parts[0]
             if directive == ".i":
-                n_inputs = int(parts[1])
+                n_inputs = _int_arg(parts, ".i", name, line_no)
             elif directive == ".o":
-                n_outputs = int(parts[1])
+                n_outputs = _int_arg(parts, ".o", name, line_no)
             elif directive == ".s":
-                declared_states = int(parts[1])
+                declared_states = _int_arg(parts, ".s", name, line_no)
             elif directive == ".p":
                 continue  # advisory row count
             elif directive == ".r":
+                if len(parts) < 2:
+                    raise KISSFormatError(".r needs a state name",
+                                          source=name, line=line_no)
                 reset_state = parts[1]
             elif directive in (".e", ".end"):
                 break
@@ -64,13 +92,14 @@ def parse_kiss(source: Union[str, TextIO], name: str = "kiss") -> FSM:
             parts = line.split()
             if len(parts) != 4:
                 raise KISSFormatError(
-                    f"line {line_no}: expected 4 columns, got {len(parts)}")
+                    f"expected 4 columns, got {len(parts)}",
+                    source=name, line=line_no)
             rows.append((line_no,) + tuple(parts))
 
     if n_inputs is None or n_outputs is None:
-        raise KISSFormatError("missing .i or .o directive")
+        raise KISSFormatError("missing .i or .o directive", source=name)
     if not rows:
-        raise KISSFormatError("no transition rows")
+        raise KISSFormatError("no transition rows", source=name)
     if reset_state is None:
         reset_state = rows[0][2]  # KISS convention: first row's state
 
@@ -78,11 +107,21 @@ def parse_kiss(source: Union[str, TextIO], name: str = "kiss") -> FSM:
     for line_no, guard, source_state, target_state, outputs in rows:
         if len(guard) != n_inputs:
             raise KISSFormatError(
-                f"line {line_no}: guard {guard!r} needs {n_inputs} bits")
+                f"guard {guard!r} needs {n_inputs} bits",
+                source=name, line=line_no)
+        if any(ch not in "01-" for ch in guard):
+            raise KISSFormatError(
+                f"guard {guard!r} has characters outside 0/1/-",
+                source=name, line=line_no)
         if len(outputs) != n_outputs:
             raise KISSFormatError(
-                f"line {line_no}: outputs {outputs!r} need {n_outputs} bits")
+                f"outputs {outputs!r} need {n_outputs} bits",
+                source=name, line=line_no)
         outputs = outputs.replace("-", "0")
+        if any(ch not in "01" for ch in outputs):
+            raise KISSFormatError(
+                "outputs have characters outside 0/1/-",
+                source=name, line=line_no)
         if target_state == "*":  # KISS "any state" — keep the source
             target_state = source_state
         fsm.add_transition(source_state, guard, target_state, outputs)

@@ -21,17 +21,42 @@ from __future__ import annotations
 
 from typing import List, Optional, TextIO, Union
 
+from repro.errors import ReproInputError
 from repro.logic.cover import Cover
 from repro.logic.cube import Cube
 from repro.logic.function import BooleanFunction
 
 
-class PLAFormatError(ValueError):
-    """Raised on malformed PLA input."""
+class PLAFormatError(ReproInputError):
+    """Raised on malformed PLA input (with file/line context)."""
+
+
+def _int_arg(parts: List[str], what: str, name: str,
+             line_no: int) -> int:
+    """Parse a directive's integer argument, or raise with context."""
+    if len(parts) < 2:
+        raise PLAFormatError(f"{what} needs an argument", source=name,
+                             line=line_no)
+    try:
+        value = int(parts[1])
+    except ValueError:
+        raise PLAFormatError(
+            f"{what} argument {parts[1]!r} is not an integer",
+            source=name, line=line_no) from None
+    if value < 0:
+        raise PLAFormatError(f"{what} must be non-negative, got {value}",
+                             source=name, line=line_no)
+    return value
 
 
 def parse_pla(source: Union[str, TextIO], name: str = "pla") -> BooleanFunction:
-    """Parse PLA text (a string or file object) into a :class:`BooleanFunction`."""
+    """Parse PLA text (a string or file object) into a :class:`BooleanFunction`.
+
+    Malformed input — truncated directives, non-integer ``.i``/``.o``
+    arguments, bad cube characters, wrong column counts — raises
+    :class:`PLAFormatError` (a :class:`repro.errors.ReproInputError`)
+    carrying ``name`` and the 1-based line number.
+    """
     if hasattr(source, "read"):
         text = source.read()
     else:
@@ -53,17 +78,24 @@ def parse_pla(source: Union[str, TextIO], name: str = "pla") -> BooleanFunction:
             parts = line.split()
             directive = parts[0]
             if directive == ".i":
-                n_inputs = int(parts[1])
+                n_inputs = _int_arg(parts, ".i", name, line_no)
             elif directive == ".o":
-                n_outputs = int(parts[1])
+                n_outputs = _int_arg(parts, ".o", name, line_no)
             elif directive == ".p":
-                declared_products = int(parts[1])
+                declared_products = _int_arg(parts, ".p", name, line_no)
             elif directive == ".ilb":
                 input_labels = parts[1:]
             elif directive == ".ob":
                 output_labels = parts[1:]
             elif directive == ".type":
+                if len(parts) < 2:
+                    raise PLAFormatError(".type needs an argument",
+                                         source=name, line=line_no)
                 pla_type = parts[1]
+                if pla_type not in ("f", "fd", "fr", "fdr"):
+                    raise PLAFormatError(
+                        f"unsupported .type {pla_type!r}", source=name,
+                        line=line_no)
             elif directive in (".e", ".end"):
                 break
             else:
@@ -79,16 +111,20 @@ def parse_pla(source: Union[str, TextIO], name: str = "pla") -> BooleanFunction:
             rows.append((line_no, parts[0], parts[1]))
 
     if n_inputs is None or n_outputs is None:
-        raise PLAFormatError("missing .i or .o directive")
+        raise PLAFormatError("missing .i or .o directive", source=name)
 
     on = Cover(n_inputs, n_outputs)
     dc = Cover(n_inputs, n_outputs)
     off = Cover(n_inputs, n_outputs)
     for line_no, in_str, out_str in rows:
         if len(in_str) != n_inputs:
-            raise PLAFormatError(f"line {line_no}: expected {n_inputs} input columns")
+            raise PLAFormatError(
+                f"expected {n_inputs} input columns, got {len(in_str)}",
+                source=name, line=line_no)
         if len(out_str) != n_outputs:
-            raise PLAFormatError(f"line {line_no}: expected {n_outputs} output columns")
+            raise PLAFormatError(
+                f"expected {n_outputs} output columns, got {len(out_str)}",
+                source=name, line=line_no)
         on_mask = dc_mask = off_mask = 0
         for k, ch in enumerate(out_str):
             if ch in ("1", "4"):
@@ -102,8 +138,13 @@ def parse_pla(source: Union[str, TextIO], name: str = "pla") -> BooleanFunction:
             elif ch == "~":
                 continue
             else:
-                raise PLAFormatError(f"line {line_no}: bad output char {ch!r}")
-        base = Cube.from_string(in_str, "0" * n_outputs)
+                raise PLAFormatError(f"bad output char {ch!r}",
+                                     source=name, line=line_no)
+        try:
+            base = Cube.from_string(in_str, "0" * n_outputs)
+        except ValueError as exc:
+            raise PLAFormatError(str(exc), source=name,
+                                 line=line_no) from None
         if on_mask:
             on.append(Cube(n_inputs, base.inputs, on_mask, n_outputs))
         if dc_mask:

@@ -19,6 +19,8 @@ tautology iff each output's input-part cover is.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.logic.cube import (BIT_DASH, BIT_ONE, BIT_ZERO, Cube,
                               full_input_mask)
 from repro.logic.cover import Cover
@@ -58,8 +60,11 @@ _KERNEL_TAUT_MIN_CUBES = 8
 #: covers many times (IRREDUNDANT and the essential split both probe
 #: ``covers_cube`` on near-identical remainders), which is where the
 #: hits come from.
-_TAUT_MEMO: dict = {}
-#: Verdicts kept before the memo is reset (bounds memory).
+_TAUT_MEMO: "OrderedDict" = OrderedDict()
+#: Verdicts kept in the LRU memo (bounds memory).  Eviction is
+#: least-recently-used, one entry at a time — the old clear-at-limit
+#: reset threw away the whole working set exactly when the Espresso
+#: loop was hottest.
 _TAUT_MEMO_LIMIT = 1 << 15
 #: Below this cube count the verdict is cheaper than the lookup.
 _TAUT_MEMO_MIN_CUBES = 4
@@ -80,14 +85,15 @@ def _taut_single(cover: Cover) -> bool:
             if cached is not None:
                 from repro import perf
                 perf.count("taut.memo_hit")
+                _TAUT_MEMO.move_to_end(memo_key)
                 return cached
 
     result = _taut_single_uncached(cubes, n, full)
     if memo_key is not None:
         from repro import perf
         perf.count("taut.memo_miss")
-        if len(_TAUT_MEMO) >= _TAUT_MEMO_LIMIT:
-            _TAUT_MEMO.clear()
+        while len(_TAUT_MEMO) >= _TAUT_MEMO_LIMIT:
+            _TAUT_MEMO.popitem(last=False)
         _TAUT_MEMO[memo_key] = result
     return result
 

@@ -1,0 +1,33 @@
+"""Defect-tolerant yield analysis of GNOR PLA fabrics.
+
+The paper's area win (Table 1) assumes every ambipolar crosspoint
+programs correctly; real CNT arrays are defect-prone.  This package
+answers the manufacturing question the area model ignores: *what
+fraction of fabricated arrays still computes the function, and can the
+rest be repaired?*
+
+* :mod:`repro.robustness.defective` — evaluate a programmed
+  configuration *with defects injected* (multi-fault generalization of
+  :mod:`repro.testgen.faults`), on either kernel backend;
+* :mod:`repro.robustness.repair` — spare-aware repair: remap the cover
+  around dead rows/columns of a :class:`SpareFabric`, re-minimize when
+  a direct remap fails, and measure graceful degradation when full
+  repair is impossible;
+* :mod:`repro.robustness.yield_engine` — the Monte Carlo yield engine
+  with Wilson confidence intervals, resumable via
+  :mod:`repro.runner` checkpoints.
+"""
+
+from repro.robustness.defective import (DefectOverlay, GoldenRef,
+                                        defective_truth_table,
+                                        evaluate_defective, golden_of,
+                                        overlay_from_map)
+from repro.robustness.repair import (RepairOutcome, SpareFabric,
+                                     repair_config)
+from repro.robustness.yield_engine import (YieldReport, YieldSettings,
+                                           estimate_yield, wilson_interval)
+
+__all__ = ["DefectOverlay", "GoldenRef", "RepairOutcome", "SpareFabric",
+           "YieldReport", "YieldSettings", "defective_truth_table",
+           "estimate_yield", "evaluate_defective", "golden_of",
+           "overlay_from_map", "repair_config", "wilson_interval"]

@@ -1,0 +1,287 @@
+"""Evaluating a GNOR configuration with defects injected.
+
+:mod:`repro.testgen.faults` simulates *single* crosspoint faults (the
+ATPG model).  Manufacturing analysis needs the multi-fault case: a
+sampled :class:`~repro.core.defects.DefectMap` hits many crosspoints at
+once, possibly on spare rows/columns and under a repair assignment.
+This module evaluates the *defective machine* exactly:
+
+* a **defect overlay** translates a physical defect map into logical
+  coordinates under a (row, column) assignment — unassigned physical
+  rows are disabled (disconnected from both planes), matching the
+  repair model of :mod:`repro.core.fault`;
+* the **kernel path** patches the packed device masks of
+  :mod:`repro.kernels.bitslice` — a stuck-on device pulls on both
+  signal polarities (``pass & invert`` masks both set), a stuck-off /
+  PG-leak device on neither — and compares whole output words against
+  the golden configuration;
+* the **scalar path** mirrors :class:`~repro.testgen.faults.FaultSimulator`
+  semantics fault-for-fault, and is the oracle in the differential
+  tests.
+
+Fault semantics (identical to the single-fault table of
+``testgen/faults.py``, applied simultaneously):
+
+=============  =========================  =================================
+plane          stuck off / PG leak        stuck on
+=============  =========================  =================================
+AND (r, i)     input ``i`` dropped from   row ``r`` pinned low (product
+               product ``r``              term dead)
+OR (k, r)      product ``r`` dropped      output column ``k``'s NOR pinned
+               from output ``k``          low
+=============  =========================  =================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.defects import DefectMap, DefectType
+from repro.core.gnor import InputConfig
+from repro.mapping.gnor_map import GNORPlaneConfig
+
+#: Logical-coordinate defect overlay: ``("and", row, input)`` or
+#: ``("or", row, output)`` -> :class:`DefectType`.
+DefectOverlay = Dict[Tuple[str, int, int], DefectType]
+
+#: Input counts above this are refused (the golden table would not fit).
+MAX_GOLDEN_INPUTS = 22
+
+
+def overlay_from_map(config: GNORPlaneConfig, defect_map: DefectMap,
+                     row_assignment: Optional[Dict[int, int]] = None,
+                     col_assignment: Optional[Dict[int, int]] = None,
+                     n_input_columns: Optional[int] = None) -> DefectOverlay:
+    """Project a physical defect map onto logical coordinates.
+
+    Parameters
+    ----------
+    config:
+        The logical programming being placed.
+    defect_map:
+        Physical map over ``(n_physical_rows, n_columns)`` where the
+        columns are the input-capable columns followed by the output
+        columns.
+    row_assignment:
+        logical product row -> physical row (default identity).
+        Physical rows not in the image are disabled; their defects
+        vanish from the overlay.
+    col_assignment:
+        logical input -> physical input-capable column (default
+        identity).
+    n_input_columns:
+        Number of physical input-capable columns (inputs + spare
+        columns); output ``k`` sits at physical column
+        ``n_input_columns + k``.  Defaults to ``config.n_inputs``.
+    """
+    if n_input_columns is None:
+        n_input_columns = config.n_inputs
+    phys_to_logical_row = {}
+    for r in range(config.n_products):
+        q = r if row_assignment is None else row_assignment.get(r)
+        if q is not None:
+            phys_to_logical_row[q] = r
+    phys_to_logical_col = {}
+    for i in range(config.n_inputs):
+        c = i if col_assignment is None else col_assignment.get(i)
+        if c is not None:
+            phys_to_logical_col[c] = i
+
+    overlay: DefectOverlay = {}
+    for q, c, defect in defect_map.iter_defects():
+        r = phys_to_logical_row.get(q)
+        if r is None:
+            continue  # disabled physical row
+        if c < n_input_columns:
+            i = phys_to_logical_col.get(c)
+            if i is None:
+                continue  # unassigned (spare) input column
+            overlay[("and", r, i)] = defect
+        else:
+            k = c - n_input_columns
+            if k < config.n_outputs:
+                overlay[("or", r, k)] = defect
+    return overlay
+
+
+# ----------------------------------------------------------------------
+# scalar evaluation (oracle)
+# ----------------------------------------------------------------------
+def _conducts(programmed: InputConfig, value: int) -> bool:
+    if programmed is InputConfig.PASS:
+        return bool(value)
+    if programmed is InputConfig.INVERT:
+        return not value
+    return False
+
+
+def evaluate_defective(config: GNORPlaneConfig, overlay: DefectOverlay,
+                       vector: Sequence[int]) -> List[int]:
+    """Output vector of the defective machine on one input vector."""
+    rows: List[int] = []
+    for r in range(config.n_products):
+        pulled = False
+        for i in range(config.n_inputs):
+            defect = overlay.get(("and", r, i))
+            if defect is DefectType.STUCK_ON:
+                pulled = True
+                break
+            if defect is not None:  # stuck off / PG leak
+                continue
+            if _conducts(config.and_plane[r][i], vector[i]):
+                pulled = True
+                break
+        rows.append(0 if pulled else 1)
+    outputs: List[int] = []
+    for k in range(config.n_outputs):
+        pulled = False
+        for r in range(config.n_products):
+            defect = overlay.get(("or", r, k))
+            if defect is DefectType.STUCK_ON:
+                pulled = True
+                break
+            if defect is not None:
+                continue
+            if _conducts(config.or_plane[k][r], rows[r]):
+                pulled = True
+                break
+        nor_value = 0 if pulled else 1
+        outputs.append(1 - nor_value if config.output_inverted[k]
+                       else nor_value)
+    return outputs
+
+
+def _scalar_truth_table(config: GNORPlaneConfig,
+                        overlay: DefectOverlay) -> List[int]:
+    table = []
+    for minterm in range(1 << config.n_inputs):
+        vector = [(minterm >> i) & 1 for i in range(config.n_inputs)]
+        bits = evaluate_defective(config, overlay, vector)
+        table.append(sum(bit << k for k, bit in enumerate(bits)))
+    return table
+
+
+# ----------------------------------------------------------------------
+# kernel evaluation
+# ----------------------------------------------------------------------
+def _patched_pack(config: GNORPlaneConfig, overlay: DefectOverlay):
+    """The bitslice :class:`PackedConfig` with defect-patched masks."""
+    from repro.kernels import bitslice as bs
+    import numpy as np
+
+    pc = bs.pack_config(config)
+    and_pass = pc.and_pass.copy()
+    and_invert = pc.and_invert.copy()
+    or_pass = pc.or_pass.copy()
+    or_invert = pc.or_invert.copy()
+    ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+    zero = np.uint64(0)
+    for (site, r, c), defect in overlay.items():
+        stuck_on = defect is DefectType.STUCK_ON
+        if site == "and":
+            and_pass[r, c] = ones if stuck_on else zero
+            and_invert[r, c] = ones if stuck_on else zero
+        else:  # ("or", row r, output c)
+            or_pass[c, r] = ones if stuck_on else zero
+            or_invert[c, r] = ones if stuck_on else zero
+    return bs.PackedConfig(pc.n_inputs, pc.n_outputs, pc.n_products,
+                           and_pass, and_invert, or_pass, or_invert,
+                           pc.inverted)
+
+
+def _kernel_output_words(pc) -> "object":
+    """Full-space output words ``(n_outputs, n_words)`` of a packed
+    config, tail word masked to the real minterm count."""
+    from repro.kernels import bitslice as bs
+    import numpy as np
+
+    n = pc.n_inputs
+    total = 1 << n
+    n_words = max(1, -(-total // bs.WORD))
+    out = np.empty((pc.n_outputs, n_words), dtype=np.uint64)
+    for lo in range(0, n_words, bs.CHUNK_WORDS):
+        hi = min(lo + bs.CHUNK_WORDS, n_words)
+        x = bs.exhaustive_slices(n, lo, hi)
+        out[:, lo:hi] = bs.config_eval_words(pc, x)
+    if total % bs.WORD:
+        out[:, -1] &= np.uint64((1 << (total % bs.WORD)) - 1)
+    return out
+
+
+def _popcount_words(words) -> int:
+    import numpy as np
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+        return int(np.bitwise_count(words).sum())
+    u8 = words.view(np.uint8)
+    return int(np.unpackbits(u8).sum())
+
+
+class GoldenRef:
+    """The healthy configuration's exhaustive response, backend-shaped.
+
+    On the kernel backend this holds per-output uint64 words; on the
+    scalar backend a plain output-bitmask list.  Either way,
+    :meth:`errors_of` counts the differing (minterm, output) pairs of a
+    defective overlay — 0 means the defective array still computes the
+    golden function exactly.
+    """
+
+    def __init__(self, config: GNORPlaneConfig):
+        if config.n_inputs > MAX_GOLDEN_INPUTS:
+            raise ValueError(
+                f"{config.n_inputs} inputs exceeds the exhaustive yield "
+                f"envelope ({MAX_GOLDEN_INPUTS})")
+        from repro import kernels
+        self.config = config
+        self.total_pairs = (1 << config.n_inputs) * max(config.n_outputs, 1)
+        self._kernel = kernels.enabled()
+        if self._kernel:
+            from repro.kernels import bitslice as bs
+            self._words = _kernel_output_words(bs.pack_config(config))
+        else:
+            self._table = _scalar_truth_table(config, {})
+
+    def errors_of(self, overlay: DefectOverlay,
+                  config: Optional[GNORPlaneConfig] = None) -> int:
+        """Differing (minterm, output) pairs of a defective machine.
+
+        ``config`` overrides the evaluated programming (used by repair
+        when a re-minimized or row-subset cover replaces the original);
+        the comparison target stays the golden response.
+        """
+        target = config if config is not None else self.config
+        if self._kernel:
+            diff = _kernel_output_words(_patched_pack(target, overlay))
+            diff ^= self._words
+            return _popcount_words(diff)
+        table = _scalar_truth_table(target, overlay)
+        return sum(bin(a ^ b).count("1")
+                   for a, b in zip(self._table, table))
+
+
+def golden_of(config: GNORPlaneConfig) -> GoldenRef:
+    """The golden reference of a healthy configuration."""
+    return GoldenRef(config)
+
+
+def defective_truth_table(config: GNORPlaneConfig,
+                          overlay: DefectOverlay) -> List[int]:
+    """Exhaustive output-bitmask table of the defective machine.
+
+    Kernel-backed when enabled, scalar otherwise; results are identical
+    (the differential tests assert it).  Exponential in the input
+    count — analysis at scale goes through :class:`GoldenRef` instead.
+    """
+    from repro import kernels
+    if kernels.enabled() and config.n_outputs <= 64:
+        from repro.kernels import bitslice as bs
+        words = _kernel_output_words(_patched_pack(config, overlay))
+        total = 1 << config.n_inputs
+        masks = bs._masks_from_output_words(words, total)
+        return [int(m) for m in masks]
+    return _scalar_truth_table(config, overlay)
+
+
+__all__ = ["DefectOverlay", "GoldenRef", "MAX_GOLDEN_INPUTS",
+           "defective_truth_table", "evaluate_defective", "golden_of",
+           "overlay_from_map"]

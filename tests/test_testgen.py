@@ -109,6 +109,63 @@ class TestFaultSimulator:
         assert signature == (1, 0)
 
 
+class TestFaultSimulatorEdgeCases:
+    def test_empty_cover(self):
+        """A configuration with zero product rows is a constant-0 array."""
+        config = map_cover_to_gnor(Cover(2, 1))
+        assert config.n_products == 0
+        simulator = FaultSimulator(config)
+        for m in range(4):
+            vector = [m & 1, (m >> 1) & 1]
+            # no row ever pulls the OR NOR: it floats to 1, and the
+            # default inverted output phase makes the output 0
+            assert simulator.evaluate(vector) == [0]
+        assert enumerate_faults(config) == []
+
+    def test_single_product_and_stuck_on_multi_output(self):
+        """AND stuck-on in a single-product plane silences every output
+        the row feeds."""
+        config = config_of(["10 11"])  # one product, two outputs
+        simulator = FaultSimulator(config)
+        fault = Fault(FaultSite.AND, 0, 0, stuck_on=True)
+        for m in range(4):
+            vector = [m & 1, (m >> 1) & 1]
+            assert simulator.evaluate(vector, fault) == [0, 0]
+
+    def test_single_product_or_stuck_on_pins_one_output(self):
+        """OR stuck-on pins its own output NOR low; the sibling output
+        of the same (healthy) product row is untouched."""
+        config = config_of(["10 11"])
+        simulator = FaultSimulator(config)
+        fault = Fault(FaultSite.OR, 0, 0, stuck_on=True)
+        for m in range(4):
+            vector = [m & 1, (m >> 1) & 1]
+            healthy = simulator.evaluate(vector)
+            faulty = simulator.evaluate(vector, fault)
+            assert faulty[0] == 1  # pinned (inverted phase: NOR low -> 1)
+            assert faulty[1] == healthy[1]
+
+    def test_differential_with_defective_evaluation(self):
+        """Every single fault agrees with the yield engine's multi-defect
+        evaluator given the equivalent one-entry overlay."""
+        from repro.core.defects import DefectType
+        from repro.robustness import evaluate_defective
+
+        f = BooleanFunction.random(3, 2, 4, seed=5)
+        config = map_cover_to_gnor(f.on_set)
+        simulator = FaultSimulator(config)
+        for fault in enumerate_faults(config, include_redundant=True):
+            site = "and" if fault.site is FaultSite.AND else "or"
+            defect = (DefectType.STUCK_ON if fault.stuck_on
+                      else DefectType.STUCK_OFF)
+            overlay = {(site, fault.row, fault.column): defect}
+            for m in range(8):
+                vector = [(m >> i) & 1 for i in range(3)]
+                assert (simulator.evaluate(vector, fault)
+                        == evaluate_defective(config, overlay, vector)), \
+                    str(fault)
+
+
 class TestATPG:
     def test_full_coverage_on_and2(self):
         result = generate_tests(config_of(["11 1"]))
