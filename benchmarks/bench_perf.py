@@ -14,7 +14,12 @@ replaced:
 * MCNC-suite response evaluation (exhaustive truth tables for small
   input counts, 4096-minterm sampled sweeps for large ones),
 * switch-level vs bit-sliced PLA truth-table enumeration,
-* ATPG fault dropping (the (vector, fault) detection matrix).
+* ATPG fault dropping (the (vector, fault) detection matrix),
+* the Table 2 FPGA flow: simulated-annealing placement and
+  congestion-negotiated routing of both fabrics on the array-backed
+  grid engine vs the scalar oracle loops — the place+route acceptance
+  metric (>= 5x combined), with the ``fpga.*`` perf timers/counters
+  (moves evaluated, negotiation iterations, overflow) embedded.
 
 The JSON report is the start of a perf trajectory: subsequent PRs can
 diff ``BENCH_perf.json`` to catch regressions
@@ -50,6 +55,9 @@ TARGET_SPEEDUP = 5.0
 #: Acceptance threshold for end-to-end minimization on the largest
 #: Table 1 benchmark (t2: 17 inputs, 592 OFF-cubes).
 MINIMIZE_TARGET_SPEEDUP = 5.0
+#: Acceptance threshold for the combined place+route phase of the
+#: Table 2 benchmark netlists (both fabrics).
+FPGA_TARGET_SPEEDUP = 5.0
 
 
 def _best_of(fn: Callable[[], object], reps: int) -> float:
@@ -213,6 +221,126 @@ def bench_pla_enumeration(results: List[dict], seed: int, quick: bool) -> None:
         pla.truth_table, pla.truth_table, scalar_reps=1, kernel_reps=3))
 
 
+def _fpga_workload(label: str):
+    """The Table 2 netlist/fabric pair for one fabric variant.
+
+    Always the full Table 2 problem size (seed 2, 10x10 standard grid,
+    channel capacity 28) so the FPGA acceptance metric is judged on the
+    real workload even under ``--quick``.
+    """
+    from repro.fpga.clb import ambipolar_pla_clb, standard_pla_clb
+    from repro.fpga.emulate import generate_workload
+    from repro.fpga.fabric import FPGAFabric
+    from repro.fpga.netlist import build_netlist
+    from repro.mapping.partition import Partitioner
+
+    partitions = generate_workload(2, 99, Partitioner(9, 4, 20))
+    std_fabric = FPGAFabric(10, 10, standard_pla_clb(9, 4, 20), 28)
+    if label == "standard":
+        fabric = std_fabric
+    else:
+        fabric = FPGAFabric.same_die(
+            std_fabric, ambipolar_pla_clb(9, 4, 20, area_factor=0.5), 28)
+    netlist = build_netlist(partitions,
+                            dual_polarity=fabric.clb.dual_polarity_inputs)
+    return netlist, fabric
+
+
+def _bench_fpga_one(task: tuple) -> tuple:
+    """Worker: time place and route of one Table 2 fabric on both backends.
+
+    Returns ``(place_record, route_record, perf_snapshot)``; runs in its
+    own process under ``--jobs``.  Placements and routed trees are
+    checked bit-identical across backends before anything is timed.
+    """
+    from repro.fpga.placement import place
+    from repro.fpga.routing import route
+
+    label, kernel_reps = task
+    netlist, fabric = _fpga_workload(label)
+    seed = 2  # the Table 2 default seed
+
+    with kernels.forced_backend("numpy"):
+        kernel_place = place(netlist, fabric, seed=seed)
+        kernel_route = route(netlist, kernel_place, fabric)
+    with kernels.forced_backend("python"):
+        scalar_place = place(netlist, fabric, seed=seed)
+        scalar_route = route(netlist, scalar_place, fabric)
+    if (kernel_place.sites != scalar_place.sites
+            or kernel_place.pads != scalar_place.pads):  # pragma: no cover
+        raise AssertionError(f"backends disagree on place_{label}")
+    if {n: r.edges for n, r in kernel_route.routed.items()} != \
+            {n: r.edges for n, r in scalar_route.routed.items()}:
+        raise AssertionError(  # pragma: no cover - differential guard
+            f"backends disagree on route_{label}")
+
+    place_scalar, place_kernel = _time_backends(
+        lambda: place(netlist, fabric, seed=seed),
+        lambda: place(netlist, fabric, seed=seed),
+        scalar_reps=1, kernel_reps=kernel_reps)
+    route_scalar, route_kernel = _time_backends(
+        lambda: route(netlist, kernel_place, fabric),
+        lambda: route(netlist, kernel_place, fabric),
+        scalar_reps=1, kernel_reps=kernel_reps)
+
+    # one instrumented kernel pass for the embedded fpga.* phase
+    # timers/counters (moves evaluated, iterations, overflow)
+    perf.reset()
+    with kernels.forced_backend("numpy"):
+        instrumented = place(netlist, fabric, seed=seed)
+        route(netlist, instrumented, fabric)
+    snapshot = perf.snapshot()
+
+    place_record = _record(
+        f"place_{label}",
+        f"Table 2 {label} fabric anneal, {len(netlist.blocks)} blocks, "
+        f"{len(netlist.nets)} nets, placements bit-identical across "
+        f"backends", place_scalar, place_kernel)
+    route_record = _record(
+        f"route_{label}",
+        f"Table 2 {label} fabric negotiation, {len(netlist.nets)} nets, "
+        f"wirelength {kernel_route.total_wirelength}, routes "
+        f"bit-identical across backends", route_scalar, route_kernel)
+    return place_record, route_record, snapshot
+
+
+def bench_fpga(results: List[dict], quick: bool, jobs: int) -> dict:
+    """The Table 2 place+route flow on the array-backed grid engine.
+
+    Emits a ``place_*`` / ``route_*`` record pair per fabric plus a
+    combined ``fpga_place_route_table2`` record (the acceptance metric)
+    carrying the merged ``fpga.*`` perf snapshot of the kernel run.
+    """
+    kernel_reps = 2 if quick else 3
+    tasks = [("standard", kernel_reps), ("cnfet", kernel_reps)]
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=min(jobs, 2)) as pool:
+            outcomes = list(pool.map(_bench_fpga_one, tasks))
+    else:
+        outcomes = [_bench_fpga_one(task) for task in tasks]
+
+    scalar_total = kernel_total = 0.0
+    merged_perf: dict = {}
+    for place_record, route_record, snapshot in outcomes:
+        for record in (place_record, route_record):
+            _print_record(record)
+            results.append(record)
+            scalar_total += record["scalar_s"]
+            kernel_total += record["kernel_s"]
+        perf.merge(merged_perf, snapshot)
+
+    combined = _record(
+        "fpga_place_route_table2",
+        "place+route of both Table 2 fabrics (standard dual-polarity + "
+        "half-area CNFET), array grid engine vs scalar oracle",
+        scalar_total, kernel_total)
+    combined["perf"] = merged_perf
+    _print_record(combined)
+    results.append(combined)
+    return combined
+
+
 def bench_atpg(results: List[dict], seed: int, quick: bool) -> None:
     """ATPG fault dropping: the (vector, fault) detection matrix."""
     stats = get_benchmark("syn_small" if quick else "syn_dec5")
@@ -254,11 +382,13 @@ def main(argv=None) -> int:
     bench_mcnc(results, args.seed, args.quick)
     bench_pla_enumeration(results, args.seed, args.quick)
     bench_atpg(results, args.seed, args.quick)
+    fpga_headline = bench_fpga(results, args.quick, args.jobs)
 
     # The minimize acceptance judges the largest benchmark (t2).
     minimize_headline = minimize_records[-1]
     passed = headline["speedup"] >= TARGET_SPEEDUP
     minimize_passed = minimize_headline["speedup"] >= MINIMIZE_TARGET_SPEEDUP
+    fpga_passed = fpga_headline["speedup"] >= FPGA_TARGET_SPEEDUP
     report = {
         "suite": "bench_perf",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -279,6 +409,12 @@ def main(argv=None) -> int:
             "threshold": MINIMIZE_TARGET_SPEEDUP,
             "pass": minimize_passed,
         },
+        "acceptance_fpga": {
+            "metric": fpga_headline["name"],
+            "speedup": fpga_headline["speedup"],
+            "threshold": FPGA_TARGET_SPEEDUP,
+            "pass": fpga_passed,
+        },
     }
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -289,7 +425,10 @@ def main(argv=None) -> int:
     print(f"acceptance (minimization): {minimize_headline['speedup']:.1f}x "
           f">= {MINIMIZE_TARGET_SPEEDUP}x on {minimize_headline['name']} "
           f"-> {'PASS' if minimize_passed else 'FAIL'}")
-    return 0 if passed and minimize_passed else 1
+    print(f"acceptance (fpga flow):    {fpga_headline['speedup']:.1f}x >= "
+          f"{FPGA_TARGET_SPEEDUP}x on place+route "
+          f"-> {'PASS' if fpga_passed else 'FAIL'}")
+    return 0 if passed and minimize_passed and fpga_passed else 1
 
 
 if __name__ == "__main__":

@@ -10,7 +10,10 @@ tooling diffs perf trajectories across PRs.  Checks:
   ``kernel_s`` / ``speedup`` with sane values;
 * at least three ``minimize_*`` records, each carrying an embedded
   profiling snapshot with Espresso phase timers;
-* both acceptance blocks are well-formed and report ``pass: true``.
+* at least one ``place_*`` and one ``route_*`` record (the Table 2
+  FPGA flow), plus the combined ``fpga_place_route_table2`` record
+  carrying the ``fpga.*`` phase timers and annealer/router counters;
+* all three acceptance blocks are well-formed and report ``pass: true``.
 
 Usage::
 
@@ -44,7 +47,13 @@ _TOP_FIELDS = {
     "results": list,
     "acceptance": dict,
     "acceptance_minimize": dict,
+    "acceptance_fpga": dict,
 }
+
+#: Counters the combined FPGA record's perf snapshot must carry (the
+#: annealer/router statistics that used to live only on dataclasses).
+_FPGA_COUNTERS = ("fpga.place.moves_evaluated", "fpga.route.iterations",
+                  "fpga.route.overflow_segments")
 
 _ACCEPTANCE_FIELDS = {
     "metric": str,
@@ -70,6 +79,7 @@ def validate_report(report: dict) -> List[str]:
     _check_fields(report, _TOP_FIELDS, "report", errors)
 
     minimize_count = 0
+    place_count = route_count = 0
     for i, result in enumerate(report.get("results", [])):
         where = f"results[{i}]"
         if not isinstance(result, dict):
@@ -91,11 +101,33 @@ def validate_report(report: dict) -> List[str]:
                          for t in snapshot.get("timers", {})):
                 errors.append(f"{where}: perf snapshot has no espresso "
                               f"phase timers")
+        if isinstance(name, str) and name.startswith("place_"):
+            place_count += 1
+        if isinstance(name, str) and name.startswith("route_"):
+            route_count += 1
+        if name == "fpga_place_route_table2":
+            snapshot = result.get("perf")
+            if not isinstance(snapshot, dict):
+                errors.append(f"{where}: fpga record lacks a perf snapshot")
+            else:
+                if not any(t.startswith("fpga.")
+                           for t in snapshot.get("timers", {})):
+                    errors.append(f"{where}: perf snapshot has no fpga "
+                                  f"phase timers")
+                counters = snapshot.get("counters", {})
+                for counter in _FPGA_COUNTERS:
+                    if counter not in counters:
+                        errors.append(f"{where}: perf snapshot lacks the "
+                                      f"{counter!r} counter")
     if minimize_count < MIN_MINIMIZE_RESULTS:
         errors.append(f"report: only {minimize_count} minimize_* results, "
                       f"expected >= {MIN_MINIMIZE_RESULTS}")
+    if place_count < 1:
+        errors.append("report: no place_* results (Table 2 FPGA flow)")
+    if route_count < 1:
+        errors.append("report: no route_* results (Table 2 FPGA flow)")
 
-    for block in ("acceptance", "acceptance_minimize"):
+    for block in ("acceptance", "acceptance_minimize", "acceptance_fpga"):
         data = report.get(block)
         if isinstance(data, dict):
             _check_fields(data, _ACCEPTANCE_FIELDS, block, errors)
@@ -124,7 +156,9 @@ def main(argv=None) -> int:
         else:
             print(f"{path}: OK ({len(report['results'])} results, "
                   f"minimize acceptance "
-                  f"{report['acceptance_minimize']['speedup']}x)")
+                  f"{report['acceptance_minimize']['speedup']}x, "
+                  f"fpga acceptance "
+                  f"{report['acceptance_fpga']['speedup']}x)")
     return 1 if failed else 0
 
 

@@ -285,10 +285,11 @@ def _cmd_yield(args) -> int:
 PERFORMANCE_EPILOG = """\
 performance:
   REPRO_KERNEL=numpy|python|auto
-        backend for the bit-sliced evaluation kernels and the
-        cover-matrix cube algebra (default: auto — NumPy when
-        importable, scalar Python otherwise; results are identical
-        either way)
+        backend for the bit-sliced evaluation kernels, the
+        cover-matrix cube algebra and the array-backed FPGA grid
+        engine — `repro table2` places and routes on the selected
+        backend (default: auto — NumPy when importable, scalar Python
+        otherwise; results are identical either way)
   --jobs N
         `suite`, `yield` and `table2` accept parallel worker processes
         (crash-isolated, retried, see repro.runner); results are

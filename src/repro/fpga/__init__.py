@@ -10,6 +10,11 @@ whole flow needed to re-run that experiment mechanistically:
 * :mod:`repro.fpga.netlist` — block/net netlists, including the
   dual-polarity net expansion of standard fabrics;
 * :mod:`repro.fpga.fabric` — the tile grid with channel capacities;
+* :mod:`repro.fpga.grid` — the array-backed grid engine: packed
+  site/edge index arrays, incremental-HPWL placement costs and flat
+  wavefront state shared by placement and routing (selected through
+  the same ``REPRO_KERNEL`` switch as the logic kernels, with the
+  scalar loops kept as the bit-identical oracle);
 * :mod:`repro.fpga.placement` — simulated-annealing placement;
 * :mod:`repro.fpga.routing` — a PathFinder-style congestion-negotiating
   router;
@@ -21,7 +26,7 @@ whole flow needed to re-run that experiment mechanistically:
 from repro.fpga.clb import CLBSpec, standard_pla_clb, ambipolar_pla_clb
 from repro.fpga.netlist import Net, Netlist, build_netlist
 from repro.fpga.fabric import FPGAFabric
-from repro.fpga.placement import Placement, place
+from repro.fpga.placement import Placement, evaluate_moves_batch, place
 from repro.fpga.routing import RoutingResult, route
 from repro.fpga.timing import TimingReport, analyze_timing
 from repro.fpga.emulate import EmulationReport, run_emulation, generate_workload
@@ -35,6 +40,7 @@ __all__ = [
     "build_netlist",
     "FPGAFabric",
     "Placement",
+    "evaluate_moves_batch",
     "place",
     "RoutingResult",
     "route",

@@ -13,6 +13,12 @@ Protocol (Section 5 of the paper):
    polarity per signal is routed;
 4. measure occupancy and maximum frequency of both through the same
    place-and-route-and-timing code path.
+
+The flow runs on the backend ``REPRO_KERNEL`` selects: the array-backed
+grid engine (:mod:`repro.fpga.grid`) or the scalar oracle loops.  Both
+produce bit-identical placements, routes and Table 2 numbers for the
+same seeds; the ``fpga.place`` / ``fpga.route`` / ``fpga.timing`` perf
+timers and counters record where the flow's time went either way.
 """
 
 from __future__ import annotations
@@ -146,7 +152,11 @@ def implement(partitions: Sequence[PartitionResult], fabric: FPGAFabric,
               seed: int,
               wire_params: WireDelayParameters = DEFAULT_WIRE_DELAY
               ) -> FabricRun:
-    """Place, route and time one fabric implementation."""
+    """Place, route and time one fabric implementation.
+
+    Each phase accumulates its ``fpga.*`` perf timer/counters, so the
+    benchmark drivers can embed a where-did-the-time-go snapshot.
+    """
     netlist = build_netlist(partitions,
                             dual_polarity=fabric.clb.dual_polarity_inputs)
     placement = place(netlist, fabric, seed=seed)

@@ -8,6 +8,14 @@ are resolved by negotiation: present-congestion and history costs grow
 each iteration until demand fits capacity (or the iteration bound is
 hit, in which case the residual overflow is reported — overflow also
 feeds the timing model as a congestion penalty).
+
+The negotiation loop is shared; the wavefront engine behind it is
+selected per ``REPRO_KERNEL`` backend.  The scalar oracle (kept here
+for differential testing) expands frontiers through site-tuple dicts;
+the array backend (:class:`repro.fpga.grid.PackedRouteEngine`) runs
+the same Dijkstra over flat node-indexed arrays with bulk congestion
+updates.  Both key the wavefront heap by node index, so pop order —
+and therefore every routed tree — is bit-identical across backends.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import kernels, perf
 from repro.fpga.fabric import Edge, FPGAFabric, Site
 from repro.fpga.netlist import Net, Netlist
 from repro.fpga.placement import Placement
@@ -56,7 +65,8 @@ class RoutingResult:
     overflow:
         Segments whose usage exceeds capacity, with the excess.
     iterations:
-        Negotiation rounds performed.
+        Negotiation rounds performed (also accumulated into the
+        ``fpga.route.iterations`` perf counter).
     total_wirelength:
         Sum of all tree sizes.
     """
@@ -76,6 +86,113 @@ class RoutingResult:
         return self.usage.get(edge, 0) / capacity
 
 
+class _ScalarRouteEngine:
+    """The original dict-over-site-tuples wavefront (the scalar oracle)."""
+
+    def __init__(self, fabric: FPGAFabric):
+        self.fabric = fabric
+        self.capacity = fabric.channel_capacity
+        self.history: Dict[Edge, float] = {}
+        self.usage: Dict[Edge, int] = {}
+        self._present_factor = 0.0
+
+    def begin_iteration(self, present_factor: float) -> None:
+        self.usage = {}
+        self._present_factor = present_factor
+
+    def route_tree(self, terminals: Sequence[Site]) -> List[Edge]:
+        """Steiner-approximate tree: connect each terminal to the grown
+        tree; commits the tree's demand to the usage map."""
+        fabric = self.fabric
+        tree_nodes: Set[Site] = {terminals[0]}
+        tree_edges: List[Edge] = []
+        for target in terminals[1:]:
+            if target in tree_nodes:
+                continue
+            path = self._dijkstra(tree_nodes, target, self._present_factor)
+            for a, b in zip(path, path[1:]):
+                edge = fabric.edge(a, b)
+                if edge not in tree_edges:
+                    tree_edges.append(edge)
+                tree_nodes.add(a)
+                tree_nodes.add(b)
+        for edge in tree_edges:
+            self.usage[edge] = self.usage.get(edge, 0) + 1
+        return tree_edges
+
+    def _dijkstra(self, sources: Set[Site], target: Site,
+                  present_factor: float) -> List[Site]:
+        """Cheapest path from any source node to ``target``.
+
+        Heap entries are keyed ``(cost, node_index, site)`` — the same
+        total order the packed engine uses, so equal-cost frontiers pop
+        identically on both backends.
+        """
+        fabric = self.fabric
+        width = fabric.width
+        capacity = self.capacity
+        usage, history = self.usage, self.history
+        heap: List[Tuple[float, int, Site]] = []
+        best: Dict[Site, float] = {}
+        previous: Dict[Site, Optional[Site]] = {}
+        for source in sources:
+            heapq.heappush(heap, (0.0, source[1] * width + source[0], source))
+            best[source] = 0.0
+            previous[source] = None
+
+        while heap:
+            cost, _key, node = heapq.heappop(heap)
+            if node == target:
+                break
+            if cost > best.get(node, float("inf")):
+                continue
+            for neighbor in fabric.neighbors(node):
+                edge = fabric.edge(node, neighbor)
+                used = usage.get(edge, 0)
+                present = present_factor * max(0, used + 1 - capacity)
+                edge_cost = 1.0 + present + history.get(edge, 0.0)
+                new_cost = cost + edge_cost
+                if new_cost < best.get(neighbor, float("inf")):
+                    best[neighbor] = new_cost
+                    previous[neighbor] = node
+                    heapq.heappush(
+                        heap,
+                        (new_cost, neighbor[1] * width + neighbor[0],
+                         neighbor))
+
+        if target not in previous and target not in best:
+            raise RuntimeError(
+                "router failed to reach a target (disconnected grid?)")
+        path = [target]
+        node = target
+        while previous.get(node) is not None:
+            node = previous[node]
+            path.append(node)
+        path.reverse()
+        return path
+
+    def overflow_dict(self) -> Dict[Edge, int]:
+        return {edge: used - self.capacity
+                for edge, used in self.usage.items()
+                if used > self.capacity}
+
+    def apply_history(self, history_increment: float) -> None:
+        for edge, excess in self.overflow_dict().items():
+            self.history[edge] = self.history.get(edge, 0.0) \
+                + history_increment * excess
+
+    def usage_dict(self) -> Dict[Edge, int]:
+        return dict(self.usage)
+
+
+def _make_route_engine(fabric: FPGAFabric):
+    """The backend-selected wavefront engine (packed or scalar oracle)."""
+    if kernels.enabled():
+        from repro.fpga.grid import PackedRouteEngine
+        return PackedRouteEngine(fabric)
+    return _ScalarRouteEngine(fabric)
+
+
 def route(netlist: Netlist, placement: Placement, fabric: FPGAFabric,
           max_iterations: int = 8, history_increment: float = 0.4,
           present_factor: float = 0.6) -> RoutingResult:
@@ -85,6 +202,18 @@ def route(netlist: Netlist, placement: Placement, fabric: FPGAFabric,
     negotiation loop reroutes all nets with updated congestion costs
     until no segment is over capacity or ``max_iterations`` is reached.
     """
+    with perf.timer("fpga.route"):
+        result = _route(netlist, placement, fabric, max_iterations,
+                        history_increment, present_factor)
+    perf.count("fpga.route.iterations", result.iterations)
+    perf.count("fpga.route.overflow_segments", len(result.overflow))
+    perf.count("fpga.route.wirelength", result.total_wirelength)
+    return result
+
+
+def _route(netlist: Netlist, placement: Placement, fabric: FPGAFabric,
+           max_iterations: int, history_increment: float,
+           present_factor: float) -> RoutingResult:
     nets = [net for net in netlist.nets if net.n_terminals() >= 1]
     terminals: Dict[str, List[Site]] = {}
     for net in nets:
@@ -92,38 +221,31 @@ def route(netlist: Netlist, placement: Placement, fabric: FPGAFabric,
         if len(terms) >= 2:
             terminals[net.name] = terms
 
-    history: Dict[Edge, float] = {}
-    usage: Dict[Edge, int] = {}
+    engine = _make_route_engine(fabric)
     routed: Dict[str, RoutedNet] = {}
-    capacity = fabric.channel_capacity
     iterations = 0
 
     for iteration in range(1, max_iterations + 1):
         iterations = iteration
-        usage = {}
+        engine.begin_iteration(present_factor)
         routed = {}
         for net in nets:
             terms = terminals.get(net.name)
             if not terms:
                 routed[net.name] = RoutedNet(net, [])
                 continue
-            edges = _route_tree(terms, fabric, usage, history,
-                                capacity, present_factor)
+            edges = engine.route_tree(terms)
             routed[net.name] = RoutedNet(net, edges)
-            for edge in edges:
-                usage[edge] = usage.get(edge, 0) + 1
-        overflow = {edge: used - capacity for edge, used in usage.items()
-                    if used > capacity}
+        overflow = engine.overflow_dict()
         if not overflow:
             break
-        for edge, excess in overflow.items():
-            history[edge] = history.get(edge, 0.0) + history_increment * excess
+        engine.apply_history(history_increment)
 
-    overflow = {edge: used - capacity for edge, used in usage.items()
-                if used > capacity}
+    overflow = engine.overflow_dict()
     total = sum(r.wirelength for r in routed.values())
-    return RoutingResult(routed=routed, usage=usage, overflow=overflow,
-                         iterations=iterations, total_wirelength=total)
+    return RoutingResult(routed=routed, usage=engine.usage_dict(),
+                         overflow=overflow, iterations=iterations,
+                         total_wirelength=total)
 
 
 def _net_terminals(net: Net, placement: Placement) -> List[Site]:
@@ -148,66 +270,3 @@ def _net_terminals(net: Net, placement: Placement) -> List[Site]:
             seen.add(site)
             unique.append(site)
     return unique
-
-
-def _route_tree(terminals: Sequence[Site], fabric: FPGAFabric,
-                usage: Dict[Edge, int], history: Dict[Edge, float],
-                capacity: int, present_factor: float) -> List[Edge]:
-    """Steiner-approximate tree: connect each terminal to the grown tree."""
-    tree_nodes: Set[Site] = {terminals[0]}
-    tree_edges: List[Edge] = []
-    for target in terminals[1:]:
-        if target in tree_nodes:
-            continue
-        path = _dijkstra(tree_nodes, target, fabric, usage, history,
-                         capacity, present_factor)
-        for a, b in zip(path, path[1:]):
-            edge = fabric.edge(a, b)
-            if edge not in tree_edges:
-                tree_edges.append(edge)
-            tree_nodes.add(a)
-            tree_nodes.add(b)
-    return tree_edges
-
-
-def _dijkstra(sources: Set[Site], target: Site, fabric: FPGAFabric,
-              usage: Dict[Edge, int], history: Dict[Edge, float],
-              capacity: int, present_factor: float) -> List[Site]:
-    """Cheapest path from any source node to ``target``."""
-    heap: List[Tuple[float, int, Site]] = []
-    counter = 0
-    best: Dict[Site, float] = {}
-    previous: Dict[Site, Optional[Site]] = {}
-    for source in sources:
-        heapq.heappush(heap, (0.0, counter, source))
-        counter += 1
-        best[source] = 0.0
-        previous[source] = None
-
-    while heap:
-        cost, _tie, node = heapq.heappop(heap)
-        if node == target:
-            break
-        if cost > best.get(node, float("inf")):
-            continue
-        for neighbor in fabric.neighbors(node):
-            edge = fabric.edge(node, neighbor)
-            used = usage.get(edge, 0)
-            present = present_factor * max(0, used + 1 - capacity)
-            edge_cost = 1.0 + present + history.get(edge, 0.0)
-            new_cost = cost + edge_cost
-            if new_cost < best.get(neighbor, float("inf")):
-                best[neighbor] = new_cost
-                previous[neighbor] = node
-                heapq.heappush(heap, (new_cost, counter, neighbor))
-                counter += 1
-
-    if target not in previous and target not in best:
-        raise RuntimeError("router failed to reach a target (disconnected grid?)")
-    path = [target]
-    node = target
-    while previous.get(node) is not None:
-        node = previous[node]
-        path.append(node)
-    path.reverse()
-    return path

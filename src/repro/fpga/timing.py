@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.fpga.fabric import FPGAFabric
+from repro import kernels, perf
+from repro.fpga.fabric import Edge, FPGAFabric
 from repro.fpga.netlist import Net, Netlist
 from repro.fpga.routing import RoutingResult
 
@@ -78,21 +79,53 @@ class TimingReport:
         return self.max_frequency_hz / 1e6
 
 
+def _congestion_penalties(usage: Dict[Edge, int], capacity: int,
+                          beta: float) -> Dict[Edge, float]:
+    """Per-segment congestion slowdown factors.
+
+    A segment at utilization ``u`` is slowed by
+    ``1 + beta * max(0, u - 0.5)**2``.  On the array backend the whole
+    table is one vectorized pass over the usage values; the scalar
+    fallback loops.  Both square via a plain multiply, so every factor
+    is bit-identical across backends.
+    """
+    if kernels.enabled() and usage:
+        import numpy as np
+        used = np.fromiter(usage.values(), dtype=np.float64,
+                           count=len(usage))
+        slack = np.maximum(used / capacity - 0.5, 0.0)
+        factors = 1.0 + beta * (slack * slack)
+        return dict(zip(usage.keys(), factors.tolist()))
+    penalties = {}
+    for edge, used in usage.items():
+        slack = max(0.0, used / capacity - 0.5)
+        penalties[edge] = 1.0 + beta * (slack * slack)
+    return penalties
+
+
 def analyze_timing(netlist: Netlist, routing: RoutingResult,
                    fabric: FPGAFabric,
                    params: WireDelayParameters = DEFAULT_WIRE_DELAY
                    ) -> TimingReport:
     """Longest-path timing over the placed-and-routed design."""
+    with perf.timer("fpga.timing"):
+        return _analyze_timing(netlist, routing, fabric, params)
+
+
+def _analyze_timing(netlist: Netlist, routing: RoutingResult,
+                    fabric: FPGAFabric,
+                    params: WireDelayParameters) -> TimingReport:
     pitch = fabric.tile_pitch_l()
     capacity = fabric.channel_capacity
+    penalties = _congestion_penalties(routing.usage, capacity,
+                                      params.congestion_beta)
 
     net_delays: Dict[str, float] = {}
     for name, routed in routing.routed.items():
         delay = params.connection_delay
         for edge in routed.edges:
-            utilization = routing.usage.get(edge, 0) / capacity
-            penalty = 1.0 + params.congestion_beta * max(0.0, utilization - 0.5) ** 2
-            delay += params.segment_delay_per_l * pitch * penalty
+            delay += params.segment_delay_per_l * pitch \
+                * penalties.get(edge, 1.0)
         net_delays[name] = delay
 
     logic_delay = fabric.clb.logic_delay()

@@ -1,0 +1,218 @@
+"""Differential tests: array-backed FPGA grid engine vs scalar oracles.
+
+The grid engine (:mod:`repro.fpga.grid`) promises bit-identity with the
+scalar placement/routing loops it replaced: same seeds, same moves,
+same routed trees, same Table 2 numbers.  This suite checks that
+promise directly — hypothesis-driven move sequences against the
+re-score-everything oracle, and whole place/route/time flows under both
+``REPRO_KERNEL`` backends across seeds, grid sizes and polarity modes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.fpga.clb import standard_pla_clb
+from repro.fpga.fabric import FPGAFabric
+from repro.fpga.netlist import build_netlist
+from repro.fpga.placement import (_ScalarHPWL, evaluate_moves_batch, place)
+from repro.fpga.routing import route
+from repro.fpga.timing import analyze_timing
+from repro.logic.function import BooleanFunction
+from repro.mapping.partition import Partitioner
+
+np = pytest.importorskip("numpy")
+
+from repro.fpga.grid import GridIndex, IncrementalHPWL, grid_index  # noqa: E402
+
+
+def small_netlist(seeds=(1, 2), dual=False):
+    partitioner = Partitioner(max_inputs=4, max_outputs=2, max_products=8)
+    partitions = [partitioner.partition(
+        BooleanFunction.random(6, 2, 5, seed=s, name=f"w{s}",
+                               dash_probability=0.3))
+        for s in seeds]
+    return build_netlist(partitions, dual_polarity=dual)
+
+
+def both_backends(fn):
+    """Run ``fn()`` under each backend and return the two results."""
+    with kernels.forced_backend("numpy"):
+        kernel_result = fn()
+    with kernels.forced_backend("python"):
+        scalar_result = fn()
+    return kernel_result, scalar_result
+
+
+# ----------------------------------------------------------------------
+# the packed index itself
+# ----------------------------------------------------------------------
+class TestGridIndex:
+    def test_node_site_roundtrip(self):
+        fabric = FPGAFabric(5, 4, standard_pla_clb())
+        index = GridIndex(fabric)
+        for site in fabric.sites():
+            assert index.site_of(index.node_of(site)) == site
+
+    def test_csr_adjacency_matches_fabric_neighbors(self):
+        fabric = FPGAFabric(6, 5, standard_pla_clb())
+        index = GridIndex(fabric)
+        for site in fabric.sites():
+            node = index.node_of(site)
+            start, end = index.adj_ptr[node], index.adj_ptr[node + 1]
+            got = {index.site_of(int(n))
+                   for n in index.adj_node[start:end]}
+            assert got == set(fabric.neighbors(site))
+
+    def test_edge_ids_follow_fabric_edge_order(self):
+        fabric = FPGAFabric(4, 4, standard_pla_clb())
+        index = GridIndex(fabric)
+        edges = list(fabric.edges())
+        for site in fabric.sites():
+            node = index.node_of(site)
+            start, end = index.adj_ptr[node], index.adj_ptr[node + 1]
+            for n, e in zip(index.adj_node[start:end],
+                            index.adj_edge[start:end]):
+                neighbor = index.site_of(int(n))
+                assert edges[int(e)] == fabric.edge(site, neighbor)
+
+    def test_grid_index_memoized_per_fabric(self):
+        fabric = FPGAFabric(4, 4, standard_pla_clb())
+        assert grid_index(fabric) is grid_index(fabric)
+
+
+# ----------------------------------------------------------------------
+# incremental HPWL vs full re-score
+# ----------------------------------------------------------------------
+def _engines(dual, seed):
+    """A matched (incremental, oracle) engine pair on a random layout."""
+    netlist = small_netlist((1, 2, 3), dual=dual)
+    fabric = FPGAFabric(7, 7, standard_pla_clb())
+    rng = random.Random(seed)
+    all_sites = list(fabric.sites())
+    rng.shuffle(all_sites)
+    blocks = netlist.block_order()
+    sites = {name: all_sites[i] for i, name in enumerate(blocks)}
+    pads = {s: (0, i % fabric.height)
+            for i, s in enumerate(netlist.primary_inputs
+                                  + netlist.primary_outputs)}
+    nets = [net for net in netlist.nets if net.n_terminals() >= 2]
+    incremental = IncrementalHPWL(nets, dict(sites), pads)
+    oracle = _ScalarHPWL(nets, dict(sites), pads)
+    return incremental, oracle, blocks, all_sites, dict(sites), rng
+
+
+class TestIncrementalHPWL:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), dual=st.booleans(),
+           n_moves=st.integers(1, 40))
+    def test_deltas_match_full_rescore(self, seed, dual, n_moves):
+        incremental, oracle, blocks, all_sites, sites, rng = \
+            _engines(dual, seed)
+        assert incremental.total() == oracle.total()
+        occupied = {site: name for name, site in sites.items()}
+        for _ in range(n_moves):
+            mover = rng.choice(blocks)
+            old_site = sites[mover]
+            new_site = rng.choice(all_sites)
+            swap_with = occupied.get(new_site)
+            if swap_with == mover:
+                continue
+            delta_inc = incremental.move_delta(mover, new_site,
+                                               swap_with, old_site)
+            delta_ora = oracle.move_delta(mover, new_site,
+                                          swap_with, old_site)
+            assert delta_inc == delta_ora
+            if rng.random() < 0.5:
+                incremental.commit()
+                oracle.commit()
+                sites[mover] = new_site
+                occupied[new_site] = mover
+                if swap_with is not None:
+                    sites[swap_with] = old_site
+                    occupied[old_site] = swap_with
+                else:
+                    del occupied[old_site]
+            else:
+                incremental.rollback()
+                oracle.rollback()
+            assert incremental.total() == oracle.total()
+        assert incremental.final_total() == oracle.final_total()
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), dual=st.booleans())
+    def test_batch_equals_sequential_deltas(self, seed, dual):
+        incremental, oracle, blocks, all_sites, _sites, rng = \
+            _engines(dual, seed)
+        proposals = [(rng.choice(blocks), rng.choice(all_sites))
+                     for _ in range(30)]
+        names = [b for b, _ in proposals]
+        targets = [s for _, s in proposals]
+        batch = incremental.evaluate_moves_batch(names, targets)
+        for (name, site), got in zip(proposals, batch):
+            expected = oracle.move_delta(name, site, None, oracle.pos[name])
+            oracle.rollback()
+            assert got == expected
+
+    def test_public_batch_api_agrees_across_backends(self):
+        netlist = small_netlist((1, 2), dual=True)
+        fabric = FPGAFabric(6, 6, standard_pla_clb())
+        placement = place(netlist, fabric, seed=3)
+        rng = random.Random(11)
+        blocks = [rng.choice(netlist.block_order()) for _ in range(20)]
+        sites = [rng.choice(list(fabric.sites())) for _ in blocks]
+        kernel_deltas, scalar_deltas = both_backends(
+            lambda: evaluate_moves_batch(placement, netlist, blocks, sites))
+        assert kernel_deltas == scalar_deltas
+
+
+# ----------------------------------------------------------------------
+# whole-flow bit-identity across backends
+# ----------------------------------------------------------------------
+class TestBackendIdentity:
+    @pytest.mark.parametrize("seed,side,dual", [
+        (0, 5, False), (1, 6, True), (7, 7, True), (3, 8, False)])
+    def test_placement_bit_identical(self, seed, side, dual):
+        netlist = small_netlist((1, 2, 3), dual=dual)
+        fabric = FPGAFabric(side, side, standard_pla_clb())
+        kernel_p, scalar_p = both_backends(
+            lambda: place(netlist, fabric, seed=seed))
+        assert kernel_p.sites == scalar_p.sites
+        assert kernel_p.pads == scalar_p.pads
+        assert kernel_p.wirelength == scalar_p.wirelength
+        assert kernel_p.moves_evaluated == scalar_p.moves_evaluated
+
+    @pytest.mark.parametrize("seed,side,capacity", [
+        (0, 6, 12), (1, 7, 4), (5, 6, 2)])
+    def test_routing_bit_identical(self, seed, side, capacity):
+        netlist = small_netlist((1, 2, 3), dual=True)
+        fabric = FPGAFabric(side, side, standard_pla_clb(), capacity)
+        placement = place(netlist, fabric, seed=seed)
+
+        def run():
+            result = route(netlist, placement, fabric)
+            return ({name: r.edges for name, r in result.routed.items()},
+                    result.usage, result.overflow, result.iterations,
+                    result.total_wirelength)
+
+        kernel_r, scalar_r = both_backends(run)
+        assert kernel_r == scalar_r
+
+    def test_timing_identical(self):
+        netlist = small_netlist((1, 2, 3), dual=True)
+        fabric = FPGAFabric(6, 6, standard_pla_clb(), 4)
+        placement = place(netlist, fabric, seed=2)
+        routing = route(netlist, placement, fabric)
+
+        def run():
+            report = analyze_timing(netlist, routing, fabric)
+            return (report.critical_path_delay, report.max_frequency_mhz(),
+                    report.critical_path, dict(report.net_delays))
+
+        kernel_t, scalar_t = both_backends(run)
+        assert kernel_t == scalar_t

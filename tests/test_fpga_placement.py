@@ -84,3 +84,40 @@ class TestPlacement:
         assert placement.site_of(block) == placement.sites[block]
         pad = netlist.primary_inputs[0]
         assert placement.site_of(pad) == placement.pads[pad]
+
+
+class TestBackendEquivalence:
+    """The array HPWL engine must reproduce the scalar oracle exactly
+    (the deep differential suite lives in ``test_fpga_grid.py``)."""
+
+    def _both(self, fn):
+        from repro import kernels
+        with kernels.forced_backend("numpy"):
+            kernel_result = fn()
+        with kernels.forced_backend("python"):
+            scalar_result = fn()
+        return kernel_result, scalar_result
+
+    @pytest.mark.parametrize("seed,dual", [(0, False), (4, True)])
+    def test_placement_identical_across_backends(self, seed, dual):
+        netlist = small_netlist((1, 2, 3), dual=dual)
+        fabric = FPGAFabric(7, 7, standard_pla_clb())
+        kernel_p, scalar_p = self._both(
+            lambda: place(netlist, fabric, seed=seed))
+        assert kernel_p.sites == scalar_p.sites
+        assert kernel_p.pads == scalar_p.pads
+        assert kernel_p.wirelength == scalar_p.wirelength
+        assert kernel_p.moves_evaluated == scalar_p.moves_evaluated
+
+    def test_batch_evaluator_identical_across_backends(self):
+        import random as random_module
+        from repro.fpga.placement import evaluate_moves_batch
+        netlist = small_netlist((1, 2), dual=True)
+        fabric = FPGAFabric(6, 6, standard_pla_clb())
+        placement = place(netlist, fabric, seed=1)
+        rng = random_module.Random(5)
+        blocks = [rng.choice(netlist.block_order()) for _ in range(15)]
+        sites = [rng.choice(list(fabric.sites())) for _ in blocks]
+        kernel_d, scalar_d = self._both(
+            lambda: evaluate_moves_batch(placement, netlist, blocks, sites))
+        assert kernel_d == scalar_d

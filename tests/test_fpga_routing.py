@@ -97,3 +97,39 @@ class TestCongestion:
         _n2, _f2, _p2, b = routed_setup(seed=5)
         assert a.total_wirelength == b.total_wirelength
         assert a.usage == b.usage
+
+
+class TestBackendEquivalence:
+    """The packed wavefront must reproduce the scalar oracle's trees
+    (the deep differential suite lives in ``test_fpga_grid.py``)."""
+
+    def _both(self, fn):
+        from repro import kernels
+        with kernels.forced_backend("numpy"):
+            kernel_result = fn()
+        with kernels.forced_backend("python"):
+            scalar_result = fn()
+        return kernel_result, scalar_result
+
+    def test_routes_identical_across_backends(self):
+        netlist, fabric, placement, _ = routed_setup((1, 2, 3), dual=True)
+
+        def run():
+            result = route(netlist, placement, fabric)
+            return ({n: r.edges for n, r in result.routed.items()},
+                    result.usage, result.overflow, result.iterations)
+
+        assert self._both(run)[0] == self._both(run)[1]
+
+    def test_negotiation_identical_under_congestion(self):
+        # capacity 2 forces several history-update rounds
+        netlist, fabric, placement, _ = routed_setup(
+            (1, 2, 3, 4), capacity=2, side=7, dual=True)
+
+        def run():
+            result = route(netlist, placement, fabric)
+            return (result.usage, result.overflow, result.iterations,
+                    result.total_wirelength)
+
+        kernel_r, scalar_r = self._both(run)
+        assert kernel_r == scalar_r
