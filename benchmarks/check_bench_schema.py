@@ -13,7 +13,10 @@ tooling diffs perf trajectories across PRs.  Checks:
 * at least one ``place_*`` and one ``route_*`` record (the Table 2
   FPGA flow), plus the combined ``fpga_place_route_table2`` record
   carrying the ``fpga.*`` phase timers and annealer/router counters;
-* all three acceptance blocks are well-formed and report ``pass: true``.
+* at least one ``cache_*`` record (cold-vs-warm artifact-store
+  serving) carrying the store's hit/miss counters with a nonzero
+  warm hit count;
+* all four acceptance blocks are well-formed and report ``pass: true``.
 
 Usage::
 
@@ -48,7 +51,11 @@ _TOP_FIELDS = {
     "acceptance": dict,
     "acceptance_minimize": dict,
     "acceptance_fpga": dict,
+    "acceptance_cache": dict,
 }
+
+#: Store counters every ``cache_*`` record must embed.
+_CACHE_COUNTERS = ("hit_mem", "hit_disk", "miss", "puts")
 
 #: Counters the combined FPGA record's perf snapshot must carry (the
 #: annealer/router statistics that used to live only on dataclasses).
@@ -79,7 +86,7 @@ def validate_report(report: dict) -> List[str]:
     _check_fields(report, _TOP_FIELDS, "report", errors)
 
     minimize_count = 0
-    place_count = route_count = 0
+    place_count = route_count = cache_count = 0
     for i, result in enumerate(report.get("results", [])):
         where = f"results[{i}]"
         if not isinstance(result, dict):
@@ -105,6 +112,25 @@ def validate_report(report: dict) -> List[str]:
             place_count += 1
         if isinstance(name, str) and name.startswith("route_"):
             route_count += 1
+        if isinstance(name, str) and name.startswith("cache_"):
+            cache_count += 1
+            store = result.get("store")
+            if not isinstance(store, dict):
+                errors.append(f"{where}: cache record lacks the embedded "
+                              f"store counters")
+            else:
+                for counter in _CACHE_COUNTERS:
+                    if counter not in store:
+                        errors.append(f"{where}: store counters lack "
+                                      f"{counter!r}")
+                hits = store.get("hit_mem", 0) + store.get("hit_disk", 0)
+                if isinstance(hits, numbers.Real) and hits <= 0:
+                    errors.append(f"{where}: warm pass recorded no cache "
+                                  f"hits")
+                if "coalesced_threads" not in store or \
+                        "coalesced_processes" not in store:
+                    errors.append(f"{where}: store counters lack the "
+                                  f"coalesce counts")
         if name == "fpga_place_route_table2":
             snapshot = result.get("perf")
             if not isinstance(snapshot, dict):
@@ -126,8 +152,11 @@ def validate_report(report: dict) -> List[str]:
         errors.append("report: no place_* results (Table 2 FPGA flow)")
     if route_count < 1:
         errors.append("report: no route_* results (Table 2 FPGA flow)")
+    if cache_count < 1:
+        errors.append("report: no cache_* results (artifact-store serving)")
 
-    for block in ("acceptance", "acceptance_minimize", "acceptance_fpga"):
+    for block in ("acceptance", "acceptance_minimize", "acceptance_fpga",
+                  "acceptance_cache"):
         data = report.get(block)
         if isinstance(data, dict):
             _check_fields(data, _ACCEPTANCE_FIELDS, block, errors)
@@ -158,7 +187,9 @@ def main(argv=None) -> int:
                   f"minimize acceptance "
                   f"{report['acceptance_minimize']['speedup']}x, "
                   f"fpga acceptance "
-                  f"{report['acceptance_fpga']['speedup']}x)")
+                  f"{report['acceptance_fpga']['speedup']}x, "
+                  f"cache acceptance "
+                  f"{report['acceptance_cache']['speedup']}x)")
     return 1 if failed else 0
 
 

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Cold-then-warm artifact-store check for CI.
+
+Runs the combined Table 1 + Table 2 drivers twice against a fresh
+store root on the active ``REPRO_KERNEL`` backend and asserts:
+
+* the two passes produce **byte-identical** canonical JSON (rows,
+  occupancy/frequency table, full placement and routing encodings);
+* the warm pass actually hit the cache (nonzero hit count) and issued
+  no new computations (``puts`` unchanged between passes);
+* ``repro cache verify`` semantics hold: every stored entry
+  digest-checks clean.
+
+Writes a cache-stats JSON artifact (``-o``, default
+``BENCH_cache_stats.json``) that CI uploads next to the perf report.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_cache_warm.py [--grid N] [-o FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+
+def _load_compute_table1():
+    import importlib.util
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "bench_table1.py")
+    spec = importlib.util.spec_from_file_location("bench_table1", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.compute_table1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--grid", type=int, default=6,
+                        help="Table 2 grid side (default 6)")
+    parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument("-o", "--output", default="BENCH_cache_stats.json",
+                        help="cache-stats artifact path")
+    args = parser.parse_args(argv)
+
+    from repro import kernels
+    from repro.fpga.emulate import run_emulation
+    from repro.store import ArtifactStore, codecs
+    from repro.store.service import get_service, reset_service
+
+    compute_table1 = _load_compute_table1()
+
+    def combined():
+        rows = compute_table1()
+        report = run_emulation(seed=args.seed, grid_side=args.grid)
+        return json.dumps({
+            "table1": [list(row) for row in rows],
+            "table2": report.table_rows(),
+            "standard": codecs.encode_place_route(
+                report.standard.placement, report.standard.routing),
+            "cnfet": codecs.encode_place_route(
+                report.cnfet.placement, report.cnfet.routing),
+        }, sort_keys=True, separators=(",", ":"))
+
+    root = tempfile.mkdtemp(prefix="repro-ci-cache-")
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = root
+    failures = []
+    try:
+        reset_service()
+        start = time.perf_counter()
+        cold = combined()
+        cold_s = time.perf_counter() - start
+        counters_cold = dict(get_service().stats()["counters"])
+
+        start = time.perf_counter()
+        warm = combined()
+        warm_s = time.perf_counter() - start
+        stats = get_service().stats()
+        counters_warm = dict(stats["counters"])
+
+        if cold != warm:
+            failures.append("warm output differs from cold output")
+        hits = (counters_warm.get("hit_mem", 0)
+                + counters_warm.get("hit_disk", 0)
+                - counters_cold.get("hit_mem", 0)
+                - counters_cold.get("hit_disk", 0))
+        if hits <= 0:
+            failures.append("warm pass recorded no cache hits")
+        if counters_warm.get("puts", 0) != counters_cold.get("puts", 0):
+            failures.append("warm pass wrote new entries "
+                            f"({counters_cold.get('puts', 0)} -> "
+                            f"{counters_warm.get('puts', 0)})")
+        verify = ArtifactStore(root).verify()
+        if verify["corrupt"]:
+            failures.append(f"{verify['corrupt']} corrupt entries on verify")
+
+        artifact = {
+            "suite": "check_cache_warm",
+            "backend": kernels.backend(),
+            "grid": args.grid,
+            "seed": args.seed,
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "speedup": round(cold_s / warm_s, 2) if warm_s > 0 else None,
+            "warm_hits": hits,
+            "bit_identical": cold == warm,
+            "store": stats,
+            "verify": verify,
+            "failures": failures,
+        }
+        out_dir = os.path.dirname(os.path.abspath(args.output))
+        os.makedirs(out_dir, exist_ok=True)
+        with open(args.output, "w") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+        if saved is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = saved
+        reset_service()
+
+    print(f"backend={kernels.backend()} cold={cold_s:.2f}s "
+          f"warm={warm_s:.3f}s hits={hits} "
+          f"bit_identical={cold == warm}")
+    print(f"wrote {args.output}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("cold-then-warm check: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -115,16 +115,48 @@ def evaluate_suite(benchmarks: Optional[Sequence[BenchmarkStats]] = None,
     interrupted earlier run.  A benchmark that keeps failing after
     ``retries`` raises :class:`repro.runner.TaskFailure` with the
     structured per-task report instead of a mid-run traceback.
+
+    Entries are also content-addressed artifacts (kind
+    ``suite_entry``) in the synthesis service's store: cached
+    benchmarks are served without touching the runner, only the misses
+    are dispatched, and fresh results are published for the next run.
+    ``REPRO_CACHE=off`` disables the cache tier entirely.
     """
     if benchmarks is None:
         benchmarks = EXTENDED_SUITE
-    tasks = [({"benchmark": stats.name, "seed": seed}, (stats, seed))
-             for stats in benchmarks]
-    report = resilient.run_tasks(
-        _evaluate_one, tasks, jobs=min(jobs, len(tasks)) if jobs > 1 else 1,
-        timeout=timeout, retries=retries, checkpoint=checkpoint,
-        resume=resume, encode=_entry_to_json, decode=_entry_from_json)
-    return report.values()
+    benchmarks = list(benchmarks)
+
+    from repro.store.service import get_service
+    service = get_service()
+
+    def request_of(stats: BenchmarkStats) -> dict:
+        return {"stats": asdict(stats), "seed": seed}
+
+    cached = {}
+    if service.enabled:
+        for stats in benchmarks:
+            entry = service.serve_cached("suite_entry", request_of(stats),
+                                         decode=_entry_from_json)
+            if entry is not None:
+                cached[stats.name] = entry
+
+    missing = [stats for stats in benchmarks if stats.name not in cached]
+    computed = {}
+    if missing:
+        tasks = [({"benchmark": stats.name, "seed": seed}, (stats, seed))
+                 for stats in missing]
+        report = resilient.run_tasks(
+            _evaluate_one, tasks,
+            jobs=min(jobs, len(tasks)) if jobs > 1 else 1,
+            timeout=timeout, retries=retries, checkpoint=checkpoint,
+            resume=resume, encode=_entry_to_json, decode=_entry_from_json)
+        for stats, entry in zip(missing, report.values()):
+            computed[stats.name] = entry
+            if service.enabled:
+                service.publish("suite_entry", request_of(stats),
+                                _entry_to_json(entry))
+    return [cached.get(stats.name, computed.get(stats.name))
+            for stats in benchmarks]
 
 
 SUITE_HEADERS = ["benchmark", "I", "O", "P", "flash_l2", "eeprom_l2",

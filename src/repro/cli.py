@@ -9,6 +9,11 @@ Gives the library a tool-like surface over PLA files::
     python -m repro map design.pla -o d.bit  # GNOR configuration bitstream
     python -m repro table1                   # reproduce Table 1
     python -m repro table2 --grid 8          # reproduce Table 2 (slow-ish)
+    python -m repro cache stats              # artifact-store census
+
+Expensive results (minimization, place-and-route, yield sweeps) are
+served from a content-addressed artifact store under ``.repro/store``
+(``REPRO_CACHE=off`` disables it; ``repro cache`` manages it).
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ from repro.analysis.report import format_area, format_percent, render_table
 from repro.core.area import (CNFET_AMBIPOLAR, EEPROM, FLASH,
                              area_saving_percent, pla_area)
 from repro.errors import ReproInputError
-from repro.espresso import assign_output_phases, espresso
+from repro.espresso import espresso
 from repro.logic.function import BooleanFunction
 from repro.logic.pla_format import parse_pla, write_pla
 from repro.mapping.gnor_map import map_cover_to_gnor
@@ -49,14 +54,15 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_minimize(args) -> int:
+    from repro.store.service import get_service
     function = _load(args.file)
+    service = get_service()
     if args.phase:
-        result = assign_output_phases(function)
-        cover = result.cover
-        phases = "".join("+" if p else "-" for p in result.phases)
+        cover, phase_list = service.minimize(function, {"phase": True})
+        phases = "".join("+" if p else "-" for p in phase_list)
         print(f"# phases: {phases}", file=sys.stderr)
     else:
-        cover = espresso(function).cover
+        cover = service.minimize(function)
     minimized = BooleanFunction(cover, name=function.name,
                                 input_labels=function.input_labels,
                                 output_labels=function.output_labels)
@@ -280,6 +286,48 @@ def _cmd_yield(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    import json
+    from repro.store import ArtifactStore, default_root
+    store = ArtifactStore(args.dir or default_root())
+    action = args.action
+    if action == "stats":
+        stats = store.stats()
+        rows = [
+            ["root", stats["root"]],
+            ["entries", stats["entries"]],
+            ["bytes", stats["bytes"]],
+            ["quarantined", stats["quarantined"]],
+        ]
+        for kind, count in sorted(stats["kinds"].items()):
+            rows.append([f"kind: {kind}", count])
+        print(render_table(["field", "value"], rows,
+                           title="Artifact store"))
+    elif action == "ls":
+        entries = store.entries()
+        if not entries:
+            print("(store is empty)")
+        else:
+            rows = [[e["key"][:16], e["kind"], e["backend"], e["bytes"]]
+                    for e in entries]
+            print(render_table(["key", "kind", "backend", "bytes"], rows,
+                               title=f"{len(entries)} artifacts in "
+                                     f"{store.root}"))
+    elif action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} artifacts from {store.root}")
+    elif action == "verify":
+        result = store.verify()
+        print(f"verified {store.root}: {result['ok']} ok, "
+              f"{result['corrupt']} corrupt (quarantined)")
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(result, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        return 1 if result["corrupt"] else 0
+    return 0
+
+
 #: Performance knobs, shown in ``repro --help`` and mirrored in the
 #: README "Performance" section (keep the two in sync).
 PERFORMANCE_EPILOG = """\
@@ -303,6 +351,20 @@ robustness:
         `suite` and `yield` checkpoint completed tasks to a JSONL
         file; --resume after a crash reuses them and yields a
         bit-identical final report
+
+caching:
+  REPRO_CACHE=off
+        disable the content-addressed artifact store; every command
+        recomputes from scratch (results are bit-identical either way)
+  REPRO_CACHE_DIR=PATH
+        store root (default .repro/store); entries are keyed by
+        inputs + config + REPRO_KERNEL backend + schema version, so
+        backends and incompatible versions never share artifacts
+  REPRO_CACHE_MEM=N
+        in-memory LRU entries layered over the disk tier (default 128)
+  repro cache stats|ls|clear|verify
+        inspect, list, wipe or digest-check the store; `verify`
+        quarantines corrupt entries (they also read as misses)
 """
 
 
@@ -407,6 +469,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "the final report is bit-identical")
     p.add_argument("--json", help="also write the report as JSON")
     p.set_defaults(handler=_cmd_yield)
+
+    p = sub.add_parser("cache", help="inspect / manage the artifact store")
+    p.add_argument("action", choices=("stats", "ls", "clear", "verify"),
+                   help="stats: census + counters; ls: list entries; "
+                        "clear: delete all entries; verify: digest-check "
+                        "and quarantine corrupt entries")
+    p.add_argument("--dir", help="store root (default: REPRO_CACHE_DIR "
+                                 "or .repro/store)")
+    p.add_argument("--json", help="verify: also write the result as JSON")
+    p.set_defaults(handler=_cmd_cache)
 
     p = sub.add_parser("table1", help="reproduce the paper's Table 1")
     p.set_defaults(handler=_cmd_table1)

@@ -442,6 +442,61 @@ def empty_rows(m: CubeMatrix) -> np.ndarray:
 
 
 # ----------------------------------------------------------------------
+# raw input-mask primitives (unate-recursive complement)
+# ----------------------------------------------------------------------
+def pack_masks(masks: Sequence[int], n_inputs: int) -> np.ndarray:
+    """Pack raw input-part bitmasks into ``(len(masks), n_words)`` words.
+
+    The complement recursion works on bare Python-int masks (no
+    :class:`~repro.logic.cube.Cube` objects, no output parts), so its
+    kernels pack from ints directly instead of via :func:`pack_cubes`.
+    """
+    w = n_words(n_inputs)
+    words = np.empty((len(masks), w), dtype=np.uint64)
+    for j, mask in enumerate(masks):
+        words[j] = split_mask(mask, w)
+    return words
+
+
+def mask_dash_counts(words: np.ndarray) -> np.ndarray:
+    """Per-row count of dash (``11``) fields of packed input masks."""
+    both = words & (words >> _ONE) & _LOW_BITS
+    return popcount(both).sum(axis=1, dtype=np.int64)
+
+
+def mask_containment_cleanup(ordered: Sequence[int],
+                             n_inputs: int) -> List[int]:
+    """Containment cleanup of raw input masks, scalar-order exact.
+
+    ``ordered`` must already be deduplicated and sorted largest-first
+    (descending dash count), as in
+    :func:`repro.logic.complement._containment_cleanup`.  A mask is
+    dropped iff it is contained in ANY earlier mask of the order: this
+    closed form equals the scalar kept-list scan because strict
+    containment strictly increases the dash count — a mask contained in
+    a *dropped* earlier mask is, by transitivity, also contained in the
+    kept earlier mask that dropped it.
+    """
+    words = pack_masks(ordered, n_inputs)
+    unioned = words[:, None, :] | words[None, :, :]
+    contains = (unioned == words[:, None, :]).all(axis=2)
+    c = len(ordered)
+    idx = np.arange(c)
+    dropped = (contains & (idx[:, None] < idx[None, :])).any(axis=0)
+    return [mask for mask, drop in zip(ordered, dropped) if not drop]
+
+
+def mask_column_counts(masks: Sequence[int],
+                       n_inputs: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-variable ``(zeros, ones)`` literal counts of raw input masks
+    (the binate-variable statistics of the complement recursion)."""
+    fields = unpack_fields(pack_masks(masks, n_inputs), n_inputs)
+    zeros = (fields == BIT_ZERO).sum(axis=0, dtype=np.int64)
+    ones = (fields == BIT_ONE).sum(axis=0, dtype=np.int64)
+    return zeros, ones
+
+
+# ----------------------------------------------------------------------
 # covering-table dominance (exact minimization)
 # ----------------------------------------------------------------------
 def subset_matrix(sets: Sequence[frozenset], universe: Sequence) -> np.ndarray:

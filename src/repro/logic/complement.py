@@ -8,12 +8,22 @@ EXPAND) and powers the REDUCE step.
 The single-output core recurses on the most binate variable with the
 merge rule ``~F = x'~F_x' + x~F_x`` and the single-cube sharp as a
 terminal case, with single-cube-containment cleanup at each merge.
+
+The two quadratic-ish pieces of the recursion — the containment
+cleanup at each merge and the column statistics that pick the binate
+split variable — run matrix-form on the NumPy backend
+(:func:`repro.kernels.cubematrix.mask_containment_cleanup` /
+``mask_column_counts``) once the mask list clears the packing
+threshold; the scalar loops below stay as the ``REPRO_KERNEL=python``
+fallback and differential-test oracle, and both paths produce the
+same masks in the same order.
 """
 
 from __future__ import annotations
 
 from typing import List
 
+from repro import kernels
 from repro.logic.cube import BIT_DASH, BIT_ONE, BIT_ZERO, Cube, full_input_mask
 from repro.logic.cover import Cover
 
@@ -59,18 +69,21 @@ def _complement_masks(masks: List[int], n: int, full: int) -> List[int]:
     if len(masks) == 1:
         return _sharp_single(masks[0], n, full)
 
-    # Column statistics.
-    zeros = [0] * n
-    ones = [0] * n
-    for mask in masks:
-        m = mask
-        for v in range(n):
-            field = m & 0b11
-            if field == BIT_ZERO:
-                zeros[v] += 1
-            elif field == BIT_ONE:
-                ones[v] += 1
-            m >>= 2
+    # Column statistics (matrix-form on the kernel backend).
+    if kernels.enabled() and len(masks) >= kernels.cubematrix.MIN_CUBES:
+        zeros, ones = kernels.cubematrix.mask_column_counts(masks, n)
+    else:
+        zeros = [0] * n
+        ones = [0] * n
+        for mask in masks:
+            m = mask
+            for v in range(n):
+                field = m & 0b11
+                if field == BIT_ZERO:
+                    zeros[v] += 1
+                elif field == BIT_ONE:
+                    ones[v] += 1
+                m >>= 2
 
     best_var = None
     best_key = None
@@ -116,8 +129,17 @@ def _sharp_single(mask: int, n: int, full: int) -> List[int]:
 
 
 def _containment_cleanup(masks: List[int], n: int) -> List[int]:
-    """Drop input-part masks contained in another mask of the list."""
+    """Drop input-part masks contained in another mask of the list.
+
+    Both paths share the largest-first processing order and return the
+    same masks in the same order: the matrix form's "contained in any
+    earlier mask" drop rule equals this greedy kept-list scan because
+    containment is transitive (see
+    :func:`repro.kernels.cubematrix.mask_containment_cleanup`).
+    """
     order = sorted(set(masks), key=_dash_count_key(n), reverse=True)
+    if kernels.enabled() and len(order) >= kernels.cubematrix.MIN_CUBES:
+        return kernels.cubematrix.mask_containment_cleanup(order, n)
     kept: List[int] = []
     for mask in order:
         if not any((other | mask) == other for other in kept):

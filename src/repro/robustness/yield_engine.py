@@ -242,23 +242,34 @@ def estimate_yield(settings: YieldSettings, jobs: int = 1,
     ``checkpoint``/``resume`` give crash-resumable sweeps; see
     :mod:`repro.runner` for the timeout/retry semantics.  The report is
     bit-identical for any ``jobs`` value and across resumes.
-    """
-    settings_dict = asdict(settings)
-    tasks = []
-    for start in range(0, settings.samples, CHUNK_SIZE):
-        count = min(CHUNK_SIZE, settings.samples - start)
-        key = {"bench": settings.benchmark, "seed": settings.seed,
-               "start": start, "count": count}
-        payload = {"settings": settings_dict, "start": start,
-                   "count": count}
-        tasks.append((key, payload))
 
-    report = resilient.run_tasks(
-        run_yield_chunk, tasks, jobs=jobs, timeout=timeout,
-        retries=retries, checkpoint=checkpoint, resume=resume)
-    report.raise_on_failure()
-    outcomes = [record for chunk in report.values() for record in chunk]
-    return _aggregate(settings, outcomes)
+    The aggregated report is a content-addressed artifact (kind
+    ``yield``) keyed by the full settings: a repeated run with the same
+    settings and kernel backend is served from the synthesis service's
+    store without touching the Monte Carlo sweep.  ``REPRO_CACHE=off``
+    always recomputes.
+    """
+    from repro.store.service import get_service
+
+    def compute() -> YieldReport:
+        settings_dict = asdict(settings)
+        tasks = []
+        for start in range(0, settings.samples, CHUNK_SIZE):
+            count = min(CHUNK_SIZE, settings.samples - start)
+            key = {"bench": settings.benchmark, "seed": settings.seed,
+                   "start": start, "count": count}
+            payload = {"settings": settings_dict, "start": start,
+                       "count": count}
+            tasks.append((key, payload))
+
+        report = resilient.run_tasks(
+            run_yield_chunk, tasks, jobs=jobs, timeout=timeout,
+            retries=retries, checkpoint=checkpoint, resume=resume)
+        report.raise_on_failure()
+        outcomes = [record for chunk in report.values() for record in chunk]
+        return _aggregate(settings, outcomes)
+
+    return get_service().yield_run(settings, compute)
 
 
 def _aggregate(settings: YieldSettings,

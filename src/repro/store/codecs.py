@@ -1,0 +1,212 @@
+"""JSON codecs for the artifact payloads the synthesis service caches.
+
+Each artifact kind has an ``encode_*`` / ``decode_*`` pair mapping the
+in-memory result objects onto the canonical JSON shapes the store
+persists.  Encodings are *complete*: a decoded object is usable exactly
+like a freshly computed one (drivers produce byte-identical reports
+from either), which is what the warm-vs-cold differential tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+
+
+# ----------------------------------------------------------------------
+# covers (minimize artifacts)
+# ----------------------------------------------------------------------
+def encode_cover(cover: Cover) -> dict:
+    """A cover as explicit dimensions plus Berkeley-style rows."""
+    return {"n_inputs": cover.n_inputs, "n_outputs": cover.n_outputs,
+            "rows": cover.to_strings()}
+
+
+def decode_cover(payload: dict) -> Cover:
+    """Inverse of :func:`encode_cover` (empty covers round-trip too)."""
+    cubes = []
+    for row in payload["rows"]:
+        parts = row.split()
+        if len(parts) == 1:
+            parts.append("1")
+        cubes.append(Cube.from_string(parts[0], parts[1]))
+    return Cover(payload["n_inputs"], payload["n_outputs"], cubes)
+
+
+# ----------------------------------------------------------------------
+# FPGA place-and-route artifacts
+# ----------------------------------------------------------------------
+def _encode_site(site) -> List[int]:
+    return [site[0], site[1]]
+
+
+def _decode_site(raw) -> Tuple[int, int]:
+    return (raw[0], raw[1])
+
+
+def _encode_edge(edge) -> List[List[int]]:
+    return [_encode_site(edge[0]), _encode_site(edge[1])]
+
+
+def _decode_edge(raw) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+    return (_decode_site(raw[0]), _decode_site(raw[1]))
+
+
+def encode_place_route(placement, routing) -> dict:
+    """One fabric's placement + routing, fully JSON-shaped.
+
+    Net routing trees are stored by net name; usage/overflow maps key
+    on edges (tuples), so they are stored as ``[edge, count]`` pairs.
+    """
+    return {
+        "placement": {
+            "sites": {name: _encode_site(site)
+                      for name, site in placement.sites.items()},
+            "pads": {name: _encode_site(site)
+                     for name, site in placement.pads.items()},
+            "wirelength": placement.wirelength,
+            "moves_evaluated": placement.moves_evaluated,
+        },
+        "routing": {
+            "routed": {name: [_encode_edge(edge) for edge in routed.edges]
+                       for name, routed in routing.routed.items()},
+            "usage": [[_encode_edge(edge), count]
+                      for edge, count in sorted(routing.usage.items())],
+            "overflow": [[_encode_edge(edge), count]
+                         for edge, count in sorted(routing.overflow.items())],
+            "iterations": routing.iterations,
+            "total_wirelength": routing.total_wirelength,
+        },
+    }
+
+
+def decode_place_route(payload: dict, netlist):
+    """Rebuild ``(Placement, RoutingResult)`` against a live netlist.
+
+    The net objects themselves are not persisted — the caller's netlist
+    provides them by name, which also guards against applying a stale
+    artifact to a different netlist (unknown nets raise ``KeyError``).
+    """
+    from repro.fpga.placement import Placement
+    from repro.fpga.routing import RoutedNet, RoutingResult
+
+    placed = payload["placement"]
+    placement = Placement(
+        sites={name: _decode_site(raw)
+               for name, raw in placed["sites"].items()},
+        pads={name: _decode_site(raw)
+              for name, raw in placed["pads"].items()},
+        wirelength=placed["wirelength"],
+        moves_evaluated=placed["moves_evaluated"],
+    )
+    nets_by_name = {net.name: net for net in netlist.nets}
+    routed_raw = payload["routing"]
+    routed: Dict[str, RoutedNet] = {}
+    for name, edges in routed_raw["routed"].items():
+        routed[name] = RoutedNet(net=nets_by_name[name],
+                                 edges=[_decode_edge(raw) for raw in edges])
+    routing = RoutingResult(
+        routed=routed,
+        usage={_decode_edge(raw): count
+               for raw, count in routed_raw["usage"]},
+        overflow={_decode_edge(raw): count
+                  for raw, count in routed_raw["overflow"]},
+        iterations=routed_raw["iterations"],
+        total_wirelength=routed_raw["total_wirelength"],
+    )
+    return placement, routing
+
+
+# ----------------------------------------------------------------------
+# partitioned workloads (Table 2 workload artifacts)
+# ----------------------------------------------------------------------
+def encode_partitions(partitions) -> list:
+    """A partitioned workload: blocks with covers, signals, primaries."""
+    encoded = []
+    for partition in partitions:
+        encoded.append({
+            "blocks": [{"name": block.name,
+                        "cover": encode_cover(block.cover),
+                        "input_signals": list(block.input_signals),
+                        "output_signals": list(block.output_signals)}
+                       for block in partition.blocks],
+            "primary_inputs": list(partition.primary_inputs),
+            "primary_outputs": list(partition.primary_outputs),
+        })
+    return encoded
+
+
+def decode_partitions(payload: list) -> list:
+    """Inverse of :func:`encode_partitions`."""
+    from repro.mapping.partition import Block, PartitionResult
+    partitions = []
+    for raw in payload:
+        blocks = [Block(name=b["name"], cover=decode_cover(b["cover"]),
+                        input_signals=list(b["input_signals"]),
+                        output_signals=list(b["output_signals"]))
+                  for b in raw["blocks"]]
+        partitions.append(PartitionResult(
+            blocks=blocks,
+            primary_inputs=list(raw["primary_inputs"]),
+            primary_outputs=list(raw["primary_outputs"])))
+    return partitions
+
+
+# ----------------------------------------------------------------------
+# netlist / fabric request descriptions (key material, not payloads)
+# ----------------------------------------------------------------------
+def describe_netlist(netlist) -> dict:
+    """Everything place/route read from a netlist, canonically shaped."""
+    return {
+        "blocks": list(netlist.blocks),
+        "nets": [[net.name, net.source if net.source is not None else "",
+                  list(net.sinks), bool(net.is_complement)]
+                 for net in netlist.nets],
+        "primary_inputs": list(netlist.primary_inputs),
+        "primary_outputs": list(netlist.primary_outputs),
+    }
+
+
+def describe_fabric(fabric) -> dict:
+    """Everything place/route read from a fabric, canonically shaped."""
+    clb = fabric.clb
+    return {
+        "width": fabric.width,
+        "height": fabric.height,
+        "channel_capacity": fabric.channel_capacity,
+        "clb": {
+            "name": clb.name,
+            "max_inputs": clb.max_inputs,
+            "max_outputs": clb.max_outputs,
+            "max_products": clb.max_products,
+            "area_l2": clb.area_l2,
+            "dual_polarity_inputs": clb.dual_polarity_inputs,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# yield artifacts
+# ----------------------------------------------------------------------
+def encode_yield_report(report) -> dict:
+    """A :class:`~repro.robustness.yield_engine.YieldReport`, flattened."""
+    from dataclasses import asdict
+    data = asdict(report)
+    data["settings"] = asdict(report.settings)
+    return data
+
+
+def decode_yield_report(payload: dict):
+    """Inverse of :func:`encode_yield_report`."""
+    from repro.robustness.yield_engine import YieldReport, YieldSettings
+    data = dict(payload)
+    data["settings"] = YieldSettings(**data["settings"])
+    return YieldReport(**data)
+
+
+__all__ = ["decode_cover", "decode_partitions", "decode_place_route",
+           "decode_yield_report", "describe_fabric", "describe_netlist",
+           "encode_cover", "encode_partitions", "encode_place_route",
+           "encode_yield_report"]

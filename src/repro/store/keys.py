@@ -1,0 +1,112 @@
+"""Canonical artifact-key derivation for the content-addressed store.
+
+Every cached artifact is addressed by a SHA-256 digest of a canonical
+JSON document describing *everything that determines the result*:
+
+* the artifact kind (``"minimize"``, ``"place_route"``, ...);
+* the kind's **schema version** — bumped whenever the payload encoding
+  or the producing algorithm changes shape, so stale entries become
+  misses instead of wrong answers;
+* the **kernel backend** (``REPRO_KERNEL`` resolution via
+  :func:`repro.kernels.backend`) — results are bit-identical across
+  backends by construction, but cache-key hygiene demands that a
+  kernel-produced artifact can never satisfy a scalar request (a
+  backend bug would otherwise leak across the boundary silently);
+* the request payload itself (input bytes / rows, normalized config).
+
+Canonicalization is strict: only JSON scalar/dict/list shapes are
+accepted, dict keys are sorted, and floats round-trip through
+``repr`` (Python's shortest-exact form), so two semantically equal
+requests always hash to the same key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict
+
+from repro import kernels
+
+#: Per-kind payload schema versions.  Bump a kind's version whenever
+#: its encoded payload shape *or* the algorithm producing it changes;
+#: old entries then read as misses rather than as wrong answers.
+SCHEMA_VERSIONS: Dict[str, int] = {
+    "minimize": 1,
+    "place_route": 1,
+    "table2_workload": 1,
+    "yield": 1,
+    "table1_row": 1,
+    "suite_entry": 1,
+}
+
+#: Fallback for ad-hoc kinds (tests, experiments).
+DEFAULT_SCHEMA_VERSION = 1
+
+
+def schema_version(kind: str) -> int:
+    """The payload schema version of ``kind``."""
+    return SCHEMA_VERSIONS.get(kind, DEFAULT_SCHEMA_VERSION)
+
+
+def _check_canonical(obj: Any, where: str = "payload") -> None:
+    """Reject values whose JSON form is ambiguous (tuples, sets, NaN)."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return
+    if isinstance(obj, float):
+        if obj != obj or obj in (float("inf"), float("-inf")):
+            raise ValueError(f"{where}: non-finite float {obj!r} has no "
+                             f"canonical JSON form")
+        return
+    if isinstance(obj, list):
+        for i, item in enumerate(obj):
+            _check_canonical(item, f"{where}[{i}]")
+        return
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise ValueError(f"{where}: non-string dict key {key!r}")
+            _check_canonical(value, f"{where}.{key}")
+        return
+    raise ValueError(f"{where}: {type(obj).__name__} is not canonically "
+                     f"JSON-serializable (convert tuples/sets to lists)")
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """The canonical (sorted, compact) JSON encoding of ``obj``."""
+    _check_canonical(obj)
+    return json.dumps(obj, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def digest_of(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``obj``."""
+    return hashlib.sha256(canonical_bytes(obj)).hexdigest()
+
+
+def artifact_key(kind: str, request: Any, backend: str = None) -> str:
+    """The content address of one artifact request.
+
+    Parameters
+    ----------
+    kind:
+        Artifact kind (selects the schema version).
+    request:
+        Canonically-JSON-serializable description of the inputs.
+    backend:
+        Kernel backend; defaults to the active
+        :func:`repro.kernels.backend` resolution, so scalar and kernel
+        runs never share entries.
+    """
+    if backend is None:
+        backend = kernels.backend()
+    return digest_of({
+        "kind": kind,
+        "schema": schema_version(kind),
+        "backend": backend,
+        "request": request,
+    })
+
+
+__all__ = ["DEFAULT_SCHEMA_VERSION", "SCHEMA_VERSIONS", "artifact_key",
+           "canonical_bytes", "digest_of", "schema_version"]

@@ -1,0 +1,400 @@
+"""Persistent content-addressed artifact store.
+
+Disk layout (root defaults to ``.repro/store``, overridable with
+``REPRO_CACHE_DIR``)::
+
+    <root>/objects/<key[:2]>/<key>.json     one artifact per file
+    <root>/locks/<key>.lock                 per-key compute/write locks
+    <root>/quarantine/<key>.<reason>.json   corrupt entries, moved aside
+
+Every entry file is a JSON document carrying its own integrity
+metadata::
+
+    {"key": ..., "kind": ..., "schema": ..., "backend": ...,
+     "digest": sha256(canonical(payload)), "payload": ...}
+
+Writes are atomic in the same way :mod:`repro.runner` checkpoints are:
+the document is written to a same-directory temp file, flushed and
+fsynced, then ``os.rename``-ed into place, all under an exclusive
+per-key file lock so two processes can never interleave a write.
+Reads verify the embedded digest and the key/kind match; a truncated,
+unparsable or digest-mismatched file is **treated as a miss** and moved
+into ``quarantine/`` (never deleted — it is evidence).
+
+A bounded in-memory LRU tier sits above the disk tier, so a driver that
+asks for the same artifact repeatedly within one process pays the JSON
+parse once.  Hit/miss/eviction counters are mirrored into
+:mod:`repro.perf` (``store.*``) and kept on the instance for
+:meth:`ArtifactStore.stats`.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro import perf
+from repro.store.keys import artifact_key, digest_of, schema_version
+
+try:  # POSIX file locking; the store degrades gracefully without it
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
+
+#: Environment variable overriding the store root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Environment variable disabling the cache entirely ("off"/"0"/"no").
+CACHE_ENV = "REPRO_CACHE"
+#: Environment variable bounding the in-memory LRU tier (entry count).
+CACHE_MEM_ENV = "REPRO_CACHE_MEM"
+
+#: Default root, relative to the working directory (next to the
+#: resilient runner's ``.repro`` checkpoints).
+DEFAULT_ROOT = os.path.join(".repro", "store")
+
+#: Default in-memory LRU capacity (entries).
+DEFAULT_MEMORY_ENTRIES = 128
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_CACHE`` opts out (``off``/``0``/``no``/``false``)."""
+    raw = os.environ.get(CACHE_ENV, "").strip().lower()
+    return raw not in ("off", "0", "no", "false", "disabled")
+
+
+def default_root() -> str:
+    """The store root: ``REPRO_CACHE_DIR`` or ``.repro/store``."""
+    return os.environ.get(CACHE_DIR_ENV, "").strip() or DEFAULT_ROOT
+
+
+@contextmanager
+def _null_context() -> Iterator[bool]:
+    yield False
+
+
+def default_memory_entries() -> int:
+    """The LRU capacity: ``REPRO_CACHE_MEM`` or the default."""
+    raw = os.environ.get(CACHE_MEM_ENV, "").strip()
+    if not raw:
+        return DEFAULT_MEMORY_ENTRIES
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{CACHE_MEM_ENV}={raw!r} is not an integer")
+    return max(0, value)
+
+
+class ArtifactStore:
+    """Content-addressed JSON artifact cache (disk + bounded memory LRU).
+
+    Parameters
+    ----------
+    root:
+        Store directory; created lazily on first write.
+    memory_entries:
+        In-memory LRU capacity (0 disables the memory tier).
+    """
+
+    def __init__(self, root: Optional[str] = None,
+                 memory_entries: Optional[int] = None):
+        self.root = root if root is not None else default_root()
+        if memory_entries is None:
+            memory_entries = default_memory_entries()
+        self.memory_entries = memory_entries
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
+        self.counters: Dict[str, int] = {
+            "hit_mem": 0, "hit_disk": 0, "miss": 0, "corrupt": 0,
+            "puts": 0, "evictions": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def object_path(self, key: str) -> str:
+        return os.path.join(self.root, "objects", key[:2], f"{key}.json")
+
+    def lock_path(self, key: str) -> str:
+        return os.path.join(self.root, "locks", f"{key}.lock")
+
+    def _quarantine_path(self, key: str, reason: str) -> str:
+        return os.path.join(self.root, "quarantine", f"{key}.{reason}.json")
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+        perf.count(f"store.{name}", amount)
+
+    # ------------------------------------------------------------------
+    # the two tiers
+    # ------------------------------------------------------------------
+    def _memory_get(self, key: str) -> Tuple[bool, Any]:
+        if self.memory_entries <= 0:
+            return False, None
+        try:
+            payload = self._memory.pop(key)
+        except KeyError:
+            return False, None
+        self._memory[key] = payload  # re-insert at MRU position
+        return True, payload
+
+    def _memory_put(self, key: str, payload: Any) -> None:
+        if self.memory_entries <= 0:
+            return
+        if key in self._memory:
+            self._memory.pop(key)
+        self._memory[key] = payload
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)  # evict the LRU entry
+            self._bump("evictions")
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Look up ``key``: ``(True, payload)`` on a hit, else
+        ``(False, None)``.
+
+        Disk entries are digest-verified; corrupt or truncated files
+        count as misses and are quarantined.
+        """
+        hit, payload = self._memory_get(key)
+        if hit:
+            self._bump("hit_mem")
+            return True, payload
+        path = self.object_path(key)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            self._bump("miss")
+            return False, None
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            self._quarantine(key, "unparsable")
+            self._bump("corrupt")
+            self._bump("miss")
+            return False, None
+        payload, reason = self._validate(key, document)
+        if reason is not None:
+            self._quarantine(key, reason)
+            self._bump("corrupt")
+            self._bump("miss")
+            return False, None
+        self._memory_put(key, payload)
+        self._bump("hit_disk")
+        return True, payload
+
+    @staticmethod
+    def _validate(key: str, document: Any) -> Tuple[Any, Optional[str]]:
+        """``(payload, None)`` when the document is intact, else
+        ``(None, reason)``."""
+        if not isinstance(document, dict):
+            return None, "malformed"
+        for field in ("key", "kind", "digest", "payload"):
+            if field not in document:
+                return None, "malformed"
+        if document["key"] != key:
+            return None, "wrong-key"
+        try:
+            if digest_of(document["payload"]) != document["digest"]:
+                return None, "digest-mismatch"
+        except ValueError:
+            return None, "malformed"
+        return document["payload"], None
+
+    def put(self, key: str, payload: Any, kind: str = "artifact",
+            backend: str = "", lock: bool = True) -> str:
+        """Write one artifact atomically; returns its file path.
+
+        The write happens under the key's exclusive file lock (tmp +
+        fsync + rename), so concurrent writers of the same key
+        serialize and readers only ever see complete documents.  A
+        caller that already holds the key's lock (the service's
+        coalescing miss path) passes ``lock=False`` — ``flock`` locks
+        on separate descriptors of one file exclude each other even
+        within a process, so re-locking here would self-deadlock.
+        """
+        document = {
+            "key": key,
+            "kind": kind,
+            "schema": schema_version(kind),
+            "backend": backend,
+            "digest": digest_of(payload),
+            "payload": payload,
+        }
+        encoded = json.dumps(document, sort_keys=True).encode("utf-8")
+        path = self.object_path(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        with self.locked(key) if lock else _null_context():
+            fd, tmp_path = tempfile.mkstemp(dir=directory,
+                                            prefix=f".{key[:8]}-",
+                                            suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(encoded)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.rename(tmp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        self._memory_put(key, payload)
+        self._bump("puts")
+        return path
+
+    def _quarantine(self, key: str, reason: str) -> None:
+        """Move a corrupt entry aside (evidence, and future misses)."""
+        destination = self._quarantine_path(key, reason)
+        os.makedirs(os.path.dirname(destination), exist_ok=True)
+        try:
+            os.rename(self.object_path(key), destination)
+        except OSError:  # pragma: no cover - lost a race with another reader
+            pass
+        self._memory.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # locking
+    # ------------------------------------------------------------------
+    @contextmanager
+    def locked(self, key: str, shared: bool = False) -> Iterator[bool]:
+        """Hold the key's file lock; yields True when the lock was
+        *contended* (another process held it first).
+
+        Used both for single-writer publication and for cross-process
+        request coalescing: a process that finds the lock held blocks
+        until the holder finishes, then re-checks the store before
+        computing.  Degrades to no locking when ``fcntl`` is missing.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            yield False
+            return
+        path = self.lock_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        handle = open(path, "a+")
+        mode = fcntl.LOCK_SH if shared else fcntl.LOCK_EX
+        contended = False
+        try:
+            try:
+                fcntl.flock(handle.fileno(), mode | fcntl.LOCK_NB)
+            except OSError as exc:
+                if exc.errno not in (errno.EACCES, errno.EAGAIN):
+                    raise
+                contended = True
+                fcntl.flock(handle.fileno(), mode)  # block until free
+            yield contended
+        finally:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            finally:
+                handle.close()
+
+    # ------------------------------------------------------------------
+    # maintenance / introspection
+    # ------------------------------------------------------------------
+    def _object_files(self) -> List[str]:
+        objects = os.path.join(self.root, "objects")
+        paths: List[str] = []
+        if not os.path.isdir(objects):
+            return paths
+        for shard in sorted(os.listdir(objects)):
+            shard_dir = os.path.join(objects, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    paths.append(os.path.join(shard_dir, name))
+        return paths
+
+    def entries(self) -> List[dict]:
+        """Metadata of every disk entry (no digest verification)."""
+        rows = []
+        for path in self._object_files():
+            key = os.path.basename(path)[:-len(".json")]
+            row = {"key": key, "bytes": os.path.getsize(path),
+                   "mtime": os.path.getmtime(path), "kind": "?",
+                   "backend": "?", "schema": None}
+            try:
+                with open(path) as handle:
+                    document = json.load(handle)
+                if isinstance(document, dict):
+                    row["kind"] = document.get("kind", "?")
+                    row["backend"] = document.get("backend", "?")
+                    row["schema"] = document.get("schema")
+            except (OSError, ValueError):
+                row["kind"] = "(unreadable)"
+            rows.append(row)
+        return rows
+
+    def verify(self) -> Dict[str, int]:
+        """Digest-check every disk entry, quarantining broken ones.
+
+        Returns ``{"ok": n, "corrupt": n}``.
+        """
+        ok = corrupt = 0
+        for path in self._object_files():
+            key = os.path.basename(path)[:-len(".json")]
+            try:
+                with open(path, "rb") as handle:
+                    document = json.loads(handle.read().decode("utf-8"))
+            except (OSError, UnicodeDecodeError, ValueError):
+                self._quarantine(key, "unparsable")
+                corrupt += 1
+                continue
+            _payload, reason = self._validate(key, document)
+            if reason is not None:
+                self._quarantine(key, reason)
+                corrupt += 1
+            else:
+                ok += 1
+        return {"ok": ok, "corrupt": corrupt}
+
+    def clear(self) -> int:
+        """Delete every disk entry (quarantine included); returns count."""
+        removed = 0
+        for path in self._object_files():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:  # pragma: no cover - concurrent clear
+                pass
+        quarantine = os.path.join(self.root, "quarantine")
+        if os.path.isdir(quarantine):
+            for name in os.listdir(quarantine):
+                try:
+                    os.unlink(os.path.join(quarantine, name))
+                    removed += 1
+                except OSError:  # pragma: no cover
+                    pass
+        self._memory.clear()
+        return removed
+
+    def stats(self) -> dict:
+        """JSON-ready snapshot: disk-tier census + in-process counters."""
+        entries = self.entries()
+        kinds: Dict[str, int] = {}
+        for row in entries:
+            kinds[row["kind"]] = kinds.get(row["kind"], 0) + 1
+        quarantine_dir = os.path.join(self.root, "quarantine")
+        quarantined = (len(os.listdir(quarantine_dir))
+                       if os.path.isdir(quarantine_dir) else 0)
+        return {
+            "root": self.root,
+            "entries": len(entries),
+            "bytes": sum(row["bytes"] for row in entries),
+            "kinds": dict(sorted(kinds.items())),
+            "quarantined": quarantined,
+            "memory_entries": len(self._memory),
+            "memory_capacity": self.memory_entries,
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+
+__all__ = ["ArtifactStore", "CACHE_DIR_ENV", "CACHE_ENV", "CACHE_MEM_ENV",
+           "DEFAULT_MEMORY_ENTRIES", "DEFAULT_ROOT", "artifact_key",
+           "cache_enabled", "default_memory_entries", "default_root"]

@@ -13,6 +13,25 @@ from repro.logic.function import BooleanFunction
 
 
 # ----------------------------------------------------------------------
+# hermetic artifact store
+# ----------------------------------------------------------------------
+@pytest.fixture(autouse=True)
+def _isolated_artifact_store(tmp_path, monkeypatch):
+    """Point the content-addressed store at a per-test temp dir.
+
+    Keeps the suite hermetic (no ``.repro/store`` writes in the repo,
+    no cross-test cache hits) while still exercising the real service
+    path in every driver.
+    """
+    from repro.store.service import reset_service
+    from repro.store.store import CACHE_DIR_ENV
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "store"))
+    reset_service()
+    yield
+    reset_service()
+
+
+# ----------------------------------------------------------------------
 # hypothesis strategies
 # ----------------------------------------------------------------------
 @st.composite

@@ -149,6 +149,51 @@ class TestFsmCommand:
         assert logic.n_inputs == 2 and logic.n_outputs == 2
 
 
+class TestCacheCommand:
+    def test_stats_on_empty_store(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--dir", str(tmp_path / "s")]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+
+    def test_minimize_populates_store(self, pla_file, capsys):
+        assert main(["minimize", pla_file]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "kind: minimize" in out
+        assert main(["cache", "ls"]) == 0
+        assert "minimize" in capsys.readouterr().out
+
+    def test_verify_and_clear(self, pla_file, capsys):
+        assert main(["minimize", pla_file]) == 0
+        assert main(["cache", "verify"]) == 0
+        assert main(["cache", "clear"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert any(line.split() == ["entries", "0"]
+                   for line in out.splitlines())
+
+    def test_verify_flags_corruption(self, pla_file, tmp_path, capsys):
+        import json
+        assert main(["minimize", pla_file]) == 0
+        from repro.store import ArtifactStore, default_root
+        store = ArtifactStore(default_root())
+        key = store.entries()[0]["key"]
+        with open(store.object_path(key), "w") as handle:
+            handle.write("garbage")
+        report = tmp_path / "verify.json"
+        assert main(["cache", "verify", "--json", str(report)]) == 1
+        assert json.loads(report.read_text())["corrupt"] == 1
+
+    def test_minimize_warm_output_identical(self, pla_file, capsys):
+        assert main(["minimize", pla_file]) == 0
+        cold = capsys.readouterr().out
+        assert main(["minimize", pla_file]) == 0
+        warm = capsys.readouterr().out
+        assert cold == warm
+
+
 class TestAtpgCommand:
     def test_stats_and_vector_file(self, pla_file, tmp_path, capsys):
         out_path = tmp_path / "tests.txt"

@@ -74,3 +74,56 @@ class TestInvolution:
                                  rng.randint(0, 6), rng)
             union = cover + complement_cover(cover)
             assert is_tautology(union)
+
+
+class TestBackendDifferential:
+    """The matrix-form merge must match the scalar oracle bit for bit."""
+
+    def test_complement_identical_across_backends(self):
+        from repro import kernels
+        from repro.logic.function import BooleanFunction
+        for seed in range(15):
+            cover = BooleanFunction.random(
+                9, 3, 20, seed=seed, dash_probability=0.5).on_set
+            with kernels.forced_backend("python"):
+                scalar = complement_cover(cover)
+            with kernels.forced_backend("numpy"):
+                matrix = complement_cover(cover)
+            # same cubes in the same order, not just the same function
+            assert scalar.to_strings() == matrix.to_strings()
+
+    def test_containment_cleanup_matches_scalar(self):
+        from repro.kernels.cubematrix import mask_containment_cleanup
+        from repro.logic.complement import (_containment_cleanup,
+                                            _dash_count_key)
+        rng = random.Random(11)
+        n = 8
+        for _ in range(50):
+            masks = []
+            for _ in range(rng.randint(1, 24)):
+                mask = 0
+                for v in range(n):
+                    mask |= rng.choice([0b01, 0b10, 0b11]) << (2 * v)
+                masks.append(mask)
+            order = sorted(set(masks), key=_dash_count_key(n), reverse=True)
+            kept = []
+            for mask in order:
+                if not any((other | mask) == other for other in kept):
+                    kept.append(mask)
+            assert mask_containment_cleanup(order, n) == kept
+
+    def test_column_counts_match_scalar(self):
+        from repro.kernels.cubematrix import mask_column_counts
+        rng = random.Random(23)
+        n = 70  # multi-word masks
+        masks = []
+        for _ in range(20):
+            mask = 0
+            for v in range(n):
+                mask |= rng.choice([0b01, 0b10, 0b11]) << (2 * v)
+            masks.append(mask)
+        zeros, ones = mask_column_counts(masks, n)
+        for v in range(n):
+            fields = [(m >> (2 * v)) & 0b11 for m in masks]
+            assert zeros[v] == fields.count(0b01)
+            assert ones[v] == fields.count(0b10)

@@ -1,0 +1,318 @@
+"""Tests for the synthesis service (caching, coalescing, drivers)."""
+
+import json
+import threading
+from contextlib import contextmanager
+from dataclasses import asdict
+
+import pytest
+
+from repro import kernels
+from repro.store import ArtifactStore, SynthesisService
+from repro.store.service import get_service, reset_service
+
+
+def _load_bench_table1():
+    """Import benchmarks/bench_table1.py (not a package) by path."""
+    import importlib.util
+    import os
+    path = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "benchmarks", "bench_table1.py")
+    spec = importlib.util.spec_from_file_location("bench_table1", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+# ----------------------------------------------------------------------
+# get_or_compute core
+# ----------------------------------------------------------------------
+class TestGetOrCompute:
+    def test_second_request_served_from_cache(self, tmp_path):
+        service = SynthesisService(ArtifactStore(str(tmp_path)), enabled=True)
+        calls = []
+        compute = lambda: calls.append(1) or {"v": 7}
+        assert service.get_or_compute("t", {"q": 1}, compute) == {"v": 7}
+        assert service.get_or_compute("t", {"q": 1}, compute) == {"v": 7}
+        assert len(calls) == 1
+
+    def test_disabled_always_computes(self, tmp_path):
+        service = SynthesisService(ArtifactStore(str(tmp_path)),
+                                   enabled=False)
+        calls = []
+        compute = lambda: calls.append(1) or {"v": 7}
+        service.get_or_compute("t", {"q": 1}, compute)
+        service.get_or_compute("t", {"q": 1}, compute)
+        assert len(calls) == 2
+        assert service.store.stats()["entries"] == 0
+
+    def test_cache_env_opt_out(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        reset_service()
+        service = get_service()
+        assert not service.enabled
+        calls = []
+        service.get_or_compute("t", {"q": 1},
+                               lambda: calls.append(1) or {"v": 1})
+        service.get_or_compute("t", {"q": 1},
+                               lambda: calls.append(1) or {"v": 1})
+        assert len(calls) == 2
+
+    def test_thread_coalescing(self, tmp_path):
+        """Concurrent duplicates collapse onto one in-flight computation."""
+        service = SynthesisService(ArtifactStore(str(tmp_path)), enabled=True)
+        started = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            started.set()
+            release.wait(timeout=10)
+            return {"v": 42}
+
+        results = []
+
+        def worker():
+            results.append(service.get_or_compute("t", {"q": 9}, compute))
+
+        leader = threading.Thread(target=worker)
+        leader.start()
+        started.wait(timeout=10)
+        followers = [threading.Thread(target=worker) for _ in range(5)]
+        for t in followers:
+            t.start()
+        # give the followers time to register as in-flight waiters
+        deadline = threading.Event()
+        deadline.wait(0.1)
+        release.set()
+        leader.join(timeout=10)
+        for t in followers:
+            t.join(timeout=10)
+
+        assert len(calls) == 1
+        assert results == [{"v": 42}] * 6
+        assert service.coalesced_threads == 5
+
+    def test_leader_error_propagates_to_followers(self, tmp_path):
+        service = SynthesisService(ArtifactStore(str(tmp_path)), enabled=True)
+        started = threading.Event()
+        release = threading.Event()
+
+        def compute():
+            started.set()
+            release.wait(timeout=10)
+            raise RuntimeError("boom")
+
+        errors = []
+
+        def worker():
+            try:
+                service.get_or_compute("t", {"q": 3}, compute)
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        threads[0].start()
+        started.wait(timeout=10)
+        for t in threads[1:]:
+            t.start()
+        wait = threading.Event()
+        wait.wait(0.1)
+        release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert errors == ["boom"] * 3
+        # the failure is not cached: a later request recomputes
+        value = service.get_or_compute("t", {"q": 3}, lambda: {"ok": True})
+        assert value == {"ok": True}
+
+    def test_process_coalescing_recheck(self, tmp_path):
+        """A contended lock re-checks the store before computing."""
+        store = ArtifactStore(str(tmp_path))
+        service = SynthesisService(store, enabled=True)
+        from repro.store.keys import artifact_key
+        key = artifact_key("t", {"q": 5})
+        real_locked = store.locked
+
+        @contextmanager
+        def contended_locked(k, shared=False):
+            # simulate the other process: it published while we waited
+            # (lock=False — the real holder would already own the lock)
+            store.put(k, {"v": "theirs"}, kind="t", lock=False)
+            yield True
+
+        store.locked = contended_locked
+        try:
+            value = service.get_or_compute(
+                "t", {"q": 5}, lambda: pytest.fail("should not compute"))
+        finally:
+            store.locked = real_locked
+        assert value == {"v": "theirs"}
+        assert service.coalesced_processes == 1
+        assert key in store._memory or store.get(key)[0]
+
+
+# ----------------------------------------------------------------------
+# typed operations
+# ----------------------------------------------------------------------
+class TestTypedOps:
+    def test_minimize_roundtrip(self, tmp_path, small_multi):
+        from repro.espresso import espresso
+        service = SynthesisService(ArtifactStore(str(tmp_path)), enabled=True)
+        expected = espresso(small_multi).cover
+        cold = service.minimize(small_multi)
+        warm = service.minimize(small_multi)
+        assert cold.to_strings() == expected.to_strings()
+        assert warm.to_strings() == expected.to_strings()
+        assert service.store.counters["hit_mem"] >= 1
+
+    def test_minimize_phase_roundtrip(self, tmp_path, small_multi):
+        from repro.espresso import assign_output_phases
+        service = SynthesisService(ArtifactStore(str(tmp_path)), enabled=True)
+        expected = assign_output_phases(small_multi)
+        cold_cover, cold_phases = service.minimize(small_multi,
+                                                   {"phase": True})
+        warm_cover, warm_phases = service.minimize(small_multi,
+                                                   {"phase": True})
+        assert cold_phases == warm_phases == list(expected.phases)
+        assert cold_cover.to_strings() == expected.cover.to_strings()
+        assert warm_cover.to_strings() == expected.cover.to_strings()
+
+    def test_minimize_rejects_unknown_config(self, tmp_path, small_multi):
+        service = SynthesisService(ArtifactStore(str(tmp_path)), enabled=True)
+        with pytest.raises(ValueError):
+            service.minimize(small_multi, {"bogus": 1})
+
+    def test_minimize_phase_and_plain_do_not_collide(self, tmp_path, xor2):
+        service = SynthesisService(ArtifactStore(str(tmp_path)), enabled=True)
+        plain = service.minimize(xor2)
+        phased_cover, phases = service.minimize(xor2, {"phase": True})
+        assert isinstance(phases, list)
+        assert plain.n_outputs == phased_cover.n_outputs
+
+    def test_place_route_roundtrip(self, tmp_path):
+        from repro.fpga.clb import standard_pla_clb
+        from repro.fpga.emulate import generate_workload
+        from repro.fpga.fabric import FPGAFabric
+        from repro.fpga.netlist import build_netlist
+        from repro.fpga.placement import place
+        from repro.fpga.routing import route
+        from repro.mapping.partition import Partitioner
+
+        clb = standard_pla_clb(9, 4, 20)
+        partitioner = Partitioner(9, 4, 20)
+        partitions = generate_workload(3, 12, partitioner)
+        netlist = build_netlist(partitions, dual_polarity=True)
+        fabric = FPGAFabric(4, 4, clb, 16)
+
+        expected_placement = place(netlist, fabric, seed=3)
+        expected_routing = route(netlist, expected_placement, fabric)
+
+        service = SynthesisService(ArtifactStore(str(tmp_path)), enabled=True)
+        cold_p, cold_r = service.place_route(netlist, fabric, 3)
+        warm_p, warm_r = service.place_route(netlist, fabric, 3)
+        for placement in (cold_p, warm_p):
+            assert placement.sites == expected_placement.sites
+            assert placement.wirelength == expected_placement.wirelength
+        for routing in (cold_r, warm_r):
+            assert routing.total_wirelength == \
+                expected_routing.total_wirelength
+            assert set(routing.routed) == set(expected_routing.routed)
+        assert service.store.counters["hit_mem"] >= 1
+
+    def test_yield_roundtrip(self, tmp_path, monkeypatch):
+        from repro.robustness.yield_engine import (YieldSettings,
+                                                   estimate_yield)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "yield-store"))
+        reset_service()
+        settings = YieldSettings(benchmark="max46", samples=40, seed=1,
+                                 p_stuck_off=0.002, p_stuck_on=0.001)
+        cold = estimate_yield(settings)
+        warm = estimate_yield(settings)
+        assert cold.to_json() == warm.to_json()
+        assert asdict(warm.settings) == asdict(settings)
+        stats = get_service().stats()
+        assert stats["counters"]["hit_mem"] + \
+            stats["counters"]["hit_disk"] >= 1
+
+
+# ----------------------------------------------------------------------
+# warm-vs-cold driver equivalence (both kernel backends)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+class TestWarmColdDrivers:
+    def test_table1_bit_identical(self, backend, tmp_path, monkeypatch):
+        compute_table1 = _load_bench_table1().compute_table1
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "t1"))
+        reset_service()
+        with kernels.forced_backend(backend):
+            cold = compute_table1()
+            stats_cold = dict(get_service().stats()["counters"])
+            warm = compute_table1()
+            stats_warm = get_service().stats()["counters"]
+        assert json.dumps(cold, sort_keys=True) == \
+            json.dumps(warm, sort_keys=True)
+        hits = (stats_warm["hit_mem"] + stats_warm["hit_disk"]
+                - stats_cold.get("hit_mem", 0) - stats_cold.get("hit_disk", 0))
+        assert hits >= 3  # every benchmark row served from cache
+
+    def test_table2_bit_identical(self, backend, tmp_path, monkeypatch):
+        from repro.fpga.emulate import run_emulation
+        from repro.store import codecs
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "t2"))
+        reset_service()
+
+        def fingerprint(report):
+            return json.dumps({
+                "rows": report.table_rows(),
+                "standard": codecs.encode_place_route(
+                    report.standard.placement, report.standard.routing),
+                "cnfet": codecs.encode_place_route(
+                    report.cnfet.placement, report.cnfet.routing),
+                "freq": [report.standard.frequency_mhz,
+                         report.cnfet.frequency_mhz],
+            }, sort_keys=True)
+
+        with kernels.forced_backend(backend):
+            cold = run_emulation(seed=4, grid_side=4, channel_capacity=16)
+            warm = run_emulation(seed=4, grid_side=4, channel_capacity=16)
+            stats = get_service().stats()["counters"]
+        assert fingerprint(cold) == fingerprint(warm)
+        # warm run served workload + both fabrics from the cache
+        assert stats["hit_mem"] + stats["hit_disk"] >= 3
+
+    def test_backends_do_not_share_entries(self, backend, tmp_path,
+                                           monkeypatch):
+        from repro.fpga.emulate import run_emulation
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "x"))
+        reset_service()
+        other = "numpy" if backend == "python" else "python"
+        with kernels.forced_backend(backend):
+            run_emulation(seed=4, grid_side=4, channel_capacity=16)
+            n_entries = get_service().stats()["entries"]
+            counters = dict(get_service().stats()["counters"])
+        with kernels.forced_backend(other):
+            run_emulation(seed=4, grid_side=4, channel_capacity=16)
+            stats = get_service().stats()
+        # the other backend found none of the first backend's entries
+        assert stats["entries"] == 2 * n_entries
+        assert stats["counters"]["hit_mem"] == counters.get("hit_mem", 0)
+        assert stats["counters"]["hit_disk"] == counters.get("hit_disk", 0)
+
+
+# ----------------------------------------------------------------------
+# suite driver
+# ----------------------------------------------------------------------
+class TestSuiteCaching:
+    def test_suite_warm_equals_cold(self, tmp_path, monkeypatch):
+        from repro.bench.suite import evaluate_suite
+        from repro.bench.mcnc import EXTENDED_SUITE
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "suite"))
+        reset_service()
+        subset = EXTENDED_SUITE[:3]
+        cold = evaluate_suite(subset, seed=0)
+        warm = evaluate_suite(subset, seed=0)
+        assert [asdict(e) for e in cold] == [asdict(e) for e in warm]
+        stats = get_service().stats()["counters"]
+        assert stats["hit_mem"] + stats["hit_disk"] >= 3

@@ -1,0 +1,219 @@
+"""Tests for the content-addressed artifact store (repro.store)."""
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro import kernels
+from repro.store import (ArtifactStore, artifact_key, canonical_bytes,
+                         digest_of, schema_version)
+from repro.store.keys import SCHEMA_VERSIONS
+
+
+# ----------------------------------------------------------------------
+# canonical keys
+# ----------------------------------------------------------------------
+class TestKeys:
+    def test_canonical_bytes_sorted_and_compact(self):
+        assert canonical_bytes({"b": 1, "a": [1, 2]}) == b'{"a":[1,2],"b":1}'
+
+    def test_key_order_independent(self):
+        assert digest_of({"x": 1, "y": 2}) == digest_of({"y": 2, "x": 1})
+
+    def test_non_canonical_values_rejected(self):
+        for bad in ((1, 2), {1: "a"}, float("nan"), float("inf"), {"k", "v"}):
+            with pytest.raises(ValueError):
+                canonical_bytes({"payload": bad})
+
+    def test_kind_and_schema_in_key(self):
+        req = {"rows": ["10 1"]}
+        assert artifact_key("minimize", req) != artifact_key("place_route",
+                                                             req)
+
+    def test_every_registered_kind_has_a_version(self):
+        for kind in ("minimize", "place_route", "table2_workload", "yield",
+                     "table1_row", "suite_entry"):
+            assert schema_version(kind) == SCHEMA_VERSIONS[kind]
+
+    def test_backend_separates_entries(self):
+        """Cache-key hygiene: scalar and kernel runs never share entries."""
+        req = {"rows": ["10 1", "01 1"]}
+        with kernels.forced_backend("python"):
+            scalar_key = artifact_key("minimize", req)
+        with kernels.forced_backend("numpy"):
+            numpy_key = artifact_key("minimize", req)
+        assert scalar_key != numpy_key
+        # and explicitly-passed backends behave the same way
+        assert artifact_key("minimize", req, backend="python") == scalar_key
+        assert artifact_key("minimize", req, backend="numpy") == numpy_key
+
+    def test_backend_separation_on_disk(self, tmp_path):
+        """A kernel-produced artifact can never satisfy a scalar request."""
+        store = ArtifactStore(str(tmp_path))
+        req = {"rows": ["10 1"]}
+        with kernels.forced_backend("numpy"):
+            store.put(artifact_key("minimize", req), {"answer": "numpy"},
+                      kind="minimize", backend="numpy")
+        with kernels.forced_backend("python"):
+            hit, _ = store.get(artifact_key("minimize", req))
+        assert not hit
+        with kernels.forced_backend("numpy"):
+            hit, payload = store.get(artifact_key("minimize", req))
+        assert hit and payload == {"answer": "numpy"}
+
+
+# ----------------------------------------------------------------------
+# disk tier
+# ----------------------------------------------------------------------
+class TestDiskTier:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        key = artifact_key("test", {"q": 1}, backend="python")
+        store.put(key, {"rows": [1, 2, 3]})
+        hit, payload = store.get(key)
+        assert hit and payload == {"rows": [1, 2, 3]}
+
+    def test_get_missing_is_miss(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        hit, payload = store.get("0" * 64)
+        assert not hit and payload is None
+        assert store.counters["miss"] == 1
+
+    def test_truncated_entry_reads_as_miss(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        key = artifact_key("test", {"q": 2}, backend="python")
+        store.put(key, {"rows": list(range(100))})
+        path = store.object_path(key)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[:len(data) // 2])
+
+        fresh = ArtifactStore(str(tmp_path))  # cold memory tier
+        hit, payload = fresh.get(key)
+        assert not hit and payload is None
+        assert fresh.counters["corrupt"] == 1
+        # quarantined, not deleted
+        assert not os.path.exists(path)
+        quarantine = os.path.join(str(tmp_path), "quarantine")
+        assert len(os.listdir(quarantine)) == 1
+
+    def test_bitflipped_payload_reads_as_miss(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        key = artifact_key("test", {"q": 3}, backend="python")
+        store.put(key, {"value": 41})
+        path = store.object_path(key)
+        with open(path) as handle:
+            document = json.load(handle)
+        document["payload"]["value"] = 42  # digest now stale
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+
+        fresh = ArtifactStore(str(tmp_path))
+        hit, _ = fresh.get(key)
+        assert not hit
+        assert fresh.counters["corrupt"] == 1
+
+    def test_wrong_key_slot_reads_as_miss(self, tmp_path):
+        """An entry copied under another key is rejected (content address)."""
+        store = ArtifactStore(str(tmp_path))
+        key = artifact_key("test", {"q": 4}, backend="python")
+        store.put(key, {"value": 1})
+        other = "f" * 64
+        other_path = store.object_path(other)
+        os.makedirs(os.path.dirname(other_path), exist_ok=True)
+        with open(store.object_path(key)) as src:
+            data = src.read()
+        with open(other_path, "w") as dst:
+            dst.write(data)
+        hit, _ = store.get(other)
+        assert not hit
+
+    def test_verify_quarantines_corrupt(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        keys = [artifact_key("test", {"q": i}, backend="python")
+                for i in range(3)]
+        for i, key in enumerate(keys):
+            store.put(key, {"value": i})
+        with open(store.object_path(keys[1]), "w") as handle:
+            handle.write("not json at all")
+        result = store.verify()
+        assert result == {"ok": 2, "corrupt": 1}
+        assert store.stats()["quarantined"] == 1
+
+    def test_clear_empties_store(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        for i in range(4):
+            store.put(artifact_key("test", {"q": i}, backend="python"),
+                      {"value": i})
+        assert store.clear() == 4
+        assert store.stats()["entries"] == 0
+
+
+# ----------------------------------------------------------------------
+# memory tier
+# ----------------------------------------------------------------------
+class TestMemoryTier:
+    def test_lru_eviction_order(self, tmp_path):
+        store = ArtifactStore(str(tmp_path), memory_entries=2)
+        k1, k2, k3 = (artifact_key("test", {"q": i}, backend="python")
+                      for i in range(3))
+        store.put(k1, {"v": 1})
+        store.put(k2, {"v": 2})
+        store.get(k1)          # k1 now most-recent; k2 is LRU
+        store.put(k3, {"v": 3})  # evicts k2
+        assert k2 not in store._memory
+        assert k1 in store._memory and k3 in store._memory
+        assert store.counters["evictions"] >= 1
+        # evicted entries still hit from disk
+        hit, payload = store.get(k2)
+        assert hit and payload == {"v": 2}
+        assert store.counters["hit_disk"] >= 1
+
+    def test_memory_hit_skips_disk(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        key = artifact_key("test", {"q": 0}, backend="python")
+        store.put(key, {"v": 1})
+        os.unlink(store.object_path(key))  # disk gone, memory serves
+        hit, payload = store.get(key)
+        assert hit and payload == {"v": 1}
+        assert store.counters["hit_mem"] == 1
+
+    def test_zero_memory_entries_disables_tier(self, tmp_path):
+        store = ArtifactStore(str(tmp_path), memory_entries=0)
+        key = artifact_key("test", {"q": 0}, backend="python")
+        store.put(key, {"v": 1})
+        assert len(store._memory) == 0
+        hit, _ = store.get(key)
+        assert hit and store.counters["hit_disk"] == 1
+
+
+# ----------------------------------------------------------------------
+# concurrent writers
+# ----------------------------------------------------------------------
+def _concurrent_put(payload):
+    """Top-level worker: hammer the same key from separate processes."""
+    root, key, value = payload
+    store = ArtifactStore(root)
+    for _ in range(10):
+        store.put(key, {"value": value, "blob": "x" * 4096})
+    hit, read_back = store.get(key)
+    return hit and read_back["value"] in range(8)
+
+
+class TestConcurrentWriters:
+    def test_same_key_from_many_processes(self, tmp_path):
+        key = artifact_key("test", {"shared": True}, backend="python")
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(
+                _concurrent_put,
+                [(str(tmp_path), key, value) for value in range(8)]))
+        assert all(results)
+        # whatever write won, the entry is complete and digest-valid
+        store = ArtifactStore(str(tmp_path))
+        hit, payload = store.get(key)
+        assert hit and payload["value"] in range(8)
+        assert len(payload["blob"]) == 4096
+        assert store.verify() == {"ok": 1, "corrupt": 0}
