@@ -24,7 +24,15 @@ replaced:
   through the content-addressed artifact store (``cache_*`` record;
   scalar_s = cold, kernel_s = warm) — the caching acceptance metric
   (warm >= 10x faster, outputs bit-identical), with the ``store.*``
-  hit/miss/coalesce counters embedded.
+  hit/miss/coalesce counters embedded,
+* the batched evaluation arena (:mod:`repro.kernels.batcharena`):
+  ``batch_eval_throughput`` evaluates the whole MCNC registry on one
+  LFSR vector stream (arena vs per-cover kernel loop, single process,
+  ``vectors_per_s`` embedded), and ``batch_yield_mc`` runs a Monte
+  Carlo yield chunk end to end through the batched repair pipeline vs
+  the per-trial loop — the batching acceptance metric (>= 5x on
+  ``batch_yield_mc``), with the ``eval.batch.*`` timers/counters
+  embedded (``--batch-snapshot`` dumps them separately for CI).
 
 The JSON report is the start of a perf trajectory: subsequent PRs can
 diff ``BENCH_perf.json`` to catch regressions
@@ -66,6 +74,9 @@ FPGA_TARGET_SPEEDUP = 5.0
 #: Acceptance threshold for the warm artifact-store re-run of the
 #: combined Table 1 + Table 2 drivers (cold / warm wall time).
 CACHE_TARGET_SPEEDUP = 10.0
+#: Acceptance threshold for the batched Monte Carlo yield chunk (arena
+#: repair pipeline vs the per-trial per-cover kernel loop).
+BATCH_TARGET_SPEEDUP = 5.0
 
 
 def _best_of(fn: Callable[[], object], reps: int) -> float:
@@ -442,6 +453,129 @@ def bench_cache(results: List[dict], quick: bool) -> dict:
     return record
 
 
+def bench_batch_eval(results: List[dict], seed: int, quick: bool) -> dict:
+    """Arena vs per-cover kernel throughput on streamed LFSR blocks.
+
+    The arena's design point — pack once, evaluate many ``(cover,
+    input_block)`` pairs.  Both sides are pre-packed outside the clock
+    (one :class:`CoverArena` vs one ``PackedCover`` per cover) and
+    evaluate the same Galois-LFSR word blocks; the baseline issues the
+    per-cover ``cube_accepts``/``output_words`` kernel calls pair by
+    pair, the arena one vectorized pass per block (both on the NumPy
+    backend — this record isolates the batch-shape win, not NumPy
+    itself).  Masks are asserted bit-identical before timing;
+    ``vectors_per_s`` (single-process (cover, vector) pair rate of the
+    arena) rides along for throughput trajectories.
+    """
+    from repro.kernels import batcharena, bitslice as bs
+    from repro.bench.mcnc import EXTENDED_SUITE
+    from repro.testgen.lfsr import GaloisLFSR
+
+    seeds = 4 if quick else 8
+    n_blocks = 32 if quick else 64
+    block_words = 4
+    block_vectors = block_words * 64
+    covers = [synthesize_cover(stats, seed=seed + s)
+              for s in range(seeds) for stats in EXTENDED_SUITE]
+
+    with kernels.forced_backend("numpy"):
+        arena = batcharena.CoverArena.from_covers(covers)
+        packs = [bs.pack_cover(cover) for cover in covers]
+        stream = GaloisLFSR(arena.max_inputs, seed=seed)
+        blocks = [stream.word_slices(block_words) for _ in range(n_blocks)]
+
+        def run_arena():
+            return [arena.eval_slices(x, block_vectors) for x in blocks]
+
+        def run_percov():
+            return [[bs._masks_from_output_words(
+                bs.output_words(pack,
+                                bs.cube_accepts(pack, x[:pack.n_inputs])),
+                block_vectors) for pack in packs] for x in blocks]
+
+        batched = run_arena()
+        percov = run_percov()
+        for i in range(n_blocks):  # differential guard
+            for c in range(len(covers)):
+                if not (batched[i][c] == percov[i][c]).all():
+                    raise AssertionError(  # pragma: no cover
+                        "arena masks differ from per-cover kernels")
+
+        reps = 3 if quick else 5
+        kernel_s = _best_of(run_arena, reps)
+        scalar_s = _best_of(run_percov, reps)
+
+    pairs = len(covers) * n_blocks * block_vectors
+    record = _record(
+        "batch_eval_throughput",
+        f"{len(covers)} covers x {n_blocks} LFSR blocks x "
+        f"{block_vectors} vectors, pre-packed arena pass vs per-cover "
+        f"kernel calls (scalar_s = per-cover kernel path), masks "
+        f"bit-identical",
+        scalar_s, kernel_s)
+    record["vectors_per_s"] = round(pairs / kernel_s)
+    _print_record(record)
+    results.append(record)
+    return record
+
+
+def bench_batch_yield(results: List[dict], quick: bool) -> dict:
+    """The batching acceptance metric: one Monte Carlo yield chunk.
+
+    Runs ``run_yield_chunk`` (sampling, 4-stage spare-aware repair,
+    exhaustive verification) in-process on ``max46`` with elevated
+    defect rates, batched arena pipeline vs the per-trial loop — both
+    on the NumPy backend, so the ratio is the batching win alone.  The
+    per-sample outcome dicts are asserted identical before timing; the
+    record embeds the kernel run's ``eval.batch.*`` perf snapshot.
+    """
+    from repro import eval as batch_eval
+    from repro.robustness import yield_engine
+
+    samples = 40 if quick else 100
+    payload = {
+        "settings": {
+            "benchmark": "max46", "samples": samples, "seed": 7,
+            "p_stuck_off": 0.004, "p_stuck_on": 0.002,
+            "spare_rows": 2, "spare_cols": 1,
+        },
+        "start": 0, "count": samples,
+    }
+
+    with kernels.forced_backend("numpy"):
+        yield_engine._prepared(  # synthesize outside the clock
+            yield_engine.YieldSettings(**payload["settings"]))
+        with batch_eval.forced_batch(True):
+            batched = yield_engine.run_yield_chunk(payload)
+        with batch_eval.forced_batch(False):
+            per_trial = yield_engine.run_yield_chunk(payload)
+        if batched != per_trial:  # pragma: no cover - differential guard
+            raise AssertionError("batched yield outcomes differ from the "
+                                 "per-trial loop")
+
+        def run(flag):
+            with batch_eval.forced_batch(flag):
+                return yield_engine.run_yield_chunk(payload)
+
+        reps = 2 if quick else 3
+        kernel_s = _best_of(lambda: run(True), reps)
+        scalar_s = _best_of(lambda: run(False), reps)
+        perf.reset()
+        run(True)  # one instrumented pass for the eval.batch.* snapshot
+        snapshot = perf.snapshot()
+
+    record = _record(
+        "batch_yield_mc",
+        f"{samples}-sample max46 yield chunk (elevated defect rates), "
+        f"batched arena repair vs per-trial loop (scalar_s = per-trial "
+        f"kernel path), outcomes bit-identical",
+        scalar_s, kernel_s)
+    record["perf"] = snapshot
+    _print_record(record)
+    results.append(record)
+    return record
+
+
 def bench_atpg(results: List[dict], seed: int, quick: bool) -> None:
     """ATPG fault dropping: the (vector, fault) detection matrix."""
     stats = get_benchmark("syn_small" if quick else "syn_dec5")
@@ -468,6 +602,10 @@ def main(argv=None) -> int:
                              "though timings can contend for cores)")
     parser.add_argument("-o", "--output", default="BENCH_perf.json",
                         help="report path (default: BENCH_perf.json)")
+    parser.add_argument("--batch-snapshot", metavar="FILE",
+                        help="also write the batch_yield_mc run's "
+                             "eval.batch.* perf snapshot as JSON (CI "
+                             "uploads it as an artifact)")
     args = parser.parse_args(argv)
 
     if not kernels._HAVE_NUMPY:
@@ -485,6 +623,19 @@ def main(argv=None) -> int:
     bench_atpg(results, args.seed, args.quick)
     fpga_headline = bench_fpga(results, args.quick, args.jobs)
     cache_headline = bench_cache(results, args.quick)
+    bench_batch_eval(results, args.seed, args.quick)
+    batch_headline = bench_batch_yield(results, args.quick)
+
+    if args.batch_snapshot:
+        import os
+        parent = os.path.dirname(args.batch_snapshot)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.batch_snapshot, "w") as handle:
+            json.dump(batch_headline["perf"], handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.batch_snapshot}")
 
     # The minimize acceptance judges the largest benchmark (t2).
     minimize_headline = minimize_records[-1]
@@ -492,6 +643,7 @@ def main(argv=None) -> int:
     minimize_passed = minimize_headline["speedup"] >= MINIMIZE_TARGET_SPEEDUP
     fpga_passed = fpga_headline["speedup"] >= FPGA_TARGET_SPEEDUP
     cache_passed = cache_headline["speedup"] >= CACHE_TARGET_SPEEDUP
+    batch_passed = batch_headline["speedup"] >= BATCH_TARGET_SPEEDUP
     report = {
         "suite": "bench_perf",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -524,6 +676,12 @@ def main(argv=None) -> int:
             "threshold": CACHE_TARGET_SPEEDUP,
             "pass": cache_passed,
         },
+        "acceptance_batch": {
+            "metric": batch_headline["name"],
+            "speedup": batch_headline["speedup"],
+            "threshold": BATCH_TARGET_SPEEDUP,
+            "pass": batch_passed,
+        },
     }
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -540,8 +698,11 @@ def main(argv=None) -> int:
     print(f"acceptance (cache):        {cache_headline['speedup']:.1f}x >= "
           f"{CACHE_TARGET_SPEEDUP}x warm vs cold "
           f"-> {'PASS' if cache_passed else 'FAIL'}")
+    print(f"acceptance (batch eval):   {batch_headline['speedup']:.1f}x >= "
+          f"{BATCH_TARGET_SPEEDUP}x on batch_yield_mc "
+          f"-> {'PASS' if batch_passed else 'FAIL'}")
     return 0 if passed and minimize_passed and fpga_passed and cache_passed \
-        else 1
+        and batch_passed else 1
 
 
 if __name__ == "__main__":

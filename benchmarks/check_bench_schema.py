@@ -16,7 +16,11 @@ tooling diffs perf trajectories across PRs.  Checks:
 * at least one ``cache_*`` record (cold-vs-warm artifact-store
   serving) carrying the store's hit/miss counters with a nonzero
   warm hit count;
-* all four acceptance blocks are well-formed and report ``pass: true``.
+* the ``batch_eval_throughput`` record (arena vs per-cover kernels)
+  with a positive ``vectors_per_s``, and the ``batch_yield_mc``
+  record (batched Monte Carlo yield chunk) carrying the
+  ``eval.batch.*`` timers and counters;
+* all five acceptance blocks are well-formed and report ``pass: true``.
 
 Usage::
 
@@ -52,6 +56,7 @@ _TOP_FIELDS = {
     "acceptance_minimize": dict,
     "acceptance_fpga": dict,
     "acceptance_cache": dict,
+    "acceptance_batch": dict,
 }
 
 #: Store counters every ``cache_*`` record must embed.
@@ -61,6 +66,10 @@ _CACHE_COUNTERS = ("hit_mem", "hit_disk", "miss", "puts")
 #: annealer/router statistics that used to live only on dataclasses).
 _FPGA_COUNTERS = ("fpga.place.moves_evaluated", "fpga.route.iterations",
                   "fpga.route.overflow_segments")
+
+#: Counters the batched-yield record's perf snapshot must carry.
+_BATCH_COUNTERS = ("eval.batch.trials", "eval.batch.configs",
+                   "eval.batch.vectors")
 
 _ACCEPTANCE_FIELDS = {
     "metric": str,
@@ -87,6 +96,7 @@ def validate_report(report: dict) -> List[str]:
 
     minimize_count = 0
     place_count = route_count = cache_count = 0
+    batch_eval_count = batch_yield_count = 0
     for i, result in enumerate(report.get("results", [])):
         where = f"results[{i}]"
         if not isinstance(result, dict):
@@ -131,6 +141,27 @@ def validate_report(report: dict) -> List[str]:
                         "coalesced_processes" not in store:
                     errors.append(f"{where}: store counters lack the "
                                   f"coalesce counts")
+        if name == "batch_eval_throughput":
+            batch_eval_count += 1
+            rate = result.get("vectors_per_s")
+            if not isinstance(rate, numbers.Real) or rate <= 0:
+                errors.append(f"{where}: batch_eval_throughput lacks a "
+                              f"positive vectors_per_s")
+        if name == "batch_yield_mc":
+            batch_yield_count += 1
+            snapshot = result.get("perf")
+            if not isinstance(snapshot, dict):
+                errors.append(f"{where}: batch record lacks a perf snapshot")
+            else:
+                if not any(t.startswith("eval.batch.")
+                           for t in snapshot.get("timers", {})):
+                    errors.append(f"{where}: perf snapshot has no "
+                                  f"eval.batch phase timers")
+                counters = snapshot.get("counters", {})
+                for counter in _BATCH_COUNTERS:
+                    if counter not in counters:
+                        errors.append(f"{where}: perf snapshot lacks the "
+                                      f"{counter!r} counter")
         if name == "fpga_place_route_table2":
             snapshot = result.get("perf")
             if not isinstance(snapshot, dict):
@@ -154,9 +185,15 @@ def validate_report(report: dict) -> List[str]:
         errors.append("report: no route_* results (Table 2 FPGA flow)")
     if cache_count < 1:
         errors.append("report: no cache_* results (artifact-store serving)")
+    if batch_eval_count < 1:
+        errors.append("report: no batch_eval_throughput result (batched "
+                      "evaluation arena)")
+    if batch_yield_count < 1:
+        errors.append("report: no batch_yield_mc result (batched Monte "
+                      "Carlo yield)")
 
     for block in ("acceptance", "acceptance_minimize", "acceptance_fpga",
-                  "acceptance_cache"):
+                  "acceptance_cache", "acceptance_batch"):
         data = report.get(block)
         if isinstance(data, dict):
             _check_fields(data, _ACCEPTANCE_FIELDS, block, errors)
@@ -189,7 +226,9 @@ def main(argv=None) -> int:
                   f"fpga acceptance "
                   f"{report['acceptance_fpga']['speedup']}x, "
                   f"cache acceptance "
-                  f"{report['acceptance_cache']['speedup']}x)")
+                  f"{report['acceptance_cache']['speedup']}x, "
+                  f"batch acceptance "
+                  f"{report['acceptance_batch']['speedup']}x)")
     return 1 if failed else 0
 
 

@@ -159,6 +159,65 @@ def evaluate_suite(benchmarks: Optional[Sequence[BenchmarkStats]] = None,
             for stats in benchmarks]
 
 
+def verify_suite(benchmarks: Optional[Sequence[BenchmarkStats]] = None,
+                 seed: int = 0, n_words: int = 4,
+                 stream_seed: int = 1) -> "dict":
+    """BIST-style equivalence check of every benchmark's GNOR mapping.
+
+    Synthesizes each benchmark's cover, maps it onto the GNOR planes,
+    and drives both with the same deterministic Galois-LFSR vector
+    stream (``n_words * 64`` vectors, seeded by ``stream_seed``); the
+    mapping passes when the output masks agree on every vector.
+    Returns ``{benchmark name: bool}``.
+
+    With the batch path enabled (``REPRO_KERNEL`` + ``REPRO_EVAL_BATCH``)
+    all covers are packed into one :class:`CoverArena` and all
+    configurations into one heterogeneous :class:`ConfigArena`, and the
+    whole suite is checked in two vectorized passes.  Otherwise each
+    pair is walked vector by vector through the scalar oracles
+    (``Cover.output_mask_for`` / ``evaluate_defective``) — the verdicts
+    are bit-identical either way (the differential tests assert it).
+    """
+    from repro import eval as batch_eval
+    from repro.testgen.lfsr import GaloisLFSR
+
+    if benchmarks is None:
+        benchmarks = EXTENDED_SUITE
+    benchmarks = list(benchmarks)
+    covers = []
+    configs = []
+    for stats in benchmarks:
+        function = benchmark_function(stats, seed=seed)
+        covers.append(function.on_set)
+        configs.append(map_cover_to_gnor(function.on_set))
+    width = max([cover.n_inputs for cover in covers] + [2])
+    minterms = GaloisLFSR(width, seed=stream_seed).states(n_words * 64)
+
+    if batch_eval.batch_enabled():
+        from repro.kernels import batcharena, bitslice as bs
+        cover_masks = batcharena.CoverArena.from_covers(covers) \
+            .eval_minterms(minterms)
+        config_arena = batcharena.ConfigArena.from_configs(configs)
+        x = bs.pack_minterms(minterms, config_arena.and_pass.shape[1])
+        config_masks = config_arena.eval_slices(x, len(minterms))
+        return {stats.name: bool((cover_masks[b] == config_masks[b]).all())
+                for b, stats in enumerate(benchmarks)}
+
+    from repro.robustness.defective import evaluate_defective
+    results = {}
+    for stats, cover, config in zip(benchmarks, covers, configs):
+        ok = True
+        for minterm in minterms:
+            vector = [(minterm >> i) & 1 for i in range(config.n_inputs)]
+            bits = evaluate_defective(config, {}, vector)
+            mask = sum(bit << k for k, bit in enumerate(bits))
+            if mask != cover.output_mask_for(minterm):
+                ok = False
+                break
+        results[stats.name] = ok
+    return results
+
+
 SUITE_HEADERS = ["benchmark", "I", "O", "P", "flash_l2", "eeprom_l2",
                  "cnfet_l2", "saving_vs_flash_pct", "saving_vs_eeprom_pct",
                  "gnor_mhz", "classical_mhz", "programmed", "devices"]

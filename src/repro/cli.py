@@ -225,6 +225,15 @@ def _cmd_suite(args) -> int:
         with open(args.csv, "w") as handle:
             handle.write(suite_csv(entries))
         print(f"wrote {args.csv}", file=sys.stderr)
+    if args.verify:
+        from repro.bench.suite import verify_suite
+        verdicts = verify_suite(seed=args.seed)
+        failed = sorted(name for name, ok in verdicts.items() if not ok)
+        print(f"mapping equivalence (LFSR BIST): "
+              f"{len(verdicts) - len(failed)}/{len(verdicts)} verified"
+              + (f"; FAILED: {', '.join(failed)}" if failed else ""))
+        if failed:
+            return 1
     return 0
 
 
@@ -293,14 +302,17 @@ def _cmd_cache(args) -> int:
     action = args.action
     if action == "stats":
         stats = store.stats()
+        cap = stats["disk_capacity"]
         rows = [
             ["root", stats["root"]],
             ["entries", stats["entries"]],
             ["bytes", stats["bytes"]],
+            ["disk cap", cap if cap is not None else "(unbounded)"],
             ["quarantined", stats["quarantined"]],
         ]
-        for kind, count in sorted(stats["kinds"].items()):
-            rows.append([f"kind: {kind}", count])
+        for kind, info in sorted(stats["kinds"].items()):
+            rows.append([f"kind: {kind}",
+                         f"{info['entries']} entries / {info['bytes']} B"])
         print(render_table(["field", "value"], rows,
                            title="Artifact store"))
     elif action == "ls":
@@ -316,6 +328,16 @@ def _cmd_cache(args) -> int:
     elif action == "clear":
         removed = store.clear()
         print(f"removed {removed} artifacts from {store.root}")
+    elif action == "gc":
+        max_bytes = args.max_bytes
+        if max_bytes is None and store.disk_bytes is None:
+            print("no cap: pass --max-bytes N or set "
+                  "REPRO_CACHE_DISK_BYTES", file=sys.stderr)
+            return 2
+        result = store.gc(max_bytes)
+        print(f"evicted {result['evicted']} artifacts "
+              f"({result['freed_bytes']} B); {result['bytes']} B remain "
+              f"in {store.root}")
     elif action == "verify":
         result = store.verify()
         print(f"verified {store.root}: {result['ok']} ok, "
@@ -338,6 +360,10 @@ performance:
         engine — `repro table2` places and routes on the selected
         backend (default: auto — NumPy when importable, scalar Python
         otherwise; results are identical either way)
+  REPRO_EVAL_BATCH=off
+        disable the batched evaluation arena (repro.eval): the yield
+        engine and `suite --verify` then walk the per-cover kernel /
+        scalar paths instead (bit-identical results, just slower)
   --jobs N
         `suite`, `yield` and `table2` accept parallel worker processes
         (crash-isolated, retried, see repro.runner); results are
@@ -362,9 +388,14 @@ caching:
         backends and incompatible versions never share artifacts
   REPRO_CACHE_MEM=N
         in-memory LRU entries layered over the disk tier (default 128)
-  repro cache stats|ls|clear|verify
-        inspect, list, wipe or digest-check the store; `verify`
-        quarantines corrupt entries (they also read as misses)
+  REPRO_CACHE_DISK_BYTES=N
+        cap the disk tier: every put opportunistically evicts
+        oldest-access-first down to N bytes (disk hits refresh the
+        access stamp; locked-in-use entries are skipped)
+  repro cache stats|ls|clear|verify|gc
+        inspect, list, wipe, digest-check or shrink the store;
+        `verify` quarantines corrupt entries (they also read as
+        misses), `gc --max-bytes N` evicts down to a one-off cap
 """
 
 
@@ -434,6 +465,9 @@ def build_parser() -> argparse.ArgumentParser:
                                         "when --resume is given)")
     p.add_argument("--resume", action="store_true",
                    help="skip benchmarks already in the checkpoint")
+    p.add_argument("--verify", action="store_true",
+                   help="also BIST-check every GNOR mapping against its "
+                        "cover on a shared LFSR vector stream")
     p.set_defaults(handler=_cmd_suite)
 
     p = sub.add_parser("yield", help="Monte Carlo manufacturing yield of a "
@@ -471,13 +505,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=_cmd_yield)
 
     p = sub.add_parser("cache", help="inspect / manage the artifact store")
-    p.add_argument("action", choices=("stats", "ls", "clear", "verify"),
+    p.add_argument("action", choices=("stats", "ls", "clear", "verify",
+                                      "gc"),
                    help="stats: census + counters; ls: list entries; "
                         "clear: delete all entries; verify: digest-check "
-                        "and quarantine corrupt entries")
+                        "and quarantine corrupt entries; gc: evict "
+                        "oldest-access-first down to the byte cap")
     p.add_argument("--dir", help="store root (default: REPRO_CACHE_DIR "
                                  "or .repro/store)")
     p.add_argument("--json", help="verify: also write the result as JSON")
+    p.add_argument("--max-bytes", type=int, default=None,
+                   help="gc: disk-tier byte cap (default: "
+                        "REPRO_CACHE_DISK_BYTES)")
     p.set_defaults(handler=_cmd_cache)
 
     p = sub.add_parser("table1", help="reproduce the paper's Table 1")

@@ -1,0 +1,160 @@
+"""Batched evaluation facade.
+
+One entry point for "evaluate many covers on many vectors", hiding the
+three implementations behind a single switch:
+
+* **batch** — the :mod:`repro.kernels.batcharena` arena path: all
+  covers packed once, every (cover, vector) pair evaluated in one
+  vectorized pass; optionally fanned across the resilient
+  :mod:`repro.runner` pool with the arena in shared memory (workers map
+  it zero-copy instead of unpickling covers per task);
+* **per-cover kernel** — ``bitslice.eval_minterms`` cover by cover
+  (the previous fast path, kept verbatim as the differential oracle);
+* **scalar** — ``Cover.output_mask_for`` loops (the original oracle).
+
+Selection: the batch path runs when the NumPy kernels are enabled
+(``REPRO_KERNEL``) *and* ``REPRO_EVAL_BATCH`` is not ``off``; forcing
+``REPRO_KERNEL=python`` gets the scalar loops as everywhere else.
+All three produce bit-identical masks — the differential tests assert
+it — so flipping the switch only changes speed.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
+
+from repro import kernels
+from repro.testgen.lfsr import GaloisLFSR
+
+#: Environment variable disabling the batch-arena path ("off"/"0"/"no")
+#: while keeping the per-cover kernels.
+BATCH_ENV = "REPRO_EVAL_BATCH"
+
+#: Vectors handed to each worker task of a parallel batch evaluation.
+BLOCK_VECTORS = 4096
+
+_forced_batch: Optional[bool] = None
+
+
+def batch_enabled() -> bool:
+    """True when the arena path should run.
+
+    Requires the NumPy kernels (the arena *is* a kernel layout); on top
+    of that ``REPRO_EVAL_BATCH=off`` falls back to the per-cover kernel
+    path — the knob that isolates batching in differential tests and
+    benchmarks.
+    """
+    if not kernels.enabled():
+        return False
+    if _forced_batch is not None:
+        return _forced_batch
+    raw = os.environ.get(BATCH_ENV, "").strip().lower()
+    return raw not in ("off", "0", "no", "false", "disabled")
+
+
+def set_batch(flag: Optional[bool]) -> None:
+    """Force the batch path on/off; ``None`` re-enables env selection."""
+    global _forced_batch
+    _forced_batch = flag
+
+
+@contextmanager
+def forced_batch(flag: Optional[bool]) -> Iterator[None]:
+    """Temporarily force the batch switch (tests and benchmarks)."""
+    global _forced_batch
+    previous = _forced_batch
+    _forced_batch = flag
+    try:
+        yield
+    finally:
+        _forced_batch = previous
+
+
+# ----------------------------------------------------------------------
+# evaluation entry points
+# ----------------------------------------------------------------------
+def evaluate_covers(covers: Sequence, minterms: Sequence[int],
+                    jobs: int = 1) -> List[List[int]]:
+    """Output bitmask of every (cover, minterm) pair.
+
+    Returns ``result[c][t]`` = ``covers[c].output_mask_for(minterms[t])``
+    for every cover and vector, computed by whichever path is active.
+    ``jobs > 1`` fans vector blocks across the resilient worker pool
+    with the arena shared zero-copy (batch path only; the serial paths
+    ignore it — their per-task state would dwarf the work).
+    """
+    minterms = list(minterms)
+    covers = list(covers)
+    if not covers:
+        return []
+    if batch_enabled():
+        from repro.kernels import batcharena
+        arena = batcharena.CoverArena.from_covers(covers)
+        if jobs > 1 and len(minterms) > BLOCK_VECTORS:
+            return _parallel_masks(arena, minterms, jobs)
+        masks = arena.eval_minterms(minterms)
+        return [[int(m) for m in row] for row in masks]
+    if kernels.enabled():
+        from repro.kernels import bitslice
+        return [[int(m) for m in bitslice.eval_minterms(cover, minterms)]
+                for cover in covers]
+    return [[cover.output_mask_for(m) for m in minterms]
+            for cover in covers]
+
+
+def evaluate_stream(covers: Sequence, n_words: int, seed: int = 0,
+                    width: Optional[int] = None,
+                    jobs: int = 1) -> List[List[int]]:
+    """Evaluate covers on a deterministic LFSR vector stream.
+
+    The stream is ``64 * n_words`` vectors of a maximal-length Galois
+    LFSR of ``width`` bits (default: the widest cover, floor 2); each
+    cover reads its own low input bits of every vector, so one stream
+    drives covers of mixed widths and the result depends only on
+    ``(covers, n_words, seed, width)`` — never on the backend.
+    """
+    if width is None:
+        width = max([c.n_inputs for c in covers] + [2])
+    lfsr = GaloisLFSR(width, seed=seed)
+    return evaluate_covers(covers, lfsr.states(n_words * 64), jobs=jobs)
+
+
+# ----------------------------------------------------------------------
+# zero-copy parallel fan-out
+# ----------------------------------------------------------------------
+def _eval_block(payload: dict) -> List[List[int]]:
+    """Worker entry: attach the shared arena, evaluate one block."""
+    from repro.kernels import batcharena
+    arena = batcharena.attach_arena(payload["arena"])
+    try:
+        masks = arena.eval_minterms(payload["minterms"])
+        return [[int(m) for m in row] for row in masks]
+    finally:
+        arena.close()
+
+
+def _parallel_masks(arena, minterms: List[int],
+                    jobs: int) -> List[List[int]]:
+    from repro import runner as resilient
+    from repro.kernels import batcharena
+
+    with batcharena.share_arena(arena) as shared:
+        tasks = []
+        for lo in range(0, len(minterms), BLOCK_VECTORS):
+            block = minterms[lo:lo + BLOCK_VECTORS]
+            tasks.append(({"block": lo},
+                          {"arena": shared.handle, "minterms": block}))
+        report = resilient.run_tasks(_eval_block, tasks, jobs=jobs)
+        report.raise_on_failure()
+        blocks = report.values()
+    result: List[List[int]] = [[] for _ in range(arena.n_covers)]
+    for block in blocks:
+        for c, row in enumerate(block):
+            result[c].extend(row)
+    return result
+
+
+__all__ = ["BATCH_ENV", "BLOCK_VECTORS", "batch_enabled", "evaluate_covers",
+           "evaluate_stream", "forced_batch", "set_batch"]

@@ -34,10 +34,12 @@ from typing import Iterator, Optional
 try:
     from repro.kernels import bitslice
     from repro.kernels import cubematrix
+    from repro.kernels import batcharena
     _HAVE_NUMPY = True
 except ImportError:  # pragma: no cover - numpy is baked into the image
     bitslice = None  # type: ignore[assignment]
     cubematrix = None  # type: ignore[assignment]
+    batcharena = None  # type: ignore[assignment]
     _HAVE_NUMPY = False
 
 #: Environment variable selecting the backend ("numpy" or "python").
@@ -92,5 +94,5 @@ def enabled() -> bool:
     return backend() == "numpy"
 
 
-__all__ = ["BACKEND_ENV", "backend", "bitslice", "cubematrix", "enabled",
-           "forced_backend", "set_backend"]
+__all__ = ["BACKEND_ENV", "backend", "batcharena", "bitslice", "cubematrix",
+           "enabled", "forced_backend", "set_backend"]

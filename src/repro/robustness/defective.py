@@ -241,6 +241,18 @@ class GoldenRef:
         else:
             self._table = _scalar_truth_table(config, {})
 
+    @property
+    def output_words(self):
+        """The golden ``(n_outputs, n_words)`` response words.
+
+        Kernel backend only (the batched yield path compares arena
+        output words against these); tail word already masked.
+        """
+        if not self._kernel:
+            raise RuntimeError(
+                "golden output words exist only on the kernel backend")
+        return self._words
+
     def errors_of(self, overlay: DefectOverlay,
                   config: Optional[GNORPlaneConfig] = None) -> int:
         """Differing (minterm, output) pairs of a defective machine.

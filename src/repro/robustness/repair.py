@@ -26,7 +26,7 @@ the matching alone.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.defects import DefectMap, DefectType
 from repro.core.gnor import InputConfig
@@ -145,38 +145,129 @@ def _row_compatible(config: GNORPlaneConfig, r: int, q: int,
     return True
 
 
-def _match_rows(config: GNORPlaneConfig, fabric: SpareFabric,
-                defect_map: DefectMap,
-                col_assignment: Dict[int, int]) -> Dict[int, int]:
-    """Maximum bipartite matching of logical rows onto physical rows.
+def _max_matching(adjacency: List[List[int]]) -> Dict[int, int]:
+    """Kuhn's augmenting-path maximum bipartite matching.
 
-    Kuhn's augmenting-path algorithm, iterating logical rows and their
-    candidate physical rows in ascending index order: the result is a
-    maximum matching that is *deterministic* across processes (no
-    hash-order dependence, which matters because the degraded-mode
+    Iterates logical rows and their candidate physical rows in
+    ascending index order: the result is deterministic across processes
+    (no hash-order dependence, which matters because the degraded-mode
     placement — hence the reported correct fraction — depends on which
     maximum matching gets picked) and prefers the identity-like layout.
     """
+    n_physical = max((q for row in adjacency for q in row), default=-1) + 1
+    owner = [-1] * n_physical  # physical row -> logical row
+
+    def augment(r: int, visited: List[bool]) -> bool:
+        for q in adjacency[r]:
+            if not visited[q]:
+                visited[q] = True
+                holder = owner[q]
+                if holder < 0 or augment(holder, visited):
+                    owner[q] = r
+                    return True
+        return False
+
+    for r in range(len(adjacency)):
+        augment(r, [False] * n_physical)
+    return {r: q for q, r in sorted(
+        (q, r) for q, r in enumerate(owner) if r >= 0)}
+
+
+def _match_rows(config: GNORPlaneConfig, fabric: SpareFabric,
+                defect_map: DefectMap,
+                col_assignment: Dict[int, int]) -> Dict[int, int]:
+    """Maximum matching of logical rows onto physical rows (scalar)."""
     adjacency: List[List[int]] = [
         [q for q in range(fabric.n_physical_rows)
          if _row_compatible(config, r, q, defect_map, col_assignment,
                             fabric.n_input_columns)]
         for r in range(config.n_products)]
-    owner: Dict[int, int] = {}  # physical row -> logical row
+    return _max_matching(adjacency)
 
-    def augment(r: int, visited: Set[int]) -> bool:
-        for q in adjacency[r]:
-            if q in visited:
-                continue
-            visited.add(q)
-            if q not in owner or augment(owner[q], visited):
-                owner[q] = r
-                return True
-        return False
 
-    for r in range(config.n_products):
-        augment(r, set())
-    return {r: q for q, r in sorted(owner.items())}
+def _needs_matrix(config: GNORPlaneConfig):
+    """Per-row device requirements as a ``(P, I+O)`` uint8 matrix.
+
+    Entry ``[r, j]`` is 1 when logical row ``r`` programs a conducting
+    device at checked position ``j`` (inputs first, then outputs) — the
+    positions where a non-stuck-on defect is fatal.  Stuck-on defects
+    are fatal everywhere, independent of the row (see
+    :func:`_device_tolerates`), which is what makes the compatibility
+    scan separable and vectorizable.
+    """
+    import numpy as np
+    P, I, O = config.n_products, config.n_inputs, config.n_outputs
+    needs = np.zeros((P, I + O), dtype=np.uint8)
+    for r in range(P):
+        for i in range(I):
+            if config.and_plane[r][i] is not InputConfig.DROP:
+                needs[r, i] = 1
+        for k in range(O):
+            if config.or_plane[k][r] is not InputConfig.DROP:
+                needs[r, I + k] = 1
+    return needs
+
+
+def _defect_matrices(fabric: SpareFabric, defect_map: DefectMap):
+    """The trial's defects as two ``(Q, n_columns)`` boolean matrices.
+
+    ``stuck_on`` marks devices that pull unconditionally (fatal
+    everywhere); ``other`` marks stuck-off / PG-leak devices (fatal
+    only under a conducting requirement).  A handful of dict entries
+    becomes the dense form every vectorized per-trial step reuses.
+    """
+    import numpy as np
+    stuck_on = np.zeros((fabric.n_physical_rows, fabric.n_columns),
+                        dtype=bool)
+    other = np.zeros_like(stuck_on)
+    for q, c, defect in defect_map.iter_defects():
+        if defect is DefectType.STUCK_ON:
+            stuck_on[q, c] = True
+        else:
+            other[q, c] = True
+    return stuck_on, other
+
+
+def _pick_columns_batch(fabric: SpareFabric, stuck_on,
+                        other) -> Dict[int, int]:
+    """:func:`_pick_columns` from dense defect matrices.
+
+    Same scoring (stuck-on weighs 4, anything else 1) and the same
+    ``(score, column)`` tie-break via a lexicographic sort, so the
+    chosen columns are identical to the scalar scan.
+    """
+    import numpy as np
+    nic = fabric.n_input_columns
+    score = 4 * stuck_on[:, :nic].sum(axis=0, dtype=np.int64) + \
+        other[:, :nic].sum(axis=0, dtype=np.int64)
+    order = np.lexsort((np.arange(nic), score))
+    chosen = sorted(int(c) for c in order[:fabric.n_inputs])
+    return {i: chosen[i] for i in range(fabric.n_inputs)}
+
+
+def _match_rows_batch(needs, config: GNORPlaneConfig, fabric: SpareFabric,
+                      stuck_on, other,
+                      col_assignment: Dict[int, int]) -> Dict[int, int]:
+    """:func:`_match_rows` with the adjacency scan vectorized.
+
+    The scalar scan probes every ``(logical row, physical row, device)``
+    triple through dict lookups; here the whole adjacency falls out of
+    one small matmul over the trial's dense defect matrices.  Candidate
+    lists come out in the same ascending order, so
+    :func:`_max_matching` returns the identical matching — the
+    differential tests hold this to the scalar oracle.
+    """
+    import numpy as np
+    checked = [col_assignment[i] for i in range(config.n_inputs)] + \
+              [fabric.n_input_columns + k for k in range(config.n_outputs)]
+    on_checked = stuck_on[:, checked]                         # (Q, I+O)
+    other_checked = other[:, checked]
+    healthy_rows = ~on_checked.any(axis=1)                    # (Q,)
+    conflicts = needs @ other_checked.T.astype(np.uint8)      # (P, Q)
+    compatible = healthy_rows[None, :] & (conflicts == 0)
+    adjacency = [[int(q) for q in np.flatnonzero(compatible[r])]
+                 for r in range(config.n_products)]
+    return _max_matching(adjacency)
 
 
 def _pick_columns(fabric: SpareFabric,
@@ -339,6 +430,147 @@ def repair_config(config: GNORPlaneConfig, fabric: SpareFabric,
                          col_assignment, sr, sc, n_defects)
 
 
+def repair_config_batch(config: GNORPlaneConfig, fabric: SpareFabric,
+                        defect_maps: List[DefectMap], golden: GoldenRef,
+                        function: Optional[BooleanFunction] = None,
+                        reminimize: bool = True) -> List[RepairOutcome]:
+    """:func:`repair_config` over many defect maps, verified in bulk.
+
+    Decision-for-decision identical to the scalar flow — the placement
+    heuristics (:func:`_pick_columns`, :func:`_match_rows`) stay scalar
+    per trial, but each stage's *evaluation verification* runs once for
+    all surviving trials against one tiled
+    :class:`~repro.kernels.batcharena.ConfigArena` instead of repacking
+    the configuration per trial.  The re-minimized candidate is a pure
+    function of ``(function, config)``, so stage 3 computes it once for
+    the whole batch.  Outcomes (status, exactness, fractions, spare
+    usage) are bit-identical to per-trial :func:`repair_config` — the
+    differential tests assert it.
+
+    Requires the NumPy kernel backend (``golden`` must hold its word
+    response).
+    """
+    from repro.kernels.batcharena import ConfigArena
+
+    for defect_map in defect_maps:
+        if (defect_map.n_rows, defect_map.n_columns) != \
+                (fabric.n_physical_rows, fabric.n_columns):
+            raise ValueError("defect map does not match the fabric geometry")
+    n = len(defect_maps)
+    golden_words = golden.output_words
+    n_defects = [m.n_defects() for m in defect_maps]
+    identity_rows = {r: r for r in range(config.n_products)}
+    identity_cols = {i: i for i in range(config.n_inputs)}
+    outcomes: List[Optional[RepairOutcome]] = [None] * n
+
+    def batch_errors(cfg: GNORPlaneConfig, trials: List[int],
+                     rows_of, cols_of) -> List[int]:
+        """One arena verification pass: errors of every listed trial."""
+        if not trials:
+            return []
+        arena = ConfigArena.from_config(cfg, copies=len(trials))
+        for slot, t in enumerate(trials):
+            arena.patch_overlay(slot, overlay_from_map(
+                cfg, defect_maps[t], rows_of(t), cols_of(t),
+                fabric.n_input_columns))
+        return [int(e) for e in arena.error_counts_vs(golden_words)]
+
+    # 1. clean: the raw placement may survive (harmless/masked defects)
+    all_trials = list(range(n))
+    errors1 = batch_errors(config, all_trials,
+                           lambda t: identity_rows, lambda t: identity_cols)
+    pending: List[int] = []
+    for t, errors in zip(all_trials, errors1):
+        if errors == 0:
+            outcomes[t] = RepairOutcome(STATUS_CLEAN, True, 1.0,
+                                        identity_rows, identity_cols, 0, 0,
+                                        n_defects[t])
+        else:
+            pending.append(t)
+
+    # 2. remap: least-defective columns, then row matching
+    needs = _needs_matrix(config)
+    matrices = {t: _defect_matrices(fabric, defect_maps[t])
+                for t in pending}
+    col_assignment: Dict[int, Dict[int, int]] = {}
+    row_assignment: Dict[int, Dict[int, int]] = {}
+    for t in pending:
+        stuck_on, other = matrices[t]
+        col_assignment[t] = _pick_columns_batch(fabric, stuck_on, other)
+        row_assignment[t] = _match_rows_batch(needs, config, fabric,
+                                              stuck_on, other,
+                                              col_assignment[t])
+    full = [t for t in pending
+            if len(row_assignment[t]) == config.n_products]
+    errors2 = dict(zip(full, batch_errors(
+        config, full, row_assignment.get, col_assignment.get)))
+    still: List[int] = []
+    for t in pending:
+        if errors2.get(t) == 0:
+            sr, sc = _spares_used(fabric, row_assignment[t],
+                                  col_assignment[t])
+            outcomes[t] = RepairOutcome(STATUS_REMAPPED, True, 1.0,
+                                        row_assignment[t],
+                                        col_assignment[t], sr, sc,
+                                        n_defects[t])
+        else:
+            still.append(t)
+    pending = still
+
+    # 3. re-minimize: a different product-term set may fit the survivors
+    if reminimize and function is not None and pending:
+        alt = _reminimized_config(function, config)
+        if alt is not None:
+            alt_needs = _needs_matrix(alt)
+            alt_rows = {t: _match_rows_batch(alt_needs, alt, fabric,
+                                             matrices[t][0], matrices[t][1],
+                                             col_assignment[t])
+                        for t in pending}
+            candidates = [t for t in pending
+                          if len(alt_rows[t]) == alt.n_products]
+            errors3 = dict(zip(candidates, batch_errors(
+                alt, candidates, alt_rows.get, col_assignment.get)))
+            still = []
+            for t in pending:
+                if errors3.get(t) == 0:
+                    sr, sc = _spares_used(fabric, alt_rows[t],
+                                          col_assignment[t])
+                    outcomes[t] = RepairOutcome(STATUS_REMINIMIZED, True,
+                                                1.0, alt_rows[t],
+                                                col_assignment[t], sr, sc,
+                                                n_defects[t])
+                else:
+                    still.append(t)
+            pending = still
+
+    # 4. degrade gracefully: place the maximum partial matching, drop
+    #    the unmatched product terms, measure what still works
+    if pending:
+        kept = {t: sorted(row_assignment[t]) for t in pending}
+        arena = ConfigArena.from_row_subsets(
+            config, [kept[t] for t in pending])
+        for slot, t in enumerate(pending):
+            sub = _subset_config(config, kept[t])
+            sub_rows = {j: row_assignment[t][r]
+                        for j, r in enumerate(kept[t])}
+            arena.patch_overlay(slot, overlay_from_map(
+                sub, defect_maps[t], sub_rows, col_assignment[t],
+                fabric.n_input_columns))
+        errors4 = arena.error_counts_vs(golden_words)
+        for slot, t in enumerate(pending):
+            errors = int(errors4[slot])
+            fraction = 1.0 - errors / golden.total_pairs
+            sub_rows = {j: row_assignment[t][r]
+                        for j, r in enumerate(kept[t])}
+            sr, sc = _spares_used(fabric, sub_rows, col_assignment[t])
+            outcomes[t] = RepairOutcome(
+                STATUS_DEGRADED, errors == 0, fraction,
+                {r: row_assignment[t][r] for r in kept[t]},
+                col_assignment[t], sr, sc, n_defects[t])
+
+    return outcomes  # type: ignore[return-value]
+
+
 __all__ = ["RepairOutcome", "STATUS_CLEAN", "STATUS_DEGRADED",
            "STATUS_REMAPPED", "STATUS_REMINIMIZED", "SpareFabric",
-           "repair_config"]
+           "repair_config", "repair_config_batch"]

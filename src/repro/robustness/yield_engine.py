@@ -198,25 +198,42 @@ def run_yield_chunk(payload: dict) -> List[dict]:
     ``count``.  Returns one JSON-shaped outcome record per sample.
     """
     settings = YieldSettings(**payload["settings"])
+    from repro import eval as batch_eval
+    from repro import perf
     from repro.core.defects import DefectMap, DefectModel
-    from repro.robustness.repair import repair_config
+    from repro.robustness.repair import repair_config, repair_config_batch
 
     function, config, fabric, golden = _prepared(settings)
     model = DefectModel(p_stuck_off=settings.p_stuck_off,
                         p_stuck_on=settings.p_stuck_on,
                         p_pg_leak=settings.p_pg_leak)
-    outcomes = []
-    for j in range(payload["start"], payload["start"] + payload["count"]):
+    indices = list(range(payload["start"],
+                         payload["start"] + payload["count"]))
+    defect_maps = []
+    for j in indices:
         map_seed = settings.seed * 1_000_003 + j
         if settings.correlated:
-            defect_map = DefectMap.sample_row_correlated(
-                fabric.n_physical_rows, fabric.n_columns, model, map_seed)
+            defect_maps.append(DefectMap.sample_row_correlated(
+                fabric.n_physical_rows, fabric.n_columns, model, map_seed))
         else:
-            defect_map = DefectMap.sample(
-                fabric.n_physical_rows, fabric.n_columns, model, map_seed)
-        outcome = repair_config(config, fabric, defect_map, golden,
-                                function=function,
-                                reminimize=settings.reminimize)
+            defect_maps.append(DefectMap.sample(
+                fabric.n_physical_rows, fabric.n_columns, model, map_seed))
+
+    if batch_eval.batch_enabled():
+        # all trials of the chunk verified against one tiled arena;
+        # bit-identical outcomes to the per-trial loop below
+        perf.count("eval.batch.trials", len(indices))
+        repaired = repair_config_batch(config, fabric, defect_maps, golden,
+                                       function=function,
+                                       reminimize=settings.reminimize)
+    else:
+        repaired = [repair_config(config, fabric, defect_map, golden,
+                                  function=function,
+                                  reminimize=settings.reminimize)
+                    for defect_map in defect_maps]
+
+    outcomes = []
+    for j, outcome in zip(indices, repaired):
         outcomes.append({
             "i": j,
             "defects": outcome.n_defects,

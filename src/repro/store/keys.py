@@ -38,6 +38,7 @@ SCHEMA_VERSIONS: Dict[str, int] = {
     "yield": 1,
     "table1_row": 1,
     "suite_entry": 1,
+    "eval_batch": 1,
 }
 
 #: Fallback for ad-hoc kinds (tests, experiments).

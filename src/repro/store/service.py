@@ -20,7 +20,8 @@ the drivers need:
   :mod:`repro.perf` (``store.*``) and :meth:`SynthesisService.stats`.
 
 The typed entry points (:meth:`minimize`, :meth:`place_route`,
-:meth:`yield_run`) wrap :meth:`get_or_compute` with the codecs of
+:meth:`evaluate_batch`, :meth:`yield_run`) wrap
+:meth:`get_or_compute` with the codecs of
 :mod:`repro.store.codecs`; drivers with their own fan-out (Table 1,
 the suite) use :meth:`get_or_compute` per task and delegate the misses
 to the resilient runner.
@@ -240,6 +241,43 @@ class SynthesisService:
             encode=lambda pair: codecs.encode_place_route(*pair),
             decode=lambda payload: codecs.decode_place_route(payload,
                                                              netlist))
+
+    def evaluate_batch(self, covers, minterms=None, stream=None,
+                       jobs: int = 1):
+        """Batched cover evaluation served through the store.
+
+        Evaluates every cover of ``covers`` on a common vector batch —
+        either an explicit ``minterms`` list or a deterministic LFSR
+        ``stream`` spec (:func:`repro.testgen.lfsr.stream_spec`) — and
+        returns per-cover output-mask lists (kind ``eval_batch``).  The
+        miss path goes through :func:`repro.eval.evaluate_covers`, so
+        the arena fast path and its per-cover/scalar oracles produce
+        the same artifact; stream requests are keyed by the compact
+        spec, not the expanded vectors.
+        """
+        if (minterms is None) == (stream is None):
+            raise ValueError("pass exactly one of minterms= or stream=")
+        covers = list(covers)
+        request: Dict[str, Any] = {
+            "covers": [codecs.encode_cover(cover) for cover in covers]}
+        if stream is not None:
+            from repro.testgen import lfsr
+            request["stream"] = dict(stream)
+            vectors = lfsr.stream_minterms(stream)
+        else:
+            vectors = [int(m) for m in minterms]
+            request["minterms"] = vectors
+
+        def compute():
+            from repro import eval as batch_eval
+            return batch_eval.evaluate_covers(covers, vectors, jobs=jobs)
+
+        return self.get_or_compute(
+            "eval_batch", request, compute,
+            encode=lambda masks: {"masks": [[int(m) for m in row]
+                                            for row in masks]},
+            decode=lambda payload: [list(row)
+                                    for row in payload["masks"]])
 
     def yield_run(self, settings, compute: Callable[[], Any]):
         """Serve a Monte Carlo yield report for ``settings``.

@@ -23,9 +23,12 @@ into ``quarantine/`` (never deleted — it is evidence).
 
 A bounded in-memory LRU tier sits above the disk tier, so a driver that
 asks for the same artifact repeatedly within one process pays the JSON
-parse once.  Hit/miss/eviction counters are mirrored into
-:mod:`repro.perf` (``store.*``) and kept on the instance for
-:meth:`ArtifactStore.stats`.
+parse once.  The disk tier itself can be capped with
+``REPRO_CACHE_DISK_BYTES``: the :meth:`ArtifactStore.gc` janitor evicts
+oldest-access-first (disk hits refresh the mtime) down to the cap,
+opportunistically on every put and on demand via ``repro cache gc``.
+Hit/miss/eviction counters are mirrored into :mod:`repro.perf`
+(``store.*``) and kept on the instance for :meth:`ArtifactStore.stats`.
 """
 
 from __future__ import annotations
@@ -52,6 +55,10 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_ENV = "REPRO_CACHE"
 #: Environment variable bounding the in-memory LRU tier (entry count).
 CACHE_MEM_ENV = "REPRO_CACHE_MEM"
+#: Environment variable capping the disk tier (total object bytes).
+#: Unset or empty means unbounded; the janitor (:meth:`ArtifactStore.gc`)
+#: evicts oldest-access-first down to the cap.
+CACHE_DISK_ENV = "REPRO_CACHE_DISK_BYTES"
 
 #: Default root, relative to the working directory (next to the
 #: resilient runner's ``.repro`` checkpoints).
@@ -89,6 +96,19 @@ def default_memory_entries() -> int:
     return max(0, value)
 
 
+def default_disk_bytes() -> Optional[int]:
+    """The disk-tier cap: ``REPRO_CACHE_DISK_BYTES`` or ``None``
+    (unbounded)."""
+    raw = os.environ.get(CACHE_DISK_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{CACHE_DISK_ENV}={raw!r} is not an integer")
+    return max(0, value)
+
+
 class ArtifactStore:
     """Content-addressed JSON artifact cache (disk + bounded memory LRU).
 
@@ -98,18 +118,25 @@ class ArtifactStore:
         Store directory; created lazily on first write.
     memory_entries:
         In-memory LRU capacity (0 disables the memory tier).
+    disk_bytes:
+        Disk-tier byte cap (``None`` = ``REPRO_CACHE_DISK_BYTES`` or
+        unbounded).  When set, every :meth:`put` opportunistically runs
+        the :meth:`gc` janitor.
     """
 
     def __init__(self, root: Optional[str] = None,
-                 memory_entries: Optional[int] = None):
+                 memory_entries: Optional[int] = None,
+                 disk_bytes: Optional[int] = None):
         self.root = root if root is not None else default_root()
         if memory_entries is None:
             memory_entries = default_memory_entries()
         self.memory_entries = memory_entries
+        self.disk_bytes = (disk_bytes if disk_bytes is not None
+                           else default_disk_bytes())
         self._memory: "OrderedDict[str, Any]" = OrderedDict()
         self.counters: Dict[str, int] = {
             "hit_mem": 0, "hit_disk": 0, "miss": 0, "corrupt": 0,
-            "puts": 0, "evictions": 0,
+            "puts": 0, "evictions": 0, "gc_evictions": 0,
         }
 
     # ------------------------------------------------------------------
@@ -184,6 +211,10 @@ class ArtifactStore:
             return False, None
         self._memory_put(key, payload)
         self._bump("hit_disk")
+        try:  # refresh the access stamp the LRU janitor sorts by
+            os.utime(path, None)
+        except OSError:  # pragma: no cover - raced with gc/clear
+            pass
         return True, payload
 
     @staticmethod
@@ -246,6 +277,8 @@ class ArtifactStore:
                 raise
         self._memory_put(key, payload)
         self._bump("puts")
+        if self.disk_bytes is not None:
+            self.gc(self.disk_bytes)
         return path
 
     def _quarantine(self, key: str, reason: str) -> None:
@@ -354,6 +387,76 @@ class ArtifactStore:
                 ok += 1
         return {"ok": ok, "corrupt": corrupt}
 
+    def gc(self, max_bytes: Optional[int] = None) -> Dict[str, int]:
+        """Size-capped LRU eviction of the disk tier.
+
+        Evicts entries oldest-access-first (disk hits refresh the
+        mtime, so mtime order is access order) until the objects
+        directory fits ``max_bytes`` (default: the store's configured
+        cap; ``None`` with no cap is a no-op).  Each victim is removed
+        under its per-key file lock, taken *non-blocking*: a key whose
+        lock is held — mid-compute or mid-write elsewhere — is skipped
+        this round rather than waited on, so the janitor can never
+        stall or deadlock a publisher.  Runs opportunistically on every
+        :meth:`put` when a cap is configured, and on demand via
+        ``repro cache gc``.
+
+        Returns ``{"evicted": n, "freed_bytes": b, "bytes": remaining}``.
+        """
+        if max_bytes is None:
+            max_bytes = self.disk_bytes
+        result = {"evicted": 0, "freed_bytes": 0, "bytes": 0}
+        if max_bytes is None:
+            return result
+        census = []
+        for path in self._object_files():
+            try:
+                stat = os.stat(path)
+            except OSError:  # pragma: no cover - raced with another gc
+                continue
+            census.append((stat.st_mtime, path, stat.st_size))
+        total = sum(size for _mtime, _path, size in census)
+        for mtime, path, size in sorted(census):
+            if total <= max_bytes:
+                break
+            key = os.path.basename(path)[:-len(".json")]
+            if not self._evict_locked(key, path):
+                continue  # lock contended: in use, skip this round
+            total -= size
+            result["evicted"] += 1
+            result["freed_bytes"] += size
+            self._bump("gc_evictions")
+        result["bytes"] = total
+        return result
+
+    def _evict_locked(self, key: str, path: str) -> bool:
+        """Unlink one object under its non-blocking exclusive lock."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            locked = None
+        else:
+            lock_path = self.lock_path(key)
+            os.makedirs(os.path.dirname(lock_path), exist_ok=True)
+            locked = open(lock_path, "a+")
+            try:
+                fcntl.flock(locked.fileno(),
+                            fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                locked.close()
+                return False
+        try:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - raced with another gc
+                return False
+            self._memory.pop(key, None)
+            return True
+        finally:
+            if locked is not None:
+                try:
+                    fcntl.flock(locked.fileno(), fcntl.LOCK_UN)
+                finally:
+                    locked.close()
+
     def clear(self) -> int:
         """Delete every disk entry (quarantine included); returns count."""
         removed = 0
@@ -375,11 +478,19 @@ class ArtifactStore:
         return removed
 
     def stats(self) -> dict:
-        """JSON-ready snapshot: disk-tier census + in-process counters."""
+        """JSON-ready snapshot: disk-tier census + in-process counters.
+
+        ``kinds`` carries the disk tier's per-kind footprint —
+        ``{kind: {"entries": n, "bytes": b}}`` — so ``repro cache
+        stats`` can show where a capped store's budget goes.
+        """
         entries = self.entries()
-        kinds: Dict[str, int] = {}
+        kinds: Dict[str, Dict[str, int]] = {}
         for row in entries:
-            kinds[row["kind"]] = kinds.get(row["kind"], 0) + 1
+            bucket = kinds.setdefault(row["kind"],
+                                      {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += row["bytes"]
         quarantine_dir = os.path.join(self.root, "quarantine")
         quarantined = (len(os.listdir(quarantine_dir))
                        if os.path.isdir(quarantine_dir) else 0)
@@ -387,6 +498,7 @@ class ArtifactStore:
             "root": self.root,
             "entries": len(entries),
             "bytes": sum(row["bytes"] for row in entries),
+            "disk_capacity": self.disk_bytes,
             "kinds": dict(sorted(kinds.items())),
             "quarantined": quarantined,
             "memory_entries": len(self._memory),
@@ -395,6 +507,7 @@ class ArtifactStore:
         }
 
 
-__all__ = ["ArtifactStore", "CACHE_DIR_ENV", "CACHE_ENV", "CACHE_MEM_ENV",
-           "DEFAULT_MEMORY_ENTRIES", "DEFAULT_ROOT", "artifact_key",
-           "cache_enabled", "default_memory_entries", "default_root"]
+__all__ = ["ArtifactStore", "CACHE_DIR_ENV", "CACHE_DISK_ENV", "CACHE_ENV",
+           "CACHE_MEM_ENV", "DEFAULT_MEMORY_ENTRIES", "DEFAULT_ROOT",
+           "artifact_key", "cache_enabled", "default_disk_bytes",
+           "default_memory_entries", "default_root"]

@@ -9,13 +9,17 @@ subpackage supplies that missing link:
   over :class:`~repro.mapping.gnor_map.GNORPlaneConfig`;
 * :mod:`repro.testgen.atpg` — automatic test-pattern generation:
   fault simulation over candidate vectors, greedy test-set compaction,
-  coverage reporting and redundant-fault identification.
+  coverage reporting and redundant-fault identification;
+* :mod:`repro.testgen.lfsr` — seeded maximal-length Galois LFSRs, the
+  BIST-style pseudo-random vector source of the batched evaluation
+  path (:mod:`repro.eval`).
 """
 
 from repro.testgen.faults import (Fault, FaultSite, FaultSimulator,
                                   enumerate_faults)
 from repro.testgen.atpg import (ATPGResult, deterministic_tests,
                                 generate_tests, locate_fault)
+from repro.testgen.lfsr import GaloisLFSR, stream_minterms, stream_spec
 
 __all__ = [
     "Fault",
@@ -26,4 +30,7 @@ __all__ = [
     "generate_tests",
     "deterministic_tests",
     "locate_fault",
+    "GaloisLFSR",
+    "stream_minterms",
+    "stream_spec",
 ]

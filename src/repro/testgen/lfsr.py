@@ -1,0 +1,165 @@
+"""Galois-LFSR pseudo-random vector streams (BIST-style load source).
+
+The batch evaluation arena (:mod:`repro.kernels.batcharena`) wants its
+input vectors in bulk: deterministic, seeded, cheap to generate, and
+word-packed straight into the bit-sliced layout the kernels consume.
+Linear-feedback shift registers are the classic built-in-self-test
+answer — a maximal-length register of width ``w`` walks every nonzero
+``w``-bit vector exactly once per period, with two integer operations
+per step.
+
+This module implements the *Galois* (internal-XOR) form: the state
+shifts right one bit per step and the feedback polynomial is XORed in
+whenever the output bit is 1.  The taps table lists one primitive
+polynomial per width (the standard XAPP-052 selections), so every
+listed width is maximal: ``period == 2**width - 1``.  The differential
+tests verify this exhaustively for the small widths.
+
+Streams are deterministic functions of ``(width, seed)`` alone — two
+processes (or a resumed run) asking for the same stream get identical
+vectors, which is what lets LFSR-sampled equivalence checks and cached
+batch evaluations be content-addressed.
+
+Everything except :meth:`GaloisLFSR.word_slices` is pure Python, so the
+scalar kernel backend can consume the same streams vector by vector.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+#: Primitive-polynomial tap positions per register width (exponents of
+#: the feedback polynomial, ``width`` included, constant term implied).
+#: Each entry yields a maximal-length sequence: period ``2**w - 1``.
+PRIMITIVE_TAPS = {
+    2: (2, 1), 3: (3, 2), 4: (4, 3), 5: (5, 3), 6: (6, 5), 7: (7, 6),
+    8: (8, 6, 5, 4), 9: (9, 5), 10: (10, 7), 11: (11, 9),
+    12: (12, 6, 4, 1), 13: (13, 4, 3, 1), 14: (14, 5, 3, 1), 15: (15, 14),
+    16: (16, 15, 13, 4), 17: (17, 14), 18: (18, 11), 19: (19, 6, 2, 1),
+    20: (20, 17), 21: (21, 19), 22: (22, 21), 23: (23, 18),
+    24: (24, 23, 22, 17), 25: (25, 22), 26: (26, 6, 2, 1),
+    27: (27, 5, 2, 1), 28: (28, 25), 29: (29, 27), 30: (30, 6, 4, 1),
+    31: (31, 28), 32: (32, 22, 2, 1),
+}
+
+
+def _mask_of(width: int, taps) -> int:
+    """The Galois feedback mask of a tap tuple.
+
+    For polynomial ``x^w + x^a + ... + 1`` the right-shifting Galois
+    register XORs bit ``w-1`` (the shifted-out ``x^w`` term) and bit
+    ``a-1`` for every intermediate tap ``a``.
+    """
+    mask = 1 << (width - 1)
+    for tap in taps:
+        if tap == width:
+            continue
+        if not 0 < tap < width:
+            raise ValueError(f"tap {tap} outside register width {width}")
+        mask |= 1 << (tap - 1)
+    return mask
+
+
+class GaloisLFSR:
+    """A seeded maximal-length Galois LFSR over ``width`` bits.
+
+    Parameters
+    ----------
+    width:
+        Register width in bits (2..32 with the built-in taps table;
+        wider registers need explicit ``taps``).
+    seed:
+        Any integer; reduced to a *nonzero* initial state as
+        ``seed % (2**width - 1) + 1``, so every seed is legal and the
+        all-zeros lock-up state is unreachable.
+    taps:
+        Optional explicit polynomial exponents (``width`` itself may be
+        included); defaults to the primitive entry for ``width``.
+
+    The stream of states is the vector stream: state ``t`` is input
+    vector ``t``, bit ``i`` of the state is input variable ``i``.
+    """
+
+    __slots__ = ("width", "seed", "taps", "_mask", "_state")
+
+    def __init__(self, width: int, seed: int = 0,
+                 taps: Optional[tuple] = None):
+        if width < 2:
+            raise ValueError("LFSR width must be at least 2")
+        if taps is None:
+            try:
+                taps = PRIMITIVE_TAPS[width]
+            except KeyError:
+                raise ValueError(
+                    f"no built-in primitive polynomial for width {width}; "
+                    f"pass taps= explicitly") from None
+        self.width = width
+        self.seed = seed
+        self.taps = tuple(taps)
+        self._mask = _mask_of(width, self.taps)
+        self._state = seed % ((1 << width) - 1) + 1
+
+    @property
+    def period(self) -> int:
+        """Sequence length before the state repeats (maximal taps)."""
+        return (1 << self.width) - 1
+
+    @property
+    def state(self) -> int:
+        """The current register state (the *next* vector emitted)."""
+        return self._state
+
+    def step(self) -> int:
+        """Emit the current state and advance the register once."""
+        state = self._state
+        if state & 1:
+            self._state = (state >> 1) ^ self._mask
+        else:
+            self._state = state >> 1
+        return state
+
+    def __iter__(self) -> Iterator[int]:
+        while True:
+            yield self.step()
+
+    def states(self, count: int) -> List[int]:
+        """The next ``count`` states as plain integers (minterm indices)."""
+        return [self.step() for _ in range(count)]
+
+    def vectors(self, count: int) -> List[List[int]]:
+        """The next ``count`` states as 0/1 bit lists (LSB = input 0)."""
+        return [[(state >> i) & 1 for i in range(self.width)]
+                for state in self.states(count)]
+
+    def word_slices(self, n_words: int):
+        """The next ``64 * n_words`` vectors, bit-sliced for the kernels.
+
+        Returns a ``(width, n_words)`` uint64 array in the layout of
+        :func:`repro.kernels.bitslice.exhaustive_slices`: bit ``t`` of
+        word ``w`` of row ``i`` is input ``i`` of vector ``64*w + t``.
+        Requires NumPy (kernel paths only).
+        """
+        from repro.kernels import bitslice
+        return bitslice.pack_minterms(self.states(n_words * bitslice.WORD),
+                                      self.width)
+
+
+def stream_spec(width: int, n_words: int, seed: int = 0) -> dict:
+    """A JSON-shaped description of one word-packed LFSR stream.
+
+    Cache keys and cross-process task payloads carry this instead of
+    the vectors themselves: the stream is a pure function of the spec.
+    """
+    return {"kind": "lfsr", "width": int(width), "words": int(n_words),
+            "seed": int(seed)}
+
+
+def stream_minterms(spec: dict) -> List[int]:
+    """Materialize a :func:`stream_spec` as plain minterm integers."""
+    if spec.get("kind") != "lfsr":
+        raise ValueError(f"not an LFSR stream spec: {spec!r}")
+    lfsr = GaloisLFSR(spec["width"], seed=spec["seed"])
+    return lfsr.states(spec["words"] * 64)
+
+
+__all__ = ["GaloisLFSR", "PRIMITIVE_TAPS", "stream_minterms", "stream_spec"]

@@ -1,14 +1,17 @@
 """Tests for the content-addressed artifact store (repro.store)."""
 
+import fcntl
 import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
 from repro import kernels
-from repro.store import (ArtifactStore, artifact_key, canonical_bytes,
-                         digest_of, schema_version)
+from repro.store import (ArtifactStore, CACHE_DISK_ENV, artifact_key,
+                         canonical_bytes, default_disk_bytes, digest_of,
+                         schema_version)
 from repro.store.keys import SCHEMA_VERSIONS
 
 
@@ -34,7 +37,7 @@ class TestKeys:
 
     def test_every_registered_kind_has_a_version(self):
         for kind in ("minimize", "place_route", "table2_workload", "yield",
-                     "table1_row", "suite_entry"):
+                     "table1_row", "suite_entry", "eval_batch"):
             assert schema_version(kind) == SCHEMA_VERSIONS[kind]
 
     def test_backend_separates_entries(self):
@@ -188,6 +191,110 @@ class TestMemoryTier:
         assert len(store._memory) == 0
         hit, _ = store.get(key)
         assert hit and store.counters["hit_disk"] == 1
+
+
+# ----------------------------------------------------------------------
+# disk-tier janitor
+# ----------------------------------------------------------------------
+class TestDiskJanitor:
+    def _fill(self, store, count, size=2048):
+        keys = []
+        for i in range(count):
+            key = artifact_key("test", {"q": i}, backend="python")
+            store.put(key, {"blob": "x" * size})
+            # distinct mtimes so the LRU order is unambiguous
+            os.utime(store.object_path(key), (i, i))
+            keys.append(key)
+        return keys
+
+    def test_gc_evicts_oldest_first(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        keys = self._fill(store, 6)
+        per_entry = os.path.getsize(store.object_path(keys[0]))
+        result = store.gc(max_bytes=3 * per_entry)
+        assert result["evicted"] == 3
+        assert result["bytes"] <= 3 * per_entry
+        for key in keys[:3]:
+            assert not os.path.exists(store.object_path(key))
+        for key in keys[3:]:
+            assert os.path.exists(store.object_path(key))
+        assert store.counters["gc_evictions"] == 3
+
+    def test_disk_read_refreshes_access_stamp(self, tmp_path):
+        """A hit keeps an entry alive: mtime doubles as the LRU clock."""
+        store = ArtifactStore(str(tmp_path), memory_entries=0)
+        keys = self._fill(store, 4)
+        store.get(keys[0])  # oldest entry touched -> newest
+        assert os.path.getmtime(store.object_path(keys[0])) > \
+            os.path.getmtime(store.object_path(keys[1]))
+        per_entry = os.path.getsize(store.object_path(keys[1]))
+        store.gc(max_bytes=2 * per_entry)
+        assert os.path.exists(store.object_path(keys[0]))
+        assert not os.path.exists(store.object_path(keys[1]))
+
+    def test_capped_store_converges_on_put(self, tmp_path):
+        """With a cap, every put opportunistically sweeps the tier."""
+        store = ArtifactStore(str(tmp_path), disk_bytes=6 * 1024)
+        for i in range(20):
+            store.put(artifact_key("test", {"q": i}, backend="python"),
+                      {"blob": "x" * 1024})
+            time.sleep(0.002)  # keep mtimes monotone
+        total = sum(os.path.getsize(p) for p in store._object_files())
+        assert total <= 6 * 1024
+        assert store.counters["gc_evictions"] > 0
+        # the newest entry always survives its own sweep
+        newest = artifact_key("test", {"q": 19}, backend="python")
+        hit, _ = store.get(newest)
+        assert hit
+
+    def test_no_cap_means_no_sweep(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        self._fill(store, 4)
+        assert store.gc() == {"evicted": 0, "freed_bytes": 0, "bytes": 0}
+        assert len(store._object_files()) == 4
+
+    def test_locked_victim_is_skipped(self, tmp_path):
+        """A concurrently-held entry survives the sweep (no deadlock)."""
+        store = ArtifactStore(str(tmp_path))
+        keys = self._fill(store, 3)
+        lock_path = store.lock_path(keys[0])
+        os.makedirs(os.path.dirname(lock_path), exist_ok=True)
+        with open(lock_path, "a+") as holder:
+            fcntl.flock(holder, fcntl.LOCK_EX)
+            result = store.gc(max_bytes=0)
+        assert result["evicted"] == 2
+        assert os.path.exists(store.object_path(keys[0]))
+        # once released, the survivor is collectable
+        assert store.gc(max_bytes=0)["evicted"] == 1
+
+    def test_memory_tier_dropped_with_object(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        keys = self._fill(store, 2)
+        store.gc(max_bytes=0)
+        hit, _ = store.get(keys[0])
+        assert not hit  # no stale memory-tier serve of an evicted key
+
+    def test_disk_cap_env_parsing(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(CACHE_DISK_ENV, raising=False)
+        assert default_disk_bytes() is None
+        monkeypatch.setenv(CACHE_DISK_ENV, "4096")
+        assert default_disk_bytes() == 4096
+        assert ArtifactStore(str(tmp_path)).disk_bytes == 4096
+        monkeypatch.setenv(CACHE_DISK_ENV, "not-a-number")
+        with pytest.raises(ValueError):
+            default_disk_bytes()
+
+    def test_stats_report_per_kind_bytes_and_capacity(self, tmp_path):
+        store = ArtifactStore(str(tmp_path), disk_bytes=1 << 20)
+        store.put(artifact_key("minimize", {"q": 1}, backend="python"),
+                  {"v": 1}, kind="minimize")
+        store.put(artifact_key("yield", {"q": 2}, backend="python"),
+                  {"v": 2}, kind="yield")
+        stats = store.stats()
+        assert stats["disk_capacity"] == 1 << 20
+        assert stats["kinds"]["minimize"]["entries"] == 1
+        assert stats["kinds"]["minimize"]["bytes"] > 0
+        assert stats["kinds"]["yield"]["entries"] == 1
 
 
 # ----------------------------------------------------------------------
