@@ -20,7 +20,12 @@ tooling diffs perf trajectories across PRs.  Checks:
   with a positive ``vectors_per_s``, and the ``batch_yield_mc``
   record (batched Monte Carlo yield chunk) carrying the
   ``eval.batch.*`` timers and counters;
-* all five acceptance blocks are well-formed and report ``pass: true``.
+* the ``serve_load`` record (``benchmarks/bench_serve.py``: the
+  asyncio serving layer under >= 8 pipelined clients) with per-
+  scenario req/s plus p50/p99 latency quantiles for the batched,
+  unbatched, and cold/warm-minimize passes, and its byte-identity
+  flag set;
+* all six acceptance blocks are well-formed and report ``pass: true``.
 
 Usage::
 
@@ -57,7 +62,16 @@ _TOP_FIELDS = {
     "acceptance_fpga": dict,
     "acceptance_cache": dict,
     "acceptance_batch": dict,
+    "acceptance_serve": dict,
 }
+
+#: Per-scenario stats every ``serve_load`` sub-record must carry.
+_SERVE_SCENARIOS = ("unbatched", "batched", "minimize_cold",
+                    "minimize_warm")
+_SERVE_STAT_FIELDS = ("req_per_s", "p50_ms", "p99_ms")
+
+#: Fewest concurrent clients the serve gate accepts.
+MIN_SERVE_CLIENTS = 8
 
 #: Store counters every ``cache_*`` record must embed.
 _CACHE_COUNTERS = ("hit_mem", "hit_disk", "miss", "puts")
@@ -96,7 +110,7 @@ def validate_report(report: dict) -> List[str]:
 
     minimize_count = 0
     place_count = route_count = cache_count = 0
-    batch_eval_count = batch_yield_count = 0
+    batch_eval_count = batch_yield_count = serve_count = 0
     for i, result in enumerate(report.get("results", [])):
         where = f"results[{i}]"
         if not isinstance(result, dict):
@@ -162,6 +176,27 @@ def validate_report(report: dict) -> List[str]:
                     if counter not in counters:
                         errors.append(f"{where}: perf snapshot lacks the "
                                       f"{counter!r} counter")
+        if name == "serve_load":
+            serve_count += 1
+            clients = result.get("clients")
+            if not isinstance(clients, numbers.Real) or \
+                    clients < MIN_SERVE_CLIENTS:
+                errors.append(f"{where}: serve_load needs >= "
+                              f"{MIN_SERVE_CLIENTS} concurrent clients")
+            if result.get("identical") is not True:
+                errors.append(f"{where}: serve_load byte-identity flag "
+                              f"is not true")
+            for scenario in _SERVE_SCENARIOS:
+                stats = result.get(scenario)
+                if not isinstance(stats, dict):
+                    errors.append(f"{where}: serve_load lacks the "
+                                  f"{scenario!r} scenario stats")
+                    continue
+                for field in _SERVE_STAT_FIELDS:
+                    value = stats.get(field)
+                    if not isinstance(value, numbers.Real) or value < 0:
+                        errors.append(f"{where}: {scenario}.{field} is "
+                                      f"missing or negative")
         if name == "fpga_place_route_table2":
             snapshot = result.get("perf")
             if not isinstance(snapshot, dict):
@@ -191,9 +226,13 @@ def validate_report(report: dict) -> List[str]:
     if batch_yield_count < 1:
         errors.append("report: no batch_yield_mc result (batched Monte "
                       "Carlo yield)")
+    if serve_count < 1:
+        errors.append("report: no serve_load result (asyncio serving "
+                      "layer load benchmark)")
 
     for block in ("acceptance", "acceptance_minimize", "acceptance_fpga",
-                  "acceptance_cache", "acceptance_batch"):
+                  "acceptance_cache", "acceptance_batch",
+                  "acceptance_serve"):
         data = report.get(block)
         if isinstance(data, dict):
             _check_fields(data, _ACCEPTANCE_FIELDS, block, errors)
@@ -228,7 +267,9 @@ def main(argv=None) -> int:
                   f"cache acceptance "
                   f"{report['acceptance_cache']['speedup']}x, "
                   f"batch acceptance "
-                  f"{report['acceptance_batch']['speedup']}x)")
+                  f"{report['acceptance_batch']['speedup']}x, "
+                  f"serve acceptance "
+                  f"{report['acceptance_serve']['speedup']}x)")
     return 1 if failed else 0
 
 

@@ -295,6 +295,19 @@ def _cmd_yield(args) -> int:
     return 0
 
 
+def _write_json(path: str, data) -> None:
+    """Dump ``data`` to ``path`` (``-`` = stdout) as sorted JSON."""
+    import json
+    if path == "-":
+        json.dump(data, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        with open(path, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {path}", file=sys.stderr)
+
+
 def _cmd_cache(args) -> int:
     import json
     from repro.store import ArtifactStore, default_root
@@ -302,6 +315,11 @@ def _cmd_cache(args) -> int:
     action = args.action
     if action == "stats":
         stats = store.stats()
+        if args.json:
+            # machine-readable: the serve load generator and CI scrape
+            # hit/miss/coalesce/gc counters from here
+            _write_json(args.json, stats)
+            return 0
         cap = stats["disk_capacity"]
         rows = [
             ["root", stats["root"]],
@@ -341,12 +359,53 @@ def _cmd_cache(args) -> int:
     elif action == "verify":
         result = store.verify()
         print(f"verified {store.root}: {result['ok']} ok, "
-              f"{result['corrupt']} corrupt (quarantined)")
+              f"{result['corrupt']} corrupt (quarantined)", file=sys.stderr)
         if args.json:
-            with open(args.json, "w") as handle:
-                json.dump(result, handle, indent=2, sort_keys=True)
-                handle.write("\n")
+            _write_json(args.json, result)
         return 1 if result["corrupt"] else 0
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    from repro.serve.server import ServeConfig, SynthesisServer
+
+    overrides = {"host": args.host, "port": args.port}
+    if args.batch is not None:
+        overrides["max_batch"] = args.batch
+    if args.linger_us is not None:
+        overrides["linger_us"] = args.linger_us
+    if args.queue is not None:
+        overrides["queue_limit"] = args.queue
+    if args.jobs is not None:
+        overrides["jobs"] = args.jobs
+    config = ServeConfig.from_env(**overrides)
+    server = SynthesisServer(config)
+
+    if args.stdio:
+        # pipe mode: same protocol over stdin/stdout (tests, SSH, inetd)
+        asyncio.run(server.serve_stdio())
+        return 0
+
+    def ready(host: str, port: int) -> None:
+        import os
+        print(f"serving on {host}:{port} (pid {os.getpid()}, "
+              f"batch={config.max_batch}, linger={config.linger_us}us, "
+              f"queue={config.queue_limit})", file=sys.stderr, flush=True)
+
+    try:
+        asyncio.run(server.run_tcp(ready=ready))
+    except KeyboardInterrupt:  # pragma: no cover - signal path races
+        pass
+    from repro import perf
+    snapshot = perf.snapshot()
+    served = {name: entry for name, entry in snapshot["timers"].items()
+              if name.startswith("serve.request.")}
+    for name, entry in sorted(served.items()):
+        print(f"{name}: {entry['calls']} requests, "
+              f"p50={entry.get('p50_ms', 0.0):.3f}ms "
+              f"p99={entry.get('p99_ms', 0.0):.3f}ms", file=sys.stderr)
+    print("drained cleanly", file=sys.stderr)
     return 0
 
 
@@ -395,7 +454,27 @@ caching:
   repro cache stats|ls|clear|verify|gc
         inspect, list, wipe, digest-check or shrink the store;
         `verify` quarantines corrupt entries (they also read as
-        misses), `gc --max-bytes N` evicts down to a one-off cap
+        misses), `gc --max-bytes N` evicts down to a one-off cap;
+        `stats --json [FILE]` emits machine-readable counters
+
+serving:
+  repro serve [--port N | --stdio]
+        newline-delimited JSON endpoints (minimize, place_route,
+        evaluate, evaluate_batch, yield_run, stats) over the caching
+        synthesis service; SIGINT/SIGTERM drains gracefully
+  REPRO_SERVE_BATCH=N
+        evaluate micro-batch size (default 64): concurrent single-
+        cover requests aggregate into one batch-arena pass; 1
+        disables aggregation (per-request serving)
+  REPRO_SERVE_LINGER_US=N
+        max microseconds an evaluate request waits for batch-mates
+        (default 1000); under load batches fill before the timer
+  REPRO_SERVE_QUEUE=N
+        admission budget (default 256): requests beyond it are shed
+        immediately with an `overloaded` reply instead of queueing
+  REPRO_SERVE_JOBS=N
+        warm worker processes behind the server (default: cpu count);
+        workers stay alive across requests — no per-call pool spin-up
 """
 
 
@@ -513,11 +592,38 @@ def build_parser() -> argparse.ArgumentParser:
                         "oldest-access-first down to the byte cap")
     p.add_argument("--dir", help="store root (default: REPRO_CACHE_DIR "
                                  "or .repro/store)")
-    p.add_argument("--json", help="verify: also write the result as JSON")
+    p.add_argument("--json", nargs="?", const="-", default=None,
+                   metavar="FILE",
+                   help="stats/verify: write the result as JSON to FILE "
+                        "(bare --json = stdout) for load generators and "
+                        "CI to scrape")
     p.add_argument("--max-bytes", type=int, default=None,
                    help="gc: disk-tier byte cap (default: "
                         "REPRO_CACHE_DISK_BYTES)")
     p.set_defaults(handler=_cmd_cache)
+
+    p = sub.add_parser("serve", help="serve synthesis over newline-"
+                                     "delimited JSON (TCP or stdio)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7929,
+                   help="TCP port (0 = ephemeral; the bound port is "
+                        "printed on stderr)")
+    p.add_argument("--stdio", action="store_true",
+                   help="serve one session over stdin/stdout instead "
+                        "of TCP")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="warm worker processes (default: "
+                        "REPRO_SERVE_JOBS or cpu count)")
+    p.add_argument("--batch", type=int, default=None,
+                   help="evaluate micro-batch size (default: "
+                        "REPRO_SERVE_BATCH or 64)")
+    p.add_argument("--linger-us", type=int, default=None,
+                   help="micro-batch linger in microseconds (default: "
+                        "REPRO_SERVE_LINGER_US or 1000)")
+    p.add_argument("--queue", type=int, default=None,
+                   help="admission budget before load-shedding "
+                        "(default: REPRO_SERVE_QUEUE or 256)")
+    p.set_defaults(handler=_cmd_serve)
 
     p = sub.add_parser("table1", help="reproduce the paper's Table 1")
     p.set_defaults(handler=_cmd_table1)

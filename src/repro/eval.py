@@ -76,14 +76,17 @@ def forced_batch(flag: Optional[bool]) -> Iterator[None]:
 # evaluation entry points
 # ----------------------------------------------------------------------
 def evaluate_covers(covers: Sequence, minterms: Sequence[int],
-                    jobs: int = 1) -> List[List[int]]:
+                    jobs: int = 1, pool=None) -> List[List[int]]:
     """Output bitmask of every (cover, minterm) pair.
 
     Returns ``result[c][t]`` = ``covers[c].output_mask_for(minterms[t])``
     for every cover and vector, computed by whichever path is active.
     ``jobs > 1`` fans vector blocks across the resilient worker pool
     with the arena shared zero-copy (batch path only; the serial paths
-    ignore it — their per-task state would dwarf the work).
+    ignore it — their per-task state would dwarf the work).  ``pool``
+    is an optional warm :class:`repro.runner.WarmPool`: callers that
+    evaluate per request (the serve layer) reuse live workers instead
+    of paying pool spin-up per call.
     """
     minterms = list(minterms)
     covers = list(covers)
@@ -92,8 +95,8 @@ def evaluate_covers(covers: Sequence, minterms: Sequence[int],
     if batch_enabled():
         from repro.kernels import batcharena
         arena = batcharena.CoverArena.from_covers(covers)
-        if jobs > 1 and len(minterms) > BLOCK_VECTORS:
-            return _parallel_masks(arena, minterms, jobs)
+        if (jobs > 1 or pool is not None) and len(minterms) > BLOCK_VECTORS:
+            return _parallel_masks(arena, minterms, jobs, pool)
         masks = arena.eval_minterms(minterms)
         return [[int(m) for m in row] for row in masks]
     if kernels.enabled():
@@ -136,7 +139,7 @@ def _eval_block(payload: dict) -> List[List[int]]:
 
 
 def _parallel_masks(arena, minterms: List[int],
-                    jobs: int) -> List[List[int]]:
+                    jobs: int, pool=None) -> List[List[int]]:
     from repro import runner as resilient
     from repro.kernels import batcharena
 
@@ -146,7 +149,8 @@ def _parallel_masks(arena, minterms: List[int],
             block = minterms[lo:lo + BLOCK_VECTORS]
             tasks.append(({"block": lo},
                           {"arena": shared.handle, "minterms": block}))
-        report = resilient.run_tasks(_eval_block, tasks, jobs=jobs)
+        report = resilient.run_tasks(_eval_block, tasks, jobs=jobs,
+                                     pool=pool)
         report.raise_on_failure()
         blocks = report.values()
     result: List[List[int]] = [[] for _ in range(arena.n_covers)]

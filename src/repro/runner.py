@@ -34,8 +34,10 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
@@ -207,6 +209,134 @@ def _append_checkpoint(handle, key: Any, value: Any, elapsed: float) -> None:
 
 
 # ----------------------------------------------------------------------
+# the warm pool
+# ----------------------------------------------------------------------
+class WarmPool:
+    """A reusable, lazily-started worker pool with crash recovery.
+
+    :func:`run_tasks` builds and tears down a ``ProcessPoolExecutor``
+    per call — right for the one-shot drivers, wrong for serving: a
+    request-rate workload would pay worker spin-up (interpreter fork +
+    import) on every call.  ``WarmPool`` keeps one pool alive across
+    calls:
+
+    * **lazy** — no processes exist until the first :meth:`submit`;
+    * **recyclable** — :meth:`recycle` replaces a broken/wedged pool
+      (``BrokenProcessPool``, timeouts) with a fresh one, counted in
+      :attr:`n_recycles`;
+    * **shared** — :func:`shared_pool` hands out one process-wide
+      instance, so the synthesis service's batch-eval miss paths and
+      the serve worker bridge amortize the same warm workers.
+
+    Thread-safe: submissions and recycles serialize on an internal
+    lock (futures themselves are waited on outside it).
+    """
+
+    def __init__(self, jobs: Optional[int] = None):
+        self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 2)
+        self.n_recycles = 0
+        self._lock = threading.Lock()
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def started(self) -> bool:
+        """True once worker processes exist (and were not shut down)."""
+        return self._executor is not None
+
+    def _ensure_locked(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def submit(self, fn: Callable[..., Any], *args: Any):
+        """Submit ``fn(*args)``; starts the pool on first use.
+
+        A pool found broken at submission time is recycled once before
+        the submit is retried (the caller still owns result-side
+        failures).
+        """
+        with self._lock:
+            try:
+                return self._ensure_locked().submit(fn, *args)
+            except (BrokenProcessPool, RuntimeError):
+                self._recycle_locked()
+                return self._ensure_locked().submit(fn, *args)
+
+    def _recycle_locked(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        self.n_recycles += 1
+
+    def recycle(self) -> None:
+        """Replace the pool (crashed or wedged workers) with a fresh one."""
+        with self._lock:
+            self._recycle_locked()
+
+    def shutdown(self, wait: bool = False) -> None:
+        """Tear the workers down; the next submit lazily restarts."""
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=wait, cancel_futures=True)
+                self._executor = None
+
+    def run(self, fn: Callable[..., Any], payload: Any, *,
+            timeout: Optional[float] = None, retries: int = 2,
+            backoff: float = 0.1) -> Any:
+        """Synchronous ``fn(payload)`` with timeout/retry/crash recovery.
+
+        The warm-pool analogue of a one-task :func:`run_tasks`: a
+        ``BrokenProcessPool`` or an expired ``timeout`` recycles the
+        pool and retries (``retries`` extra attempts, exponential
+        ``backoff``); the final failure re-raises.
+        """
+        if timeout is None:
+            timeout = default_timeout()
+        attempt = 0
+        while True:
+            attempt += 1
+            future = self.submit(fn, payload)
+            try:
+                return future.result(timeout=timeout)
+            except (BrokenProcessPool, FutureTimeout) as exc:
+                self.recycle()
+                if attempt > retries:
+                    if isinstance(exc, FutureTimeout):
+                        raise TimeoutError(
+                            f"task timed out after {timeout:.1f}s "
+                            f"({attempt} attempt(s))") from exc
+                    raise
+                if backoff:
+                    time.sleep(backoff * (2 ** (attempt - 1)))
+
+
+_shared_pool: Optional[WarmPool] = None
+_shared_pool_lock = threading.Lock()
+
+
+def shared_pool(jobs: Optional[int] = None) -> WarmPool:
+    """The process-wide :class:`WarmPool` (created on first call).
+
+    ``jobs`` only sizes the first construction; later callers share
+    whatever exists (a serving process has exactly one worker fleet).
+    """
+    global _shared_pool
+    with _shared_pool_lock:
+        if _shared_pool is None:
+            _shared_pool = WarmPool(jobs)
+        return _shared_pool
+
+
+def reset_shared_pool() -> None:
+    """Shut down and drop the shared pool (tests isolate with this)."""
+    global _shared_pool
+    with _shared_pool_lock:
+        if _shared_pool is not None:
+            _shared_pool.shutdown()
+            _shared_pool = None
+
+
+# ----------------------------------------------------------------------
 # the runner
 # ----------------------------------------------------------------------
 @dataclass
@@ -228,7 +358,8 @@ def run_tasks(fn: Callable[[Any], Any], tasks: Sequence[Tuple[Any, Any]],
               retries: int = 2, backoff: float = 0.25,
               checkpoint: Optional[str] = None, resume: bool = False,
               encode: Callable[[Any], Any] = lambda v: v,
-              decode: Callable[[Any], Any] = lambda v: v) -> RunReport:
+              decode: Callable[[Any], Any] = lambda v: v,
+              pool: Optional[WarmPool] = None) -> RunReport:
     """Run ``fn(payload)`` for every ``(key, payload)`` task, resiliently.
 
     Parameters
@@ -257,6 +388,11 @@ def run_tasks(fn: Callable[[Any], Any], tasks: Sequence[Tuple[Any, Any]],
     resume:
         Restore previously checkpointed tasks (through ``decode``)
         instead of recomputing them.
+    pool:
+        A :class:`WarmPool` to execute on instead of a one-shot
+        ``ProcessPoolExecutor``.  The pool stays warm afterwards (the
+        caller owns its lifetime); crash/timeout recovery recycles it
+        in place.  Implies pooled execution regardless of ``jobs``.
     """
     if timeout is None:
         timeout = default_timeout()
@@ -294,12 +430,12 @@ def run_tasks(fn: Callable[[Any], Any], tasks: Sequence[Tuple[Any, Any]],
         ckpt_handle = open(checkpoint, mode)
 
     try:
-        if jobs <= 1:
+        if pool is None and jobs <= 1:
             _run_inline(fn, pending, results, report, retries, backoff,
                         ckpt_handle, encode)
         else:
             _run_pooled(fn, pending, results, report, jobs, timeout,
-                        retries, backoff, ckpt_handle, encode)
+                        retries, backoff, ckpt_handle, encode, pool)
     finally:
         if ckpt_handle is not None:
             ckpt_handle.close()
@@ -359,17 +495,26 @@ def _run_inline(fn, pending, results, report, retries, backoff,
 
 
 def _run_pooled(fn, pending, results, report, jobs, timeout, retries,
-                backoff, ckpt_handle, encode) -> None:
+                backoff, ckpt_handle, encode,
+                warm: Optional[WarmPool] = None) -> None:
     """Pool execution with crash isolation and timeout enforcement."""
     queue: List[_Pending] = list(pending)
     in_flight: Dict[Any, _Pending] = {}
-    pool = ProcessPoolExecutor(max_workers=jobs)
+    if warm is not None:
+        jobs = warm.jobs
+        submit = warm.submit
+    else:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        submit = lambda f, payload: pool.submit(f, payload)  # noqa: E731
     poll = 0.05 if timeout else 0.5
 
     def recycle_pool() -> None:
-        nonlocal pool
-        pool.shutdown(wait=False, cancel_futures=True)
-        pool = ProcessPoolExecutor(max_workers=jobs)
+        if warm is not None:
+            warm.recycle()
+        else:
+            nonlocal pool
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = ProcessPoolExecutor(max_workers=jobs)
         report.n_pool_restarts += 1
 
     try:
@@ -386,7 +531,7 @@ def _run_pooled(fn, pending, results, report, jobs, timeout, retries,
                 item.attempts += 1
                 item.started = time.monotonic()
                 try:
-                    item.future = pool.submit(fn, item.payload)
+                    item.future = submit(fn, item.payload)
                 except BrokenProcessPool:
                     recycle_pool()
                     item.attempts -= 1
@@ -465,9 +610,11 @@ def _run_pooled(fn, pending, results, report, jobs, timeout, retries,
                                            report, ckpt_handle, encode)
                     recycle_pool()
     finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+        if warm is None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
 __all__ = ["RunReport", "TaskFailure", "TaskResult", "TASK_TIMEOUT_ENV",
-           "STATUS_FAILED", "STATUS_OK", "STATUS_TIMEOUT",
-           "default_timeout", "load_checkpoint", "run_tasks"]
+           "STATUS_FAILED", "STATUS_OK", "STATUS_TIMEOUT", "WarmPool",
+           "default_timeout", "load_checkpoint", "reset_shared_pool",
+           "run_tasks", "shared_pool"]

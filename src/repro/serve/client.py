@@ -1,0 +1,167 @@
+"""Clients for the newline-delimited JSON synthesis protocol.
+
+Two flavours over the same wire format:
+
+* :class:`AsyncServeClient` — asyncio, **pipelining**: many coroutines
+  share one connection, requests are tagged with monotonically
+  increasing ids and responses are matched back as they arrive (the
+  server may reorder).  This is what the load generator and the
+  concurrent-client tests use; it is also how the micro-batcher is fed
+  enough simultaneous requests to batch.
+* :class:`ServeClient` — blocking sockets, strictly request/response.
+  Convenient for scripts and debugging (``repro serve`` + a five-line
+  client).
+
+Both raise :class:`ServeError` for protocol-level error replies; the
+error's ``code`` distinguishes load-shedding (``overloaded``) from
+caller bugs (``bad_request``) so clients can implement retry policies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any, Dict, Optional
+
+from repro.serve import protocol
+
+
+class ServeError(RuntimeError):
+    """An error reply from the server (carries the protocol code)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+def _unwrap(document: dict) -> Any:
+    if document.get("ok"):
+        return document.get("result")
+    error = document.get("error") or {}
+    raise ServeError(error.get("code", "internal"),
+                     error.get("message", "unknown server error"))
+
+
+class AsyncServeClient:
+    """One pipelined connection; safe for concurrent ``request`` calls."""
+
+    def __init__(self) -> None:
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[int, "asyncio.Future[dict]"] = {}
+        self._next_id = 0
+        self._reader_task: Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()
+
+    async def connect(self, host: str, port: int) -> "AsyncServeClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=protocol.MAX_LINE_BYTES)
+        return self.attach(reader, writer)
+
+    def attach(self, reader: asyncio.StreamReader,
+               writer: asyncio.StreamWriter) -> "AsyncServeClient":
+        """Adopt an existing stream pair (pipe/socketpair transports)."""
+        self._reader = reader
+        self._writer = writer
+        self._reader_task = asyncio.create_task(self._read_loop())
+        return self
+
+    async def _read_loop(self) -> None:
+        error: BaseException = ConnectionError("connection closed")
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    document = protocol.parse_response(line)
+                except ValueError:
+                    continue  # not ours to crash on; skip the line
+                future = self._pending.pop(document.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(document)
+        except (ConnectionResetError, BrokenPipeError, ValueError) as exc:
+            error = exc
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._pending.clear()
+
+    async def request(self, op: str, params: Optional[dict] = None) -> Any:
+        """Send one request; resolves to its ``result`` (or raises)."""
+        if self._writer is None:
+            raise RuntimeError("client is not connected")
+        self._next_id += 1
+        request_id = self._next_id
+        future: "asyncio.Future[dict]" = \
+            asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        # write() buffers synchronously; draining per request would cost
+        # two event-loop hops on every call, so only apply flow control
+        # once the transport's buffer actually backs up
+        self._writer.write(protocol.encode_request(request_id, op,
+                                                   params))
+        if self._writer.transport.get_write_buffer_size() > 65536:
+            async with self._write_lock:
+                await self._writer.drain()
+        return _unwrap(await future)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+
+class ServeClient:
+    """Blocking request/response client (scripts, debugging)."""
+
+    def __init__(self, host: str, port: int,
+                 timeout: Optional[float] = 30.0) -> None:
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+
+    def request(self, op: str, params: Optional[dict] = None) -> Any:
+        self._next_id += 1
+        self._sock.sendall(protocol.encode_request(self._next_id, op,
+                                                   params))
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("connection closed mid-request")
+            document = protocol.parse_response(line)
+            if document.get("id") == self._next_id:
+                return _unwrap(document)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+__all__ = ["AsyncServeClient", "ServeClient", "ServeError"]

@@ -1,0 +1,259 @@
+"""Worker-side endpoint implementations (picklable, JSON in/out).
+
+Each ``op_*`` function takes the request's ``params`` dict and returns
+the response's ``result`` dict.  They run inside the warm worker pool
+(:class:`repro.runner.WarmPool`), so they are top-level and picklable,
+take and return only JSON-shaped data (covers travel as
+:mod:`repro.store.codecs` encodings), and go through
+:func:`repro.store.service.get_service` — workers share the disk tier
+of the content-addressed store with each other and with offline
+drivers, so a result synthesized for one client warms every later one.
+
+Byte-identity contract: every op produces exactly what the equivalent
+direct ``SynthesisService`` call encodes to.  The serve tests and the
+``bench_serve`` load generator compare the two canonical-JSON renders
+byte for byte on both kernel backends.
+
+:exc:`RequestError` marks *caller* mistakes (undecodable cover, bad
+dimensions) — the bridge maps it to a ``bad_request`` protocol error
+instead of ``internal``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.store import codecs
+
+
+class RequestError(ValueError):
+    """Client-side parameter error (becomes a ``bad_request`` reply)."""
+
+
+def _require(params: Dict[str, Any], field: str, kind: type) -> Any:
+    value = params.get(field)
+    if not isinstance(value, kind):
+        raise RequestError(f"param {field!r} must be "
+                           f"{kind.__name__}, got "
+                           f"{type(value).__name__}")
+    return value
+
+
+def _decode_cover(payload: Any, where: str):
+    if not isinstance(payload, dict):
+        raise RequestError(f"{where}: cover encoding must be an object")
+    try:
+        return codecs.decode_cover(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RequestError(f"{where}: undecodable cover ({exc!r})")
+
+
+def _minterm_list(params: Dict[str, Any], field: str = "minterms"
+                  ) -> List[int]:
+    raw = _require(params, field, list)
+    if not raw:
+        raise RequestError(f"param {field!r} must be non-empty")
+    try:
+        return [int(m) for m in raw]
+    except (TypeError, ValueError):
+        raise RequestError(f"param {field!r} must be a list of ints")
+
+
+# ----------------------------------------------------------------------
+# endpoints
+# ----------------------------------------------------------------------
+def op_minimize(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Espresso minimization: ``{cover, dc?, phase?}`` -> ``{cover[, phases]}``."""
+    from repro.logic.function import BooleanFunction
+    from repro.store.service import get_service
+
+    on_set = _decode_cover(params.get("cover"), "cover")
+    dc_payload = params.get("dc")
+    dc_set = _decode_cover(dc_payload, "dc") if dc_payload is not None \
+        else None
+    phase = bool(params.get("phase", False))
+    try:
+        function = BooleanFunction(on_set, dc_set=dc_set)
+    except ValueError as exc:
+        raise RequestError(str(exc))
+    if phase:
+        cover, phases = get_service().minimize(function, {"phase": True})
+        return {"cover": codecs.encode_cover(cover),
+                "phases": [bool(p) for p in phases]}
+    cover = get_service().minimize(function)
+    return {"cover": codecs.encode_cover(cover)}
+
+
+def op_evaluate_flush(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One micro-batch flush: unique covers x unique vectors, one pass.
+
+    ``{covers: [enc...], minterms: [ints]}`` -> ``{masks: [[int]]}``
+    where ``masks[c][t]`` is cover ``c`` on vector ``t``.  The batcher
+    deduplicated both axes; this evaluates the whole cross product in
+    one :func:`repro.eval.evaluate_covers` arena pass — the single
+    vectorized kernel call N concurrent clients share.  No store
+    round-trip: batch composition is timing-dependent, so caching the
+    composite would pollute the store with never-again keys.
+    """
+    from repro import eval as batch_eval
+
+    covers_raw = _require(params, "covers", list)
+    decoded = []
+    errors: Dict[str, str] = {}
+    for i, payload in enumerate(covers_raw):
+        try:
+            decoded.append((i, _decode_cover(payload, f"covers[{i}]")))
+        except RequestError as exc:
+            # isolate the bad member: its sibling requests in the same
+            # flush still get their masks
+            errors[str(i)] = str(exc)
+    minterms = _minterm_list(params)
+    rows = batch_eval.evaluate_covers([c for _i, c in decoded], minterms)
+    masks: List[Any] = [None] * len(covers_raw)
+    for (i, _cover), row in zip(decoded, rows):
+        masks[i] = [int(m) for m in row]
+    return {"masks": masks, "errors": errors}
+
+
+def op_evaluate_batch(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Explicit batched evaluation, served through the artifact store.
+
+    ``{covers: [enc...], minterms: [...] | stream: {...}}`` ->
+    ``{masks: [[int]]}``; exactly the payload
+    ``SynthesisService.evaluate_batch`` computes and caches (stream
+    specs stay compact keys, per DESIGN section 9).
+    """
+    from repro.store.service import get_service
+
+    covers_raw = _require(params, "covers", list)
+    covers = [_decode_cover(c, f"covers[{i}]")
+              for i, c in enumerate(covers_raw)]
+    stream = params.get("stream")
+    minterms = None
+    if stream is not None:
+        if not isinstance(stream, dict):
+            raise RequestError("param 'stream' must be an object")
+        if "minterms" in params:
+            raise RequestError("pass exactly one of minterms/stream")
+    else:
+        minterms = _minterm_list(params)
+    try:
+        masks = get_service().evaluate_batch(covers, minterms=minterms,
+                                             stream=stream)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RequestError(f"evaluate_batch: {exc!r}")
+    return {"masks": [[int(m) for m in row] for row in masks]}
+
+
+#: Table 2 emulation constants shared by the ``place_route`` endpoint
+#: and :func:`repro.fpga.emulate.run_emulation` (keep in sync).
+PLACE_ROUTE_DEFAULTS = {"clb_inputs": 9, "clb_outputs": 4,
+                        "clb_products": 20, "channel_capacity": 28,
+                        "clb_area_factor": 0.5, "target_occupancy": 0.99}
+
+
+def _place_route_problem(params: Dict[str, Any]):
+    """(netlist, fabric, seed) of a ``place_route`` request."""
+    from repro.fpga import emulate
+    from repro.store.service import get_service
+
+    seed = int(params.get("seed", 2))
+    grid = int(params.get("grid", 6))
+    fabric_kind = params.get("fabric", "standard")
+    if fabric_kind not in ("standard", "cnfet"):
+        raise RequestError("param 'fabric' must be 'standard' or 'cnfet'")
+    if not (2 <= grid <= 64):
+        raise RequestError("param 'grid' must be in 2..64")
+    cfg = PLACE_ROUTE_DEFAULTS
+    partitioner = emulate.Partitioner(cfg["clb_inputs"], cfg["clb_outputs"],
+                                      cfg["clb_products"])
+    n_blocks = int(round(grid * grid * cfg["target_occupancy"]))
+    partitions = get_service().get_or_compute(
+        "table2_workload",
+        {"seed": seed, "n_blocks": n_blocks,
+         "partitioner": {"max_inputs": partitioner.max_inputs,
+                         "max_outputs": partitioner.max_outputs,
+                         "max_products": partitioner.max_products}},
+        lambda: emulate.generate_workload(seed, n_blocks, partitioner),
+        encode=codecs.encode_partitions, decode=codecs.decode_partitions)
+    std_clb = emulate.standard_pla_clb(cfg["clb_inputs"], cfg["clb_outputs"],
+                                       cfg["clb_products"])
+    std_fabric = emulate.FPGAFabric(grid, grid, std_clb,
+                                    cfg["channel_capacity"])
+    if fabric_kind == "cnfet":
+        amb_clb = emulate.ambipolar_pla_clb(
+            cfg["clb_inputs"], cfg["clb_outputs"], cfg["clb_products"],
+            area_factor=cfg["clb_area_factor"])
+        fabric = emulate.FPGAFabric.same_die(std_fabric, amb_clb,
+                                             cfg["channel_capacity"])
+    else:
+        fabric = std_fabric
+    netlist = emulate.build_netlist(
+        partitions, dual_polarity=fabric.clb.dual_polarity_inputs)
+    return netlist, fabric, seed
+
+
+def op_place_route(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Table 2-style place & route: ``{seed, grid, fabric}`` -> encoding.
+
+    Regenerates the deterministic emulation workload for ``(seed,
+    grid)`` (cached as ``table2_workload``), implements it on the
+    requested fabric through ``SynthesisService.place_route`` (cached
+    as ``place_route``), and returns the full placement/routing
+    encoding plus a summary — the same artifact an offline ``repro
+    table2`` run would have warmed.
+    """
+    from repro.store.service import get_service
+
+    netlist, fabric, seed = _place_route_problem(params)
+    placement, routing = get_service().place_route(netlist, fabric, seed)
+    encoded = codecs.encode_place_route(placement, routing)
+    return {"place_route": encoded,
+            "summary": {"blocks": netlist.n_blocks(),
+                        "nets": len(encoded["routing"]["routed"]),
+                        "wirelength": routing.total_wirelength,
+                        "overflow": len(routing.overflow)}}
+
+
+def op_yield_run(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Monte Carlo yield: YieldSettings fields -> encoded YieldReport."""
+    from repro.robustness.yield_engine import YieldSettings, estimate_yield
+
+    settings_raw = _require(params, "settings", dict)
+    try:
+        settings = YieldSettings(**settings_raw)
+    except TypeError as exc:
+        raise RequestError(f"bad yield settings: {exc}")
+    if settings.samples < 1 or settings.samples > 1_000_000:
+        raise RequestError("param 'samples' must be in 1..1000000")
+    try:
+        # estimate_yield already routes through the coalescing service
+        # (service.yield_run) — wrapping it again would deadlock on the
+        # same cache key.
+        report = estimate_yield(settings)
+    except (KeyError, ValueError) as exc:
+        raise RequestError(f"yield_run: {exc!r}")
+    return {"report": codecs.encode_yield_report(report)}
+
+
+#: Endpoint registry: everything the worker bridge can dispatch.
+OPS = {
+    "minimize": op_minimize,
+    "evaluate_flush": op_evaluate_flush,
+    "evaluate_batch": op_evaluate_batch,
+    "place_route": op_place_route,
+    "yield_run": op_yield_run,
+}
+
+
+def dispatch(op: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one endpoint (top-level, picklable)."""
+    handler = OPS.get(op)
+    if handler is None:
+        raise RequestError(f"no worker op {op!r}")
+    return handler(params)
+
+
+__all__ = ["OPS", "PLACE_ROUTE_DEFAULTS", "RequestError", "dispatch",
+           "op_evaluate_batch", "op_evaluate_flush", "op_minimize",
+           "op_place_route", "op_yield_run"]

@@ -1,0 +1,126 @@
+"""Newline-delimited JSON wire protocol for the synthesis server.
+
+One request per line, one response per line, over any byte stream (TCP
+socket, socketpair, stdio pipes — the transports are interchangeable,
+which is what lets the tests drive the full server over a pipe):
+
+Request::
+
+    {"id": <any JSON value>, "op": "<endpoint>", "params": {...}}\\n
+
+Response::
+
+    {"id": <echoed>, "ok": true,  "result": {...}}\\n
+    {"id": <echoed>, "ok": false, "error": {"code": "...", "message": "..."}}\\n
+
+``id`` is caller-chosen and echoed verbatim; responses to pipelined
+requests may arrive out of order, so clients match on it.  Unparsable
+lines get ``id: null`` error replies.  Error codes:
+
+=================  ====================================================
+``bad_request``    malformed JSON, missing/ill-typed fields, or
+                   endpoint-specific parameter errors
+``unknown_op``     ``op`` names no endpoint
+``overloaded``     the admission queue is full — the 429-style
+                   load-shed reply; retry after backoff
+``shutting_down``  the server is draining; no new work is admitted
+``internal``       the computation raised; ``message`` carries the
+                   ``repr`` of the exception
+=================  ====================================================
+
+Payload canonicalization matters more than usual here: the acceptance
+gate compares served results byte-for-byte against direct
+``SynthesisService`` calls, so every response body is rendered with
+:func:`dumps` (sorted keys, compact separators, ASCII) — two equal
+results are equal *bytes*.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional, Tuple
+
+#: Hard cap on one protocol line (requests carry whole covers; 32 MiB
+#: bounds a hostile or confused client without constraining real use).
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+ERR_BAD_REQUEST = "bad_request"
+ERR_UNKNOWN_OP = "unknown_op"
+ERR_OVERLOADED = "overloaded"
+ERR_SHUTTING_DOWN = "shutting_down"
+ERR_INTERNAL = "internal"
+
+
+class ProtocolError(ValueError):
+    """A malformed request line (reported, never fatal to the server)."""
+
+    def __init__(self, code: str, message: str,
+                 request_id: Any = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.request_id = request_id
+
+
+def dumps(document: Any) -> str:
+    """Canonical one-line JSON (sorted keys, compact, ASCII)."""
+    return json.dumps(document, sort_keys=True,
+                      separators=(",", ":"), ensure_ascii=True)
+
+
+def encode_request(request_id: Any, op: str,
+                   params: Optional[dict] = None) -> bytes:
+    """One request line, newline-terminated."""
+    return (dumps({"id": request_id, "op": op,
+                   "params": params or {}}) + "\n").encode("utf-8")
+
+
+def encode_response(request_id: Any, result: Any) -> bytes:
+    """One success line, newline-terminated."""
+    return (dumps({"id": request_id, "ok": True,
+                   "result": result}) + "\n").encode("utf-8")
+
+
+def encode_error(request_id: Any, code: str, message: str) -> bytes:
+    """One error line, newline-terminated."""
+    return (dumps({"id": request_id, "ok": False,
+                   "error": {"code": code,
+                             "message": message}}) + "\n").encode("utf-8")
+
+
+def parse_request(line: bytes) -> Tuple[Any, str, dict]:
+    """``(id, op, params)`` of one request line.
+
+    Raises :class:`ProtocolError` (code ``bad_request``) on malformed
+    input; the id is recovered when possible so the error reply can
+    still be correlated.
+    """
+    try:
+        document = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(ERR_BAD_REQUEST, f"unparsable request: {exc}")
+    if not isinstance(document, dict):
+        raise ProtocolError(ERR_BAD_REQUEST, "request is not an object")
+    request_id = document.get("id")
+    op = document.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError(ERR_BAD_REQUEST, "missing or non-string 'op'",
+                            request_id=request_id)
+    params = document.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(ERR_BAD_REQUEST, "'params' is not an object",
+                            request_id=request_id)
+    return request_id, op, params
+
+
+def parse_response(line: bytes) -> dict:
+    """One response line as a dict (clients; raises ``ValueError``)."""
+    document = json.loads(line)
+    if not isinstance(document, dict) or "ok" not in document:
+        raise ValueError("malformed response line")
+    return document
+
+
+__all__ = ["ERR_BAD_REQUEST", "ERR_INTERNAL", "ERR_OVERLOADED",
+           "ERR_SHUTTING_DOWN", "ERR_UNKNOWN_OP", "MAX_LINE_BYTES",
+           "ProtocolError", "dumps", "encode_error", "encode_request",
+           "encode_response", "parse_request", "parse_response"]

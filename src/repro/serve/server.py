@@ -1,0 +1,349 @@
+"""The asyncio synthesis server: admission, dispatch, drain.
+
+``SynthesisServer`` puts a network front end on the coalescing
+``SynthesisService`` (ROADMAP: "Network-facing synthesis service").
+One asyncio event loop handles connections and protocol framing; all
+computation runs on the warm multi-process pool behind
+:class:`~repro.serve.workers.WorkerBridge`; the ``evaluate`` hot path
+goes through the :class:`~repro.serve.batcher.BatchCollector` so
+concurrent clients share arena passes.
+
+**Admission control / backpressure.**  A bounded admission budget
+(``queue_limit``) caps requests in flight across all connections.  A
+request arriving over budget is *shed immediately* with an
+``overloaded`` error reply (the 429 analogue) — the client learns in
+microseconds instead of queueing into a latency collapse.  Pipelined
+requests on one connection dispatch concurrently; responses are
+written as they finish and clients correlate by ``id``.
+
+**Graceful drain.**  ``SIGINT``/``SIGTERM`` (or :meth:`drain`) stops
+accepting new work: listeners close, fresh requests get
+``shutting_down`` replies, the micro-batcher flushes its open batch,
+in-flight requests run to completion and their responses are written,
+then connections close and the worker bridge shuts down.
+
+**Metrics.**  Every endpoint rides :mod:`repro.perf`:
+``serve.request.<op>`` timers (bounded latency reservoirs → p50/p95/
+p99 via ``perf.snapshot()``), ``serve.requests`` / ``serve.overloaded``
+/ ``serve.errors`` counters, and the batcher's ``serve.batch.*``
+family.  The ``stats`` endpoint exposes the snapshot plus the
+synthesis-service store counters to remote scrapers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import sys
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro import perf
+from repro.serve import protocol
+from repro.serve.batcher import (BatchCollector, DEFAULT_LINGER_US,
+                                 DEFAULT_MAX_BATCH)
+from repro.serve.ops import OPS, RequestError
+from repro.serve.protocol import ProtocolError
+from repro.serve.workers import WorkerBridge
+
+#: Environment knobs (documented in the CLI epilog and README).
+BATCH_ENV = "REPRO_SERVE_BATCH"
+LINGER_ENV = "REPRO_SERVE_LINGER_US"
+QUEUE_ENV = "REPRO_SERVE_QUEUE"
+JOBS_ENV = "REPRO_SERVE_JOBS"
+
+#: Default admission budget: requests admitted concurrently before
+#: load-shedding begins.
+DEFAULT_QUEUE_LIMIT = 256
+
+
+def _env_int(name: str, default: int, floor: int = 1) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{name}={raw!r} is not an integer")
+    return max(floor, value)
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch: int = DEFAULT_MAX_BATCH
+    linger_us: int = DEFAULT_LINGER_US
+    queue_limit: int = DEFAULT_QUEUE_LIMIT
+    jobs: Optional[int] = None
+
+    @classmethod
+    def from_env(cls, **overrides: Any) -> "ServeConfig":
+        """Defaults from ``REPRO_SERVE_*`` with keyword overrides."""
+        config = cls(
+            max_batch=_env_int(BATCH_ENV, DEFAULT_MAX_BATCH),
+            linger_us=_env_int(LINGER_ENV, DEFAULT_LINGER_US, floor=0),
+            queue_limit=_env_int(QUEUE_ENV, DEFAULT_QUEUE_LIMIT),
+            jobs=_env_int(JOBS_ENV, 0, floor=0) or None,
+        )
+        return replace(config, **overrides)
+
+
+class SynthesisServer:
+    """One serving instance: endpoints, batcher, admission, drain."""
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 executor: Optional[Any] = None) -> None:
+        self.config = config or ServeConfig.from_env()
+        self.executor = executor if executor is not None else \
+            WorkerBridge(jobs=self.config.jobs)
+        self.batcher = BatchCollector(
+            lambda payload: self.executor.run("evaluate_flush", payload),
+            max_batch=self.config.max_batch,
+            linger_us=self.config.linger_us)
+        self.draining = False
+        self._active = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._tcp_server: Optional[asyncio.base_events.Server] = None
+        self._connections: Set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def handle_request(self, line: bytes) -> bytes:
+        """One request line in, one response line out."""
+        try:
+            request_id, op, params = protocol.parse_request(line)
+        except ProtocolError as exc:
+            perf.count("serve.errors")
+            return protocol.encode_error(exc.request_id, exc.code, str(exc))
+
+        if self.draining:
+            perf.count("serve.shed_draining")
+            return protocol.encode_error(request_id,
+                                         protocol.ERR_SHUTTING_DOWN,
+                                         "server is draining")
+        if self._active >= self.config.queue_limit:
+            perf.count("serve.overloaded")
+            return protocol.encode_error(
+                request_id, protocol.ERR_OVERLOADED,
+                f"admission queue full "
+                f"({self.config.queue_limit} in flight); retry later")
+
+        self._active += 1
+        self._idle.clear()
+        perf.count("serve.requests")
+        start = asyncio.get_running_loop().time()
+        try:
+            result = await self._dispatch(op, params)
+            response = protocol.encode_response(request_id, result)
+        except (RequestError, ProtocolError) as exc:
+            perf.count("serve.errors")
+            code = exc.code if isinstance(exc, ProtocolError) \
+                else protocol.ERR_BAD_REQUEST
+            response = protocol.encode_error(request_id, code, str(exc))
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - fault barrier
+            perf.count("serve.errors")
+            response = protocol.encode_error(request_id,
+                                             protocol.ERR_INTERNAL,
+                                             repr(exc))
+        finally:
+            elapsed = asyncio.get_running_loop().time() - start
+            # bound the timer-name space: arbitrary client op strings
+            # must not grow the perf tables without limit
+            label = op if (op in OPS or op in ("ping", "stats", "evaluate")) \
+                else "unknown"
+            perf.observe(f"serve.request.{label}", elapsed)
+            self._active -= 1
+            if self._active == 0:
+                self._idle.set()
+        return response
+
+    async def _dispatch(self, op: str, params: Dict[str, Any]) -> Any:
+        if op == "ping":
+            from repro import kernels
+            return {"pong": True, "backend": kernels.backend(),
+                    "pid": os.getpid()}
+        if op == "stats":
+            return self._stats()
+        if op == "evaluate":
+            return await self._evaluate(params)
+        if op in OPS and op != "evaluate_flush":
+            return await self.executor.run(op, params)
+        raise ProtocolError(protocol.ERR_UNKNOWN_OP,
+                            f"unknown op {op!r}")
+
+    async def _evaluate(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """The micro-batched single-cover hot path."""
+        cover = params.get("cover")
+        if not isinstance(cover, dict):
+            raise RequestError("param 'cover' must be a cover encoding")
+        raw = params.get("minterms")
+        if not isinstance(raw, list) or not raw:
+            raise RequestError("param 'minterms' must be a non-empty list")
+        try:
+            minterms = [int(m) for m in raw]
+        except (TypeError, ValueError):
+            raise RequestError("param 'minterms' must be a list of ints")
+        masks = await self.batcher.submit(cover, minterms)
+        return {"masks": masks}
+
+    def _stats(self) -> Dict[str, Any]:
+        from repro.store.service import get_service
+        data: Dict[str, Any] = {"perf": perf.snapshot(),
+                                "active": self._active,
+                                "draining": self.draining,
+                                "queue_limit": self.config.queue_limit,
+                                "max_batch": self.config.max_batch,
+                                "linger_us": self.config.linger_us}
+        try:
+            data["store"] = get_service().stats()
+        except OSError:  # pragma: no cover - store root unavailable
+            data["store"] = None
+        return data
+
+    # ------------------------------------------------------------------
+    # transports
+    # ------------------------------------------------------------------
+    async def serve_connection(self, reader: asyncio.StreamReader,
+                               writer: asyncio.StreamWriter) -> None:
+        """Drive one duplex stream (TCP peer, socketpair, or pipes).
+
+        Requests are dispatched as they arrive (pipelining); a per-
+        connection lock serializes response writes.
+        """
+        write_lock = asyncio.Lock()
+        pending: Set[asyncio.Task] = set()
+
+        async def respond(line: bytes) -> None:
+            response = await self.handle_request(line)
+            # write() appends to the transport buffer synchronously
+            # (responses never interleave); drain — two event-loop hops
+            # — only once the peer stops keeping up
+            writer.write(response)
+            if writer.transport.get_write_buffer_size() > 65536:
+                async with write_lock:
+                    await writer.drain()
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                except asyncio.CancelledError:
+                    # drain cancels idle reader loops; in-flight
+                    # responses were already awaited, so close cleanly
+                    break
+                except ValueError:
+                    # line exceeded the stream limit; the framing is
+                    # lost, so report and drop the connection
+                    async with write_lock:
+                        writer.write(protocol.encode_error(
+                            None, protocol.ERR_BAD_REQUEST,
+                            "request line too long"))
+                        await writer.drain()
+                    break
+                if not line:
+                    break
+                task = asyncio.create_task(respond(line))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        finally:
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionResetError,
+                    BrokenPipeError, OSError):
+                # cancellation re-delivers here when drain tears the
+                # connection down; the stream is closing either way
+                pass
+
+    async def start_tcp(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+
+        async def on_connect(reader, writer):
+            task = asyncio.current_task()
+            self._connections.add(task)
+            try:
+                await self.serve_connection(reader, writer)
+            finally:
+                self._connections.discard(task)
+
+        self._tcp_server = await asyncio.start_server(
+            on_connect, host=self.config.host, port=self.config.port,
+            limit=protocol.MAX_LINE_BYTES)
+        sockname = self._tcp_server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def serve_stdio(self) -> None:
+        """Same protocol over this process's stdin/stdout (pipe mode)."""
+        loop = asyncio.get_running_loop()
+        reader = asyncio.StreamReader(limit=protocol.MAX_LINE_BYTES)
+        await loop.connect_read_pipe(
+            lambda: asyncio.StreamReaderProtocol(reader), sys.stdin.buffer)
+        transport, proto = await loop.connect_write_pipe(
+            asyncio.streams.FlowControlMixin, sys.stdout.buffer)
+        writer = asyncio.StreamWriter(transport, proto, reader, loop)
+        await self.serve_connection(reader, writer)
+        await self.drain()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Stop admitting, flush the batcher, finish in-flight work."""
+        if self.draining:
+            await self._idle.wait()
+            return
+        self.draining = True
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+        await self.batcher.drain()
+        await self._idle.wait()
+        if self._connections:
+            # in-flight requests are done; close the reader loops
+            for task in list(self._connections):
+                task.cancel()
+            await asyncio.gather(*self._connections,
+                                 return_exceptions=True)
+        self.executor.shutdown()
+
+    async def run_tcp(self, ready=None) -> None:
+        """Serve TCP until SIGINT/SIGTERM, then drain gracefully.
+
+        ``ready`` (optional callable) receives the bound ``(host,
+        port)`` once listening — the CLI prints it, the benchmarks
+        parse it.
+        """
+        host, port = await self.start_tcp()
+        if ready is not None:
+            ready(host, port)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread / platform without signal support
+        try:
+            await stop.wait()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+            await self.drain()
+
+
+__all__ = ["BATCH_ENV", "DEFAULT_QUEUE_LIMIT", "JOBS_ENV", "LINGER_ENV",
+           "QUEUE_ENV", "ServeConfig", "SynthesisServer"]

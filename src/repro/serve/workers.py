@@ -1,0 +1,87 @@
+"""Bridge from the asyncio event loop to the warm worker pool.
+
+The event loop must never run synthesis: a single Espresso pass would
+stall every connection.  :class:`WorkerBridge` submits endpoint work to
+the shared :class:`repro.runner.WarmPool` (live processes reused across
+requests — no per-call executor spin-up) and exposes it as an
+awaitable, keeping the resilient runner's semantics:
+
+* **crash isolation** — a ``BrokenProcessPool`` (worker segfault,
+  ``kill -9``) recycles the pool and retries the request up to
+  ``retries`` times; other requests only ever see their own error;
+* **timeouts** — a request over its wall budget (``REPRO_TASK_TIMEOUT``
+  by default) recycles the pool (a wedged worker cannot be interrupted
+  politely) and is retried, then reported as ``internal``;
+* **caller-error passthrough** — :exc:`repro.serve.ops.RequestError`
+  raised in the worker is not retried (the request itself is wrong).
+
+Tests substitute any object with the same ``async run(op, params)``
+coroutine (e.g. a gated in-process executor) to make admission-queue
+and drain behaviour deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, Optional
+
+from repro import perf, runner
+from repro.serve.ops import RequestError, dispatch
+
+
+class WorkerBridge:
+    """Awaitable endpoint execution on a warm multi-process pool."""
+
+    def __init__(self, pool: Optional[runner.WarmPool] = None,
+                 jobs: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 retries: int = 2, backoff: float = 0.1) -> None:
+        self.pool = pool if pool is not None else runner.shared_pool(jobs)
+        self.timeout = timeout if timeout is not None \
+            else runner.default_timeout()
+        self.retries = retries
+        self.backoff = backoff
+
+    async def run(self, op: str, params: Dict[str, Any]) -> Any:
+        """Execute ``ops.dispatch(op, params)`` in a worker, resiliently."""
+        attempt = 0
+        while True:
+            attempt += 1
+            future = self.pool.submit(dispatch, op, params)
+            try:
+                return await asyncio.wait_for(asyncio.wrap_future(future),
+                                              timeout=self.timeout)
+            except RequestError:
+                raise  # the caller's fault; retrying cannot help
+            except (BrokenProcessPool, asyncio.TimeoutError) as exc:
+                future.cancel()
+                self.pool.recycle()
+                perf.count("serve.worker.recycles")
+                if attempt > self.retries:
+                    if isinstance(exc, asyncio.TimeoutError):
+                        raise TimeoutError(
+                            f"op {op!r} timed out after "
+                            f"{self.timeout:.1f}s "
+                            f"({attempt} attempt(s))") from exc
+                    raise
+                perf.count("serve.worker.retries")
+                if self.backoff:
+                    await asyncio.sleep(self.backoff * (2 ** (attempt - 1)))
+
+    def shutdown(self) -> None:
+        """Stop the workers (only if this bridge owns a private pool)."""
+        self.pool.shutdown()
+
+
+class InlineBridge:
+    """Same interface, computed on the event-loop thread (tests only)."""
+
+    async def run(self, op: str, params: Dict[str, Any]) -> Any:
+        return dispatch(op, params)
+
+    def shutdown(self) -> None:  # pragma: no cover - nothing to stop
+        pass
+
+
+__all__ = ["InlineBridge", "WorkerBridge"]

@@ -243,7 +243,7 @@ class SynthesisService:
                                                              netlist))
 
     def evaluate_batch(self, covers, minterms=None, stream=None,
-                       jobs: int = 1):
+                       jobs: int = 1, pool=None):
         """Batched cover evaluation served through the store.
 
         Evaluates every cover of ``covers`` on a common vector batch —
@@ -253,7 +253,9 @@ class SynthesisService:
         miss path goes through :func:`repro.eval.evaluate_covers`, so
         the arena fast path and its per-cover/scalar oracles produce
         the same artifact; stream requests are keyed by the compact
-        spec, not the expanded vectors.
+        spec, not the expanded vectors.  ``pool`` (a warm
+        :class:`repro.runner.WarmPool`) lets serving miss paths reuse
+        live workers instead of spinning a pool up per call.
         """
         if (minterms is None) == (stream is None):
             raise ValueError("pass exactly one of minterms= or stream=")
@@ -270,7 +272,8 @@ class SynthesisService:
 
         def compute():
             from repro import eval as batch_eval
-            return batch_eval.evaluate_covers(covers, vectors, jobs=jobs)
+            return batch_eval.evaluate_covers(covers, vectors, jobs=jobs,
+                                              pool=pool)
 
         return self.get_or_compute(
             "eval_batch", request, compute,

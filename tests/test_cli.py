@@ -186,6 +186,26 @@ class TestCacheCommand:
         assert main(["cache", "verify", "--json", str(report)]) == 1
         assert json.loads(report.read_text())["corrupt"] == 1
 
+    def test_stats_json_to_stdout(self, pla_file, capsys):
+        import json
+        assert main(["minimize", pla_file]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] >= 1
+        assert "minimize" in stats["kinds"]
+        for field in ("root", "bytes", "quarantined", "disk_capacity"):
+            assert field in stats
+
+    def test_stats_json_to_file(self, pla_file, tmp_path, capsys):
+        import json
+        assert main(["minimize", pla_file]) == 0
+        out_path = tmp_path / "stats.json"
+        assert main(["cache", "stats", "--json", str(out_path)]) == 0
+        stats = json.loads(out_path.read_text())
+        assert stats["entries"] >= 1
+        assert stats["kinds"]["minimize"]["entries"] >= 1
+
     def test_minimize_warm_output_identical(self, pla_file, capsys):
         assert main(["minimize", pla_file]) == 0
         cold = capsys.readouterr().out

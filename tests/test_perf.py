@@ -1,0 +1,118 @@
+"""Tests for repro.perf: timers, counters, and latency reservoirs."""
+
+import pytest
+
+from repro import perf
+
+
+@pytest.fixture(autouse=True)
+def _clean_perf():
+    perf.reset()
+    yield
+    perf.reset()
+
+
+class TestQuantile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            perf.quantile([], 0.5)
+
+    def test_single_sample(self):
+        assert perf.quantile([7.0], 0.99) == 7.0
+
+    def test_median_interpolates(self):
+        assert perf.quantile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 3.0]
+        assert perf.quantile(data, 0.0) == 1.0
+        assert perf.quantile(data, 1.0) == 5.0
+
+    def test_order_independent(self):
+        assert perf.quantile([3.0, 1.0, 2.0], 0.5) == \
+            perf.quantile([1.0, 2.0, 3.0], 0.5)
+
+
+class TestReservoir:
+    def test_observe_accumulates_and_samples(self):
+        for ms in (1, 2, 3, 4):
+            perf.observe("op", ms / 1e3)
+        entry = perf.snapshot()["timers"]["op"]
+        assert entry["calls"] == 4
+        assert entry["seconds"] == pytest.approx(0.010, abs=1e-9)
+        assert entry["p50_ms"] == pytest.approx(2.5)
+        assert entry["p95_ms"] == pytest.approx(3.85)
+        assert entry["p99_ms"] == pytest.approx(3.97)
+
+    def test_ring_is_bounded(self):
+        n = perf.RESERVOIR_SIZE * 3
+        for i in range(n):
+            perf.observe("hot", float(i))
+        samples = perf.timer_samples("hot")
+        assert len(samples) == perf.RESERVOIR_SIZE
+        # ring overwrite: only the most recent RESERVOIR_SIZE survive
+        assert set(samples) == set(
+            float(i) for i in range(n - perf.RESERVOIR_SIZE, n))
+        entry = perf.snapshot()["timers"]["hot"]
+        assert entry["calls"] == n  # totals still count everything
+
+    def test_timer_context_feeds_reservoir(self):
+        with perf.timer("block"):
+            pass
+        entry = perf.snapshot()["timers"]["block"]
+        assert entry["calls"] == 1
+        assert entry["p50_ms"] >= 0.0
+        assert len(perf.timer_samples("block")) == 1
+
+    def test_snapshot_with_samples_carries_raw_ms(self):
+        perf.observe("op", 0.002)
+        entry = perf.snapshot(samples=True)["timers"]["op"]
+        assert entry["samples"] == [pytest.approx(2.0)]
+        # default snapshot omits the raw list
+        assert "samples" not in perf.snapshot()["timers"]["op"]
+
+
+class TestMerge:
+    def test_merge_pools_samples_and_recomputes(self):
+        perf.observe("op", 0.001)
+        a = perf.snapshot(samples=True)
+        perf.reset()
+        perf.observe("op", 0.003)
+        b = perf.snapshot(samples=True)
+        merged = perf.merge(a, b)
+        entry = merged["timers"]["op"]
+        assert entry["calls"] == 2
+        assert entry["seconds"] == pytest.approx(0.004)
+        assert entry["p50_ms"] == pytest.approx(2.0)
+        assert sorted(entry["samples"]) == [pytest.approx(1.0),
+                                            pytest.approx(3.0)]
+
+    def test_merge_without_samples_drops_quantiles(self):
+        perf.observe("op", 0.001)
+        a = perf.snapshot()
+        perf.reset()
+        perf.observe("op", 0.003)
+        b = perf.snapshot()
+        entry = perf.merge(a, b)["timers"]["op"]
+        assert entry["calls"] == 2
+        for label, _q in perf.QUANTILES:
+            assert label not in entry
+
+    def test_merge_pooled_reservoir_stays_bounded(self):
+        for i in range(perf.RESERVOIR_SIZE):
+            perf.observe("op", float(i))
+        a = perf.snapshot(samples=True)
+        perf.reset()
+        for i in range(perf.RESERVOIR_SIZE):
+            perf.observe("op", float(i))
+        b = perf.snapshot(samples=True)
+        entry = perf.merge(a, b)["timers"]["op"]
+        assert len(entry["samples"]) == perf.RESERVOIR_SIZE
+
+    def test_merge_adds_counters(self):
+        perf.count("hits", 2)
+        a = perf.snapshot()
+        perf.reset()
+        perf.count("hits", 3)
+        merged = perf.merge(a, perf.snapshot())
+        assert merged["counters"]["hits"] == 5

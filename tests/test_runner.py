@@ -171,3 +171,68 @@ class TestDefaults:
         monkeypatch.setenv("REPRO_TASK_TIMEOUT", "nope")
         with pytest.raises(ValueError):
             default_timeout()
+
+
+class TestWarmPool:
+    def test_lazy_start_and_reuse(self):
+        from repro.runner import WarmPool
+        pool = WarmPool(jobs=2)
+        try:
+            assert not pool.started
+            assert pool.submit(_double, 4).result(timeout=30) == 8
+            assert pool.started
+            # same warm workers serve repeated submits (no respawn)
+            pids = {pool.submit(os.getpid).result(timeout=30)
+                    for _ in range(6)}
+            assert len(pids) <= 2
+            assert pool.n_recycles == 0
+        finally:
+            pool.shutdown()
+        assert not pool.started
+
+    def test_run_recycles_on_worker_crash(self):
+        from repro.runner import WarmPool
+        pool = WarmPool(jobs=1)
+        try:
+            with pytest.raises(Exception):
+                pool.run(_suicide, "die", retries=1, backoff=0.0,
+                         timeout=30.0)
+            assert pool.n_recycles >= 1
+            # the recycled pool keeps serving
+            assert pool.run(_double, 3, timeout=30.0) == 6
+        finally:
+            pool.shutdown()
+
+    def test_run_timeout_recycles_and_raises(self):
+        from repro.runner import WarmPool
+        pool = WarmPool(jobs=1)
+        try:
+            with pytest.raises(TimeoutError):
+                pool.run(_slow, "hang", timeout=0.5, retries=0,
+                         backoff=0.0)
+            assert pool.n_recycles >= 1
+        finally:
+            pool.shutdown()
+
+    def test_run_tasks_with_warm_pool_matches_inline(self):
+        from repro.runner import WarmPool
+        pool = WarmPool(jobs=2)
+        try:
+            tasks = [(i, i) for i in range(6)]
+            warm = run_tasks(_double, tasks, pool=pool)
+            inline = run_tasks(_double, tasks)
+            assert warm.ok and inline.ok
+            assert warm.values() == inline.values()
+            # the caller's pool must survive run_tasks (not be shut down)
+            assert pool.submit(_double, 5).result(timeout=30) == 10
+        finally:
+            pool.shutdown()
+
+    def test_shared_pool_singleton_and_reset(self):
+        from repro.runner import reset_shared_pool, shared_pool
+        reset_shared_pool()
+        try:
+            a = shared_pool(jobs=1)
+            assert a is shared_pool()
+        finally:
+            reset_shared_pool()
