@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Chaos soak benchmark (lands ``chaos_soak`` in BENCH_perf.json).
+
+Replays the serving stack under the deterministic fault schedules from
+:mod:`repro.faults.chaos` and gates on the soak's invariants:
+
+* **composite fault pressure** — the injected-fault rate across the
+  armed failpoints must reach the 2% acceptance floor (a soak that
+  injects nothing proves nothing);
+* **zero hangs** — every request in the faulted serve pass resolves
+  within its wall budget (the retrying client, circuit breaker, and
+  idempotent drain exist precisely to make this true);
+* **zero wrong bytes** — every store-segment payload and every
+  *completed* serve-segment reply is byte-identical to a fault-free
+  oracle run of the same seeded workload (losing a request to
+  ``overloaded`` after exhausted retries is acceptable; serving wrong
+  bytes never is);
+* **bounded p99 degradation** — the faulted pass's p99 may pay for
+  worker recycles and reconnect/replay, but not without limit.
+
+The record keeps the report-wide ``scalar_s``/``kernel_s``/``speedup``
+convention by analogy: baseline (faulted p99) over optimized (oracle
+p99), so ``speedup`` here is the p99 *degradation factor* under
+faults — bounded by the acceptance threshold instead of floored.
+
+The fault schedules are content-addressed (``fault_keys``), so a
+recorded soak pins exactly which failure diet the stack survived.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py [--quick]
+        [--seed N] [--report FILE] [--no-gate]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: Acceptance floor on the composite injected-fault rate.
+MIN_INJECTED_RATE = 0.02
+
+#: Acceptance ceiling on faulted-vs-oracle p99 degradation.
+MAX_P99_RATIO = 100.0
+
+
+def _merge_into_report(path: str, record: dict, acceptance: dict) -> None:
+    """Add/replace ``chaos_soak`` in an existing report (or standalone)."""
+    try:
+        with open(path) as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        report = {"suite": "bench_chaos", "results": []}
+    results = [r for r in report.get("results", [])
+               if r.get("name") != record["name"]]
+    results.append(record)
+    report["results"] = results
+    report["acceptance_chaos"] = acceptance
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller soak (CI smoke): 40 store ops, "
+                             "60 serve requests")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="soak seed; the fault schedule, workload "
+                             "and retry jitter all derive from it")
+    parser.add_argument("--report", default="BENCH_perf.json",
+                        help="report to update in place (default: "
+                             "BENCH_perf.json)")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="record the soak but do not fail the run "
+                             "on its gates (byte-identity mismatches "
+                             "and hangs still fail)")
+    args = parser.parse_args(argv)
+
+    from repro import kernels
+    from repro.faults.chaos import (ChaosSettings, quiet_asyncio_log,
+                                    run_chaos)
+
+    quiet_asyncio_log()
+    settings = ChaosSettings(
+        seed=args.seed,
+        store_ops=40 if args.quick else 80,
+        requests=60 if args.quick else 160,
+        hang_budget_s=45.0 if args.quick else 60.0,
+        worker_timeout_s=8.0 if args.quick else 10.0,
+        max_p99_ratio=MAX_P99_RATIO,
+    )
+    backend = kernels.backend()
+    print(f"bench_chaos (quick={args.quick}, seed={args.seed}, "
+          f"store_ops={settings.store_ops}, requests={settings.requests}, "
+          f"clients={settings.clients}, jobs={settings.jobs}, "
+          f"backend={backend})")
+
+    soak = run_chaos(settings)
+
+    # hangs and wrong bytes fail even under --no-gate: they mean the
+    # stack lied, not that a threshold was missed
+    if soak["hangs"] or not soak["identical"]:
+        print(f"FATAL: hangs={soak['hangs']} "
+              f"identical={soak['identical']}")
+        return 1
+
+    rate_ok = soak["injected_rate"] >= MIN_INJECTED_RATE
+    passed = bool(soak["ok"] and rate_ok)
+    record = {
+        "name": "chaos_soak",
+        "detail": f"{settings.store_ops} store ops + {settings.requests} "
+                  f"serve requests ({settings.clients} clients, "
+                  f"{settings.jobs} workers) under seeded faults "
+                  f"(composite rate {soak['injected_rate']:.1%}); "
+                  f"speedup = faulted/oracle p99 degradation "
+                  f"({backend} backend)",
+        "scalar_s": round(soak["serve"]["faulted_p99_ms"] / 1e3, 6),
+        "kernel_s": round(soak["serve"]["oracle_p99_ms"] / 1e3, 6),
+        "speedup": soak["p99_ratio"],
+        "backend": backend,
+        "identical": soak["identical"],
+        "hangs": soak["hangs"],
+        "injected": soak["injected"],
+        "checked": soak["checked"],
+        "injected_rate": soak["injected_rate"],
+        "completed_frac": soak["completed_frac"],
+        "fault_keys": soak["fault_keys"],
+        "faults": soak["faults"],
+        "store": soak["store"],
+        "serve": soak["serve"],
+        "wall_s": soak["wall_s"],
+    }
+    acceptance = {
+        "metric": "chaos_soak",
+        # report-wide acceptance shape; here the "speedup" is the p99
+        # degradation factor and the threshold is a ceiling, not a floor
+        "speedup": soak["p99_ratio"],
+        "threshold": MAX_P99_RATIO,
+        "injected_rate": soak["injected_rate"],
+        "min_injected_rate": MIN_INJECTED_RATE,
+        "hangs": soak["hangs"],
+        "identical": soak["identical"],
+        "pass": passed,
+    }
+    _merge_into_report(args.report, record, acceptance)
+
+    store, serve = soak["store"], soak["serve"]
+    print(f"  store: {store['completed']}/{store['ops']} ops identical, "
+          f"{store['quarantined']} quarantined, "
+          f"rate {store['injected_rate']:.1%}")
+    print(f"  serve: {serve['completed']}/{serve['requests']} completed "
+          f"({serve['error_codes'] or 'no errors'}), 0 hangs, "
+          f"rate {serve['injected_rate']:.1%}")
+    print(f"  p99: oracle {serve['oracle_p99_ms']:.1f} ms -> faulted "
+          f"{serve['faulted_p99_ms']:.1f} ms "
+          f"(x{soak['p99_ratio']:.1f}, ceiling {MAX_P99_RATIO:.0f})")
+    print(f"acceptance (chaos): rate {soak['injected_rate']:.1%} >= "
+          f"{MIN_INJECTED_RATE:.0%}, hangs=0, identical, "
+          f"p99 ratio {soak['p99_ratio']:.1f} <= {MAX_P99_RATIO:.0f}: "
+          f"{'PASS' if passed else 'FAIL'}"
+          f"{' (not gated)' if args.no_gate else ''}")
+    print(f"updated {args.report}")
+    return 0 if passed or args.no_gate else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,11 @@ tooling diffs perf trajectories across PRs.  Checks:
   scenario req/s plus p50/p99 latency quantiles for the batched,
   unbatched, and cold/warm-minimize passes, and its byte-identity
   flag set;
-* all six acceptance blocks are well-formed and report ``pass: true``.
+* the ``chaos_soak`` record (``benchmarks/bench_chaos.py``: the
+  serving stack under seeded fault injection) with zero hangs, its
+  byte-identity flag set, a composite injected-fault rate at or above
+  the 2% floor, and content-addressed fault-schedule keys;
+* all seven acceptance blocks are well-formed and report ``pass: true``.
 
 Usage::
 
@@ -63,6 +67,7 @@ _TOP_FIELDS = {
     "acceptance_cache": dict,
     "acceptance_batch": dict,
     "acceptance_serve": dict,
+    "acceptance_chaos": dict,
 }
 
 #: Per-scenario stats every ``serve_load`` sub-record must carry.
@@ -72,6 +77,9 @@ _SERVE_STAT_FIELDS = ("req_per_s", "p50_ms", "p99_ms")
 
 #: Fewest concurrent clients the serve gate accepts.
 MIN_SERVE_CLIENTS = 8
+
+#: Lowest composite injected-fault rate a chaos soak may record.
+MIN_CHAOS_INJECTED_RATE = 0.02
 
 #: Store counters every ``cache_*`` record must embed.
 _CACHE_COUNTERS = ("hit_mem", "hit_disk", "miss", "puts")
@@ -110,7 +118,7 @@ def validate_report(report: dict) -> List[str]:
 
     minimize_count = 0
     place_count = route_count = cache_count = 0
-    batch_eval_count = batch_yield_count = serve_count = 0
+    batch_eval_count = batch_yield_count = serve_count = chaos_count = 0
     for i, result in enumerate(report.get("results", [])):
         where = f"results[{i}]"
         if not isinstance(result, dict):
@@ -197,6 +205,28 @@ def validate_report(report: dict) -> List[str]:
                     if not isinstance(value, numbers.Real) or value < 0:
                         errors.append(f"{where}: {scenario}.{field} is "
                                       f"missing or negative")
+        if name == "chaos_soak":
+            chaos_count += 1
+            if result.get("hangs") != 0:
+                errors.append(f"{where}: chaos_soak recorded hangs")
+            if result.get("identical") is not True:
+                errors.append(f"{where}: chaos_soak byte-identity flag "
+                              f"is not true")
+            rate = result.get("injected_rate")
+            if not isinstance(rate, numbers.Real) or \
+                    rate < MIN_CHAOS_INJECTED_RATE:
+                errors.append(f"{where}: chaos_soak injected_rate below "
+                              f"the {MIN_CHAOS_INJECTED_RATE:.0%} floor")
+            keys = result.get("fault_keys")
+            if not isinstance(keys, dict) or \
+                    not all(isinstance(keys.get(k), str) and len(keys[k]) == 64
+                            for k in ("store", "serve")):
+                errors.append(f"{where}: chaos_soak lacks content-addressed "
+                              f"fault-schedule keys")
+            for segment in ("store", "serve"):
+                if not isinstance(result.get(segment), dict):
+                    errors.append(f"{where}: chaos_soak lacks the "
+                                  f"{segment!r} segment record")
         if name == "fpga_place_route_table2":
             snapshot = result.get("perf")
             if not isinstance(snapshot, dict):
@@ -229,10 +259,13 @@ def validate_report(report: dict) -> List[str]:
     if serve_count < 1:
         errors.append("report: no serve_load result (asyncio serving "
                       "layer load benchmark)")
+    if chaos_count < 1:
+        errors.append("report: no chaos_soak result (fault-injection "
+                      "soak harness)")
 
     for block in ("acceptance", "acceptance_minimize", "acceptance_fpga",
                   "acceptance_cache", "acceptance_batch",
-                  "acceptance_serve"):
+                  "acceptance_serve", "acceptance_chaos"):
         data = report.get(block)
         if isinstance(data, dict):
             _check_fields(data, _ACCEPTANCE_FIELDS, block, errors)
@@ -269,7 +302,9 @@ def main(argv=None) -> int:
                   f"batch acceptance "
                   f"{report['acceptance_batch']['speedup']}x, "
                   f"serve acceptance "
-                  f"{report['acceptance_serve']['speedup']}x)")
+                  f"{report['acceptance_serve']['speedup']}x, "
+                  f"chaos p99 ratio "
+                  f"{report['acceptance_chaos']['speedup']}x)")
     return 1 if failed else 0
 
 

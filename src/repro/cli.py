@@ -326,7 +326,9 @@ def _cmd_cache(args) -> int:
             ["entries", stats["entries"]],
             ["bytes", stats["bytes"]],
             ["disk cap", cap if cap is not None else "(unbounded)"],
-            ["quarantined", stats["quarantined"]],
+            ["quarantined", f"{stats['quarantined']} entries / "
+                            f"{stats['quarantine_bytes']} B "
+                            f"(cap {stats['quarantine_capacity']})"],
         ]
         for kind, info in sorted(stats["kinds"].items()):
             rows.append([f"kind: {kind}",
@@ -370,6 +372,18 @@ def _cmd_serve(args) -> int:
     import asyncio
     from repro.serve.server import ServeConfig, SynthesisServer
 
+    if args.faults:
+        # arm failpoints before any worker forks so the schedule
+        # reaches worker processes through the environment
+        from repro import faults
+        from repro.faults.chaos import quiet_asyncio_log
+        faults.install(args.faults, args.faults_seed)
+        # injected resets make the loop write into aborted sockets by
+        # design; without this the asyncio logger floods stderr
+        quiet_asyncio_log()
+        print(f"fault injection armed: {args.faults!r} "
+              f"(seed {args.faults_seed})", file=sys.stderr)
+
     overrides = {"host": args.host, "port": args.port}
     if args.batch is not None:
         overrides["max_batch"] = args.batch
@@ -407,6 +421,47 @@ def _cmd_serve(args) -> int:
               f"p99={entry.get('p99_ms', 0.0):.3f}ms", file=sys.stderr)
     print("drained cleanly", file=sys.stderr)
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.faults.chaos import (ChaosSettings, quiet_asyncio_log,
+                                    run_chaos)
+
+    quiet_asyncio_log()
+    overrides = {}
+    if args.store_faults is not None:
+        overrides["store_faults"] = args.store_faults
+    if args.serve_faults is not None:
+        overrides["serve_faults"] = args.serve_faults
+    settings = ChaosSettings(seed=args.seed, store_ops=args.store_ops,
+                             requests=args.requests, clients=args.clients,
+                             jobs=args.jobs, **overrides)
+    soak = run_chaos(settings)
+    store, serve = soak["store"], soak["serve"]
+    rows = [
+        ["fault keys", f"store {soak['fault_keys']['store'][:16]} / "
+                       f"serve {soak['fault_keys']['serve'][:16]}"],
+        ["injected", f"{soak['injected']}/{soak['checked']} checks "
+                     f"({soak['injected_rate']:.1%})"],
+        ["store segment", f"{store['completed']}/{store['ops']} ops, "
+                          f"{store['mismatches']} mismatches, "
+                          f"{store['quarantined']} quarantined"],
+        ["serve segment", f"{serve['completed']}/{serve['requests']} "
+                          f"completed, {serve['hangs']} hangs, "
+                          f"{serve['mismatches']} mismatches"],
+        ["errors", " ".join(f"{k}={v}" for k, v in
+                            sorted(serve["error_codes"].items())) or "none"],
+        ["p99", f"oracle {serve['oracle_p99_ms']:.1f}ms -> faulted "
+                f"{serve['faulted_p99_ms']:.1f}ms "
+                f"(x{soak['p99_ratio']:.1f})"],
+        ["verdict", "OK" if soak["ok"] else "NOT OK"],
+    ]
+    print(render_table(["field", "value"], rows,
+                       title=f"Chaos soak (seed {soak['seed']}, "
+                             f"wall {soak['wall_s']:.1f}s)"))
+    if args.json:
+        _write_json(args.json, soak)
+    return 0 if soak["ok"] else 1
 
 
 #: Performance knobs, shown in ``repro --help`` and mirrored in the
@@ -475,6 +530,31 @@ serving:
   REPRO_SERVE_JOBS=N
         warm worker processes behind the server (default: cpu count);
         workers stay alive across requests — no per-call pool spin-up
+  REPRO_MP_START=fork|forkserver|spawn
+        worker-pool start method (default fork: copy-on-write page
+        sharing with the parent is worth a lot of throughput on small
+        hosts); forkserver gives workers clean descriptor tables at
+        the cost of private pages
+
+fault injection (testing only):
+  REPRO_FAULTS="site:kind@arm[,key=value][;...]"
+        arm deterministic failpoints (repro.faults); arms are a
+        probability in (0,1], `after=N` (fire on the Nth check) or
+        `every=N`. Sites: store.disk_write (torn|io_error),
+        store.fsync (io_error), store.disk_read (corrupt),
+        store.lock (stall), store.publish (hang|crash),
+        worker.task (crash|hang), worker.result (poison),
+        serve.conn (reset), serve.flush (delay), serve.overload
+        (force). Example:
+        REPRO_FAULTS="store.disk_read:corrupt@0.05;worker.task:crash@0.02"
+  REPRO_FAULTS_SEED=N
+        failpoint RNG seed (default 0); (seed, spec) fully determines
+        the schedule — FaultPlan.key() content-addresses it
+  repro chaos [--seed N] [--json]
+        the seeded chaos soak: a store segment and a serve segment
+        under the default fault diet, gated on zero hangs and byte
+        identity vs fault-free oracle runs (`repro serve --faults
+        SPEC` arms failpoints on a live server instead)
 """
 
 
@@ -623,7 +703,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queue", type=int, default=None,
                    help="admission budget before load-shedding "
                         "(default: REPRO_SERVE_QUEUE or 256)")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="arm deterministic failpoints for this server "
+                        "(spec grammar: site:kind@arm[,k=v][;...], see "
+                        "the fault-injection epilog); equivalent to "
+                        "REPRO_FAULTS=SPEC")
+    p.add_argument("--faults-seed", type=int, default=0,
+                   help="failpoint RNG seed (default 0)")
     p.set_defaults(handler=_cmd_serve)
+
+    p = sub.add_parser("chaos", help="run the seeded chaos soak against "
+                                     "the store and serving stack")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--store-ops", type=int, default=80,
+                   help="store-segment operations (default 80)")
+    p.add_argument("--requests", type=int, default=160,
+                   help="serve-segment requests (default 160)")
+    p.add_argument("--clients", type=int, default=4,
+                   help="concurrent pipelined connections (default 4)")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="warm worker processes (default 2)")
+    p.add_argument("--store-faults", default=None, metavar="SPEC",
+                   help="override the store-segment fault schedule")
+    p.add_argument("--serve-faults", default=None, metavar="SPEC",
+                   help="override the serve-segment fault schedule")
+    p.add_argument("--json", nargs="?", const="-", default=None,
+                   metavar="FILE",
+                   help="write the full soak record as JSON to FILE "
+                        "(bare --json = stdout)")
+    p.set_defaults(handler=_cmd_chaos)
 
     p = sub.add_parser("table1", help="reproduce the paper's Table 1")
     p.set_defaults(handler=_cmd_table1)

@@ -1,0 +1,18 @@
+"""Deterministic fault injection for the serving stack.
+
+See :mod:`repro.faults.registry` for the failpoint registry and the
+``REPRO_FAULTS`` spec grammar, and :mod:`repro.faults.chaos` for the
+seeded soak harness behind ``repro chaos`` / ``benchmarks/bench_chaos``.
+"""
+
+from repro.faults.registry import (CRASH_EXIT_CODE, DEFAULT_MS, FAULTS_ENV,
+                                   FAULTS_SEED_ENV, FaultPlan, FaultRule,
+                                   SITES, active, check, configure,
+                                   crash_or_hang, current, env_mentions,
+                                   install, maybe_fail_worker_task,
+                                   parse_spec, raise_io_error)
+
+__all__ = ["CRASH_EXIT_CODE", "DEFAULT_MS", "FAULTS_ENV", "FAULTS_SEED_ENV",
+           "FaultPlan", "FaultRule", "SITES", "active", "check", "configure",
+           "crash_or_hang", "current", "env_mentions", "install",
+           "maybe_fail_worker_task", "parse_spec", "raise_io_error"]

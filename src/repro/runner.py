@@ -33,6 +33,7 @@ under the resilient runner.
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import threading
 import time
@@ -209,6 +210,75 @@ def _append_checkpoint(handle, key: Any, value: Any, elapsed: float) -> None:
 
 
 # ----------------------------------------------------------------------
+# worker process hygiene
+# ----------------------------------------------------------------------
+#: Start-method override for worker pools ("fork", "forkserver",
+#: "spawn").  The default is ``fork``.
+MP_START_ENV = "REPRO_MP_START"
+
+_mp_context_cache: Dict[str, Any] = {}
+_mp_context_lock = threading.Lock()
+
+
+def _mp_context():
+    """The start method for worker pools (``REPRO_MP_START`` overrides).
+
+    The default is plain ``fork``: workers share copy-on-write pages
+    with the submitting process, which on the single- and dual-core
+    hosts this project targets is worth a large fraction of batched
+    serve throughput (private pages mean the parent and worker evict
+    each other's cache lines on every context switch).
+
+    Fork children do duplicate every file descriptor the parent has
+    open at fork time — including live TCP connections of ``repro
+    serve``.  A connection close/abort that relied on descriptor
+    refcounts would therefore never reach the peer while a worker
+    holds the duplicate; the server instead calls ``socket.shutdown``
+    on the underlying socket wherever it tears a connection down
+    deliberately, which acts on the socket itself and signals the peer
+    no matter how many duplicates exist.
+
+    ``REPRO_MP_START=forkserver`` opts into a pre-warmed fork server
+    (fork+exec, clean descriptor tables, ``repro.serve.ops``
+    preloaded) when descriptor hygiene matters more than throughput.
+    """
+    method = os.environ.get(MP_START_ENV, "fork").strip().lower()
+    with _mp_context_lock:
+        context = _mp_context_cache.get(method)
+        if context is None:
+            try:
+                context = multiprocessing.get_context(method)
+                if method == "forkserver":
+                    context.set_forkserver_preload(["repro.serve.ops"])
+            except ValueError:  # pragma: no cover - platform fallback
+                context = multiprocessing.get_context()
+            _mp_context_cache[method] = context
+        return context
+
+
+def _repro_env() -> Dict[str, str]:
+    """The ``REPRO_*`` environment to mirror into worker processes."""
+    return {key: value for key, value in os.environ.items()
+            if key.startswith("REPRO_")}
+
+
+def _worker_init(env: Dict[str, str]) -> None:
+    """Executor initializer: sync ``REPRO_*`` env into a fresh worker.
+
+    Fork-server children inherit the environment the fork server was
+    *started* with, not the submitting process's environment at submit
+    time — fault schedules (``REPRO_FAULTS``) or backend switches
+    (``REPRO_KERNEL``) applied later would silently never reach the
+    workers.  Each executor snapshots the parent's ``REPRO_*`` keys at
+    construction and replays them here.
+    """
+    for key in [k for k in os.environ if k.startswith("REPRO_")]:
+        if key not in env:
+            del os.environ[key]
+    os.environ.update(env)
+
+
+# ----------------------------------------------------------------------
 # the warm pool
 # ----------------------------------------------------------------------
 class WarmPool:
@@ -235,6 +305,7 @@ class WarmPool:
     def __init__(self, jobs: Optional[int] = None):
         self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 2)
         self.n_recycles = 0
+        self._generation = 0
         self._lock = threading.Lock()
         self._executor: Optional[ProcessPoolExecutor] = None
 
@@ -243,9 +314,24 @@ class WarmPool:
         """True once worker processes exist (and were not shut down)."""
         return self._executor is not None
 
+    @property
+    def generation(self) -> int:
+        """Bumped on every recycle; lets callers dedupe recycles.
+
+        One crashed worker breaks *every* in-flight future, so N
+        concurrent callers would otherwise recycle N times — enough to
+        spuriously trip a circuit breaker on a single crash.  A caller
+        snapshots the generation before submitting and passes it to
+        :meth:`recycle` as ``seen``; only the first caller actually
+        replaces the pool.
+        """
+        return self._generation
+
     def _ensure_locked(self) -> ProcessPoolExecutor:
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=_mp_context(),
+                initializer=_worker_init, initargs=(_repro_env(),))
         return self._executor
 
     def submit(self, fn: Callable[..., Any], *args: Any):
@@ -253,8 +339,14 @@ class WarmPool:
 
         A pool found broken at submission time is recycled once before
         the submit is retried (the caller still owns result-side
-        failures).
+        failures).  When ``worker.*`` failpoints are armed
+        (:mod:`repro.faults`), the task is wrapped so the
+        ``worker.task`` site runs inside the worker process.
         """
+        from repro import faults
+        if faults.env_mentions("worker."):
+            args = (fn,) + args
+            fn = _faulted_task
         with self._lock:
             try:
                 return self._ensure_locked().submit(fn, *args)
@@ -265,13 +357,25 @@ class WarmPool:
     def _recycle_locked(self) -> None:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
-        self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.jobs, mp_context=_mp_context(),
+            initializer=_worker_init, initargs=(_repro_env(),))
         self.n_recycles += 1
+        self._generation += 1
 
-    def recycle(self) -> None:
-        """Replace the pool (crashed or wedged workers) with a fresh one."""
+    def recycle(self, seen: Optional[int] = None) -> bool:
+        """Replace the pool (crashed or wedged workers) with a fresh one.
+
+        ``seen`` is the :attr:`generation` the caller observed before
+        its failure: if the pool was already recycled past it (another
+        caller of the same crash got here first), this is a no-op.
+        Returns True when this call actually recycled.
+        """
         with self._lock:
+            if seen is not None and self._generation != seen:
+                return False
             self._recycle_locked()
+            return True
 
     def shutdown(self, wait: bool = False) -> None:
         """Tear the workers down; the next submit lazily restarts."""
@@ -295,11 +399,12 @@ class WarmPool:
         attempt = 0
         while True:
             attempt += 1
+            generation = self.generation
             future = self.submit(fn, payload)
             try:
                 return future.result(timeout=timeout)
             except (BrokenProcessPool, FutureTimeout) as exc:
-                self.recycle()
+                self.recycle(seen=generation)
                 if attempt > retries:
                     if isinstance(exc, FutureTimeout):
                         raise TimeoutError(
@@ -308,6 +413,19 @@ class WarmPool:
                     raise
                 if backoff:
                     time.sleep(backoff * (2 ** (attempt - 1)))
+
+
+def _faulted_task(fn: Callable[..., Any], *args: Any) -> Any:
+    """Worker-side shim running the ``worker.task`` failpoint first.
+
+    Top-level so it pickles; the fault decision happens *inside* the
+    worker process, whose :mod:`repro.faults` plan comes from the
+    inherited environment (``REPRO_FAULTS``) and therefore replays its
+    own deterministic per-site sequence.
+    """
+    from repro import faults
+    faults.maybe_fail_worker_task()
+    return fn(*args)
 
 
 _shared_pool: Optional[WarmPool] = None

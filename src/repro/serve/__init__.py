@@ -25,10 +25,12 @@ Entry point: ``repro serve`` (see the CLI), or programmatically::
 """
 
 from repro.serve.batcher import BatchCollector
-from repro.serve.client import AsyncServeClient, ServeClient, ServeError
+from repro.serve.client import (AsyncServeClient, RetryPolicy, ServeClient,
+                                ServeError)
 from repro.serve.server import ServeConfig, SynthesisServer
-from repro.serve.workers import InlineBridge, WorkerBridge
+from repro.serve.workers import (CircuitBreaker, DegradedError, InlineBridge,
+                                 WorkerBridge)
 
-__all__ = ["AsyncServeClient", "BatchCollector", "InlineBridge",
-           "ServeClient", "ServeConfig", "ServeError", "SynthesisServer",
-           "WorkerBridge"]
+__all__ = ["AsyncServeClient", "BatchCollector", "CircuitBreaker",
+           "DegradedError", "InlineBridge", "RetryPolicy", "ServeClient",
+           "ServeConfig", "ServeError", "SynthesisServer", "WorkerBridge"]

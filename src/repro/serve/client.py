@@ -15,15 +15,39 @@ Two flavours over the same wire format:
 Both raise :class:`ServeError` for protocol-level error replies; the
 error's ``code`` distinguishes load-shedding (``overloaded``) from
 caller bugs (``bad_request``) so clients can implement retry policies.
+
+**Resilience.**  Both clients carry a :class:`RetryPolicy`: capped
+exponential backoff with *full jitter* on ``overloaded``/``degraded``
+replies and on connection resets/EOF, plus connect and per-request
+read deadlines so a dead or wedged server can never hang a caller.
+Replays are **idempotent by construction**: a retried request keeps
+its original request id, and every server reply is canonical JSON
+derived content-addressably from the request — a replayed request
+yields byte-identical results, so retrying after an ambiguous failure
+(reset mid-reply) cannot produce wrong answers, only repeated work.
+``shutting_down``/``bad_request``/``internal`` replies are never
+retried.  On the blocking client a deadline expiry surfaces as
+:class:`repro.errors.ReproInputError` (the CLI's clean exit), not an
+indefinite hang.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
-from typing import Any, Dict, Optional
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
 
+from repro import perf
+from repro.errors import ReproInputError
 from repro.serve import protocol
+
+#: Error codes worth retrying: transient server states that a backoff
+#: is expected to clear.  Everything else is final.
+RETRYABLE_CODES = frozenset({protocol.ERR_OVERLOADED,
+                             protocol.ERR_DEGRADED})
 
 
 class ServeError(RuntimeError):
@@ -32,6 +56,50 @@ class ServeError(RuntimeError):
     def __init__(self, code: str, message: str) -> None:
         super().__init__(f"[{code}] {message}")
         self.code = code
+
+
+@dataclass
+class RetryPolicy:
+    """Capped exponential backoff with full jitter.
+
+    ``delay(attempt)`` draws uniformly from ``[0, min(cap, base *
+    2**attempt)]`` — full jitter decorrelates a thundering herd of
+    clients all shed by the same ``overloaded`` burst.  ``seed`` makes
+    the jitter sequence reproducible (the chaos harness pins it).
+
+    ``deadline`` is the per-request read budget in seconds (``None``
+    disables); ``connect_timeout`` bounds (re)connection attempts.
+    """
+
+    retries: int = 4
+    base: float = 0.05
+    cap: float = 2.0
+    deadline: Optional[float] = 30.0
+    connect_timeout: float = 10.0
+    seed: Optional[int] = None
+    _rng: random.Random = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def delay(self, attempt: int) -> float:
+        """Jittered sleep before retry ``attempt`` (1-based)."""
+        ceiling = min(self.cap, self.base * (2 ** max(0, attempt - 1)))
+        return self._rng.uniform(0.0, ceiling)
+
+    @staticmethod
+    def retryable_error(exc: BaseException) -> bool:
+        """Is this failure transient (retry) or final (raise)?"""
+        if isinstance(exc, ServeError):
+            return exc.code in RETRYABLE_CODES
+        return isinstance(exc, (ConnectionResetError, BrokenPipeError,
+                                ConnectionAbortedError, EOFError,
+                                asyncio.IncompleteReadError))
+
+
+_CONNECTION_ERRORS = (ConnectionResetError, BrokenPipeError,
+                      ConnectionAbortedError, ConnectionError, EOFError,
+                      OSError)
 
 
 def _unwrap(document: dict) -> Any:
@@ -43,20 +111,38 @@ def _unwrap(document: dict) -> Any:
 
 
 class AsyncServeClient:
-    """One pipelined connection; safe for concurrent ``request`` calls."""
+    """One pipelined connection; safe for concurrent ``request`` calls.
 
-    def __init__(self) -> None:
+    A client built with :meth:`connect` owns its connection and will
+    transparently reconnect and replay after a reset (same request id,
+    content-addressed replies — see the module docstring); a client
+    :meth:`attach`-ed to an existing stream pair cannot reconnect, so
+    connection failures surface to the caller after in-place retries.
+    """
+
+    def __init__(self, retry: Optional[RetryPolicy] = None) -> None:
+        self.retry = retry if retry is not None else RetryPolicy()
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._pending: Dict[int, "asyncio.Future[dict]"] = {}
         self._next_id = 0
         self._reader_task: Optional[asyncio.Task] = None
         self._write_lock = asyncio.Lock()
+        self._address: Optional[Tuple[str, int]] = None
+        self._connect_lock = asyncio.Lock()
 
     async def connect(self, host: str, port: int) -> "AsyncServeClient":
-        reader, writer = await asyncio.open_connection(
-            host, port, limit=protocol.MAX_LINE_BYTES)
-        return self.attach(reader, writer)
+        self._address = (host, port)
+        await self._open_connection()
+        return self
+
+    async def _open_connection(self) -> None:
+        host, port = self._address
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port,
+                                    limit=protocol.MAX_LINE_BYTES),
+            timeout=self.retry.connect_timeout)
+        self.attach(reader, writer)
 
     def attach(self, reader: asyncio.StreamReader,
                writer: asyncio.StreamWriter) -> "AsyncServeClient":
@@ -67,11 +153,16 @@ class AsyncServeClient:
         return self
 
     async def _read_loop(self) -> None:
-        error: BaseException = ConnectionError("connection closed")
+        error: BaseException = ConnectionResetError("connection closed")
+        reader = self._reader
         try:
             while True:
-                line = await self._reader.readline()
+                line = await reader.readline()
                 if not line:
+                    break
+                if not line.endswith(b"\n"):
+                    # torn final line (reset mid-reply): not a valid
+                    # response, fail pending requests as a reset
                     break
                 try:
                     document = protocol.parse_response(line)
@@ -80,34 +171,38 @@ class AsyncServeClient:
                 future = self._pending.pop(document.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(document)
-        except (ConnectionResetError, BrokenPipeError, ValueError) as exc:
+        except (ConnectionResetError, BrokenPipeError, ValueError,
+                OSError) as exc:
             error = exc
         finally:
             for future in self._pending.values():
                 if not future.done():
-                    future.set_exception(error)
+                    future.set_exception(
+                        ConnectionResetError(repr(error))
+                        if not isinstance(error, ConnectionResetError)
+                        else error)
             self._pending.clear()
 
-    async def request(self, op: str, params: Optional[dict] = None) -> Any:
-        """Send one request; resolves to its ``result`` (or raises)."""
-        if self._writer is None:
-            raise RuntimeError("client is not connected")
-        self._next_id += 1
-        request_id = self._next_id
-        future: "asyncio.Future[dict]" = \
-            asyncio.get_running_loop().create_future()
-        self._pending[request_id] = future
-        # write() buffers synchronously; draining per request would cost
-        # two event-loop hops on every call, so only apply flow control
-        # once the transport's buffer actually backs up
-        self._writer.write(protocol.encode_request(request_id, op,
-                                                   params))
-        if self._writer.transport.get_write_buffer_size() > 65536:
-            async with self._write_lock:
-                await self._writer.drain()
-        return _unwrap(await future)
+    async def _reconnect(self) -> bool:
+        """Re-establish a :meth:`connect`-owned connection; False when
+        this client cannot (attach mode)."""
+        if self._address is None:
+            return False
+        async with self._connect_lock:
+            # a live writer alone is not proof of health: after a
+            # server-side abort the writer does not learn it is dead
+            # until the next write, but the read loop does — require
+            # both before declaring someone else already reconnected
+            if (self._writer is not None and not self._writer.is_closing()
+                    and self._reader_task is not None
+                    and not self._reader_task.done()):
+                return True
+            await self._teardown()
+            await self._open_connection()
+            perf.count("retries.reconnects")
+            return True
 
-    async def close(self) -> None:
+    async def _teardown(self) -> None:
         if self._writer is not None:
             try:
                 self._writer.close()
@@ -120,6 +215,93 @@ class AsyncServeClient:
                 await self._reader_task
             except asyncio.CancelledError:
                 pass
+            self._reader_task = None
+
+    async def request(self, op: str, params: Optional[dict] = None,
+                      deadline: Optional[float] = None) -> Any:
+        """Send one request; resolves to its ``result`` (or raises).
+
+        ``deadline`` overrides the policy's per-request read budget.
+        Transient failures (``overloaded``/``degraded`` replies,
+        connection resets, deadline expiry on a reconnectable client)
+        are retried with jittered backoff under the *same* request id.
+        """
+        if self._writer is None:
+            raise RuntimeError("client is not connected")
+        if deadline is None:
+            deadline = self.retry.deadline
+        self._next_id += 1
+        request_id = self._next_id
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return await self._attempt(request_id, op, params, deadline)
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                if isinstance(exc, asyncio.CancelledError):
+                    raise
+                timed_out = isinstance(exc, asyncio.TimeoutError)
+                if timed_out and self._address is None:
+                    raise TimeoutError(
+                        f"request {op!r} exceeded its "
+                        f"{deadline:.1f}s deadline") from exc
+                retryable = (self.retry.retryable_error(exc)
+                             or isinstance(exc, ConnectionError)
+                             or timed_out)
+                if not retryable or attempt > self.retry.retries:
+                    if timed_out:
+                        raise TimeoutError(
+                            f"request {op!r} exceeded its "
+                            f"{deadline:.1f}s deadline "
+                            f"({attempt} attempt(s))") from exc
+                    raise
+                perf.count("retries.requests")
+                if isinstance(exc, ServeError):
+                    perf.count(f"retries.{exc.code}")
+                else:
+                    perf.count("retries.connection")
+                await asyncio.sleep(self.retry.delay(attempt))
+                if not isinstance(exc, ServeError):
+                    # connection-level failure (reset / EOF / deadline):
+                    # the stream state is unknown; replay needs a fresh
+                    # connection when this client owns one
+                    if not await self._reconnect():
+                        raise
+
+    async def _attempt(self, request_id: int, op: str,
+                       params: Optional[dict],
+                       deadline: Optional[float]) -> Any:
+        if (self._writer is None or self._writer.is_closing()
+                or (self._reader_task is not None
+                    and self._reader_task.done())):
+            # dead stream: fail fast (and reconnect, when possible)
+            # instead of writing into the void and waiting out the
+            # deadline
+            raise ConnectionResetError("connection is closed")
+        future: "asyncio.Future[dict]" = \
+            asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            # write() buffers synchronously; draining per request would
+            # cost two event-loop hops on every call, so only apply
+            # flow control once the transport's buffer actually backs up
+            self._writer.write(protocol.encode_request(request_id, op,
+                                                       params))
+            if self._writer.transport.get_write_buffer_size() > 65536:
+                async with self._write_lock:
+                    await self._writer.drain()
+            if deadline is not None:
+                document = await asyncio.wait_for(future, timeout=deadline)
+            else:
+                document = await future
+        finally:
+            pending = self._pending.pop(request_id, None)
+            if pending is not None and not pending.done():
+                pending.cancel()
+        return _unwrap(document)
+
+    async def close(self) -> None:
+        await self._teardown()
 
     async def __aenter__(self) -> "AsyncServeClient":
         return self
@@ -129,31 +311,89 @@ class AsyncServeClient:
 
 
 class ServeClient:
-    """Blocking request/response client (scripts, debugging)."""
+    """Blocking request/response client (scripts, debugging).
+
+    ``timeout`` is both the connect deadline and the per-reply read
+    deadline; expiry raises :class:`repro.errors.ReproInputError`
+    (clean CLI exit) instead of hanging on a dead server.  Transient
+    failures retry per ``retry`` (same policy as the async client),
+    reconnecting after resets.
+    """
 
     def __init__(self, host: str, port: int,
-                 timeout: Optional[float] = 30.0) -> None:
-        self._sock = socket.create_connection((host, port),
-                                              timeout=timeout)
-        self._file = self._sock.makefile("rb")
+                 timeout: Optional[float] = 30.0,
+                 retry: Optional[RetryPolicy] = None) -> None:
+        self._address = (host, port)
+        self._timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sock: Optional[socket.socket] = None
+        self._file = None
         self._next_id = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            self._address, timeout=self._timeout)
+        # keep the timeout armed: every recv on this socket (readline
+        # below) inherits the read deadline
+        self._sock.settimeout(self._timeout)
+        self._file = self._sock.makefile("rb")
+
+    def _reconnect(self) -> None:
+        self.close()
+        self._connect()
+        perf.count("retries.reconnects")
 
     def request(self, op: str, params: Optional[dict] = None) -> Any:
         self._next_id += 1
-        self._sock.sendall(protocol.encode_request(self._next_id, op,
-                                                   params))
+        request_id = self._next_id
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self._attempt(request_id, op, params)
+            except socket.timeout as exc:
+                raise ReproInputError(
+                    f"server {self._address[0]}:{self._address[1]} did not "
+                    f"reply to {op!r} within {self._timeout:.1f}s") from exc
+            except (ServeError, *_CONNECTION_ERRORS) as exc:
+                if isinstance(exc, ReproInputError):
+                    raise
+                if (not self.retry.retryable_error(exc)
+                        and not isinstance(exc, _CONNECTION_ERRORS)):
+                    raise
+                if attempt > self.retry.retries:
+                    raise
+                perf.count("retries.requests")
+                time.sleep(self.retry.delay(attempt))
+                if not isinstance(exc, ServeError):
+                    try:
+                        self._reconnect()
+                    except OSError:
+                        raise exc
+
+    def _attempt(self, request_id: int, op: str,
+                 params: Optional[dict]) -> Any:
+        self._sock.sendall(protocol.encode_request(request_id, op, params))
         while True:
             line = self._file.readline()
             if not line:
-                raise ConnectionError("connection closed mid-request")
-            document = protocol.parse_response(line)
-            if document.get("id") == self._next_id:
+                raise ConnectionResetError("connection closed mid-request")
+            if not line.endswith(b"\n"):
+                raise ConnectionResetError("reset mid-reply (torn line)")
+            try:
+                document = protocol.parse_response(line)
+            except ValueError:
+                continue
+            if document.get("id") == request_id:
                 return _unwrap(document)
 
     def close(self) -> None:
         try:
-            self._file.close()
-            self._sock.close()
+            if self._file is not None:
+                self._file.close()
+            if self._sock is not None:
+                self._sock.close()
         except OSError:
             pass
 
@@ -164,4 +404,5 @@ class ServeClient:
         self.close()
 
 
-__all__ = ["AsyncServeClient", "ServeClient", "ServeError"]
+__all__ = ["AsyncServeClient", "RETRYABLE_CODES", "RetryPolicy",
+           "ServeClient", "ServeError"]

@@ -254,6 +254,28 @@ def dispatch(op: str, params: Dict[str, Any]) -> Dict[str, Any]:
     return handler(params)
 
 
+def dispatch_checked(op: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """:func:`dispatch` wrapped in a result-integrity envelope.
+
+    Returns ``{"result": ..., "digest": sha256(canonical(result))}``.
+    The digest is computed *before* the ``worker.result`` failpoint
+    gets a chance to poison the result in transit, so the bridge can
+    detect a silently-corrupted reply and retry instead of serving
+    wrong bytes.  Only used when faults are armed (or
+    ``REPRO_SERVE_VERIFY=1``) — the envelope costs one canonical
+    serialization per request.
+    """
+    from repro import faults
+    from repro.store.keys import digest_of
+
+    result = dispatch(op, params)
+    digest = digest_of(result)
+    rule = faults.check("worker.result")
+    if rule is not None:  # "poison": corrupt after the digest is taken
+        result = {"poisoned": True, "op": op}
+    return {"result": result, "digest": digest}
+
+
 __all__ = ["OPS", "PLACE_ROUTE_DEFAULTS", "RequestError", "dispatch",
-           "op_evaluate_batch", "op_evaluate_flush", "op_minimize",
-           "op_place_route", "op_yield_run"]
+           "dispatch_checked", "op_evaluate_batch", "op_evaluate_flush",
+           "op_minimize", "op_place_route", "op_yield_run"]

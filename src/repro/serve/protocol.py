@@ -23,6 +23,9 @@ lines get ``id: null`` error replies.  Error codes:
 ``unknown_op``     ``op`` names no endpoint
 ``overloaded``     the admission queue is full — the 429-style
                    load-shed reply; retry after backoff
+``degraded``       the worker-bridge circuit breaker is open (worker
+                   pool repeatedly crashing/wedging); fail-fast reply,
+                   retry after backoff like ``overloaded``
 ``shutting_down``  the server is draining; no new work is admitted
 ``internal``       the computation raised; ``message`` carries the
                    ``repr`` of the exception
@@ -47,6 +50,7 @@ MAX_LINE_BYTES = 32 * 1024 * 1024
 ERR_BAD_REQUEST = "bad_request"
 ERR_UNKNOWN_OP = "unknown_op"
 ERR_OVERLOADED = "overloaded"
+ERR_DEGRADED = "degraded"
 ERR_SHUTTING_DOWN = "shutting_down"
 ERR_INTERNAL = "internal"
 
@@ -120,7 +124,8 @@ def parse_response(line: bytes) -> dict:
     return document
 
 
-__all__ = ["ERR_BAD_REQUEST", "ERR_INTERNAL", "ERR_OVERLOADED",
-           "ERR_SHUTTING_DOWN", "ERR_UNKNOWN_OP", "MAX_LINE_BYTES",
+__all__ = ["ERR_BAD_REQUEST", "ERR_DEGRADED", "ERR_INTERNAL",
+           "ERR_OVERLOADED", "ERR_SHUTTING_DOWN", "ERR_UNKNOWN_OP",
+           "MAX_LINE_BYTES",
            "ProtocolError", "dumps", "encode_error", "encode_request",
            "encode_response", "parse_request", "parse_response"]

@@ -35,17 +35,18 @@ from __future__ import annotations
 import asyncio
 import os
 import signal
+import socket
 import sys
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Optional, Set, Tuple
 
-from repro import perf
+from repro import faults, perf
 from repro.serve import protocol
 from repro.serve.batcher import (BatchCollector, DEFAULT_LINGER_US,
                                  DEFAULT_MAX_BATCH)
 from repro.serve.ops import OPS, RequestError
 from repro.serve.protocol import ProtocolError
-from repro.serve.workers import WorkerBridge
+from repro.serve.workers import DegradedError, WorkerBridge
 
 #: Environment knobs (documented in the CLI epilog and README).
 BATCH_ENV = "REPRO_SERVE_BATCH"
@@ -56,6 +57,29 @@ JOBS_ENV = "REPRO_SERVE_JOBS"
 #: Default admission budget: requests admitted concurrently before
 #: load-shedding begins.
 DEFAULT_QUEUE_LIMIT = 256
+
+
+def _hard_reset(writer: asyncio.StreamWriter) -> None:
+    """Tear a connection down so the peer notices *immediately*.
+
+    Warm-pool workers are plain forks, so each holds a duplicate of
+    every descriptor the server had open when it forked — including
+    this connection's.  ``transport.abort()`` only drops the server's
+    own descriptor; the kernel keeps the connection alive for the
+    duplicates and the peer's pending read blocks until its deadline.
+    ``socket.shutdown`` acts on the socket itself, not a descriptor,
+    so the peer sees the teardown no matter how many forks hold one.
+    """
+    transport = writer.transport
+    if transport is None:
+        return
+    sock = transport.get_extra_info("socket")
+    if sock is not None:
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:  # pragma: no cover - already disconnected
+            pass
+    transport.abort()
 
 
 def _env_int(name: str, default: int, floor: int = 1) -> int:
@@ -110,6 +134,7 @@ class SynthesisServer:
         self._idle.set()
         self._tcp_server: Optional[asyncio.base_events.Server] = None
         self._connections: Set[asyncio.Task] = set()
+        self._drain_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
     # request handling
@@ -127,7 +152,8 @@ class SynthesisServer:
             return protocol.encode_error(request_id,
                                          protocol.ERR_SHUTTING_DOWN,
                                          "server is draining")
-        if self._active >= self.config.queue_limit:
+        if (self._active >= self.config.queue_limit
+                or faults.check("serve.overload") is not None):
             perf.count("serve.overloaded")
             return protocol.encode_error(
                 request_id, protocol.ERR_OVERLOADED,
@@ -146,6 +172,11 @@ class SynthesisServer:
             code = exc.code if isinstance(exc, ProtocolError) \
                 else protocol.ERR_BAD_REQUEST
             response = protocol.encode_error(request_id, code, str(exc))
+        except DegradedError as exc:
+            perf.count("serve.degraded")
+            response = protocol.encode_error(request_id,
+                                             protocol.ERR_DEGRADED,
+                                             str(exc))
         except asyncio.CancelledError:
             raise
         except BaseException as exc:  # noqa: BLE001 - fault barrier
@@ -196,12 +227,15 @@ class SynthesisServer:
 
     def _stats(self) -> Dict[str, Any]:
         from repro.store.service import get_service
+        breaker = getattr(self.executor, "breaker", None)
         data: Dict[str, Any] = {"perf": perf.snapshot(),
                                 "active": self._active,
                                 "draining": self.draining,
                                 "queue_limit": self.config.queue_limit,
                                 "max_batch": self.config.max_batch,
-                                "linger_us": self.config.linger_us}
+                                "linger_us": self.config.linger_us,
+                                "breaker": (breaker.snapshot()
+                                            if breaker is not None else None)}
         try:
             data["store"] = get_service().stats()
         except OSError:  # pragma: no cover - store root unavailable
@@ -223,6 +257,16 @@ class SynthesisServer:
 
         async def respond(line: bytes) -> None:
             response = await self.handle_request(line)
+            flush_fault = faults.check("serve.flush")
+            if flush_fault is not None:  # "delay": a stalled flush
+                await asyncio.sleep(flush_fault.delay_s)
+            if faults.check("serve.conn") is not None:
+                # "reset": the peer sees a half-written reply then a
+                # hard connection reset — the client must detect the
+                # torn line and replay on a fresh connection
+                writer.write(response[:max(1, len(response) // 2)])
+                _hard_reset(writer)
+                return
             # write() appends to the transport buffer synchronously
             # (responses never interleave); drain — two event-loop hops
             # — only once the peer stops keeping up
@@ -300,15 +344,36 @@ class SynthesisServer:
     # lifecycle
     # ------------------------------------------------------------------
     async def drain(self) -> None:
-        """Stop admitting, flush the batcher, finish in-flight work."""
-        if self.draining:
-            await self._idle.wait()
-            return
+        """Stop admitting, flush the batcher, finish in-flight work.
+
+        Idempotent: concurrent callers (a second SIGTERM racing the
+        stdio EOF path, tests draining twice) all await one shared
+        drain task, so the teardown sequence runs exactly once and
+        every caller returns only when it has fully finished.
+        """
+        if self._drain_task is None:
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self._drain_once())
+        await self._drain_task
+
+    async def _drain_once(self) -> None:
         self.draining = True
         if self._tcp_server is not None:
             self._tcp_server.close()
             await self._tcp_server.wait_closed()
         await self.batcher.drain()
+        await self._idle.wait()
+        # Straggler grace: lines already buffered on a connection when
+        # draining flipped — e.g. racing a concurrently-flushing batch
+        # window — must still be read and answered ``shutting_down``
+        # rather than dying silently when the reader loops are
+        # cancelled below.  A short yield window lets those reader
+        # loops pick the lines up (their replies are synchronous
+        # encode_error's, no worker round-trip).
+        for _ in range(10):
+            await asyncio.sleep(0.005)
+            if self._idle.is_set():
+                break
         await self._idle.wait()
         if self._connections:
             # in-flight requests are done; close the reader loops

@@ -142,9 +142,22 @@ class SynthesisService:
                     return payload
             result = compute()
             payload = encode(result)
-            self.store.put(key, payload, kind=kind,
-                           backend=_backend_name(), lock=False)
+            self._put_tolerant(key, payload, kind, lock=False)
         return payload
+
+    def _put_tolerant(self, key: str, payload: Any, kind: str,
+                      lock: bool = True) -> None:
+        """Publish, treating a failed cache write as a degraded cache.
+
+        The payload in hand is still correct; a disk-tier write error
+        (full disk, injected ``store.disk_write``/``store.fsync``
+        fault) must cost a future recompute, not this request.
+        """
+        try:
+            self.store.put(key, payload, kind=kind,
+                           backend=_backend_name(), lock=lock)
+        except OSError:
+            perf.count("store.put_errors")
 
     def serve_cached(self, kind: str, request: Any,
                      decode: Callable[[Any], Any] = _identity):
@@ -165,8 +178,7 @@ class SynthesisService:
         """Publish an already-encoded payload for ``request``."""
         if not self.enabled:
             return
-        self.store.put(artifact_key(kind, request), payload, kind=kind,
-                       backend=_backend_name())
+        self._put_tolerant(artifact_key(kind, request), payload, kind)
 
     # ------------------------------------------------------------------
     # typed operations

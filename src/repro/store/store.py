@@ -37,11 +37,12 @@ import errno
 import json
 import os
 import tempfile
+import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from repro import perf
+from repro import faults, perf
 from repro.store.keys import artifact_key, digest_of, schema_version
 
 try:  # POSIX file locking; the store degrades gracefully without it
@@ -59,6 +60,18 @@ CACHE_MEM_ENV = "REPRO_CACHE_MEM"
 #: Unset or empty means unbounded; the janitor (:meth:`ArtifactStore.gc`)
 #: evicts oldest-access-first down to the cap.
 CACHE_DISK_ENV = "REPRO_CACHE_DISK_BYTES"
+#: Environment variable capping the quarantine directory (entry count).
+#: Quarantine keeps corrupt files as evidence, but evidence must not
+#: grow without bound: beyond the cap the *oldest* quarantined files
+#: are dropped.
+CACHE_QUARANTINE_ENV = "REPRO_CACHE_QUARANTINE"
+
+#: Default quarantine capacity (entries).
+DEFAULT_QUARANTINE_ENTRIES = 64
+
+#: Publication temp files older than this are presumed orphans of a
+#: crashed writer and swept by :meth:`ArtifactStore.gc`.
+ORPHAN_TMP_AGE_S = 300.0
 
 #: Default root, relative to the working directory (next to the
 #: resilient runner's ``.repro`` checkpoints).
@@ -109,6 +122,18 @@ def default_disk_bytes() -> Optional[int]:
     return max(0, value)
 
 
+def default_quarantine_entries() -> int:
+    """The quarantine cap: ``REPRO_CACHE_QUARANTINE`` or the default."""
+    raw = os.environ.get(CACHE_QUARANTINE_ENV, "").strip()
+    if not raw:
+        return DEFAULT_QUARANTINE_ENTRIES
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{CACHE_QUARANTINE_ENV}={raw!r} is not an integer")
+    return max(0, value)
+
+
 class ArtifactStore:
     """Content-addressed JSON artifact cache (disk + bounded memory LRU).
 
@@ -126,17 +151,22 @@ class ArtifactStore:
 
     def __init__(self, root: Optional[str] = None,
                  memory_entries: Optional[int] = None,
-                 disk_bytes: Optional[int] = None):
+                 disk_bytes: Optional[int] = None,
+                 quarantine_entries: Optional[int] = None):
         self.root = root if root is not None else default_root()
         if memory_entries is None:
             memory_entries = default_memory_entries()
         self.memory_entries = memory_entries
         self.disk_bytes = (disk_bytes if disk_bytes is not None
                            else default_disk_bytes())
+        self.quarantine_entries = (quarantine_entries
+                                   if quarantine_entries is not None
+                                   else default_quarantine_entries())
         self._memory: "OrderedDict[str, Any]" = OrderedDict()
         self.counters: Dict[str, int] = {
             "hit_mem": 0, "hit_disk": 0, "miss": 0, "corrupt": 0,
             "puts": 0, "evictions": 0, "gc_evictions": 0,
+            "quarantine_pruned": 0, "orphans_swept": 0,
         }
 
     # ------------------------------------------------------------------
@@ -196,6 +226,15 @@ class ArtifactStore:
         except OSError:
             self._bump("miss")
             return False, None
+        fault = faults.check("store.disk_read")
+        if fault is not None:
+            if fault.kind == "io_error":
+                self._bump("miss")
+                return False, None
+            # "corrupt": bit-rot the bytes we just read; the digest
+            # check below quarantines the entry and reports a miss, so
+            # the caller recomputes — byte-identity is preserved.
+            raw = raw[:max(0, len(raw) // 2)]
         try:
             document = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, ValueError):
@@ -259,6 +298,15 @@ class ArtifactStore:
         path = self.object_path(key)
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
+        write_fault = faults.check("store.disk_write")
+        if write_fault is not None and write_fault.kind == "io_error":
+            faults.raise_io_error("store.disk_write", write_fault)
+        if write_fault is not None and write_fault.kind == "torn":
+            # A torn write: only a prefix of the document reaches disk
+            # (as after a crash that lost the tail from the page
+            # cache).  The file still lands, so the next reader
+            # exercises the quarantine-and-recompute path.
+            encoded = encoded[:max(1, len(encoded) // 2)]
         with self.locked(key) if lock else _null_context():
             fd, tmp_path = tempfile.mkstemp(dir=directory,
                                             prefix=f".{key[:8]}-",
@@ -267,7 +315,16 @@ class ArtifactStore:
                 with os.fdopen(fd, "wb") as handle:
                     handle.write(encoded)
                     handle.flush()
+                    fsync_fault = faults.check("store.fsync")
+                    if fsync_fault is not None:
+                        faults.raise_io_error("store.fsync", fsync_fault)
                     os.fsync(handle.fileno())
+                publish_fault = faults.check("store.publish")
+                if publish_fault is not None:
+                    # Between fsync and rename: the window where a
+                    # crashed writer leaves an orphan tmp file and no
+                    # published entry.
+                    faults.crash_or_hang(publish_fault)
                 os.rename(tmp_path, path)
             except BaseException:
                 try:
@@ -275,14 +332,23 @@ class ArtifactStore:
                 except OSError:
                     pass
                 raise
-        self._memory_put(key, payload)
+        if write_fault is None or write_fault.kind != "torn":
+            # A torn write must stay visible: caching the good payload
+            # in memory would hide the corrupt disk entry from the
+            # very reader meant to quarantine it.
+            self._memory_put(key, payload)
         self._bump("puts")
         if self.disk_bytes is not None:
             self.gc(self.disk_bytes)
         return path
 
     def _quarantine(self, key: str, reason: str) -> None:
-        """Move a corrupt entry aside (evidence, and future misses)."""
+        """Move a corrupt entry aside (evidence, and future misses).
+
+        The quarantine directory is capped (``REPRO_CACHE_QUARANTINE``
+        entries): evidence beyond the cap is dropped oldest-first so a
+        flaky disk cannot grow it without bound.
+        """
         destination = self._quarantine_path(key, reason)
         os.makedirs(os.path.dirname(destination), exist_ok=True)
         try:
@@ -290,6 +356,68 @@ class ArtifactStore:
         except OSError:  # pragma: no cover - lost a race with another reader
             pass
         self._memory.pop(key, None)
+        self._prune_quarantine()
+
+    def _quarantine_files(self) -> List[str]:
+        quarantine = os.path.join(self.root, "quarantine")
+        if not os.path.isdir(quarantine):
+            return []
+        return [os.path.join(quarantine, name)
+                for name in sorted(os.listdir(quarantine))]
+
+    def _prune_quarantine(self) -> int:
+        """Drop the oldest quarantined files beyond the cap."""
+        if self.quarantine_entries <= 0:
+            return 0
+        census = []
+        for path in self._quarantine_files():
+            try:
+                census.append((os.path.getmtime(path), path))
+            except OSError:  # pragma: no cover - raced with clear
+                continue
+        pruned = 0
+        excess = len(census) - self.quarantine_entries
+        if excess > 0:
+            for _mtime, path in sorted(census)[:excess]:
+                try:
+                    os.unlink(path)
+                    pruned += 1
+                except OSError:  # pragma: no cover - concurrent prune
+                    pass
+        if pruned:
+            self._bump("quarantine_pruned", pruned)
+        return pruned
+
+    def sweep_orphans(self, max_age_s: float = ORPHAN_TMP_AGE_S) -> int:
+        """Unlink publication temp files older than ``max_age_s``.
+
+        A writer killed between tmp write and rename leaves a
+        ``.<key>-*.tmp`` orphan in the shard directory; it is invisible
+        to readers (misses stay clean) but holds disk.  Age-gating
+        keeps the sweep from racing a live publisher.
+        """
+        objects = os.path.join(self.root, "objects")
+        if not os.path.isdir(objects):
+            return 0
+        cutoff = time.time() - max(0.0, max_age_s)
+        swept = 0
+        for shard in os.listdir(objects):
+            shard_dir = os.path.join(objects, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                if not name.endswith(".tmp"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    if os.path.getmtime(path) <= cutoff:
+                        os.unlink(path)
+                        swept += 1
+                except OSError:  # pragma: no cover - raced with writer
+                    continue
+        if swept:
+            self._bump("orphans_swept", swept)
+        return swept
 
     # ------------------------------------------------------------------
     # locking
@@ -307,6 +435,9 @@ class ArtifactStore:
         if fcntl is None:  # pragma: no cover - non-POSIX platform
             yield False
             return
+        lock_fault = faults.check("store.lock")
+        if lock_fault is not None:  # "stall": a slow-lock delay
+            time.sleep(lock_fault.delay_s)
         path = self.lock_path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         handle = open(path, "a+")
@@ -405,7 +536,9 @@ class ArtifactStore:
         """
         if max_bytes is None:
             max_bytes = self.disk_bytes
-        result = {"evicted": 0, "freed_bytes": 0, "bytes": 0}
+        result = {"evicted": 0, "freed_bytes": 0, "bytes": 0,
+                  "orphans_swept": self.sweep_orphans(),
+                  "quarantine_pruned": self._prune_quarantine()}
         if max_bytes is None:
             return result
         census = []
@@ -491,16 +624,22 @@ class ArtifactStore:
                                       {"entries": 0, "bytes": 0})
             bucket["entries"] += 1
             bucket["bytes"] += row["bytes"]
-        quarantine_dir = os.path.join(self.root, "quarantine")
-        quarantined = (len(os.listdir(quarantine_dir))
-                       if os.path.isdir(quarantine_dir) else 0)
+        quarantine_files = self._quarantine_files()
+        quarantine_bytes = 0
+        for path in quarantine_files:
+            try:
+                quarantine_bytes += os.path.getsize(path)
+            except OSError:  # pragma: no cover - raced with prune
+                pass
         return {
             "root": self.root,
             "entries": len(entries),
             "bytes": sum(row["bytes"] for row in entries),
             "disk_capacity": self.disk_bytes,
             "kinds": dict(sorted(kinds.items())),
-            "quarantined": quarantined,
+            "quarantined": len(quarantine_files),
+            "quarantine_bytes": quarantine_bytes,
+            "quarantine_capacity": self.quarantine_entries,
             "memory_entries": len(self._memory),
             "memory_capacity": self.memory_entries,
             "counters": dict(sorted(self.counters.items())),
@@ -508,6 +647,8 @@ class ArtifactStore:
 
 
 __all__ = ["ArtifactStore", "CACHE_DIR_ENV", "CACHE_DISK_ENV", "CACHE_ENV",
-           "CACHE_MEM_ENV", "DEFAULT_MEMORY_ENTRIES", "DEFAULT_ROOT",
+           "CACHE_MEM_ENV", "CACHE_QUARANTINE_ENV", "DEFAULT_MEMORY_ENTRIES",
+           "DEFAULT_QUARANTINE_ENTRIES", "DEFAULT_ROOT", "ORPHAN_TMP_AGE_S",
            "artifact_key", "cache_enabled", "default_disk_bytes",
-           "default_memory_entries", "default_root"]
+           "default_memory_entries", "default_quarantine_entries",
+           "default_root"]

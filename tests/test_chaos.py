@@ -1,0 +1,372 @@
+"""Client resilience, circuit breaker, drain, and the chaos harness.
+
+The serving layer's survival claims under injected faults: jittered
+retry/backoff with idempotent same-id replay after connection resets,
+the blocking client's read deadline (clean error, never a hang), the
+worker bridge's circuit breaker (trip, fast-fail, half-open probe),
+idempotent drain with stragglers answered ``shutting_down``, and small
+end-to-end runs of the seeded chaos soak segments.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import socket
+import threading
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro import faults, perf
+from repro.errors import ReproInputError
+from repro.logic.cover import Cover
+from repro.serve import (AsyncServeClient, RetryPolicy, ServeClient,
+                         ServeConfig, ServeError, SynthesisServer)
+from repro.serve import protocol
+from repro.serve.workers import (CircuitBreaker, DegradedError, InlineBridge,
+                                 WorkerBridge)
+from repro.store import codecs
+
+
+@pytest.fixture(autouse=True)
+def _disarm(monkeypatch):
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    monkeypatch.delenv(faults.FAULTS_SEED_ENV, raising=False)
+    yield
+    faults.install(None)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+XOR = Cover.from_strings(["10 1", "01 1"])
+XOR_ENC = codecs.encode_cover(XOR)
+
+
+def inline_server(**config) -> SynthesisServer:
+    return SynthesisServer(ServeConfig(**config), executor=InlineBridge())
+
+
+# ----------------------------------------------------------------------
+# retry policy
+# ----------------------------------------------------------------------
+def test_retry_policy_full_jitter_bounds_and_seeding():
+    policy = RetryPolicy(base=0.1, cap=0.4, seed=5)
+    for attempt in range(1, 8):
+        ceiling = min(0.4, 0.1 * (2 ** (attempt - 1)))
+        for _ in range(20):
+            assert 0.0 <= policy.delay(attempt) <= ceiling
+    a = RetryPolicy(base=0.1, cap=0.4, seed=5)
+    b = RetryPolicy(base=0.1, cap=0.4, seed=5)
+    assert [a.delay(i) for i in range(1, 6)] == \
+        [b.delay(i) for i in range(1, 6)]
+
+
+def test_retryable_error_classification():
+    assert RetryPolicy.retryable_error(ServeError("overloaded", "shed"))
+    assert RetryPolicy.retryable_error(ServeError("degraded", "pool"))
+    assert not RetryPolicy.retryable_error(ServeError("bad_request", "no"))
+    assert not RetryPolicy.retryable_error(ServeError("shutting_down", "bye"))
+    assert RetryPolicy.retryable_error(ConnectionResetError())
+    assert not RetryPolicy.retryable_error(ValueError())
+
+
+# ----------------------------------------------------------------------
+# async client: reset mid-reply -> reconnect + same-id replay
+# ----------------------------------------------------------------------
+def test_async_client_replays_after_injected_reset():
+    async def scenario():
+        server = inline_server()
+        host, port = await server.start_tcp()
+        # first reply only: torn half-line then a hard abort
+        faults.configure("serve.conn:reset@after=0")
+        client = await AsyncServeClient(
+            RetryPolicy(retries=3, base=0.01, cap=0.05, deadline=10.0,
+                        seed=1)).connect(host, port)
+        try:
+            result = await client.request(
+                "evaluate", {"cover": XOR_ENC, "minterms": [1, 2, 3]})
+        finally:
+            await client.close()
+            faults.configure(None)
+            await server.drain()
+        return result
+
+    perf.reset()
+    result = run(scenario())
+    assert result["masks"] == [1, 1, 0]
+    counters = perf.snapshot()["counters"]
+    assert counters.get("retries.reconnects", 0) >= 1
+    assert counters.get("faults.injected.serve.conn.reset") == 1
+
+
+def test_async_client_deadline_is_a_clean_timeout():
+    async def scenario():
+        # a listener that accepts and never replies
+        async def mute(_reader, _writer):
+            await asyncio.sleep(30.0)
+        server = await asyncio.start_server(mute, host="127.0.0.1", port=0)
+        port = server.sockets[0].getsockname()[1]
+        client = await AsyncServeClient(
+            RetryPolicy(retries=1, base=0.01, cap=0.02, deadline=0.2,
+                        seed=2)).connect("127.0.0.1", port)
+        try:
+            with pytest.raises(TimeoutError):
+                await client.request("stats")
+        finally:
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------
+# blocking client: read deadline -> ReproInputError, not a hang
+# ----------------------------------------------------------------------
+def test_blocking_client_timeout_surfaces_as_input_error():
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+    release = threading.Event()
+    held = []
+
+    def mute_server():
+        conn, _ = listener.accept()
+        held.append(conn)  # keep the connection open, never reply
+        release.wait(10.0)
+        conn.close()
+
+    thread = threading.Thread(target=mute_server, daemon=True)
+    thread.start()
+    try:
+        client = ServeClient("127.0.0.1", port, timeout=0.3,
+                             retry=RetryPolicy(retries=0))
+        with pytest.raises(ReproInputError, match="did not reply"):
+            client.request("stats")
+        client.close()
+    finally:
+        release.set()
+        listener.close()
+        thread.join(timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+def test_breaker_state_machine_with_fake_clock():
+    now = [0.0]
+    breaker = CircuitBreaker(threshold=2, cooldown=5.0,
+                             clock=lambda: now[0])
+    assert breaker.allow() and breaker.state == breaker.CLOSED
+    breaker.record_failure()
+    assert breaker.state == breaker.CLOSED and breaker.allow()
+    breaker.record_failure()  # second consecutive recycle: trip
+    assert breaker.state == breaker.OPEN
+    assert not breaker.allow()  # fast-fail inside the cooldown
+    now[0] = 5.0
+    assert breaker.allow()  # half-open: exactly one probe
+    assert breaker.state == breaker.HALF_OPEN
+    assert not breaker.allow()  # second caller still fast-fails
+    breaker.record_failure()  # probe failed: re-open
+    assert breaker.state == breaker.OPEN
+    now[0] = 10.0
+    assert breaker.allow()
+    breaker.record_success()  # probe succeeded: close, reset count
+    assert breaker.state == breaker.CLOSED and breaker.failures == 0
+    assert breaker.allow()
+
+
+def test_breaker_success_resets_consecutive_count():
+    breaker = CircuitBreaker(threshold=2, cooldown=5.0)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == breaker.CLOSED  # never two *consecutive*
+
+
+class _BrokenPool:
+    """A pool whose every submission dies like a crashed worker."""
+
+    def __init__(self):
+        self._generation = 0
+
+    @property
+    def generation(self):
+        return self._generation
+
+    def submit(self, _fn, *_args):
+        future = concurrent.futures.Future()
+        future.set_exception(BrokenProcessPool("injected"))
+        return future
+
+    def recycle(self, seen=None):
+        self._generation += 1
+        return True
+
+    def shutdown(self, wait=False):
+        pass
+
+
+def test_bridge_trips_breaker_and_fails_fast():
+    async def scenario():
+        bridge = WorkerBridge(pool=_BrokenPool(), timeout=1.0, retries=0,
+                              backoff=0.0,
+                              breaker=CircuitBreaker(threshold=1,
+                                                     cooldown=60.0))
+        with pytest.raises(BrokenProcessPool):
+            await bridge.run("stats", {})
+        assert bridge.breaker.state == CircuitBreaker.OPEN
+        # breaker open: fail fast, no worker attempt burned
+        with pytest.raises(DegradedError):
+            await bridge.run("stats", {})
+
+    run(scenario())
+
+
+def test_degraded_reply_code_over_the_wire():
+    async def scenario():
+        bridge = WorkerBridge(pool=_BrokenPool(), timeout=1.0, retries=0,
+                              backoff=0.0,
+                              breaker=CircuitBreaker(threshold=1,
+                                                     cooldown=60.0))
+        server = SynthesisServer(ServeConfig(), executor=bridge)
+        host, port = await server.start_tcp()
+        client = await AsyncServeClient(
+            RetryPolicy(retries=0, deadline=10.0)).connect(host, port)
+        try:
+            with pytest.raises(ServeError) as first:
+                await client.request("evaluate", {"cover": XOR_ENC,
+                                                  "minterms": [0]})
+            with pytest.raises(ServeError) as second:
+                await client.request("evaluate", {"cover": XOR_ENC,
+                                                  "minterms": [0]})
+        finally:
+            await client.close()
+            await server.drain()
+        return first.value, second.value
+
+    first, second = run(scenario())
+    assert first.code == "internal"
+    assert second.code == protocol.ERR_DEGRADED
+
+
+# ----------------------------------------------------------------------
+# drain: idempotent, stragglers answered, resets tolerated
+# ----------------------------------------------------------------------
+def test_double_drain_with_conn_faults_is_idempotent():
+    async def scenario():
+        server = inline_server()
+        host, port = await server.start_tcp()
+        client = await AsyncServeClient(
+            RetryPolicy(retries=2, base=0.01, cap=0.05, deadline=5.0,
+                        seed=3)).connect(host, port)
+        result = await client.request("evaluate", {"cover": XOR_ENC,
+                                                   "minterms": [1]})
+        faults.configure("serve.conn:reset@0.5", seed=4)
+        try:
+            await client.close()
+            await asyncio.gather(server.drain(), server.drain())
+            # draining again after the fact is still a no-op
+            await server.drain()
+        finally:
+            faults.configure(None)
+        return result
+
+    assert run(scenario())["masks"] == [1]
+
+
+class _GatedBridge:
+    """Executor that parks every op on an event (deterministic drain)."""
+
+    def __init__(self):
+        self.gate = None
+        self.started = 0
+
+    async def run(self, op, params):
+        if self.gate is None:
+            self.gate = asyncio.Event()
+        self.started += 1
+        await self.gate.wait()
+        from repro.serve.ops import dispatch
+        return dispatch(op, params)
+
+    def shutdown(self):
+        pass
+
+
+def test_straggler_during_drain_gets_shutting_down_not_silence():
+    async def scenario():
+        bridge = _GatedBridge()
+        server = SynthesisServer(
+            ServeConfig(max_batch=1, linger_us=0, queue_limit=8),
+            executor=bridge)
+        host, port = await server.start_tcp()
+        reader, writer = await asyncio.open_connection(host, port)
+        # park one in-flight request so the drain stays blocked on it
+        writer.write(protocol.encode_request(1, "evaluate",
+                                             {"cover": XOR_ENC,
+                                              "minterms": [1]}))
+        await writer.drain()
+        while bridge.started < 1:
+            await asyncio.sleep(0.001)
+        drain = asyncio.create_task(server.drain())
+        await asyncio.sleep(0.01)
+        assert server.draining and not drain.done()
+        # a straggler arriving mid-drain must be *answered*, not dropped
+        writer.write(protocol.encode_request(2, "stats", None))
+        await writer.drain()
+        straggler = protocol.parse_response(
+            await asyncio.wait_for(reader.readline(), timeout=5.0))
+        bridge.gate.set()
+        in_flight = protocol.parse_response(
+            await asyncio.wait_for(reader.readline(), timeout=5.0))
+        await drain
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        return straggler, in_flight
+
+    straggler, in_flight = run(scenario())
+    assert straggler["id"] == 2 and straggler["ok"] is False
+    assert straggler["error"]["code"] == protocol.ERR_SHUTTING_DOWN
+    # the request admitted before the drain still completed normally
+    assert in_flight["id"] == 1 and in_flight["ok"] is True
+    assert in_flight["result"]["masks"] == [1]
+
+
+# ----------------------------------------------------------------------
+# the chaos harness itself (small, fast segments)
+# ----------------------------------------------------------------------
+def test_fault_keys_are_stable_and_seed_sensitive():
+    from repro.faults.chaos import ChaosSettings, fault_keys
+    a = fault_keys(ChaosSettings(seed=7))
+    b = fault_keys(ChaosSettings(seed=7))
+    c = fault_keys(ChaosSettings(seed=8))
+    assert a == b
+    assert a["store"] != c["store"] and a["serve"] != c["serve"]
+
+
+def test_store_chaos_segment_keeps_byte_identity(tmp_path):
+    from repro.faults.chaos import ChaosSettings, run_store_chaos
+    result = run_store_chaos(ChaosSettings(seed=7, store_ops=16))
+    assert result["completed"] + result["failures"] == 16
+    assert result["failures"] == 0
+    assert result["mismatches"] == 0
+    assert result["checked"] > 0
+
+
+def test_serve_chaos_segment_no_hangs_no_wrong_bytes():
+    from repro.faults.chaos import ChaosSettings, run_serve_chaos
+    result = run_serve_chaos(ChaosSettings(
+        seed=7, requests=12, clients=2, jobs=1,
+        hang_budget_s=30.0, worker_timeout_s=8.0))
+    assert result["hangs"] == 0
+    assert result["mismatches"] == 0
+    assert result["completed"] + result["failed"] == 12
+    assert result["completed"] >= 6

@@ -1,0 +1,274 @@
+"""Failpoint registry and store-tier fault injection.
+
+Covers the ``REPRO_FAULTS`` spec grammar (parse/render round-trips,
+rejection of typos), schedule determinism (same (spec, seed) => same
+injection sequence, content-addressed plan keys), the arming precedence
+(explicit configure() over environment), and the store's wired-in
+failpoints: torn writes, fsync/write io_errors, corrupt-on-read with
+quarantine (capped), and the SIGKILL-mid-publication crash window
+(clean miss, successful re-synthesis, orphan tmp sweep).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import faults
+from repro.errors import ReproInputError
+from repro.faults.registry import FaultPlan, parse_spec
+from repro.store.store import ArtifactStore
+
+
+@pytest.fixture(autouse=True)
+def _disarm(monkeypatch):
+    """No fault spec leaks into or out of any test here."""
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    monkeypatch.delenv(faults.FAULTS_SEED_ENV, raising=False)
+    yield
+    faults.install(None)
+
+
+# ----------------------------------------------------------------------
+# spec grammar
+# ----------------------------------------------------------------------
+def test_parse_render_round_trip():
+    spec = ("store.disk_write:torn@0.05;worker.task:crash@after=3;"
+            "serve.conn:reset@every=40;store.lock:stall@0.1,ms=25")
+    plan = FaultPlan(parse_spec(spec), seed=3)
+    assert parse_spec(plan.spec()) == plan.rules
+    rule = plan.rules[3]
+    assert rule.site == "store.lock" and rule.param("ms", 0.0) == 25.0
+    assert rule.delay_s == 0.025
+
+
+@pytest.mark.parametrize("bad", [
+    "store.disk_write:torn",               # no arm
+    "store.disk_write@0.5",                # no kind
+    "nosuch.site:crash@0.5",               # unknown site
+    "store.disk_write:crash@0.5",          # kind not supported at site
+    "store.disk_write:torn@1.5",           # probability outside (0, 1]
+    "store.disk_write:torn@0",             # probability outside (0, 1]
+    "worker.task:crash@after=x",           # count not an integer
+    "serve.conn:reset@every=0",            # every=N needs N >= 1
+    "store.lock:stall@0.1,ms",             # parameter not key=value
+    "store.lock:stall@0.1,ms=fast",        # parameter value not a number
+])
+def test_bad_specs_are_rejected(bad):
+    with pytest.raises(ReproInputError):
+        parse_spec(bad)
+
+
+def test_plan_key_content_addresses_spec_and_seed():
+    spec = "store.disk_read:corrupt@0.1"
+    a = FaultPlan(parse_spec(spec), seed=1)
+    b = FaultPlan(parse_spec(spec), seed=1)
+    c = FaultPlan(parse_spec(spec), seed=2)
+    d = FaultPlan(parse_spec("store.disk_read:corrupt@0.2"), seed=1)
+    assert a.key() == b.key()
+    assert len({a.key(), c.key(), d.key()}) == 3
+
+
+def test_probability_schedule_is_deterministic():
+    spec = "store.disk_read:corrupt@0.3"
+    runs = []
+    for _ in range(2):
+        plan = FaultPlan(parse_spec(spec), seed=11)
+        runs.append([plan.check("store.disk_read") is not None
+                     for _ in range(200)])
+    assert runs[0] == runs[1]
+    assert any(runs[0]) and not all(runs[0])
+    other = FaultPlan(parse_spec(spec), seed=12)
+    assert [other.check("store.disk_read") is not None
+            for _ in range(200)] != runs[0]
+
+
+def test_after_and_every_arms():
+    plan = FaultPlan(parse_spec("worker.result:poison@after=2"), seed=0)
+    hits = [plan.check("worker.result") is not None for _ in range(6)]
+    assert hits == [False, False, True, False, False, False]
+    plan = FaultPlan(parse_spec("serve.flush:delay@every=3"), seed=0)
+    hits = [plan.check("serve.flush") is not None for _ in range(7)]
+    assert hits == [False, False, True, False, False, True, False]
+
+
+def test_unarmed_site_is_free_and_uncounted():
+    plan = FaultPlan(parse_spec("serve.conn:reset@1.0"), seed=0)
+    assert plan.check("store.disk_write") is None
+
+
+# ----------------------------------------------------------------------
+# arming precedence
+# ----------------------------------------------------------------------
+def test_configure_overrides_environment(monkeypatch):
+    monkeypatch.setenv(faults.FAULTS_ENV, "serve.conn:reset@1.0")
+    assert faults.check("serve.conn") is not None
+    faults.configure("store.lock:stall@1.0,ms=0")
+    try:
+        assert faults.check("serve.conn") is None
+        assert faults.check("store.lock") is not None
+    finally:
+        faults.configure(None)
+    assert faults.check("serve.conn") is not None
+
+
+def test_install_exports_and_clears_environment():
+    faults.install("worker.task:crash@0.5", seed=9)
+    assert os.environ[faults.FAULTS_ENV] == "worker.task:crash@0.5"
+    assert os.environ[faults.FAULTS_SEED_ENV] == "9"
+    assert faults.env_mentions("worker.")
+    assert not faults.env_mentions("store.")
+    faults.install(None)
+    assert faults.FAULTS_ENV not in os.environ
+    assert not faults.active()
+
+
+# ----------------------------------------------------------------------
+# store failpoints
+# ----------------------------------------------------------------------
+def test_torn_write_quarantines_then_recovers(tmp_path):
+    store = ArtifactStore(str(tmp_path), memory_entries=0)
+    faults.configure("store.disk_write:torn@after=0")
+    try:
+        store.put("k" * 64, {"v": 1})
+    finally:
+        faults.configure(None)
+    hit, _ = store.get("k" * 64)
+    assert not hit
+    assert store.counters["corrupt"] == 1
+    assert store.stats()["quarantined"] == 1
+    # recompute-and-republish heals the entry
+    store.put("k" * 64, {"v": 1})
+    hit, payload = store.get("k" * 64)
+    assert hit and payload == {"v": 1}
+
+
+def test_write_and_fsync_io_errors_raise(tmp_path):
+    store = ArtifactStore(str(tmp_path), memory_entries=0)
+    faults.configure("store.disk_write:io_error@after=0")
+    try:
+        with pytest.raises(OSError):
+            store.put("a" * 64, {"v": 1})
+    finally:
+        faults.configure(None)
+    faults.configure("store.fsync:io_error@after=0")
+    try:
+        with pytest.raises(OSError):
+            store.put("b" * 64, {"v": 2})
+    finally:
+        faults.configure(None)
+    # neither failed write published anything (no torn tmp leftovers)
+    assert store.stats()["entries"] == 0
+    store.put("b" * 64, {"v": 2})
+    assert store.get("b" * 64) == (True, {"v": 2})
+
+
+def test_corrupt_read_is_a_clean_miss(tmp_path):
+    store = ArtifactStore(str(tmp_path), memory_entries=0)
+    store.put("c" * 64, {"v": 3})
+    faults.configure("store.disk_read:corrupt@after=0")
+    try:
+        hit, _ = store.get("c" * 64)
+    finally:
+        faults.configure(None)
+    assert not hit
+    assert store.stats()["quarantined"] == 1
+
+
+def test_quarantine_is_capped(tmp_path):
+    store = ArtifactStore(str(tmp_path), memory_entries=0,
+                          quarantine_entries=2)
+    keys = [ch * 64 for ch in "defg"]
+    for key in keys:
+        store.put(key, {"k": key[:1]})
+    faults.configure("store.disk_read:corrupt@1.0")
+    try:
+        for key in keys:
+            assert store.get(key) == (False, None)
+    finally:
+        faults.configure(None)
+    stats = store.stats()
+    assert stats["quarantined"] == 2
+    assert store.counters["quarantine_pruned"] == 2
+    assert stats["quarantine_bytes"] > 0
+
+
+def test_lock_stall_only_delays(tmp_path):
+    store = ArtifactStore(str(tmp_path), memory_entries=0)
+    faults.configure("store.lock:stall@1.0,ms=1")
+    try:
+        store.put("h" * 64, {"v": 4})
+    finally:
+        faults.configure(None)
+    assert store.get("h" * 64) == (True, {"v": 4})
+
+
+# ----------------------------------------------------------------------
+# SIGKILL mid-publication (the crash window between fsync and rename)
+# ----------------------------------------------------------------------
+_PUBLISHER = """\
+import sys
+from repro.store.store import ArtifactStore
+
+if __name__ == "__main__":
+    store = ArtifactStore(sys.argv[1], memory_entries=0)
+    # the armed store.publish:hang fault parks this writer between
+    # fsync and rename -- exactly where SIGKILL finds it
+    store.put("x" * 64, {"heavy": list(range(2000))})
+"""
+
+
+def test_sigkill_mid_publication_leaves_clean_state(tmp_path):
+    root = tmp_path / "store"
+    script = tmp_path / "publisher.py"
+    script.write_text(_PUBLISHER)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    env[faults.FAULTS_ENV] = "store.publish:hang@after=0,ms=60000"
+    env[faults.FAULTS_SEED_ENV] = "0"
+    child = subprocess.Popen([sys.executable, str(script), str(root)],
+                             env=env)
+    try:
+        # wait for the tmp file: the writer is parked in the hang
+        shard = root / "objects" / "xx"
+        deadline = time.time() + 20.0
+        tmp_files = []
+        while time.time() < deadline:
+            if shard.is_dir():
+                tmp_files = [p for p in shard.iterdir()
+                             if p.name.endswith(".tmp")]
+                if tmp_files:
+                    break
+            if child.poll() is not None:
+                pytest.fail(f"publisher exited early "
+                            f"(rc={child.returncode})")
+            time.sleep(0.01)
+        assert tmp_files, "publisher never reached the crash window"
+        child.kill()
+        child.wait(timeout=10.0)
+    finally:
+        if child.poll() is None:  # pragma: no cover - cleanup path
+            child.kill()
+            child.wait()
+
+    store = ArtifactStore(str(root), memory_entries=0)
+    # the unpublished entry is a clean miss, not a torn read
+    assert store.get("x" * 64) == (False, None)
+    assert store.counters["corrupt"] == 0
+    # re-synthesis publishes over the crashed attempt
+    store.put("x" * 64, {"heavy": list(range(2000))})
+    hit, payload = store.get("x" * 64)
+    assert hit and payload == {"heavy": list(range(2000))}
+    # the orphan tmp file is swept once it ages out
+    assert store.sweep_orphans(max_age_s=0.0) >= 1
+    assert store.counters["orphans_swept"] >= 1
+    leftovers = [p for p in (root / "objects" / "xx").iterdir()
+                 if p.name.endswith(".tmp")]
+    assert leftovers == []

@@ -174,6 +174,16 @@ class TestDefaults:
 
 
 class TestWarmPool:
+    def test_start_method_defaults_to_fork(self, monkeypatch):
+        from repro.runner import MP_START_ENV, _mp_context
+        monkeypatch.delenv(MP_START_ENV, raising=False)
+        assert _mp_context().get_start_method() == "fork"
+        monkeypatch.setenv(MP_START_ENV, "forkserver")
+        assert _mp_context().get_start_method() == "forkserver"
+        monkeypatch.setenv(MP_START_ENV, "nosuch")
+        # unknown methods fall back to the platform default
+        assert _mp_context().get_start_method() is not None
+
     def test_lazy_start_and_reuse(self):
         from repro.runner import WarmPool
         pool = WarmPool(jobs=2)

@@ -250,7 +250,8 @@ class TestDiskJanitor:
     def test_no_cap_means_no_sweep(self, tmp_path):
         store = ArtifactStore(str(tmp_path))
         self._fill(store, 4)
-        assert store.gc() == {"evicted": 0, "freed_bytes": 0, "bytes": 0}
+        assert store.gc() == {"evicted": 0, "freed_bytes": 0, "bytes": 0,
+                              "orphans_swept": 0, "quarantine_pruned": 0}
         assert len(store._object_files()) == 4
 
     def test_locked_victim_is_skipped(self, tmp_path):
