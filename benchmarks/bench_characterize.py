@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""Characterization sweep benchmark (lands ``characterize_sweep``).
+
+Runs the multi-technology characterizer
+(:func:`repro.analysis.characterize.characterize`) twice from a cold
+artifact store — once serially, once on the parallel resilient runner —
+and gates on:
+
+* **byte-identical datasheets** — the canonical JSON rendering of the
+  serial and parallel sweeps must match exactly (the characterizer
+  aggregates in deterministic task order precisely so that job count
+  never shows in the output);
+* **parallel efficiency** — the serial/parallel wall ratio must clear
+  the acceptance floor (relaxed under ``--quick``, where two-core CI
+  boxes and process spawn overhead dominate the small workload).
+
+The record keeps the report-wide ``scalar_s``/``kernel_s``/``speedup``
+convention: baseline (serial wall) over optimized (parallel wall).
+Each sweep's technology digests are recorded, so a perf trajectory
+pins exactly which device parameters it characterized.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_characterize.py [--quick]
+        [--benchmark NAME] [--tech SPEC ...] [--jobs N]
+        [--report FILE] [--datasheet FILE] [--no-gate]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+#: Acceptance floor on serial/parallel speedup (full run, >= 2 cores).
+MIN_SPEEDUP = 1.1
+
+#: Relaxed floor under ``--quick`` or on single-core boxes: the sweep
+#: cannot amortize worker spawn there, so only pathological slowdowns
+#: fail — byte-identity remains the hard gate.
+MIN_SPEEDUP_QUICK = 0.4
+
+
+def _merge_into_report(path: str, record: dict, acceptance: dict) -> None:
+    """Add/replace ``characterize_sweep`` in an existing report."""
+    try:
+        with open(path) as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        report = {"suite": "bench_characterize", "results": []}
+    results = [r for r in report.get("results", [])
+               if r.get("name") != record["name"]]
+    results.append(record)
+    report["results"] = results
+    report["acceptance_characterize"] = acceptance
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+def _cold_sweep(settings, jobs: int, root: str) -> tuple:
+    """One sweep against a fresh store root; returns (wall_s, datasheet)."""
+    from repro.analysis.characterize import characterize
+    from repro.store.store import CACHE_DIR_ENV
+    from repro.store.service import reset_service
+
+    os.environ[CACHE_DIR_ENV] = root
+    reset_service()
+    try:
+        start = time.perf_counter()
+        sheet = characterize(settings, jobs=jobs)
+        return time.perf_counter() - start, sheet
+    finally:
+        os.environ.pop(CACHE_DIR_ENV, None)
+        reset_service()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweep (CI smoke): syn_small, two "
+                             "technologies, reduced Monte Carlo budgets")
+    parser.add_argument("--benchmark", default=None,
+                        help="benchmark to characterize (default: max46, "
+                             "or syn_small under --quick)")
+    parser.add_argument("--tech", action="append", default=None,
+                        metavar="SPEC",
+                        help="technology spec, repeatable (default: "
+                             "flash eeprom cnfet; flash cnfet under "
+                             "--quick)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="parallel worker count (default: 4)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--report", default="BENCH_perf.json",
+                        help="report to update in place (default: "
+                             "BENCH_perf.json)")
+    parser.add_argument("--datasheet", default=None, metavar="FILE",
+                        help="also export the sweep's datasheet here")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="record the sweep but do not fail the run "
+                             "on the speedup floor (byte-identity "
+                             "mismatches still fail)")
+    args = parser.parse_args(argv)
+
+    from repro import kernels
+    from repro.analysis.characterize import CharacterizeSettings
+    from repro.analysis.export import datasheet_json, write_datasheet
+    from repro.tech import resolve_tech
+
+    if args.quick:
+        settings = CharacterizeSettings(
+            benchmark=args.benchmark or "syn_small",
+            techs=tuple(args.tech or ("flash", "cnfet")),
+            seed=args.seed, power_vectors=32, variation_trials=40,
+            yield_samples=60, spares=((1, 1),))
+    else:
+        settings = CharacterizeSettings(
+            benchmark=args.benchmark or "max46",
+            techs=tuple(args.tech or ("flash", "eeprom", "cnfet")),
+            seed=args.seed, power_vectors=512, variation_trials=1000,
+            yield_samples=2000, spares=((2, 1), (3, 2)))
+
+    backend = kernels.backend()
+    digests = {spec: resolve_tech(spec).digest()
+               for spec in settings.techs}
+    print(f"bench_characterize (quick={args.quick}, "
+          f"benchmark={settings.benchmark}, "
+          f"techs={','.join(settings.techs)}, jobs={args.jobs}, "
+          f"backend={backend})")
+
+    with tempfile.TemporaryDirectory(prefix="bench-char-") as tmp:
+        serial_s, serial_sheet = _cold_sweep(
+            settings, 1, os.path.join(tmp, "serial"))
+        parallel_s, parallel_sheet = _cold_sweep(
+            settings, args.jobs, os.path.join(tmp, "parallel"))
+
+    serial_bytes = datasheet_json(serial_sheet)
+    parallel_bytes = datasheet_json(parallel_sheet)
+    identical = serial_bytes == parallel_bytes
+    if not identical:
+        # wrong bytes fail even under --no-gate: a job-count-dependent
+        # datasheet means the aggregation order leaked
+        print("FATAL: serial and parallel datasheets differ")
+        return 1
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cores = os.cpu_count() or 1
+    relaxed = args.quick or cores < 2
+    floor = MIN_SPEEDUP_QUICK if relaxed else MIN_SPEEDUP
+    if not args.quick and relaxed:
+        print(f"  note: {cores} core(s) — speedup floor relaxed to "
+              f"{floor} (identity gate only)")
+    passed = identical and speedup >= floor
+
+    per_tech = {
+        entry["tech"]["name"]: {
+            "area_l2": entry["area"]["total_l2"],
+            "cycle_time_ps": entry["timing"]["cycle_time_ps"],
+            "energy_per_cycle_j": entry["power"]["energy_per_cycle_j"],
+        }
+        for entry in serial_sheet["technologies"]
+    }
+    record = {
+        "name": "characterize_sweep",
+        "detail": f"{settings.benchmark} across "
+                  f"{len(settings.techs)} technologies "
+                  f"({','.join(settings.techs)}): minimize + map + "
+                  f"area/delay/power + variation + yield per tech, "
+                  f"serial vs {args.jobs} workers from a cold store, "
+                  f"byte-identical datasheets ({backend} backend)",
+        "scalar_s": round(serial_s, 6),
+        "kernel_s": round(parallel_s, 6),
+        "speedup": round(speedup, 3),
+        "backend": backend,
+        "jobs": args.jobs,
+        "cores": cores,
+        "identical": identical,
+        "benchmark": settings.benchmark,
+        "techs": list(settings.techs),
+        "tech_digests": digests,
+        "tasks": len(settings.techs) * (1 + len(settings.spares)),
+        "datasheet_bytes": len(serial_bytes),
+        "per_tech": per_tech,
+    }
+    acceptance = {
+        "metric": "characterize_sweep",
+        "speedup": round(speedup, 3),
+        "threshold": floor,
+        "identical": identical,
+        "pass": passed,
+    }
+    _merge_into_report(args.report, record, acceptance)
+    if args.datasheet:
+        write_datasheet(args.datasheet, serial_sheet)
+        print(f"datasheet -> {args.datasheet}")
+
+    for name, row in per_tech.items():
+        print(f"  {name:>8}: area {row['area_l2']:>9.0f} L^2, "
+              f"cycle {row['cycle_time_ps']:8.1f} ps, "
+              f"{row['energy_per_cycle_j']:.3e} J/cycle")
+    print(f"  serial {serial_s:.2f} s -> parallel {parallel_s:.2f} s "
+          f"(x{speedup:.2f}, floor {floor}), datasheets byte-identical")
+    print(f"acceptance (characterize): speedup {speedup:.2f} >= {floor}, "
+          f"identical: {'PASS' if passed else 'FAIL'}"
+          f"{' (not gated)' if args.no_gate else ''}")
+    print(f"updated {args.report}")
+    return 0 if passed or args.no_gate else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,11 @@ tooling diffs perf trajectories across PRs.  Checks:
   serving stack under seeded fault injection) with zero hangs, its
   byte-identity flag set, a composite injected-fault rate at or above
   the 2% floor, and content-addressed fault-schedule keys;
-* all seven acceptance blocks are well-formed and report ``pass: true``.
+* the ``characterize_sweep`` record (``benchmarks/bench_characterize.py``:
+  serial-vs-parallel multi-technology characterization) with its
+  byte-identity flag set and one 64-hex content digest per swept
+  technology;
+* all eight acceptance blocks are well-formed and report ``pass: true``.
 
 Usage::
 
@@ -68,6 +72,7 @@ _TOP_FIELDS = {
     "acceptance_batch": dict,
     "acceptance_serve": dict,
     "acceptance_chaos": dict,
+    "acceptance_characterize": dict,
 }
 
 #: Per-scenario stats every ``serve_load`` sub-record must carry.
@@ -119,6 +124,7 @@ def validate_report(report: dict) -> List[str]:
     minimize_count = 0
     place_count = route_count = cache_count = 0
     batch_eval_count = batch_yield_count = serve_count = chaos_count = 0
+    characterize_count = 0
     for i, result in enumerate(report.get("results", [])):
         where = f"results[{i}]"
         if not isinstance(result, dict):
@@ -227,6 +233,22 @@ def validate_report(report: dict) -> List[str]:
                 if not isinstance(result.get(segment), dict):
                     errors.append(f"{where}: chaos_soak lacks the "
                                   f"{segment!r} segment record")
+        if name == "characterize_sweep":
+            characterize_count += 1
+            if result.get("identical") is not True:
+                errors.append(f"{where}: characterize_sweep byte-identity "
+                              f"flag is not true")
+            techs = result.get("techs")
+            if not isinstance(techs, list) or not techs:
+                errors.append(f"{where}: characterize_sweep lacks the "
+                              f"swept technology list")
+            digests = result.get("tech_digests")
+            if not isinstance(digests, dict) or \
+                    not all(isinstance(digests.get(t), str)
+                            and len(digests[t]) == 64
+                            for t in (techs or [])):
+                errors.append(f"{where}: characterize_sweep lacks one "
+                              f"64-hex content digest per technology")
         if name == "fpga_place_route_table2":
             snapshot = result.get("perf")
             if not isinstance(snapshot, dict):
@@ -262,10 +284,14 @@ def validate_report(report: dict) -> List[str]:
     if chaos_count < 1:
         errors.append("report: no chaos_soak result (fault-injection "
                       "soak harness)")
+    if characterize_count < 1:
+        errors.append("report: no characterize_sweep result (multi-"
+                      "technology characterization)")
 
     for block in ("acceptance", "acceptance_minimize", "acceptance_fpga",
                   "acceptance_cache", "acceptance_batch",
-                  "acceptance_serve", "acceptance_chaos"):
+                  "acceptance_serve", "acceptance_chaos",
+                  "acceptance_characterize"):
         data = report.get(block)
         if isinstance(data, dict):
             _check_fields(data, _ACCEPTANCE_FIELDS, block, errors)
@@ -304,7 +330,9 @@ def main(argv=None) -> int:
                   f"serve acceptance "
                   f"{report['acceptance_serve']['speedup']}x, "
                   f"chaos p99 ratio "
-                  f"{report['acceptance_chaos']['speedup']}x)")
+                  f"{report['acceptance_chaos']['speedup']}x, "
+                  f"characterize acceptance "
+                  f"{report['acceptance_characterize']['speedup']}x)")
     return 1 if failed else 0
 
 

@@ -1,12 +1,19 @@
-"""Reporting and sweep utilities shared by the benches."""
+"""Reporting, sweep and characterization utilities shared by the benches."""
 
+from repro.analysis.characterize import (CharacterizeSettings,
+                                         characterize)
+from repro.analysis.export import (validate_datasheet, write_datasheet)
 from repro.analysis.report import render_table, format_area, format_percent
 from repro.analysis.sweep import sweep, SweepPoint
 
 __all__ = [
+    "CharacterizeSettings",
+    "characterize",
     "render_table",
     "format_area",
     "format_percent",
     "sweep",
     "SweepPoint",
+    "validate_datasheet",
+    "write_datasheet",
 ]

@@ -1,17 +1,23 @@
-"""CSV export of bench results.
+"""CSV / JSON export of bench and characterization results.
 
 Every bench prints its table to the terminal; for plotting or external
 analysis the same rows can be exported as CSV.  The writer is
 deliberately tiny (stdlib ``csv``) but shared, so all exported
 artifacts have the same shape: a header row, stringified cells, UTF-8.
+
+The characterizer's machine-readable **datasheet** also lands here:
+:func:`validate_datasheet` enforces the schema contract and
+:func:`write_datasheet` renders it as canonical sorted JSON, so two
+byte-identical sweeps export byte-identical files.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import json
 from pathlib import Path
-from typing import Iterable, List, Sequence, Union
+from typing import Any, Dict, Iterable, List, Sequence, Union
 
 
 def rows_to_csv(headers: Sequence[str],
@@ -45,3 +51,73 @@ def _cell(value: object) -> object:
     if isinstance(value, float):
         return f"{value:.10g}"
     return value
+
+
+# ----------------------------------------------------------------------
+# datasheets
+# ----------------------------------------------------------------------
+#: Required blocks of one technology entry in a datasheet.
+_TECH_BLOCKS = ("tech", "array", "area", "timing", "power", "variation")
+
+#: Required top-level datasheet fields.
+_DATASHEET_FIELDS = ("schema", "version", "settings", "tech_digests",
+                     "function", "technologies", "yield")
+
+
+def validate_datasheet(data: Any) -> Dict[str, Any]:
+    """Structurally validate a characterization datasheet.
+
+    Raises :class:`ValueError` naming the first offending field;
+    returns ``data`` unchanged on success, so producers can validate
+    inline (``return validate_datasheet(sheet)``).
+    """
+    from repro.analysis.characterize import (DATASHEET_SCHEMA,
+                                             DATASHEET_VERSION)
+
+    if not isinstance(data, dict):
+        raise ValueError(f"datasheet must be an object, got "
+                         f"{type(data).__name__}")
+    for field in _DATASHEET_FIELDS:
+        if field not in data:
+            raise ValueError(f"datasheet missing field {field!r}")
+    if data["schema"] != DATASHEET_SCHEMA:
+        raise ValueError(f"datasheet schema {data['schema']!r} != "
+                         f"{DATASHEET_SCHEMA!r}")
+    if data["version"] != DATASHEET_VERSION:
+        raise ValueError(f"datasheet version {data['version']!r} != "
+                         f"{DATASHEET_VERSION}")
+    techs = data["technologies"]
+    if not isinstance(techs, list) or not techs:
+        raise ValueError("datasheet 'technologies' must be a non-empty "
+                         "list")
+    if len(techs) != len(data["tech_digests"]):
+        raise ValueError("datasheet 'technologies' and 'tech_digests' "
+                         "disagree in length")
+    for i, entry in enumerate(techs):
+        for block in _TECH_BLOCKS:
+            if block not in entry:
+                raise ValueError(f"technologies[{i}] missing block "
+                                 f"{block!r}")
+        if entry["tech"].get("digest") != data["tech_digests"][i]:
+            raise ValueError(f"technologies[{i}] digest disagrees with "
+                             f"tech_digests[{i}]")
+    if not isinstance(data["yield"], list):
+        raise ValueError("datasheet 'yield' must be a list")
+    for i, entry in enumerate(data["yield"]):
+        for field in ("tech", "spare_rows", "spare_cols", "report"):
+            if field not in entry:
+                raise ValueError(f"yield[{i}] missing field {field!r}")
+    return data
+
+
+def datasheet_json(data: Dict[str, Any]) -> str:
+    """The canonical (sorted, 2-space) JSON rendering of a datasheet."""
+    return json.dumps(validate_datasheet(data), indent=2, sort_keys=True) \
+        + "\n"
+
+
+def write_datasheet(path: Union[str, Path], data: Dict[str, Any]) -> Path:
+    """Validate and write one datasheet; returns the path."""
+    path = Path(path)
+    path.write_text(datasheet_json(data), encoding="utf-8")
+    return path

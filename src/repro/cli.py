@@ -24,12 +24,14 @@ from typing import List, Optional
 
 from repro.analysis.report import format_area, format_percent, render_table
 from repro.core.area import (CNFET_AMBIPOLAR, EEPROM, FLASH,
-                             area_saving_percent, pla_area)
+                             area_saving_percent, pla_area,
+                             technology_from)
 from repro.errors import ReproInputError
 from repro.espresso import espresso
 from repro.logic.function import BooleanFunction
 from repro.logic.pla_format import parse_pla, write_pla
 from repro.mapping.gnor_map import map_cover_to_gnor
+from repro.tech import get_tech, names as tech_names, resolve_tech
 
 
 def _load(path: str) -> BooleanFunction:
@@ -81,9 +83,14 @@ def _cmd_area(args) -> int:
     function = _load(args.file)
     cover = espresso(function).cover if args.minimize else function.on_set
     dims = (cover.n_inputs, cover.n_outputs, cover.n_cubes())
+    lineup = [FLASH, EEPROM, CNFET_AMBIPOLAR]
+    if args.tech:
+        extra = technology_from(resolve_tech(args.tech))
+        if extra.name not in [t.name for t in lineup]:
+            lineup.append(extra)
     rows = []
     flash = pla_area(FLASH, *dims)
-    for tech in (FLASH, EEPROM, CNFET_AMBIPOLAR):
+    for tech in lineup:
         area = pla_area(tech, *dims)
         rows.append([tech.name, format_area(area),
                      format_percent(area_saving_percent(area, flash))
@@ -124,19 +131,24 @@ def _cmd_map(args) -> int:
     return 0
 
 
-def _cmd_table1(_args) -> int:
+def _cmd_table1(args) -> int:
     from repro.bench.mcnc import TABLE1_BENCHMARKS
-    rows = [["Basic cell (L2)", format_area(FLASH.cell_area_l2),
-             format_area(EEPROM.cell_area_l2),
-             format_area(CNFET_AMBIPOLAR.cell_area_l2)]]
+    lineup = [FLASH, EEPROM, CNFET_AMBIPOLAR]
+    headers = ["", "Flash", "EEPROM", "CNFET"]
+    if getattr(args, "tech", None):
+        extra = technology_from(resolve_tech(args.tech))
+        if extra.name not in headers:
+            lineup.append(extra)
+            headers.append(extra.name)
+    rows = [["Basic cell (L2)"] + [format_area(t.cell_area_l2)
+                                   for t in lineup]]
     for stats in TABLE1_BENCHMARKS:
         dims = (stats.inputs, stats.outputs, stats.products)
         rows.append([f"{stats.name} (L2)"] +
-                    [format_area(pla_area(t, *dims))
-                     for t in (FLASH, EEPROM, CNFET_AMBIPOLAR)])
-    print(render_table(["", "Flash", "EEPROM", "CNFET"], rows,
-                       title="Table 1: Area of logic functions in 3 "
-                             "technologies"))
+                    [format_area(pla_area(t, *dims)) for t in lineup])
+    print(render_table(headers, rows,
+                       title=f"Table 1: Area of logic functions in "
+                             f"{len(lineup)} technologies"))
     return 0
 
 
@@ -464,9 +476,132 @@ def _cmd_chaos(args) -> int:
     return 0 if soak["ok"] else 1
 
 
+def _cmd_tech(args) -> int:
+    from repro.tech import ALIASES, BUILTIN
+    if args.action == "ls":
+        rows = []
+        for name in sorted(BUILTIN):
+            d = BUILTIN[name]
+            aliases = sorted(a for a, target in ALIASES.items()
+                             if target == name)
+            rows.append([name, format_area(d.cell_area_l2),
+                         "2I" if d.dual_input_columns else "I",
+                         d.digest()[:12],
+                         ", ".join(aliases) or "-"])
+        if args.json:
+            _write_json(args.json, {
+                name: BUILTIN[name].to_json() for name in sorted(BUILTIN)})
+            return 0
+        print(render_table(
+            ["name", "cell (L^2)", "input cols", "digest", "aliases"],
+            rows, title="Technology registry (REPRO_TECH / --tech also "
+                        "take a .json/.toml descriptor path)"))
+        return 0
+    # show
+    if not args.name:
+        print("error: tech show needs a NAME (registry name or "
+              "descriptor path)", file=sys.stderr)
+        return 2
+    descriptor = resolve_tech(args.name)
+    if args.json:
+        data = descriptor.to_json()
+        data["digest"] = descriptor.digest()
+        _write_json(args.json, data)
+        return 0
+    rows = [["digest", descriptor.digest()]]
+    for key, value in sorted(descriptor.to_json().items()):
+        if key != "name":
+            rows.append([key, value])
+    print(render_table(["parameter", "value"], rows,
+                       title=f"Technology: {descriptor.name}"))
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from repro.analysis.characterize import (CharacterizeSettings,
+                                             characterize)
+    from repro.analysis.export import write_datasheet
+    from repro.bench.mcnc import get_benchmark
+    try:
+        get_benchmark(args.benchmark)
+    except KeyError as exc:
+        raise ReproInputError(str(exc.args[0]))
+    techs = tuple(args.tech) if args.tech else ("flash", "eeprom", "cnfet")
+    for spec in techs:
+        resolve_tech(spec)  # fail fast on unknown specs, pre-sweep
+    spares = []
+    for spec in (args.spares or ["2,1"]):
+        try:
+            rows_str, cols_str = spec.split(",")
+            spares.append((int(rows_str), int(cols_str)))
+        except ValueError:
+            raise ReproInputError(
+                f"bad --spares {spec!r} (expected ROWS,COLS)")
+    settings = CharacterizeSettings(
+        benchmark=args.benchmark, techs=techs, seed=args.seed,
+        power_vectors=args.power_vectors,
+        variation_trials=args.variation_trials,
+        yield_samples=args.yield_samples, spares=tuple(spares))
+    checkpoint = args.checkpoint or _default_checkpoint(
+        "characterize", args.benchmark, len(techs), args.seed)
+    datasheet = characterize(settings, jobs=args.jobs,
+                             checkpoint=checkpoint, resume=args.resume,
+                             retries=args.retries)
+
+    fn = datasheet["function"]
+    rows = []
+    for entry in datasheet["technologies"]:
+        rows.append([
+            entry["tech"]["name"],
+            format_area(entry["area"]["total_l2"]),
+            f"{entry['timing']['cycle_time_ps']:.1f}",
+            f"{entry['power']['energy_per_cycle_j']:.3e}",
+            f"{entry['variation']['cycle_p95_ps']:.1f}",
+        ])
+    print(render_table(
+        ["technology", "area (L^2)", "cycle (ps)", "E/cycle (J)",
+         "p95 cycle (ps)"],
+        rows, title=f"Characterization: {fn['name']} I={fn['inputs']} "
+                    f"O={fn['outputs']} P={fn['products']}"))
+    yrows = []
+    for entry in datasheet["yield"]:
+        report = entry["report"]
+        lo, hi = report["repaired_ci95"]
+        yrows.append([
+            entry["tech"], f"+{entry['spare_rows']}r/+{entry['spare_cols']}c",
+            f"{report['raw_yield']:.4f}",
+            f"{report['repaired_yield']:.4f} [{lo:.4f}, {hi:.4f}]",
+        ])
+    print(render_table(
+        ["technology", "spares", "raw yield", "repaired yield [ci95]"],
+        yrows, title=f"Manufacturing yield ({settings.yield_samples} "
+                     f"samples, seed {settings.seed})"))
+    if args.output:
+        path = write_datasheet(args.output, datasheet)
+        print(f"wrote datasheet {path}", file=sys.stderr)
+    return 0
+
+
 #: Performance knobs, shown in ``repro --help`` and mirrored in the
 #: README "Performance" section (keep the two in sync).
 PERFORMANCE_EPILOG = """\
+technology:
+  REPRO_TECH=NAME|FILE
+        the technology descriptor every model constant derives from:
+        a registry name (`repro tech ls`: flash, eeprom, cnfet) or a
+        path to a JSON/TOML descriptor file; commands accepting
+        --tech override it per invocation.  Artifact-store keys
+        include the descriptor's content digest, so two technologies
+        never share cached results
+  repro tech ls|show NAME
+        census of the built-in registry / resolved parameters +
+        content digest of one descriptor (both take --json)
+  repro characterize --benchmark B [--tech SPEC]...
+        sweep one benchmark across technologies (minimize -> map ->
+        area/delay/power -> variation + manufacturing yield with
+        Wilson CIs) on the resilient runner; -o FILE exports the
+        schema-versioned machine-readable datasheet
+
 performance:
   REPRO_KERNEL=numpy|python|auto
         backend for the bit-sliced evaluation kernels, the
@@ -582,6 +717,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--minimize", action="store_true",
                    help="minimize before measuring")
+    p.add_argument("--tech", default=None, metavar="SPEC",
+                   help="also show this technology (registry name or "
+                        "descriptor path)")
     p.set_defaults(handler=_cmd_area)
 
     p = sub.add_parser("simulate", help="evaluate input vectors")
@@ -733,7 +871,61 @@ def build_parser() -> argparse.ArgumentParser:
                         "(bare --json = stdout)")
     p.set_defaults(handler=_cmd_chaos)
 
+    p = sub.add_parser("tech", help="list / inspect technology descriptors")
+    p.add_argument("action", choices=("ls", "show"),
+                   help="ls: registry census; show: resolved parameters "
+                        "+ content digest of one descriptor")
+    p.add_argument("name", nargs="?", default=None,
+                   help="show: registry name, alias, or a .json/.toml "
+                        "descriptor file path")
+    p.add_argument("--json", nargs="?", const="-", default=None,
+                   metavar="FILE",
+                   help="emit machine-readable JSON to FILE (bare "
+                        "--json = stdout)")
+    p.set_defaults(handler=_cmd_tech)
+
+    p = sub.add_parser("characterize",
+                       help="sweep one benchmark across technologies: "
+                            "area/delay/power/variation + Monte Carlo "
+                            "yield, emitting a machine-readable datasheet")
+    p.add_argument("--benchmark", required=True,
+                   help="registry benchmark name (max46, apla, t2, syn_*)")
+    p.add_argument("--tech", action="append", default=None, metavar="SPEC",
+                   help="technology to include (registry name or "
+                        "descriptor path); repeatable (default: flash, "
+                        "eeprom, cnfet)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--power-vectors", type=int, default=256,
+                   help="LFSR vectors for the activity-based energy "
+                        "model (default 256)")
+    p.add_argument("--variation-trials", type=int, default=200,
+                   help="Monte Carlo samples of the parametric timing "
+                        "distribution (default 200)")
+    p.add_argument("--yield-samples", type=int, default=400,
+                   help="Monte Carlo samples per yield experiment "
+                        "(default 400)")
+    p.add_argument("--spares", action="append", default=None,
+                   metavar="ROWS,COLS",
+                   help="spare-fabric point for the yield sweep; "
+                        "repeatable (default 2,1)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel worker processes (default 1; the "
+                        "datasheet is identical for any job count)")
+    p.add_argument("--retries", type=int, default=2)
+    p.add_argument("--checkpoint",
+                   help="JSONL checkpoint file (default: .repro/"
+                        "characterize-<bench>-<ntechs>-<seed>.ckpt.jsonl)")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse cells checkpointed by an interrupted "
+                        "sweep; the datasheet is bit-identical")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="write the validated datasheet as sorted JSON")
+    p.set_defaults(handler=_cmd_characterize)
+
     p = sub.add_parser("table1", help="reproduce the paper's Table 1")
+    p.add_argument("--tech", default=None, metavar="SPEC",
+                   help="append a fourth column for this technology "
+                        "(registry name or descriptor path)")
     p.set_defaults(handler=_cmd_table1)
 
     p = sub.add_parser("table2", help="reproduce the paper's Table 2")

@@ -11,15 +11,18 @@ array is ``P`` product rows by a column per plane input, so
 Basic-cell areas (Table 1, first row, in units of the lithography
 resolution squared ``L**2``): Flash 40, EEPROM 100, ambipolar CNFET 60
 — the CNFET cell is "50 % larger than the Flash and 40 % smaller than
-the EEPROM basic cell", which these constants reproduce.  The CNFET
-value derives from the misaligned-CNT-immune layout rules of [5]; the
-Flash/EEPROM values from the ITRS, as in the paper.
+the EEPROM basic cell".  Those constants live in the declarative
+technology registry (:mod:`repro.tech`); this module *derives* its
+:class:`Technology` objects from the descriptors, so the paper's
+values and any user-supplied ones flow through the same area model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.tech import TechDescriptor, get_tech
 
 
 @dataclass(frozen=True)
@@ -47,25 +50,49 @@ class Technology:
         return 2 * n_inputs if self.dual_input_columns else n_inputs
 
 
+#: Display names of the Table 1 technologies (the registry uses the
+#: lowercase slugs; reports keep the paper's capitalization).
+_DISPLAY_NAMES = {"flash": "Flash", "eeprom": "EEPROM", "cnfet": "CNFET"}
+
+
+def technology_from(descriptor: TechDescriptor) -> Technology:
+    """The area-model view of a technology descriptor."""
+    return Technology(
+        name=_DISPLAY_NAMES.get(descriptor.name, descriptor.name),
+        cell_area_l2=descriptor.cell_area_l2,
+        dual_input_columns=descriptor.dual_input_columns,
+    )
+
+
+def _as_technology(tech: Union[Technology, TechDescriptor]) -> Technology:
+    """Accept either a :class:`Technology` or a descriptor."""
+    if isinstance(tech, TechDescriptor):
+        return technology_from(tech)
+    return tech
+
+
 #: Flash floating-gate PLA cell (ITRS-derived, Table 1).
-FLASH = Technology("Flash", 40.0, dual_input_columns=True)
+FLASH = technology_from(get_tech("flash"))
 #: EEPROM PLA cell (ITRS-derived, Table 1).
-EEPROM = Technology("EEPROM", 100.0, dual_input_columns=True)
+EEPROM = technology_from(get_tech("eeprom"))
 #: Ambipolar-CNFET GNOR cell (scaling rules of [5], Table 1).
-CNFET_AMBIPOLAR = Technology("CNFET", 60.0, dual_input_columns=False)
+CNFET_AMBIPOLAR = technology_from(get_tech("cnfet"))
 
 #: The Table 1 technology line-up, in column order.
 TABLE1_TECHNOLOGIES = (FLASH, EEPROM, CNFET_AMBIPOLAR)
 
 
-def pla_area(technology: Technology, n_inputs: int, n_outputs: int,
-             n_products: int) -> float:
+def pla_area(technology: Union[Technology, TechDescriptor], n_inputs: int,
+             n_outputs: int, n_products: int) -> float:
     """PLA area in ``L**2`` for a minimized cover's dimensions.
 
     ``cell x P x (columns + O)`` with the technology's input-column
     rule; this is exactly the Table 1 model (verified bit-exact against
     all nine published entries in ``benchmarks/bench_table1.py``).
+    ``technology`` may be a :class:`Technology` or a
+    :class:`~repro.tech.TechDescriptor`.
     """
+    technology = _as_technology(technology)
     if min(n_inputs, n_outputs, n_products) < 0:
         raise ValueError("dimensions must be non-negative")
     columns = technology.input_columns(n_inputs) + n_outputs
@@ -117,7 +144,8 @@ def area_table(benchmarks: Iterable, technologies=TABLE1_TECHNOLOGIES
     return rows
 
 
-def interconnect_area(technology: Technology, n_horizontal: int,
-                      n_vertical: int) -> float:
+def interconnect_area(technology: Union[Technology, TechDescriptor],
+                      n_horizontal: int, n_vertical: int) -> float:
     """Area of a crosspoint interconnect array (Section 4's fabric)."""
-    return technology.cell_area_l2 * n_horizontal * n_vertical
+    return _as_technology(technology).cell_area_l2 \
+        * n_horizontal * n_vertical

@@ -23,6 +23,14 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field, replace
 
+from repro.tech import TechDescriptor, get_tech
+
+#: The descriptor all device-level defaults derive from — the single
+#: source of the paper's assessment constants (cell area included:
+#: :data:`repro.core.area.CNFET_AMBIPOLAR` reads the same field, so
+#: the two can never drift apart again).
+_DEFAULT_TECH = get_tech("cnfet")
+
 
 class Polarity(enum.Enum):
     """The three electrically-programmed states of the polarity gate."""
@@ -39,24 +47,25 @@ class Polarity(enum.Enum):
 class DeviceParameters:
     """Electrical and geometric parameters of one ambipolar CNFET.
 
-    Defaults follow the paper's assessment setup: the supply ``vdd`` is
-    normalized to 1 V, the contacted-cell area to ``60 L**2`` (Table 1,
-    first row), and the RC values are representative ballistic-CNFET
-    numbers used only *relatively* by the delay model.
+    Defaults come from the ``cnfet`` technology descriptor
+    (:mod:`repro.tech`) — the paper's assessment setup: the supply
+    ``vdd`` normalized to 1 V, the contacted-cell area of ``60 L**2``
+    (Table 1, first row), and representative ballistic-CNFET RC values
+    used only *relatively* by the delay model.
     """
 
     #: Supply voltage [V]; the PG levels derive from it.
-    vdd: float = 1.0
+    vdd: float = _DEFAULT_TECH.vdd
     #: On-resistance of a conducting tube bundle [ohm].
-    r_on: float = 25e3
+    r_on: float = _DEFAULT_TECH.r_on
     #: CG capacitance [F] (load presented to the driving signal).
-    c_gate: float = 6e-18
+    c_gate: float = _DEFAULT_TECH.c_gate
     #: Drain/source junction capacitance [F] (load on the output wire).
-    c_junction: float = 3e-18
+    c_junction: float = _DEFAULT_TECH.c_junction
     #: Contacted basic-cell area in units of the lithography pitch squared.
-    cell_area_l2: float = 60.0
+    cell_area_l2: float = _DEFAULT_TECH.cell_area_l2
     #: Number of parallel CNTs forming the channel (per [5]-style arrays).
-    tubes_per_device: int = 4
+    tubes_per_device: int = _DEFAULT_TECH.tubes_per_device
 
     @property
     def v_plus(self) -> float:
@@ -81,13 +90,22 @@ class DeviceParameters:
             return self.v_minus
         return self.v_zero
 
+    @classmethod
+    def from_tech(cls, descriptor: TechDescriptor) -> "DeviceParameters":
+        """The device-parameter view of a technology descriptor."""
+        return cls(vdd=descriptor.vdd, r_on=descriptor.r_on,
+                   c_gate=descriptor.c_gate,
+                   c_junction=descriptor.c_junction,
+                   cell_area_l2=descriptor.cell_area_l2,
+                   tubes_per_device=descriptor.tubes_per_device)
+
 
 #: Shared default parameter set.
 DEFAULT_PARAMETERS = DeviceParameters()
 
 #: Fraction of ``vdd`` within which a stored PG charge still programs the
 #: intended state (beyond it the device degrades toward the off state).
-PG_TOLERANCE = 0.25
+PG_TOLERANCE = _DEFAULT_TECH.pg_tolerance
 
 
 @dataclass

@@ -21,12 +21,18 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.core.device import DEFAULT_PARAMETERS, DeviceParameters
+from repro.core.device import (DEFAULT_PARAMETERS, DeviceParameters,
+                               _DEFAULT_TECH)
+from repro.tech import TechDescriptor
 
 
 @dataclass(frozen=True)
 class TimingParameters:
     """First-order RC constants of the dynamic-logic timing model.
+
+    Defaults derive from the ``cnfet`` technology descriptor
+    (:mod:`repro.tech`); :meth:`from_tech` builds the set for any
+    other descriptor.
 
     Attributes
     ----------
@@ -41,13 +47,37 @@ class TimingParameters:
     """
 
     device: DeviceParameters = DEFAULT_PARAMETERS
-    c_wire_per_cell: float = 8e-18
-    buffer_delay: float = 4e-12
+    c_wire_per_cell: float = _DEFAULT_TECH.c_wire_per_cell
+    buffer_delay: float = _DEFAULT_TECH.buffer_delay
     ln2: float = math.log(2.0)
+
+    @classmethod
+    def from_tech(cls, descriptor: TechDescriptor) -> "TimingParameters":
+        """The timing-parameter view of a technology descriptor."""
+        return cls(device=DeviceParameters.from_tech(descriptor),
+                   c_wire_per_cell=descriptor.c_wire_per_cell,
+                   buffer_delay=descriptor.buffer_delay)
 
 
 #: Shared default timing constants.
 DEFAULT_TIMING = TimingParameters()
+
+
+def timing_for(descriptor: TechDescriptor) -> TimingParameters:
+    """Module-level alias of :meth:`TimingParameters.from_tech`."""
+    return TimingParameters.from_tech(descriptor)
+
+
+def as_timing(params) -> TimingParameters:
+    """Accept :class:`TimingParameters` or a tech descriptor.
+
+    Consumers (fabric/FPGA timing, power, variation) take either so a
+    caller holding only a :class:`~repro.tech.TechDescriptor` never has
+    to know about the intermediate parameter dataclasses.
+    """
+    if isinstance(params, TechDescriptor):
+        return TimingParameters.from_tech(params)
+    return params
 
 
 class PLATimingModel:

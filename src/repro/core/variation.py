@@ -21,13 +21,19 @@ import random
 from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence
 
-from repro.core.device import DEFAULT_PARAMETERS, DeviceParameters, PG_TOLERANCE
+from repro.core.device import (DEFAULT_PARAMETERS, PG_TOLERANCE,
+                               DeviceParameters, _DEFAULT_TECH)
 from repro.core.timing import DEFAULT_TIMING, PLATimingModel, TimingParameters
+from repro.tech import TechDescriptor
 
 
 @dataclass(frozen=True)
 class VariationModel:
     """Relative (1-sigma) parameter spreads.
+
+    Defaults come from the ``cnfet`` technology descriptor
+    (:mod:`repro.tech`); :meth:`from_tech` builds the model for any
+    other descriptor.
 
     Attributes
     ----------
@@ -41,9 +47,16 @@ class VariationModel:
         plus retention loss).
     """
 
-    sigma_r_on: float = 0.15
-    sigma_capacitance: float = 0.10
-    sigma_pg_charge: float = 0.05
+    sigma_r_on: float = _DEFAULT_TECH.sigma_r_on
+    sigma_capacitance: float = _DEFAULT_TECH.sigma_capacitance
+    sigma_pg_charge: float = _DEFAULT_TECH.sigma_pg_charge
+
+    @classmethod
+    def from_tech(cls, descriptor: TechDescriptor) -> "VariationModel":
+        """The variation-model view of a technology descriptor."""
+        return cls(sigma_r_on=descriptor.sigma_r_on,
+                   sigma_capacitance=descriptor.sigma_capacitance,
+                   sigma_pg_charge=descriptor.sigma_pg_charge)
 
     def sample_timing(self, rng: random.Random,
                       base: TimingParameters = DEFAULT_TIMING

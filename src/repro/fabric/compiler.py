@@ -21,6 +21,7 @@ from repro.core.interconnect import CrosspointArray
 from repro.core.pla import AmbipolarPLA
 from repro.fabric.layout import FabricLayout, levelize
 from repro.mapping.partition import Block, PartitionResult
+from repro.tech import TechDescriptor
 
 
 @dataclass
@@ -125,7 +126,11 @@ class CompiledFabric:
         return self.pla_cells() + self.crossbar_cells()
 
     def area_l2(self, technology: Technology = CNFET_AMBIPOLAR) -> float:
-        """Total fabric area under the Table 1 cell model."""
+        """Total fabric area under the Table 1 cell model.
+
+        ``technology`` may be a :class:`Technology` or a
+        :class:`~repro.tech.TechDescriptor`.
+        """
         total = 0.0
         for stage in self.stages:
             for _block, pla in stage.plas:
@@ -157,7 +162,13 @@ class CompiledFabric:
 def compile_fabric(partition: PartitionResult,
                    params: DeviceParameters = DEFAULT_PARAMETERS
                    ) -> CompiledFabric:
-    """Program the cascaded fabric for a partitioned function."""
+    """Program the cascaded fabric for a partitioned function.
+
+    ``params`` may also be a :class:`~repro.tech.TechDescriptor`, in
+    which case the device parameters derive from it.
+    """
+    if isinstance(params, TechDescriptor):
+        params = DeviceParameters.from_tech(params)
     layout = levelize(partition)
     stages: List[FabricStage] = []
 

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.core.timing import DEFAULT_TIMING, PLATimingModel, TimingParameters
+from repro.core.timing import (DEFAULT_TIMING, PLATimingModel,
+                               TimingParameters, as_timing)
 from repro.fabric.compiler import CompiledFabric
 
 
@@ -43,7 +44,11 @@ class FabricTimingReport:
 def analyze_fabric_timing(fabric: CompiledFabric,
                           timing: TimingParameters = DEFAULT_TIMING
                           ) -> FabricTimingReport:
-    """Critical-path analysis of a compiled fabric."""
+    """Critical-path analysis of a compiled fabric.
+
+    ``timing`` may also be a :class:`~repro.tech.TechDescriptor`.
+    """
+    timing = as_timing(timing)
     stage_delays: List[float] = []
     crossbar_delays: List[float] = []
     total = 0.0
@@ -75,7 +80,7 @@ def flat_pla_delay(n_inputs: int, n_outputs: int, n_products: int,
                    timing: TimingParameters = DEFAULT_TIMING) -> float:
     """Evaluate delay of the equivalent flat two-level PLA [s]."""
     return PLATimingModel(n_inputs, n_outputs, n_products,
-                          timing).evaluate_delay()
+                          as_timing(timing)).evaluate_delay()
 
 
 def pipelined_frequency(report: FabricTimingReport) -> float:

@@ -18,8 +18,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.core.area import CNFET_AMBIPOLAR, FLASH, Technology, pla_area
-from repro.core.timing import DEFAULT_TIMING, PLATimingModel, TimingParameters
+from repro.core.area import (CNFET_AMBIPOLAR, FLASH, Technology,
+                             _as_technology, pla_area)
+from repro.core.timing import (DEFAULT_TIMING, PLATimingModel,
+                               TimingParameters, as_timing)
 
 
 @dataclass(frozen=True)
@@ -54,7 +56,11 @@ class CLBSpec:
         return self.area_l2 ** 0.5
 
     def logic_delay(self, timing: TimingParameters = DEFAULT_TIMING) -> float:
-        """Worst-case evaluate delay of a fully-used internal PLA [s]."""
+        """Worst-case evaluate delay of a fully-used internal PLA [s].
+
+        ``timing`` may also be a :class:`~repro.tech.TechDescriptor`.
+        """
+        timing = as_timing(timing)
         columns = (2 * self.max_inputs if self.dual_polarity_inputs
                    else self.max_inputs)
         model = PLATimingModel(self.max_inputs, self.max_outputs,
@@ -90,10 +96,17 @@ def first_principles_area(max_inputs: int, max_outputs: int,
 
 
 def standard_pla_clb(max_inputs: int = 9, max_outputs: int = 4,
-                     max_products: int = 20) -> CLBSpec:
-    """The standard (dual-polarity, Flash-cell) CLB of the Table 2 baseline."""
+                     max_products: int = 20,
+                     technology: Technology = FLASH) -> CLBSpec:
+    """The standard (dual-polarity, Flash-cell) CLB of the Table 2 baseline.
+
+    ``technology`` (a :class:`Technology` or a
+    :class:`~repro.tech.TechDescriptor`) selects the cell library; the
+    default reproduces the Table 2 baseline.
+    """
+    technology = _as_technology(technology)
     area = first_principles_area(max_inputs, max_outputs, max_products,
-                                 FLASH, dual_polarity=True)
+                                 technology, dual_polarity=True)
     return CLBSpec(
         name="standard-pla",
         max_inputs=max_inputs,
@@ -101,26 +114,30 @@ def standard_pla_clb(max_inputs: int = 9, max_outputs: int = 4,
         max_products=max_products,
         area_l2=area,
         dual_polarity_inputs=True,
-        technology=FLASH,
+        technology=technology,
     )
 
 
 def ambipolar_pla_clb(max_inputs: int = 9, max_outputs: int = 4,
                       max_products: int = 20,
-                      area_factor: float = 0.5) -> CLBSpec:
+                      area_factor: float = 0.5,
+                      technology: Technology = CNFET_AMBIPOLAR) -> CLBSpec:
     """The ambipolar-CNFET CLB, emulated per the paper's protocol.
 
     The paper emulates the CNFET FPGA as a classical one "with half of
     the area for every CLB"; ``area_factor`` applies that ratio to the
     standard CLB's footprint (pass ``None`` to use the first-principles
-    estimate instead).
+    estimate instead).  ``technology`` (a :class:`Technology` or a
+    :class:`~repro.tech.TechDescriptor`) selects the single-column cell
+    library for the first-principles path and delay modelling.
     """
+    technology = _as_technology(technology)
     if area_factor is not None:
         base = standard_pla_clb(max_inputs, max_outputs, max_products)
         area = base.area_l2 * area_factor
     else:
         area = first_principles_area(max_inputs, max_outputs, max_products,
-                                     CNFET_AMBIPOLAR, dual_polarity=False)
+                                     technology, dual_polarity=False)
     return CLBSpec(
         name="ambipolar-pla",
         max_inputs=max_inputs,
@@ -128,5 +145,5 @@ def ambipolar_pla_clb(max_inputs: int = 9, max_outputs: int = 4,
         max_products=max_products,
         area_l2=area,
         dual_polarity_inputs=False,
-        technology=CNFET_AMBIPOLAR,
+        technology=technology,
     )

@@ -22,11 +22,19 @@ from repro import kernels, perf
 from repro.fpga.fabric import Edge, FPGAFabric
 from repro.fpga.netlist import Net, Netlist
 from repro.fpga.routing import RoutingResult
+from repro.tech import TechDescriptor, get_tech
+
+#: Descriptor supplying the calibrated wire-model defaults.
+_DEFAULT_TECH = get_tech("cnfet")
 
 
 @dataclass(frozen=True)
 class WireDelayParameters:
     """Constants of the buffered-wire delay model.
+
+    Defaults come from the ``cnfet`` technology descriptor
+    (:mod:`repro.tech`); :meth:`from_tech` builds the set for any
+    other descriptor.
 
     Attributes
     ----------
@@ -41,9 +49,17 @@ class WireDelayParameters:
         (connection-block switches).
     """
 
-    segment_delay_per_l: float = 4.7e-13
-    congestion_beta: float = 3.5
-    connection_delay: float = 7.7e-11
+    segment_delay_per_l: float = _DEFAULT_TECH.wire_segment_delay_per_l
+    congestion_beta: float = _DEFAULT_TECH.wire_congestion_beta
+    connection_delay: float = _DEFAULT_TECH.wire_connection_delay
+
+    @classmethod
+    def from_tech(cls, descriptor: TechDescriptor) -> "WireDelayParameters":
+        """The wire-delay view of a technology descriptor."""
+        return cls(
+            segment_delay_per_l=descriptor.wire_segment_delay_per_l,
+            congestion_beta=descriptor.wire_congestion_beta,
+            connection_delay=descriptor.wire_connection_delay)
 
 
 #: Calibrated defaults shared by the benches.
@@ -107,7 +123,12 @@ def analyze_timing(netlist: Netlist, routing: RoutingResult,
                    fabric: FPGAFabric,
                    params: WireDelayParameters = DEFAULT_WIRE_DELAY
                    ) -> TimingReport:
-    """Longest-path timing over the placed-and-routed design."""
+    """Longest-path timing over the placed-and-routed design.
+
+    ``params`` may also be a :class:`~repro.tech.TechDescriptor`.
+    """
+    if isinstance(params, TechDescriptor):
+        params = WireDelayParameters.from_tech(params)
     with perf.timer("fpga.timing"):
         return _analyze_timing(netlist, routing, fabric, params)
 

@@ -117,6 +117,9 @@ def synthesize_fsm(fsm: FSM, encoding: Optional[StateEncoding] = None,
     """
     if not fsm.is_deterministic():
         raise ValueError(f"{fsm.name} has conflicting overlapping guards")
+    from repro.tech import TechDescriptor
+    if isinstance(params, TechDescriptor):
+        params = DeviceParameters.from_tech(params)
     if encoding is None:
         encoding = binary_encoding(fsm.states)
 

@@ -6,6 +6,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.device import DEFAULT_PARAMETERS, DeviceParameters
 from repro.espresso.doppio import DoppioResult
+from repro.tech import TechDescriptor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.wpla import WhirlpoolPLA
@@ -21,8 +22,11 @@ def map_doppio_to_wpla(result: DoppioResult, n_outputs: int,
 
     Each half-PLA is programmed from its group's phase-assigned cover,
     with the phase flags becoming output-buffer polarities (free on the
-    GNOR architecture).
+    GNOR architecture).  ``params`` may also be a
+    :class:`~repro.tech.TechDescriptor`.
     """
+    if isinstance(params, TechDescriptor):
+        params = DeviceParameters.from_tech(params)
     half_a = AmbipolarPLA.from_cover(result.result_a.cover,
                                      result.result_a.phases, params)
     half_b = AmbipolarPLA.from_cover(result.result_b.cover,

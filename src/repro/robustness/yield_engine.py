@@ -59,6 +59,11 @@ class YieldSettings:
         (:meth:`~repro.core.defects.DefectMap.sample_row_correlated`).
     reminimize:
         Allow the repair pass its re-minimization fallback.
+    tech:
+        Technology spec (registry name or descriptor-file path) the
+        experiment runs under; workers resolve it via
+        :func:`repro.tech.use`, and the artifact key separates by its
+        content digest.
     """
 
     benchmark: str
@@ -71,6 +76,7 @@ class YieldSettings:
     spare_cols: int = 1
     correlated: bool = False
     reminimize: bool = True
+    tech: str = "cnfet"
 
 
 @dataclass
@@ -171,7 +177,8 @@ _WORKER_CACHE: dict = {}
 
 
 def _prepared(settings: YieldSettings):
-    key = (settings.benchmark, settings.spare_rows, settings.spare_cols)
+    key = (settings.benchmark, settings.spare_rows, settings.spare_cols,
+           settings.tech)
     entry = _WORKER_CACHE.get(key)
     if entry is None:
         from repro.bench.mcnc import benchmark_function, get_benchmark
@@ -200,9 +207,18 @@ def run_yield_chunk(payload: dict) -> List[dict]:
     settings = YieldSettings(**payload["settings"])
     from repro import eval as batch_eval
     from repro import perf
+    from repro import tech as tech_mod
     from repro.core.defects import DefectMap, DefectModel
     from repro.robustness.repair import repair_config, repair_config_batch
 
+    with tech_mod.use(settings.tech):
+        return _run_chunk_under_tech(settings, payload, batch_eval, perf,
+                                     DefectMap, DefectModel, repair_config,
+                                     repair_config_batch)
+
+
+def _run_chunk_under_tech(settings, payload, batch_eval, perf, DefectMap,
+                          DefectModel, repair_config, repair_config_batch):
     function, config, fabric, golden = _prepared(settings)
     model = DefectModel(p_stuck_off=settings.p_stuck_off,
                         p_stuck_on=settings.p_stuck_on,
@@ -262,10 +278,11 @@ def estimate_yield(settings: YieldSettings, jobs: int = 1,
 
     The aggregated report is a content-addressed artifact (kind
     ``yield``) keyed by the full settings: a repeated run with the same
-    settings and kernel backend is served from the synthesis service's
-    store without touching the Monte Carlo sweep.  ``REPRO_CACHE=off``
-    always recomputes.
+    settings, kernel backend and technology digest is served from the
+    synthesis service's store without touching the Monte Carlo sweep.
+    ``REPRO_CACHE=off`` always recomputes.
     """
+    from repro import tech as tech_mod
     from repro.store.service import get_service
 
     def compute() -> YieldReport:
@@ -286,7 +303,11 @@ def estimate_yield(settings: YieldSettings, jobs: int = 1,
         outcomes = [record for chunk in report.values() for record in chunk]
         return _aggregate(settings, outcomes)
 
-    return get_service().yield_run(settings, compute)
+    # settings.tech is authoritative for the whole experiment: the
+    # artifact key (via the active digest) and any tech-parameterized
+    # model call both resolve under it.
+    with tech_mod.use(settings.tech):
+        return get_service().yield_run(settings, compute)
 
 
 def _aggregate(settings: YieldSettings,

@@ -247,11 +247,30 @@ OPS = {
 
 
 def dispatch(op: str, params: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker entry point: run one endpoint (top-level, picklable)."""
+    """Worker entry point: run one endpoint (top-level, picklable).
+
+    Every op accepts an optional ``tech`` param (registry name or
+    descriptor-file path): the handler runs under
+    :func:`repro.tech.use`, so model constants *and* artifact keys
+    resolve for that technology.  Unknown specs are ``bad_request``.
+    """
     handler = OPS.get(op)
     if handler is None:
         raise RequestError(f"no worker op {op!r}")
-    return handler(params)
+    tech_spec = params.get("tech")
+    if tech_spec is None:
+        return handler(params)
+    if not isinstance(tech_spec, str):
+        raise RequestError("param 'tech' must be a string (registry name "
+                           "or descriptor path)")
+    from repro import tech as tech_mod
+    from repro.errors import ReproInputError
+    params = {k: v for k, v in params.items() if k != "tech"}
+    try:
+        with tech_mod.use(tech_spec):
+            return handler(params)
+    except ReproInputError as exc:
+        raise RequestError(str(exc))
 
 
 def dispatch_checked(op: str, params: Dict[str, Any]) -> Dict[str, Any]:

@@ -12,6 +12,10 @@ JSON document describing *everything that determines the result*:
   backends by construction, but cache-key hygiene demands that a
   kernel-produced artifact can never satisfy a scalar request (a
   backend bug would otherwise leak across the boundary silently);
+* the active **technology descriptor's content digest**
+  (:func:`repro.tech.active_digest`) — every model constant flows from
+  the descriptor, so two technologies differing in a single field must
+  never share an artifact (same hygiene rationale as the backend);
 * the request payload itself (input bytes / rows, normalized config).
 
 Canonicalization is strict: only JSON scalar/dict/list shapes are
@@ -35,10 +39,11 @@ SCHEMA_VERSIONS: Dict[str, int] = {
     "minimize": 1,
     "place_route": 1,
     "table2_workload": 1,
-    "yield": 1,
+    "yield": 2,  # v2: settings gained the technology field
     "table1_row": 1,
     "suite_entry": 1,
     "eval_batch": 1,
+    "characterize": 1,
 }
 
 #: Fallback for ad-hoc kinds (tests, experiments).
@@ -85,7 +90,8 @@ def digest_of(obj: Any) -> str:
     return hashlib.sha256(canonical_bytes(obj)).hexdigest()
 
 
-def artifact_key(kind: str, request: Any, backend: str = None) -> str:
+def artifact_key(kind: str, request: Any, backend: str = None,
+                 tech: str = None) -> str:
     """The content address of one artifact request.
 
     Parameters
@@ -98,13 +104,23 @@ def artifact_key(kind: str, request: Any, backend: str = None) -> str:
         Kernel backend; defaults to the active
         :func:`repro.kernels.backend` resolution, so scalar and kernel
         runs never share entries.
+    tech:
+        Technology-descriptor content digest; defaults to the active
+        :func:`repro.tech.active_digest` resolution, so two
+        technologies never share entries.
     """
     if backend is None:
         backend = kernels.backend()
+    if tech is None:
+        # Imported here: repro.tech lazily imports digest_of from this
+        # module, so a top-level import would be a cycle hazard.
+        from repro.tech import active_digest
+        tech = active_digest()
     return digest_of({
         "kind": kind,
         "schema": schema_version(kind),
         "backend": backend,
+        "tech": tech,
         "request": request,
     })
 

@@ -1,0 +1,28 @@
+"""Technology descriptors: the paper's constants as data, not code.
+
+Public surface:
+
+* :class:`~repro.tech.descriptor.TechDescriptor` — one validated,
+  digestable descriptor;
+* :func:`~repro.tech.registry.get_tech` / ``names`` / ``register`` —
+  the built-in registry (``flash`` / ``eeprom`` / ``cnfet`` reproduce
+  Table 1 bit-identically);
+* :func:`~repro.tech.loader.load_descriptor` — JSON/TOML user files;
+* :func:`~repro.tech.loader.resolve_tech` / ``active`` / ``use`` —
+  the ``REPRO_TECH`` / ``--tech`` resolution chain every consuming
+  layer and the artifact-store key derivation go through.
+"""
+
+from repro.tech.descriptor import (TECH_SCHEMA_VERSION, TechDescriptor,
+                                   validate_descriptor)
+from repro.tech.loader import (TECH_ENV, active, active_digest,
+                               load_descriptor, resolve_tech, use)
+from repro.tech.registry import (ALIASES, BUILTIN, DEFAULT_TECH, get_tech,
+                                 names, register, unregister)
+
+__all__ = [
+    "ALIASES", "BUILTIN", "DEFAULT_TECH", "TECH_ENV",
+    "TECH_SCHEMA_VERSION", "TechDescriptor", "active", "active_digest",
+    "get_tech", "load_descriptor", "names", "register", "resolve_tech",
+    "unregister", "use", "validate_descriptor",
+]

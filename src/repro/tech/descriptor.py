@@ -1,0 +1,241 @@
+"""Declarative technology descriptors.
+
+Every electrical and geometric constant the paper's assessment uses —
+basic-cell areas (Table 1, first row), the representative ballistic-
+CNFET RC values behind the delay model, the wire/buffer constants of
+the FPGA emulation — lives in one :class:`TechDescriptor` per
+technology instead of being scattered over ``core/area.py``,
+``core/device.py`` and ``core/timing.py`` as module constants.  The
+area, timing, power, variation, fabric and FPGA models all *derive*
+their parameter objects from a descriptor, so users can bring their own
+device parameters as data (a JSON/TOML file, see
+:mod:`repro.tech.loader`) without touching code.
+
+A descriptor is a frozen, validated dataclass with a canonical-JSON
+content digest: two descriptors with the same resolved parameters hash
+identically, and the digest becomes part of every artifact-store cache
+key (:mod:`repro.store.keys`), so results computed under different
+technologies can never collide.
+
+This module is deliberately free of imports from the model layers
+(``repro.core`` and friends import *us*, never the reverse).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict
+
+#: Version of the descriptor's serialized shape.  Bump when fields are
+#: added/renamed/re-scaled so stale files are rejected loudly instead
+#: of silently misread.
+TECH_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TechDescriptor:
+    """One PLA implementation technology, fully parameterized.
+
+    The three required fields are the architectural ones the paper's
+    Table 1 model needs; everything else defaults to the ambipolar-
+    CNFET assessment values and only matters for the delay, power and
+    variation models.
+
+    Attributes
+    ----------
+    name:
+        Registry / display name (also used in cache-key provenance).
+    cell_area_l2:
+        Contacted basic-cell area in units of the lithography
+        resolution squared (``L**2``; Table 1, first row).
+    dual_input_columns:
+        True when both polarities of every input need their own column
+        (classical floating-gate PLAs); False for the ambipolar-CNFET
+        GNOR architecture, which programs polarity per device.
+    description:
+        Free-form provenance note.
+    vdd:
+        Supply voltage [V]; the polarity-gate levels derive from it.
+    r_on:
+        On-resistance of a conducting tube bundle [ohm].
+    c_gate:
+        Control-gate capacitance [F].
+    c_junction:
+        Drain/source junction capacitance [F].
+    tubes_per_device:
+        Parallel CNTs per channel.
+    pg_tolerance:
+        Fraction of ``vdd`` within which a stored polarity-gate charge
+        still reads as the intended state.
+    c_wire_per_cell:
+        Wire capacitance added per crossed basic cell [F].
+    buffer_delay:
+        Fixed output-buffer delay [s].
+    sigma_r_on, sigma_capacitance:
+        Relative 1-sigma spreads of the variation model.
+    sigma_pg_charge:
+        Absolute 1-sigma spread of the stored PG voltage [V].
+    wire_segment_delay_per_l:
+        FPGA channel-segment delay per unit tile pitch [s/L]
+        (calibrated so the standard Table 2 fabric lands near the
+        paper's 154 MHz).
+    wire_congestion_beta:
+        Quadratic congestion-penalty coefficient of the FPGA router's
+        delay model.
+    wire_connection_delay:
+        Fixed connection-block entry/exit delay per net [s].
+    """
+
+    name: str
+    cell_area_l2: float
+    dual_input_columns: bool
+    description: str = ""
+    # -- device electrical ------------------------------------------------
+    vdd: float = 1.0
+    r_on: float = 25e3
+    c_gate: float = 6e-18
+    c_junction: float = 3e-18
+    tubes_per_device: int = 4
+    pg_tolerance: float = 0.25
+    # -- wire / timing ----------------------------------------------------
+    c_wire_per_cell: float = 8e-18
+    buffer_delay: float = 4e-12
+    # -- variation --------------------------------------------------------
+    sigma_r_on: float = 0.15
+    sigma_capacitance: float = 0.10
+    sigma_pg_charge: float = 0.05
+    # -- FPGA wire model --------------------------------------------------
+    wire_segment_delay_per_l: float = 4.7e-13
+    wire_congestion_beta: float = 3.5
+    wire_connection_delay: float = 7.7e-11
+
+    def __post_init__(self) -> None:
+        validate_descriptor(self)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """The canonical JSON-shaped form (schema-versioned, flat)."""
+        data: Dict[str, Any] = {"schema": TECH_SCHEMA_VERSION}
+        for spec in fields(self):
+            data[spec.name] = getattr(self, spec.name)
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any],
+                  default_name: str = None) -> "TechDescriptor":
+        """Build and validate a descriptor from a JSON-shaped dict.
+
+        Raises :class:`ValueError` on unknown keys, a wrong ``schema``
+        tag, or any out-of-range field — the loader wraps these with
+        the file/line context.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"descriptor must be an object, got "
+                             f"{type(data).__name__}")
+        payload = dict(data)
+        schema = payload.pop("schema", TECH_SCHEMA_VERSION)
+        if schema != TECH_SCHEMA_VERSION:
+            raise ValueError(f"unsupported descriptor schema {schema!r} "
+                             f"(this build reads schema "
+                             f"{TECH_SCHEMA_VERSION})")
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown descriptor field(s): "
+                             f"{', '.join(unknown)} "
+                             f"(known: {', '.join(sorted(known))})")
+        if "name" not in payload:
+            if default_name is None:
+                raise ValueError("descriptor needs a 'name' field")
+            payload["name"] = default_name
+        missing = sorted(name for name in ("cell_area_l2",
+                                           "dual_input_columns")
+                         if name not in payload)
+        if missing:
+            raise ValueError(f"missing required field(s): "
+                             f"{', '.join(missing)}")
+        return cls(**payload)
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON form (cache-key material)."""
+        return _digest_cached(self)
+
+    def derive(self, **changes: Any) -> "TechDescriptor":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+    def input_columns(self, n_inputs: int) -> int:
+        """Physical input columns for ``n_inputs`` logical inputs."""
+        return 2 * n_inputs if self.dual_input_columns else n_inputs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"TechDescriptor({self.name!r}, "
+                f"cell_area_l2={self.cell_area_l2:g}, "
+                f"dual_input_columns={self.dual_input_columns})")
+
+
+#: (field, predicate, requirement) validation table.
+_VALIDATORS = (
+    ("cell_area_l2", lambda v: v > 0, "must be > 0"),
+    ("vdd", lambda v: v > 0, "must be > 0"),
+    ("r_on", lambda v: v > 0, "must be > 0"),
+    ("c_gate", lambda v: v > 0, "must be > 0"),
+    ("c_junction", lambda v: v > 0, "must be > 0"),
+    ("tubes_per_device", lambda v: v >= 1, "must be >= 1"),
+    ("pg_tolerance", lambda v: 0 < v < 0.5,
+     "must be in (0, 0.5) so the n/p read windows cannot overlap"),
+    ("c_wire_per_cell", lambda v: v > 0, "must be > 0"),
+    ("buffer_delay", lambda v: v >= 0, "must be >= 0"),
+    ("sigma_r_on", lambda v: v >= 0, "must be >= 0"),
+    ("sigma_capacitance", lambda v: v >= 0, "must be >= 0"),
+    ("sigma_pg_charge", lambda v: v >= 0, "must be >= 0"),
+    ("wire_segment_delay_per_l", lambda v: v > 0, "must be > 0"),
+    ("wire_congestion_beta", lambda v: v >= 0, "must be >= 0"),
+    ("wire_connection_delay", lambda v: v >= 0, "must be >= 0"),
+)
+
+#: Fields that must be real numbers (bool is excluded explicitly:
+#: ``True`` is an ``int`` in Python and would slip through).
+_NUMERIC_FIELDS = tuple(name for name, _p, _r in _VALIDATORS)
+
+
+def validate_descriptor(descriptor: TechDescriptor) -> None:
+    """Raise :class:`ValueError` for any out-of-range or mistyped field."""
+    name = descriptor.name
+    if not isinstance(name, str) or not name or name != name.strip() \
+            or any(ch.isspace() for ch in name):
+        raise ValueError(f"field 'name': must be a non-empty string "
+                         f"without whitespace, got {name!r}")
+    if not isinstance(descriptor.description, str):
+        raise ValueError("field 'description': must be a string")
+    if not isinstance(descriptor.dual_input_columns, bool):
+        raise ValueError("field 'dual_input_columns': must be a boolean")
+    if not isinstance(descriptor.tubes_per_device, int) \
+            or isinstance(descriptor.tubes_per_device, bool):
+        raise ValueError("field 'tubes_per_device': must be an integer")
+    for field_name in _NUMERIC_FIELDS:
+        value = getattr(descriptor, field_name)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"field {field_name!r}: must be a number, "
+                             f"got {type(value).__name__}")
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"field {field_name!r}: must be finite")
+    for field_name, predicate, requirement in _VALIDATORS:
+        value = getattr(descriptor, field_name)
+        if not predicate(value):
+            raise ValueError(f"field {field_name!r}: {requirement} "
+                             f"(got {value!r})")
+
+
+@functools.lru_cache(maxsize=256)
+def _digest_cached(descriptor: TechDescriptor) -> str:
+    # store.keys is imported lazily: it pulls in the kernel-backend
+    # resolution, which tech must not depend on at import time.
+    from repro.store.keys import digest_of
+    return digest_of(descriptor.to_json())
+
+
+__all__ = ["TECH_SCHEMA_VERSION", "TechDescriptor", "validate_descriptor"]

@@ -1,0 +1,179 @@
+"""Loading and resolving technology descriptors.
+
+Three resolution sources, in precedence order:
+
+1. an explicit in-process override (``use(...)`` context manager —
+   the serving layer wraps each request carrying a ``tech`` field);
+2. the ``REPRO_TECH`` environment variable — a registry name or a
+   path to a JSON/TOML descriptor file;
+3. the built-in default (``cnfet``, the paper's assessment setup).
+
+File loading is strict: malformed syntax, unknown fields and
+out-of-range values all raise :class:`~repro.errors.ReproInputError`
+with ``file:line`` context where the format parser provides one, so
+the CLI prints a one-line diagnosis instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.errors import ReproInputError
+from repro.tech.descriptor import TechDescriptor
+from repro.tech.registry import DEFAULT_TECH, get_tech, names
+
+#: Environment variable selecting the default technology (a registry
+#: name or a descriptor-file path).
+TECH_ENV = "REPRO_TECH"
+
+#: File suffixes the loader parses.
+_SUFFIXES = (".json", ".toml")
+
+#: In-process override stack (``use`` pushes/pops).
+_OVERRIDE: list = []
+
+#: (path, mtime_ns, size) -> descriptor: ``REPRO_TECH`` pointing at a
+#: file is re-resolved on every cache-key derivation, so file loads
+#: are memoized until the file changes.
+_FILE_CACHE: dict = {}
+
+
+def load_descriptor(path: Union[str, os.PathLike]) -> TechDescriptor:
+    """Parse and validate one descriptor file (JSON or TOML).
+
+    The descriptor is a flat object of :class:`TechDescriptor` fields;
+    ``name`` defaults to the file's stem.  Any syntax or validation
+    problem raises :class:`ReproInputError` carrying the source path
+    (and the line, when the parser reports one).
+    """
+    path = os.fspath(path)
+    suffix = os.path.splitext(path)[1].lower()
+    if suffix not in _SUFFIXES:
+        raise ReproInputError(
+            f"unsupported descriptor format {suffix or '(none)'!r} "
+            f"(expected one of: {', '.join(_SUFFIXES)})", source=path)
+    try:
+        stamp = os.stat(path)
+    except OSError as exc:
+        raise ReproInputError(f"cannot read descriptor: {exc}", source=path)
+    cache_key = (path, stamp.st_mtime_ns, stamp.st_size)
+    cached = _FILE_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+
+    data, line = _parse_file(path, suffix)
+    default_name = os.path.splitext(os.path.basename(path))[0]
+    try:
+        descriptor = TechDescriptor.from_json(data,
+                                              default_name=default_name)
+    except (TypeError, ValueError) as exc:
+        raise ReproInputError(str(exc), source=path, line=line)
+    _FILE_CACHE.clear()  # one live file per process is the common case
+    _FILE_CACHE[cache_key] = descriptor
+    return descriptor
+
+
+def _parse_file(path: str, suffix: str) -> Tuple[dict, Optional[int]]:
+    """(parsed dict, descriptor start line) of one file."""
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise ReproInputError(f"cannot read descriptor: {exc}", source=path)
+    if suffix == ".json":
+        try:
+            return json.loads(raw.decode("utf-8")), None
+        except UnicodeDecodeError as exc:
+            raise ReproInputError(f"not UTF-8: {exc}", source=path)
+        except json.JSONDecodeError as exc:
+            raise ReproInputError(f"invalid JSON: {exc.msg}", source=path,
+                                  line=exc.lineno)
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - Python < 3.11
+        raise ReproInputError(
+            "TOML descriptors need Python >= 3.11 (tomllib); "
+            "use JSON instead", source=path)
+    try:
+        return tomllib.loads(raw.decode("utf-8")), None
+    except UnicodeDecodeError as exc:
+        raise ReproInputError(f"not UTF-8: {exc}", source=path)
+    except tomllib.TOMLDecodeError as exc:
+        # tomllib reports position inside the message ("... at line N,
+        # column M"); extract the line when present
+        return _raise_toml(path, exc)
+
+
+def _raise_toml(path: str, exc: Exception) -> Tuple[dict, Optional[int]]:
+    message = str(exc)
+    line = None
+    marker = "at line "
+    if marker in message:
+        digits = message.split(marker, 1)[1].split(",", 1)[0].strip()
+        if digits.isdigit():
+            line = int(digits)
+    raise ReproInputError(f"invalid TOML: {message}", source=path,
+                          line=line)
+
+
+def _looks_like_path(spec: str) -> bool:
+    return (os.sep in spec or spec.lower().endswith(_SUFFIXES)
+            or os.path.exists(spec))
+
+
+def resolve_tech(spec: Union[None, str, TechDescriptor] = None
+                 ) -> TechDescriptor:
+    """Resolve ``spec`` to a descriptor.
+
+    ``None`` means "the session default": the innermost ``use(...)``
+    override if any, else ``REPRO_TECH``, else the built-in ``cnfet``.
+    A string is a registry name first, a descriptor-file path second.
+    """
+    if isinstance(spec, TechDescriptor):
+        return spec
+    if spec is None:
+        if _OVERRIDE:
+            return _OVERRIDE[-1]
+        spec = os.environ.get(TECH_ENV, "").strip() or DEFAULT_TECH
+    try:
+        return get_tech(spec)
+    except KeyError:
+        if _looks_like_path(spec):
+            return load_descriptor(spec)
+        raise ReproInputError(
+            f"unknown technology {spec!r} (registry names: "
+            f"{', '.join(names())}; or pass a .json/.toml descriptor "
+            f"path)")
+
+
+def active() -> TechDescriptor:
+    """The descriptor governing this process right now."""
+    return resolve_tech(None)
+
+
+def active_digest() -> str:
+    """Content digest of :func:`active` (cache-key component)."""
+    return active().digest()
+
+
+@contextlib.contextmanager
+def use(spec: Union[str, TechDescriptor]) -> Iterator[TechDescriptor]:
+    """Scope ``spec`` as the active technology (re-entrant).
+
+    Everything under the ``with`` — model defaults resolved at call
+    time, artifact-store key derivation — sees the overridden
+    technology.
+    """
+    descriptor = resolve_tech(spec)
+    _OVERRIDE.append(descriptor)
+    try:
+        yield descriptor
+    finally:
+        _OVERRIDE.pop()
+
+
+__all__ = ["TECH_ENV", "active", "active_digest", "load_descriptor",
+           "resolve_tech", "use"]

@@ -1,0 +1,117 @@
+"""The built-in technology registry.
+
+Three descriptors reproduce the paper's Table 1 comparison
+bit-identically:
+
+* ``flash`` — 40 L**2 floating-gate cell, dual input columns (ITRS);
+* ``eeprom`` — 100 L**2 cell, dual input columns (ITRS);
+* ``cnfet`` — 60 L**2 ambipolar-CNFET GNOR cell, single input column
+  (the misaligned-CNT-immune layout rules of [5]); this is also the
+  default technology every model layer derives its parameter objects
+  from.
+
+``register`` adds user descriptors for the process lifetime; loading
+from files is :mod:`repro.tech.loader`'s job.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.tech.descriptor import TechDescriptor
+
+#: The ambipolar-CNFET assessment descriptor.  Single source of every
+#: electrical/geometric default the core models used to hard-code:
+#: 60 L**2 contacted cell (Table 1), VDD-normalized rails, and the
+#: representative ballistic-CNFET RC values the delay model uses
+#: relatively.
+CNFET = TechDescriptor(
+    name="cnfet",
+    cell_area_l2=60.0,
+    dual_input_columns=False,
+    description="Ambipolar-CNFET GNOR cell (scaling rules of [5], "
+                "Table 1); paper assessment defaults",
+)
+
+#: Flash floating-gate baseline (ITRS-derived, Table 1).  Electrical
+#: fields keep the shared assessment defaults: the paper compares the
+#: technologies through geometry (cell area, column count), not
+#: through per-technology RC extraction.
+FLASH = CNFET.derive(
+    name="flash",
+    cell_area_l2=40.0,
+    dual_input_columns=True,
+    description="Flash floating-gate PLA cell (ITRS-derived, Table 1)",
+)
+
+#: EEPROM baseline (ITRS-derived, Table 1).
+EEPROM = CNFET.derive(
+    name="eeprom",
+    cell_area_l2=100.0,
+    dual_input_columns=True,
+    description="EEPROM PLA cell (ITRS-derived, Table 1)",
+)
+
+#: Name -> descriptor for the paper's technologies, in Table 1 column
+#: order (insertion order is meaningful: ``names()`` preserves it).
+BUILTIN: Dict[str, TechDescriptor] = {
+    "flash": FLASH,
+    "eeprom": EEPROM,
+    "cnfet": CNFET,
+}
+
+#: Convenience aliases accepted anywhere a registry name is.
+ALIASES: Dict[str, str] = {
+    "cnfet-ambipolar": "cnfet",
+    "ambipolar": "cnfet",
+}
+
+#: The technology everything defaults to when neither ``REPRO_TECH``
+#: nor an explicit override names one.
+DEFAULT_TECH = "cnfet"
+
+#: User-registered descriptors (process lifetime only).
+_USER: Dict[str, TechDescriptor] = {}
+
+
+def get_tech(name: str) -> TechDescriptor:
+    """The registered descriptor called ``name`` (alias-aware).
+
+    Raises :class:`KeyError` with the known names for typos; the
+    loader turns that into a :class:`~repro.errors.ReproInputError`.
+    """
+    key = ALIASES.get(name, name)
+    descriptor = _USER.get(key) or BUILTIN.get(key)
+    if descriptor is None:
+        raise KeyError(f"unknown technology {name!r} "
+                       f"(known: {', '.join(names())})")
+    return descriptor
+
+
+def names() -> List[str]:
+    """Registered technology names, built-ins first."""
+    return list(BUILTIN) + [n for n in _USER if n not in BUILTIN]
+
+
+def register(descriptor: TechDescriptor, replace: bool = False) -> None:
+    """Register a user descriptor under its own name.
+
+    Built-in names are protected: the paper's technologies must keep
+    reproducing Table 1 bit-identically.
+    """
+    if descriptor.name in BUILTIN or descriptor.name in ALIASES:
+        raise ValueError(f"cannot shadow built-in technology "
+                         f"{descriptor.name!r}")
+    if descriptor.name in _USER and not replace:
+        raise ValueError(f"technology {descriptor.name!r} already "
+                         f"registered (pass replace=True)")
+    _USER[descriptor.name] = descriptor
+
+
+def unregister(name: str) -> None:
+    """Remove a user-registered descriptor (tests use this)."""
+    _USER.pop(name, None)
+
+
+__all__ = ["ALIASES", "BUILTIN", "CNFET", "DEFAULT_TECH", "EEPROM",
+           "FLASH", "get_tech", "names", "register", "unregister"]

@@ -1,0 +1,394 @@
+"""Technology descriptors: registry, serialization, loading, cache keys."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.area import CNFET_AMBIPOLAR, EEPROM, FLASH, pla_area
+from repro.core.device import DEFAULT_PARAMETERS, PG_TOLERANCE, DeviceParameters
+from repro.core.timing import DEFAULT_TIMING, TimingParameters
+from repro.core.variation import VariationModel
+from repro.errors import ReproInputError
+from repro.fpga.timing import DEFAULT_WIRE_DELAY, WireDelayParameters
+from repro.store.keys import artifact_key
+from repro.tech import (TECH_SCHEMA_VERSION, TechDescriptor, get_tech,
+                        load_descriptor, names, register, resolve_tech,
+                        unregister, use)
+
+
+def _tomllib():
+    try:
+        import tomllib
+        return tomllib
+    except ImportError:  # Python < 3.11
+        return None
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_builtin_names(self):
+        assert set(names()) == {"flash", "eeprom", "cnfet"}
+
+    def test_aliases_resolve(self):
+        assert get_tech("cnfet-ambipolar") is get_tech("cnfet")
+        assert get_tech("ambipolar") is get_tech("cnfet")
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="flash"):
+            get_tech("finfet")
+
+    def test_builtins_are_protected(self):
+        with pytest.raises(ValueError, match="built-in"):
+            register(get_tech("cnfet").derive(description="hijack"))
+        unregister("cnfet")  # no-op: built-ins cannot be removed
+        assert get_tech("cnfet").cell_area_l2 == 60.0
+
+    def test_register_unregister_roundtrip(self):
+        custom = get_tech("cnfet").derive(name="custom9", cell_area_l2=9.0)
+        register(custom)
+        try:
+            assert get_tech("custom9") is custom
+            assert "custom9" in names()
+        finally:
+            unregister("custom9")
+        assert "custom9" not in names()
+
+
+# ----------------------------------------------------------------------
+# paper-constant regression (Table 1, bit-identical)
+# ----------------------------------------------------------------------
+#: The nine published Table 1 body entries: name -> (I, O, P) and the
+#: Flash/EEPROM/CNFET areas `cell * P * (columns + O)` reproduces.
+_TABLE1 = {
+    "max46": ((9, 1, 46), (34960.0, 87400.0, 27600.0)),
+    "apla": ((10, 12, 25), (32000.0, 80000.0, 33000.0)),
+    "t2": ((17, 16, 52), (104000.0, 260000.0, 102960.0)),
+}
+
+
+class TestPaperConstants:
+    def test_cell_areas(self):
+        assert get_tech("flash").cell_area_l2 == 40.0
+        assert get_tech("eeprom").cell_area_l2 == 100.0
+        assert get_tech("cnfet").cell_area_l2 == 60.0
+
+    def test_input_column_rules(self):
+        assert get_tech("flash").input_columns(9) == 18
+        assert get_tech("eeprom").input_columns(9) == 18
+        assert get_tech("cnfet").input_columns(9) == 9
+
+    @pytest.mark.parametrize("bench", sorted(_TABLE1))
+    def test_table1_entries_bit_identical(self, bench):
+        dims, expected = _TABLE1[bench]
+        for tech, want in zip(("flash", "eeprom", "cnfet"), expected):
+            assert pla_area(get_tech(tech), *dims) == want
+
+    def test_area_model_technologies_derive_from_registry(self):
+        assert FLASH.cell_area_l2 == get_tech("flash").cell_area_l2
+        assert EEPROM.cell_area_l2 == get_tech("eeprom").cell_area_l2
+        assert CNFET_AMBIPOLAR.cell_area_l2 == \
+            get_tech("cnfet").cell_area_l2
+
+    def test_device_defaults_single_sourced(self):
+        cnfet = get_tech("cnfet")
+        # the once-duplicated constant: device model == area model
+        assert DEFAULT_PARAMETERS.cell_area_l2 == cnfet.cell_area_l2 \
+            == CNFET_AMBIPOLAR.cell_area_l2
+        assert DEFAULT_PARAMETERS == DeviceParameters.from_tech(cnfet)
+        assert PG_TOLERANCE == cnfet.pg_tolerance
+
+    def test_timing_defaults_single_sourced(self):
+        cnfet = get_tech("cnfet")
+        assert DEFAULT_TIMING == TimingParameters.from_tech(cnfet)
+        assert DEFAULT_WIRE_DELAY == WireDelayParameters.from_tech(cnfet)
+        assert VariationModel() == VariationModel.from_tech(cnfet)
+
+    def test_delay_numbers_unchanged(self):
+        # regression pin: the max46 GNOR cycle time under the cnfet
+        # descriptor must match the pre-refactor hard-coded constants
+        from repro.core.timing import PLATimingModel
+        model = PLATimingModel(9, 1, 46)
+        assert model.cycle_time() == pytest.approx(
+            PLATimingModel(9, 1, 46,
+                           TimingParameters.from_tech(get_tech("cnfet"))
+                           ).cycle_time(), rel=0, abs=0)
+
+
+# ----------------------------------------------------------------------
+# serialization round-trip (hypothesis)
+# ----------------------------------------------------------------------
+_pos = st.floats(min_value=1e-20, max_value=1e6, allow_nan=False,
+                 allow_infinity=False)
+_nonneg = st.floats(min_value=0.0, max_value=10.0, allow_nan=False,
+                    allow_infinity=False)
+
+
+@st.composite
+def descriptors(draw):
+    return TechDescriptor(
+        name=draw(st.from_regex(r"[a-z][a-z0-9_-]{0,15}", fullmatch=True)),
+        cell_area_l2=draw(_pos),
+        dual_input_columns=draw(st.booleans()),
+        description=draw(st.text(max_size=30)),
+        vdd=draw(_pos),
+        r_on=draw(_pos),
+        c_gate=draw(_pos),
+        c_junction=draw(_pos),
+        tubes_per_device=draw(st.integers(1, 64)),
+        pg_tolerance=draw(st.floats(min_value=0.01, max_value=0.49)),
+        c_wire_per_cell=draw(_pos),
+        buffer_delay=draw(_nonneg),
+        sigma_r_on=draw(_nonneg),
+        sigma_capacitance=draw(_nonneg),
+        sigma_pg_charge=draw(_nonneg),
+        wire_segment_delay_per_l=draw(_pos),
+        wire_congestion_beta=draw(_nonneg),
+        wire_connection_delay=draw(_nonneg),
+    )
+
+
+class TestSerialization:
+    @settings(max_examples=50, deadline=None)
+    @given(descriptors())
+    def test_json_roundtrip_identity(self, descriptor):
+        data = descriptor.to_json()
+        assert data["schema"] == TECH_SCHEMA_VERSION
+        again = TechDescriptor.from_json(data)
+        assert again == descriptor
+        assert again.digest() == descriptor.digest()
+
+    @settings(max_examples=50, deadline=None)
+    @given(descriptors())
+    def test_digest_survives_json_transport(self, descriptor):
+        # digest of a descriptor reloaded through an actual JSON
+        # encode/decode (float repr round-trip) is stable
+        wire = json.loads(json.dumps(descriptor.to_json()))
+        assert TechDescriptor.from_json(wire).digest() == \
+            descriptor.digest()
+
+    def test_digest_differs_on_any_field(self):
+        base = get_tech("cnfet")
+        assert base.derive(r_on=base.r_on * 2).digest() != base.digest()
+        assert base.derive(description="x").digest() != base.digest()
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown descriptor field"):
+            TechDescriptor.from_json(
+                {"name": "x", "cell_area_l2": 1.0,
+                 "dual_input_columns": False, "cell_area": 2.0})
+
+    def test_from_json_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            TechDescriptor.from_json(
+                {"schema": 99, "name": "x", "cell_area_l2": 1.0,
+                 "dual_input_columns": False})
+
+    def test_from_json_requires_architectural_fields(self):
+        with pytest.raises(ValueError, match="cell_area_l2"):
+            TechDescriptor.from_json({"name": "x",
+                                      "dual_input_columns": False})
+
+    def test_validation_ranges(self):
+        cnfet = get_tech("cnfet")
+        with pytest.raises(ValueError, match="cell_area_l2"):
+            cnfet.derive(cell_area_l2=0.0)
+        with pytest.raises(ValueError, match="pg_tolerance"):
+            cnfet.derive(pg_tolerance=0.5)
+        with pytest.raises(ValueError, match="finite"):
+            cnfet.derive(r_on=float("nan"))
+        with pytest.raises(ValueError, match="dual_input_columns"):
+            cnfet.derive(dual_input_columns=1)
+        with pytest.raises(ValueError, match="name"):
+            cnfet.derive(name="two words")
+
+
+# ----------------------------------------------------------------------
+# loader
+# ----------------------------------------------------------------------
+class TestLoader:
+    def test_json_file_roundtrip(self, tmp_path):
+        path = tmp_path / "mytech.json"
+        path.write_text(json.dumps({"cell_area_l2": 30.0,
+                                    "dual_input_columns": False,
+                                    "r_on": 12e3}))
+        descriptor = load_descriptor(path)
+        assert descriptor.name == "mytech"  # stem default
+        assert descriptor.cell_area_l2 == 30.0
+        assert descriptor.r_on == 12e3
+        assert descriptor.vdd == 1.0  # defaulted
+
+    def test_json_syntax_error_has_file_and_line(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{\n  "cell_area_l2": 30.0,\n  oops\n}\n')
+        with pytest.raises(ReproInputError) as err:
+            load_descriptor(path)
+        assert "broken.json" in str(err.value)
+        assert ":3:" in str(err.value)
+
+    def test_validation_error_names_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"cell_area_l2": -1.0,
+                                    "dual_input_columns": False}))
+        with pytest.raises(ReproInputError, match="bad.json"):
+            load_descriptor(path)
+
+    def test_unsupported_suffix(self, tmp_path):
+        path = tmp_path / "tech.yaml"
+        path.write_text("cell_area_l2: 1\n")
+        with pytest.raises(ReproInputError, match="unsupported"):
+            load_descriptor(path)
+
+    def test_toml_file(self, tmp_path):
+        path = tmp_path / "t.toml"
+        path.write_text('cell_area_l2 = 25.0\n'
+                        'dual_input_columns = true\n')
+        if _tomllib() is None:
+            with pytest.raises(ReproInputError, match="3.11"):
+                load_descriptor(path)
+        else:
+            descriptor = load_descriptor(path)
+            assert descriptor.cell_area_l2 == 25.0
+            assert descriptor.dual_input_columns is True
+
+    def test_toml_syntax_error_line(self, tmp_path):
+        if _tomllib() is None:
+            pytest.skip("tomllib unavailable on this Python")
+        path = tmp_path / "t.toml"
+        path.write_text('cell_area_l2 = 25.0\nnot toml at all\n')
+        with pytest.raises(ReproInputError) as err:
+            load_descriptor(path)
+        assert "t.toml" in str(err.value)
+
+    def test_file_cache_invalidates_on_change(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"cell_area_l2": 10.0,
+                                    "dual_input_columns": False}))
+        first = load_descriptor(path)
+        assert load_descriptor(path) is first  # memoized
+        path.write_text(json.dumps({"cell_area_l2": 11.0,
+                                    "dual_input_columns": False,
+                                    "description": "bigger"}))
+        assert load_descriptor(path).cell_area_l2 == 11.0
+
+
+# ----------------------------------------------------------------------
+# resolution chain
+# ----------------------------------------------------------------------
+class TestResolution:
+    def test_default_is_cnfet(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TECH", raising=False)
+        assert resolve_tech(None) is get_tech("cnfet")
+
+    def test_env_selects_registry_name(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TECH", "eeprom")
+        assert resolve_tech(None) is get_tech("eeprom")
+
+    def test_env_selects_file(self, monkeypatch, tmp_path):
+        path = tmp_path / "envtech.json"
+        path.write_text(json.dumps({"cell_area_l2": 7.0,
+                                    "dual_input_columns": False}))
+        monkeypatch.setenv("REPRO_TECH", str(path))
+        assert resolve_tech(None).name == "envtech"
+
+    def test_unknown_spec_raises_input_error(self):
+        with pytest.raises(ReproInputError, match="registry names"):
+            resolve_tech("not-a-tech")
+
+    def test_use_overrides_and_restores(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TECH", raising=False)
+        with use("flash") as flash:
+            assert resolve_tech(None) is flash
+            with use("eeprom"):
+                assert resolve_tech(None) is get_tech("eeprom")
+            assert resolve_tech(None) is flash
+        assert resolve_tech(None) is get_tech("cnfet")
+
+    def test_use_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TECH", "eeprom")
+        with use("flash"):
+            assert resolve_tech(None) is get_tech("flash")
+
+    def test_descriptor_passthrough(self):
+        custom = get_tech("cnfet").derive(name="mine")
+        assert resolve_tech(custom) is custom
+
+
+# ----------------------------------------------------------------------
+# cache-key separation
+# ----------------------------------------------------------------------
+class TestKeySeparation:
+    def test_keys_separate_by_single_field(self):
+        base = get_tech("cnfet")
+        tweaked = base.derive(c_gate=base.c_gate * 1.5)
+        request = {"bench": "max46", "seed": 0}
+        with use(base):
+            key_a = artifact_key("minimize", request)
+        with use(tweaked):
+            key_b = artifact_key("minimize", request)
+        assert key_a != key_b
+
+    def test_default_matches_explicit_digest(self):
+        with use("flash") as flash:
+            assert artifact_key("minimize", {"x": 1}) == \
+                artifact_key("minimize", {"x": 1}, tech=flash.digest())
+
+    def test_same_parameters_share_keys(self, tmp_path):
+        # a file descriptor with identical resolved parameters hashes
+        # identically to its in-registry twin (content, not identity)
+        flash = get_tech("flash")
+        path = tmp_path / "flash.json"
+        path.write_text(json.dumps(flash.to_json()))
+        assert load_descriptor(path).digest() == flash.digest()
+
+    def test_yield_settings_key_separates_by_tech(self):
+        from dataclasses import asdict
+        from repro.robustness.yield_engine import YieldSettings
+        a = YieldSettings(benchmark="syn_small", samples=10)
+        b = YieldSettings(benchmark="syn_small", samples=10, tech="flash")
+        assert artifact_key("yield", asdict(a), tech="-") != \
+            artifact_key("yield", asdict(b), tech="-")
+
+
+# ----------------------------------------------------------------------
+# model threading
+# ----------------------------------------------------------------------
+class TestModelThreading:
+    def test_pla_area_accepts_descriptor(self):
+        assert pla_area(get_tech("flash"), 9, 1, 46) == \
+            pla_area(FLASH, 9, 1, 46)
+
+    def test_custom_descriptor_flows_through_area(self):
+        halved = get_tech("cnfet").derive(name="cnfet2",
+                                          cell_area_l2=30.0)
+        assert pla_area(halved, 9, 1, 46) == \
+            pla_area(get_tech("cnfet"), 9, 1, 46) / 2
+
+    def test_timing_from_tech_scales(self):
+        slow = get_tech("cnfet").derive(name="slowtech", r_on=50e3)
+        from repro.core.timing import PLATimingModel
+        fast = PLATimingModel(9, 1, 46).cycle_time()
+        assert PLATimingModel(
+            9, 1, 46, TimingParameters.from_tech(slow)).cycle_time() > fast
+
+    def test_serve_dispatch_tech_param(self):
+        from repro.serve.ops import RequestError, dispatch
+        from repro.store import codecs
+        from repro.logic.cover import Cover
+        cover = Cover.from_strings(["10 1", "01 1"])
+        result = dispatch("minimize",
+                          {"cover": codecs.encode_cover(cover),
+                           "tech": "flash"})
+        assert "cover" in result
+        with pytest.raises(RequestError, match="registry names"):
+            dispatch("minimize", {"cover": codecs.encode_cover(cover),
+                                  "tech": "nope"})
+        with pytest.raises(RequestError, match="string"):
+            dispatch("minimize", {"cover": codecs.encode_cover(cover),
+                                  "tech": 7})
