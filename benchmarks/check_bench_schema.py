@@ -33,7 +33,13 @@ tooling diffs perf trajectories across PRs.  Checks:
   serial-vs-parallel multi-technology characterization) with its
   byte-identity flag set and one 64-hex content digest per swept
   technology;
-* all eight acceptance blocks are well-formed and report ``pass: true``.
+* the ``workload_arith`` record (``benchmarks/bench_workload.py``:
+  scalar-vs-kernel minimize + map of a wide arithmetic cell) with its
+  cross-backend byte-identity flag set, >= 16 inputs, and zero oracle
+  mismatches, plus the ``workload_curve`` record (cold-vs-warm
+  accuracy-vs-defect-rate curve) with its byte-identity flag set, a
+  64-hex model digest, and Wilson CIs on every curve point;
+* all nine acceptance blocks are well-formed and report ``pass: true``.
 
 Usage::
 
@@ -73,7 +79,11 @@ _TOP_FIELDS = {
     "acceptance_serve": dict,
     "acceptance_chaos": dict,
     "acceptance_characterize": dict,
+    "acceptance_workload": dict,
 }
+
+#: Fewest inputs the workload stress cell may have (ISSUE floor).
+MIN_WORKLOAD_INPUTS = 16
 
 #: Per-scenario stats every ``serve_load`` sub-record must carry.
 _SERVE_SCENARIOS = ("unbatched", "batched", "minimize_cold",
@@ -125,6 +135,7 @@ def validate_report(report: dict) -> List[str]:
     place_count = route_count = cache_count = 0
     batch_eval_count = batch_yield_count = serve_count = chaos_count = 0
     characterize_count = 0
+    workload_arith_count = workload_curve_count = 0
     for i, result in enumerate(report.get("results", [])):
         where = f"results[{i}]"
         if not isinstance(result, dict):
@@ -249,6 +260,40 @@ def validate_report(report: dict) -> List[str]:
                             for t in (techs or [])):
                 errors.append(f"{where}: characterize_sweep lacks one "
                               f"64-hex content digest per technology")
+        if name == "workload_arith":
+            workload_arith_count += 1
+            if result.get("identical") is not True:
+                errors.append(f"{where}: workload_arith cross-backend "
+                              f"identity flag is not true")
+            inputs = result.get("inputs")
+            if not isinstance(inputs, numbers.Real) or \
+                    inputs < MIN_WORKLOAD_INPUTS:
+                errors.append(f"{where}: workload_arith stress cell has "
+                              f"fewer than {MIN_WORKLOAD_INPUTS} inputs")
+            if result.get("oracle_mismatches") != 0:
+                errors.append(f"{where}: workload_arith recorded oracle "
+                              f"mismatches")
+        if name == "workload_curve":
+            workload_curve_count += 1
+            if result.get("identical") is not True:
+                errors.append(f"{where}: workload_curve byte-identity "
+                              f"flag is not true")
+            digest = result.get("model_digest")
+            if not isinstance(digest, str) or len(digest) != 64:
+                errors.append(f"{where}: workload_curve lacks a 64-hex "
+                              f"model digest")
+            points = result.get("points")
+            if not isinstance(points, list) or not points:
+                errors.append(f"{where}: workload_curve lacks curve "
+                              f"points")
+            else:
+                for j, point in enumerate(points):
+                    ci = point.get("repaired_ci95") \
+                        if isinstance(point, dict) else None
+                    if not (isinstance(ci, list) and len(ci) == 2 and
+                            all(isinstance(v, numbers.Real) for v in ci)):
+                        errors.append(f"{where}: points[{j}] lacks a "
+                                      f"Wilson [lo, hi] interval")
         if name == "fpga_place_route_table2":
             snapshot = result.get("perf")
             if not isinstance(snapshot, dict):
@@ -287,11 +332,17 @@ def validate_report(report: dict) -> List[str]:
     if characterize_count < 1:
         errors.append("report: no characterize_sweep result (multi-"
                       "technology characterization)")
+    if workload_arith_count < 1:
+        errors.append("report: no workload_arith result (arithmetic "
+                      "workload stress compile)")
+    if workload_curve_count < 1:
+        errors.append("report: no workload_curve result (classifier "
+                      "accuracy-vs-defect-rate curve)")
 
     for block in ("acceptance", "acceptance_minimize", "acceptance_fpga",
                   "acceptance_cache", "acceptance_batch",
                   "acceptance_serve", "acceptance_chaos",
-                  "acceptance_characterize"):
+                  "acceptance_characterize", "acceptance_workload"):
         data = report.get(block)
         if isinstance(data, dict):
             _check_fields(data, _ACCEPTANCE_FIELDS, block, errors)
@@ -332,7 +383,9 @@ def main(argv=None) -> int:
                   f"chaos p99 ratio "
                   f"{report['acceptance_chaos']['speedup']}x, "
                   f"characterize acceptance "
-                  f"{report['acceptance_characterize']['speedup']}x)")
+                  f"{report['acceptance_characterize']['speedup']}x, "
+                  f"workload acceptance "
+                  f"{report['acceptance_workload']['speedup']}x)")
     return 1 if failed else 0
 
 

@@ -121,3 +121,81 @@ def write_datasheet(path: Union[str, Path], data: Dict[str, Any]) -> Path:
     path = Path(path)
     path.write_text(datasheet_json(data), encoding="utf-8")
     return path
+
+
+# ----------------------------------------------------------------------
+# workload curve reports
+# ----------------------------------------------------------------------
+#: Required top-level fields of one workload curve report.
+_CURVE_FIELDS = ("schema", "version", "settings", "model", "function",
+                 "clean", "technologies", "points")
+
+#: Required fields of each defect-rate point.
+_POINT_FIELDS = ("p_stuck_off", "p_stuck_on", "yield", "accuracy")
+
+#: Wilson-interval fields every point's yield block must carry.
+_CI_FIELDS = ("raw_ci95", "repaired_ci95")
+
+
+def validate_curve_report(data: Any) -> Dict[str, Any]:
+    """Structurally validate a workload accuracy/defect curve report.
+
+    Raises :class:`ValueError` naming the first offending field;
+    returns ``data`` unchanged on success (same contract as
+    :func:`validate_datasheet`).
+    """
+    from repro.workloads.curves import CURVE_SCHEMA, CURVE_VERSION
+
+    if not isinstance(data, dict):
+        raise ValueError(f"curve report must be an object, got "
+                         f"{type(data).__name__}")
+    for field in _CURVE_FIELDS:
+        if field not in data:
+            raise ValueError(f"curve report missing field {field!r}")
+    if data["schema"] != CURVE_SCHEMA:
+        raise ValueError(f"curve schema {data['schema']!r} != "
+                         f"{CURVE_SCHEMA!r}")
+    if data["version"] != CURVE_VERSION:
+        raise ValueError(f"curve version {data['version']!r} != "
+                         f"{CURVE_VERSION}")
+    model = data["model"]
+    digest = model.get("digest") if isinstance(model, dict) else None
+    if not (isinstance(digest, str) and len(digest) == 64
+            and all(c in "0123456789abcdef" for c in digest)):
+        raise ValueError("curve 'model.digest' must be a 64-hex digest")
+    techs = data["technologies"]
+    if not isinstance(techs, list) or not techs:
+        raise ValueError("curve 'technologies' must be a non-empty list")
+    for i, entry in enumerate(techs):
+        for field in ("tech", "digest", "area_l2"):
+            if field not in entry:
+                raise ValueError(f"technologies[{i}] missing field "
+                                 f"{field!r}")
+    points = data["points"]
+    if not isinstance(points, list) or not points:
+        raise ValueError("curve 'points' must be a non-empty list")
+    for i, point in enumerate(points):
+        for field in _POINT_FIELDS:
+            if field not in point:
+                raise ValueError(f"points[{i}] missing field {field!r}")
+        for field in _CI_FIELDS:
+            interval = point["yield"].get(field)
+            if not (isinstance(interval, list) and len(interval) == 2):
+                raise ValueError(f"points[{i}].yield.{field} must be a "
+                                 f"[lo, hi] pair")
+    return data
+
+
+def curve_json(data: Dict[str, Any]) -> str:
+    """The canonical (sorted, 2-space) JSON rendering of a curve report."""
+    return json.dumps(validate_curve_report(data), indent=2,
+                      sort_keys=True) + "\n"
+
+
+def write_curve_report(path: Union[str, Path],
+                       data: Dict[str, Any]) -> Path:
+    """Validate and write one curve report; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(curve_json(data), encoding="utf-8")
+    return path

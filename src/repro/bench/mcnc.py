@@ -73,7 +73,22 @@ EXTENDED_SUITE: Tuple[BenchmarkStats, ...] = TABLE1_BENCHMARKS + (
 
 
 def get_benchmark(name: str) -> BenchmarkStats:
-    """Look up a benchmark by name (Table 1 + extended suite)."""
+    """Look up a benchmark by name.
+
+    Covers the Table 1 trio, the synthetic extended suite, and — for
+    names carrying the ``workload:`` prefix — the generated cells of
+    :mod:`repro.workloads`: their stats are the dimensions of the
+    *compiled* (minimized) cover, so area/yield models see the array
+    that would actually be programmed.
+    """
+    if name.startswith("workload:"):
+        from repro import workloads
+        try:
+            function = workloads.workload_function(name)
+        except Exception as exc:
+            raise KeyError(f"unknown benchmark {name!r} ({exc})")
+        return BenchmarkStats(name, function.n_inputs, function.n_outputs,
+                              function.on_set.n_cubes(), source="workload")
     for stats in EXTENDED_SUITE:
         if stats.name == name:
             return stats
@@ -126,7 +141,15 @@ def synthesize_cover(stats: BenchmarkStats, seed: int = 0,
 
 
 def benchmark_function(stats: BenchmarkStats, seed: int = 0) -> BooleanFunction:
-    """The synthetic :class:`BooleanFunction` of a benchmark entry."""
+    """The :class:`BooleanFunction` of a benchmark entry.
+
+    Synthetic entries build a seeded random cover matching the stats;
+    ``workload`` entries return the compiled (minimized) generated
+    cell — deterministic, so ``seed`` is ignored for them.
+    """
+    if stats.source == "workload":
+        from repro import workloads
+        return workloads.workload_function(stats.name)
     cover = synthesize_cover(stats, seed)
     return BooleanFunction(cover, name=stats.name)
 

@@ -522,6 +522,13 @@ def _cmd_characterize(args) -> int:
                                              characterize)
     from repro.analysis.export import write_datasheet
     from repro.bench.mcnc import get_benchmark
+    if (args.benchmark is None) == (args.cell is None):
+        raise ReproInputError(
+            "pass exactly one of --benchmark or --cell")
+    if args.cell is not None:
+        from repro import workloads
+        args.benchmark = workloads.PREFIX \
+            + workloads.strip_prefix(args.cell)
     try:
         get_benchmark(args.benchmark)
     except KeyError as exc:
@@ -543,7 +550,8 @@ def _cmd_characterize(args) -> int:
         variation_trials=args.variation_trials,
         yield_samples=args.yield_samples, spares=tuple(spares))
     checkpoint = args.checkpoint or _default_checkpoint(
-        "characterize", args.benchmark, len(techs), args.seed)
+        "characterize", args.benchmark.replace(":", "_"), len(techs),
+        args.seed)
     datasheet = characterize(settings, jobs=args.jobs,
                              checkpoint=checkpoint, resume=args.resume,
                              retries=args.retries)
@@ -582,6 +590,121 @@ def _cmd_characterize(args) -> int:
     return 0
 
 
+def _cmd_workload(args) -> int:
+    from repro import workloads
+
+    if args.action == "ls":
+        rows = []
+        for info in workloads.list_workloads():
+            if info["family"] == "clf":
+                detail = f"{info['dataset']} x {info['algorithm']}"
+            else:
+                detail = f"width {info['width']}"
+            rows.append([info["spec"], info["family"], detail])
+        print(render_table(["spec", "family", "detail"], rows,
+                           title="Workload registry (generators accept "
+                                 "any in-range width)"))
+        if args.json:
+            _write_json(args.json, {"workloads": workloads.list_workloads()})
+        return 0
+
+    if args.spec is None:
+        raise ReproInputError(f"workload {args.action} needs a spec "
+                              f"(see `repro workload ls`)")
+    spec = workloads.strip_prefix(args.spec)
+    workloads.parse_workload(spec)
+    if args.action == "build":
+        raw = workloads.raw_function(spec)
+        compiled = workloads.workload_function(spec)
+        rows = [["inputs", compiled.n_inputs],
+                ["outputs", compiled.n_outputs],
+                ["raw products", raw.on_set.n_cubes()],
+                ["products", compiled.on_set.n_cubes()],
+                ["literals", compiled.on_set.n_literals()],
+                ["model digest", workloads.model_digest(spec)[:16]]]
+        print(render_table(["field", "value"], rows,
+                           title=f"Workload: {compiled.name}"))
+        if args.output:
+            from repro.logic.pla_format import write_pla
+            with open(args.output, "w") as handle:
+                handle.write(write_pla(compiled))
+            print(f"wrote {args.output}", file=sys.stderr)
+        return 0
+
+    if args.action == "eval":
+        from repro.store.service import get_service
+        from repro.testgen.lfsr import stream_minterms, stream_spec
+
+        compiled = workloads.workload_function(spec)
+        stream = stream_spec(max(2, compiled.n_inputs), args.words,
+                             seed=args.seed)
+        masks = get_service().evaluate_batch([compiled.on_set],
+                                             stream=stream)[0]
+        mismatches = sum(
+            1 for minterm, mask in zip(stream_minterms(stream), masks)
+            if mask != workloads.oracle_mask(spec, minterm))
+        print(f"{compiled.name}: {args.words * 64} vectors, "
+              f"{mismatches} oracle mismatches")
+        info = workloads.parse_workload(spec)
+        if info["family"] == "clf":
+            from repro.workloads import datasets
+            dataset = datasets.get_dataset(info["dataset"])
+            rows_stream = datasets.dataset_stream_spec(dataset.name)
+            row_masks = get_service().evaluate_batch(
+                [compiled.on_set], stream=rows_stream)[0]
+            model = workloads._model_of(spec)
+            disagree = sum(
+                1 for (x, _y), mask in zip(dataset.rows, row_masks)
+                if mask != model.predict(x))
+            print(f"{dataset.name}: {len(dataset.rows)} rows, "
+                  f"{disagree} model disagreements")
+            mismatches += disagree
+        return 0 if mismatches == 0 else 1
+
+    # action == "curve"
+    from repro.analysis.export import write_curve_report
+    from repro.workloads.curves import CurveSettings, run_curve
+
+    techs = tuple(args.tech) if args.tech else ("cnfet",)
+    rates = tuple(args.rate) if args.rate else (0.0005, 0.001, 0.002,
+                                                0.004)
+    try:
+        settings = CurveSettings(spec=spec, techs=techs, rates=rates,
+                                 samples=args.samples, seed=args.seed,
+                                 stream_words=args.words)
+    except ValueError as exc:
+        raise ReproInputError(str(exc))
+    report = run_curve(settings, jobs=args.jobs)
+    fn = report["function"]
+    title = (f"Curve: {fn['name']} I={fn['inputs']} O={fn['outputs']} "
+             f"P={fn['products']} ({settings.samples} samples/point)")
+    rows = []
+    for point in report["points"]:
+        acc = point["accuracy"]
+        lo, hi = point["yield"]["repaired_ci95"]
+        if "expected_accuracy" in acc:
+            alo, ahi = acc["expected_accuracy_ci95"]
+            last = f"{acc['expected_accuracy']:.4f} [{alo:.4f}, {ahi:.4f}]"
+        else:
+            last = f"{acc['expected_correct_fraction']:.4f}"
+        rows.append([f"{point['p_stuck_off']:g}",
+                     f"{point['yield']['raw_yield']:.4f}",
+                     f"{point['yield']['repaired_yield']:.4f} "
+                     f"[{lo:.4f}, {hi:.4f}]", last])
+    print(render_table(
+        ["p_stuck_off", "raw yield", "repaired yield [ci95]",
+         "expected accuracy" if "dataset" in report["clean"]
+         else "expected correct"], rows, title=title))
+    arows = [[entry["tech"], format_area(entry["area_l2"])]
+             for entry in report["technologies"]]
+    print(render_table(["technology", "area (L^2)"], arows,
+                       title="Compiled array area"))
+    if args.output:
+        path = write_curve_report(args.output, report)
+        print(f"wrote curve report {path}", file=sys.stderr)
+    return 0
+
+
 #: Performance knobs, shown in ``repro --help`` and mirrored in the
 #: README "Performance" section (keep the two in sync).
 PERFORMANCE_EPILOG = """\
@@ -601,6 +724,27 @@ technology:
         area/delay/power -> variation + manufacturing yield with
         Wilson CIs) on the resilient runner; -o FILE exports the
         schema-versioned machine-readable datasheet
+
+workloads:
+  repro workload ls
+        census of the generated-cell registry: parameterized adders /
+        comparators / popcounts (any in-range width) and classifiers
+        compiled from deterministically trained threshold and
+        decision-list models on the bundled datasets
+  repro workload build|eval SPEC
+        compile one cell through minimize -> map (build; -o FILE
+        exports the cover as .pla) or differentially check it against
+        its integer-arithmetic / direct-model oracle on an LFSR
+        stream (eval; nonzero exit on any mismatch)
+  repro workload curve SPEC [--rate R]... [--tech T]...
+        accuracy-vs-area/defect-rate analysis: clean accuracy on the
+        batched evaluation arena, then one Monte Carlo yield
+        experiment per defect rate with Wilson CIs projected onto the
+        accuracy axis; -o FILE exports the schema-versioned curve
+        report (served through the artifact store, so re-runs are
+        cache hits)
+  repro characterize --cell SPEC
+        full datasheet of a workload cell (same sweep as --benchmark)
 
 performance:
   REPRO_KERNEL=numpy|python|auto
@@ -888,8 +1032,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sweep one benchmark across technologies: "
                             "area/delay/power/variation + Monte Carlo "
                             "yield, emitting a machine-readable datasheet")
-    p.add_argument("--benchmark", required=True,
-                   help="registry benchmark name (max46, apla, t2, syn_*)")
+    p.add_argument("--benchmark", default=None,
+                   help="registry benchmark name (max46, apla, t2, syn_*, "
+                        "workload:<spec>)")
+    p.add_argument("--cell", default=None, metavar="SPEC",
+                   help="characterize a generated workload cell instead "
+                        "of a registry benchmark (spec such as add8 or "
+                        "clf-majority9-perceptron; `repro workload ls`)")
     p.add_argument("--tech", action="append", default=None, metavar="SPEC",
                    help="technology to include (registry name or "
                         "descriptor path); repeatable (default: flash, "
@@ -921,6 +1070,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", metavar="FILE",
                    help="write the validated datasheet as sorted JSON")
     p.set_defaults(handler=_cmd_characterize)
+
+    p = sub.add_parser("workload",
+                       help="generate / evaluate arithmetic and "
+                            "classifier workload cells")
+    p.add_argument("action", choices=("ls", "build", "eval", "curve"),
+                   help="ls: registry census; build: compile one cell; "
+                        "eval: differential check against the integer / "
+                        "model oracle; curve: accuracy-vs-defect-rate "
+                        "analysis through the yield engine")
+    p.add_argument("spec", nargs="?", default=None,
+                   help="workload spec (add<w>, addc<w>, cmp<w>, lt<w>, "
+                        "eq<w>, gt<w>, pop<w>, clf-<dataset>-<algo>); "
+                        "the workload: prefix is optional")
+    p.add_argument("--words", type=int, default=64,
+                   help="64-vector LFSR words for eval/curve streams "
+                        "(default 64)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--samples", type=int, default=400,
+                   help="curve: Monte Carlo samples per defect-rate "
+                        "point (default 400)")
+    p.add_argument("--rate", action="append", type=float, default=None,
+                   help="curve: defect-rate point (p_stuck_off); "
+                        "repeatable (default 0.0005 0.001 0.002 0.004)")
+    p.add_argument("--tech", action="append", default=None, metavar="SPEC",
+                   help="curve: technology for the area axis; the first "
+                        "runs the yield sweep; repeatable (default cnfet)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="curve: parallel yield workers (default 1; the "
+                        "report is identical for any job count)")
+    p.add_argument("--json", nargs="?", const="-", default=None,
+                   metavar="FILE",
+                   help="ls: emit machine-readable JSON to FILE (bare "
+                        "--json = stdout)")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="build: write the compiled cover as a .pla file; "
+                        "curve: write the validated curve report JSON")
+    p.set_defaults(handler=_cmd_workload)
 
     p = sub.add_parser("table1", help="reproduce the paper's Table 1")
     p.add_argument("--tech", default=None, metavar="SPEC",

@@ -236,6 +236,76 @@ def op_yield_run(params: Dict[str, Any]) -> Dict[str, Any]:
     return {"report": codecs.encode_yield_report(report)}
 
 
+def op_workload(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Workload registry access: build, evaluate, or curve one cell.
+
+    ``{spec, action?}`` where ``action`` is one of:
+
+    * ``"build"`` (default) — compile the cell and return its raw and
+      minimized cover encodings plus the model digest;
+    * ``"eval"`` — additionally check the compiled cover against the
+      workload's oracle on an LFSR stream (``words``/``seed`` params)
+      and report the mismatch count;
+    * ``"curve"`` — run the accuracy/defect curve driver
+      (:func:`repro.workloads.curves.run_curve`) with
+      :class:`~repro.workloads.curves.CurveSettings` overrides passed
+      under ``curve``; returns the store-served report.
+    """
+    from repro import workloads
+    from repro.errors import ReproInputError
+
+    spec = _require(params, "spec", str)
+    action = params.get("action", "build")
+    if action not in ("build", "eval", "curve"):
+        raise RequestError("param 'action' must be build/eval/curve")
+    try:
+        if action == "curve":
+            from repro.workloads.curves import CurveSettings, run_curve
+            overrides = params.get("curve", {})
+            if not isinstance(overrides, dict):
+                raise RequestError("param 'curve' must be an object")
+            for key in ("techs", "rates"):
+                if key in overrides:
+                    overrides[key] = tuple(overrides[key])
+            settings = CurveSettings(spec=spec, **overrides)
+            return {"report": run_curve(settings)}
+        raw = workloads.raw_function(spec)
+        compiled = workloads.workload_function(spec)
+    except RequestError:
+        raise
+    except (ReproInputError, ValueError) as exc:
+        raise RequestError(str(exc))
+    except TypeError as exc:
+        raise RequestError(f"bad curve settings: {exc}")
+    result = {
+        "spec": workloads.strip_prefix(spec),
+        "model_digest": workloads.model_digest(spec),
+        "function": {"name": compiled.name, "inputs": compiled.n_inputs,
+                     "outputs": compiled.n_outputs,
+                     "raw_products": raw.on_set.n_cubes(),
+                     "products": compiled.on_set.n_cubes()},
+        "cover": codecs.encode_cover(compiled.on_set),
+    }
+    if action == "eval":
+        from repro.store.service import get_service
+        from repro.testgen.lfsr import stream_spec
+
+        words = int(params.get("words", 64))
+        if not 1 <= words <= 1 << 16:
+            raise RequestError("param 'words' must be in 1..65536")
+        stream = stream_spec(max(2, compiled.n_inputs), words,
+                             seed=int(params.get("seed", 0)))
+        masks = get_service().evaluate_batch([compiled.on_set],
+                                             stream=stream)[0]
+        from repro.testgen.lfsr import stream_minterms
+        mismatches = sum(
+            1 for minterm, mask in zip(stream_minterms(stream), masks)
+            if mask != workloads.oracle_mask(spec, minterm))
+        result["eval"] = {"stream": stream, "vectors": words * 64,
+                          "mismatches": mismatches}
+    return result
+
+
 #: Endpoint registry: everything the worker bridge can dispatch.
 OPS = {
     "minimize": op_minimize,
@@ -243,6 +313,7 @@ OPS = {
     "evaluate_batch": op_evaluate_batch,
     "place_route": op_place_route,
     "yield_run": op_yield_run,
+    "workload": op_workload,
 }
 
 
@@ -297,4 +368,4 @@ def dispatch_checked(op: str, params: Dict[str, Any]) -> Dict[str, Any]:
 
 __all__ = ["OPS", "PLACE_ROUTE_DEFAULTS", "RequestError", "dispatch",
            "dispatch_checked", "op_evaluate_batch", "op_evaluate_flush",
-           "op_minimize", "op_place_route", "op_yield_run"]
+           "op_minimize", "op_place_route", "op_workload", "op_yield_run"]

@@ -44,6 +44,7 @@ SCHEMA_VERSIONS: Dict[str, int] = {
     "suite_entry": 1,
     "eval_batch": 1,
     "characterize": 1,
+    "workload_curve": 1,
 }
 
 #: Fallback for ad-hoc kinds (tests, experiments).

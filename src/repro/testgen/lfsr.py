@@ -155,9 +155,21 @@ def stream_spec(width: int, n_words: int, seed: int = 0) -> dict:
 
 
 def stream_minterms(spec: dict) -> List[int]:
-    """Materialize a :func:`stream_spec` as plain minterm integers."""
-    if spec.get("kind") != "lfsr":
-        raise ValueError(f"not an LFSR stream spec: {spec!r}")
+    """Materialize a stream spec as plain minterm integers.
+
+    Dispatches on ``spec["kind"]``: ``lfsr`` specs
+    (:func:`stream_spec`) expand here; ``dataset`` specs
+    (:func:`repro.workloads.datasets.dataset_stream_spec`) delegate to
+    the workloads package, so every stream consumer — the evaluation
+    arena, the store's ``eval_batch`` kind, the serve layer — accepts
+    dataset rows wherever it accepts LFSR vectors.
+    """
+    kind = spec.get("kind")
+    if kind == "dataset":
+        from repro.workloads import datasets
+        return datasets.dataset_stream_minterms(spec)
+    if kind != "lfsr":
+        raise ValueError(f"not a known stream spec: {spec!r}")
     lfsr = GaloisLFSR(spec["width"], seed=spec["seed"])
     return lfsr.states(spec["words"] * 64)
 

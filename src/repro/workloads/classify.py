@@ -1,0 +1,323 @@
+"""Classifier models, deterministic trainers, and cover compilation.
+
+Two model families (after the ambipolar-CNFET ML-classification line
+of work) lower onto the GNOR PLA fabric:
+
+* :class:`ThresholdModel` — an integer linear threshold unit
+  ``predict(x) = [sum_i w_i x_i >= theta]``; compiled by
+  **threshold-to-cover expansion**: a memoized Shannon recursion on
+  ``(variable index, residual threshold)`` whose leaves are tautology/
+  contradiction suffixes.  The recursion *is* the (quasi-reduced)
+  decision diagram of the pseudo-Boolean constraint; enumerating its
+  branch paths yields a disjoint SOP for the ON-set and, from the
+  complementary leaves, the exact OFF-set — so the compiled
+  :class:`~repro.logic.function.BooleanFunction` carries its structural
+  complement like the arithmetic cells do.
+
+* :class:`DecisionListModel` — an ordered rule list ``(condition ->
+  class)`` with a default; compiled by walking rules first-to-last
+  while maintaining the still-unclaimed input space as a cube list
+  (sharp against each fired condition), so rule priority is resolved
+  at compile time and the emitted cover needs no ordering semantics.
+
+Both trainers are deliberately tiny and fully deterministic — fixed
+epochs, fixed row order, integer arithmetic — because trained weights
+feed content-addressed store keys: the same bundled dataset must
+compile to the same cover on every host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.logic.cover import Cover
+from repro.logic.cube import (BIT_DASH, BIT_ONE, BIT_ZERO, Cube,
+                              full_input_mask)
+from repro.logic.function import BooleanFunction
+from repro.workloads.datasets import Dataset
+
+
+# ----------------------------------------------------------------------
+# models
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ThresholdModel:
+    """An integer linear threshold classifier over binary features."""
+
+    weights: Tuple[int, ...]
+    theta: int
+    name: str = "threshold"
+
+    @property
+    def n_features(self) -> int:
+        return len(self.weights)
+
+    def score(self, x: int) -> int:
+        return sum(w for i, w in enumerate(self.weights) if (x >> i) & 1)
+
+    def predict(self, x: int) -> int:
+        return 1 if self.score(x) >= self.theta else 0
+
+    def to_json(self) -> dict:
+        return {"kind": "threshold", "name": self.name,
+                "weights": list(self.weights), "theta": self.theta}
+
+
+@dataclass(frozen=True)
+class DecisionListModel:
+    """An ordered rule list; each rule is (input mask, class).
+
+    ``rules[r] = (mask, label)`` where ``mask`` is a positional-
+    notation condition over the features; the first matching rule
+    decides, falling back to ``default``.
+    """
+
+    n_features: int
+    rules: Tuple[Tuple[int, int], ...]
+    default: int
+    name: str = "dlist"
+
+    def predict(self, x: int) -> int:
+        for mask, label in self.rules:
+            if self._matches(mask, x):
+                return label
+        return self.default
+
+    def _matches(self, mask: int, x: int) -> bool:
+        for i in range(self.n_features):
+            bit = BIT_ONE if (x >> i) & 1 else BIT_ZERO
+            if not (mask >> (2 * i)) & bit:
+                return False
+        return True
+
+    def to_json(self) -> dict:
+        return {"kind": "dlist", "name": self.name,
+                "features": self.n_features,
+                "rules": [[mask, label] for mask, label in self.rules],
+                "default": self.default}
+
+
+def model_accuracy(model, rows: Sequence[Tuple[int, int]]) -> float:
+    """Fraction of ``(x, y)`` rows the model labels correctly."""
+    if not rows:
+        return 1.0
+    return sum(1 for x, y in rows if model.predict(x) == y) / len(rows)
+
+
+# ----------------------------------------------------------------------
+# threshold-to-cover expansion
+# ----------------------------------------------------------------------
+def threshold_to_cover(model: ThresholdModel
+                       ) -> Tuple[List[int], List[int]]:
+    """Expand a threshold unit into disjoint (ON, OFF) input-mask lists.
+
+    Shannon recursion on feature index with the residual threshold as
+    the co-ordinate, memoized after clamping the residual into the
+    still-achievable score interval — the clamp is what collapses the
+    exponential branch tree into the decision diagram.
+    """
+    n = model.n_features
+    full = full_input_mask(n)
+    # suffix score bounds: lo[i]/hi[i] = min/max achievable from features i..n-1
+    lo = [0] * (n + 1)
+    hi = [0] * (n + 1)
+    for i in reversed(range(n)):
+        w = model.weights[i]
+        lo[i] = lo[i + 1] + min(w, 0)
+        hi[i] = hi[i + 1] + max(w, 0)
+
+    memo: Dict[Tuple[int, int], Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
+
+    def rec(i: int, t: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        # clamp into [lo, hi+1]: anything below always fires, anything
+        # above never does — distinct residuals in one bucket behave
+        # identically on every suffix assignment
+        t = max(lo[i], min(t, hi[i] + 1))
+        if t <= lo[i]:
+            return (full,), ()
+        if t > hi[i]:
+            return (), (full,)
+        key = (i, t)
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        w = model.weights[i]
+        on_hi, off_hi = rec(i + 1, t - w)   # x_i = 1
+        on_lo, off_lo = rec(i + 1, t)       # x_i = 0
+        set_hi = ~(BIT_ZERO << (2 * i)) & full
+        set_lo = ~(BIT_ONE << (2 * i)) & full
+        result = (
+            tuple(m & set_hi for m in on_hi)
+            + tuple(m & set_lo for m in on_lo),
+            tuple(m & set_hi for m in off_hi)
+            + tuple(m & set_lo for m in off_lo),
+        )
+        memo[key] = result
+        return result
+
+    on, off = rec(0, model.theta)
+    return list(on), list(off)
+
+
+def _sharp_masks(masks: List[int], condition: int, n: int) -> List[int]:
+    """The part of ``masks`` outside ``condition`` (input-part sharp)."""
+    remaining: List[int] = []
+    helper = Cube(n, condition, 1, 1)
+    for mask in masks:
+        cube = Cube(n, mask, 1, 1)
+        if not cube.intersects(helper):
+            remaining.append(mask)
+            continue
+        for piece in helper.complement_cubes():
+            clipped = cube.intersection(piece)
+            if clipped is not None:
+                remaining.append(clipped.inputs)
+    return remaining
+
+
+def decision_list_to_cover(model: DecisionListModel
+                           ) -> Tuple[List[int], List[int]]:
+    """Compile a decision list into disjoint (ON, OFF) input masks.
+
+    Walks rules in priority order, intersecting each condition with
+    the input space earlier rules left unclaimed, so the union is
+    order-free; the default class claims the remainder.
+    """
+    n = model.n_features
+    remaining = [full_input_mask(n)]
+    rails: Dict[int, List[int]] = {0: [], 1: []}
+    for condition, label in model.rules:
+        helper = Cube(n, condition, 1, 1)
+        for mask in remaining:
+            clipped = Cube(n, mask, 1, 1).intersection(helper)
+            if clipped is not None:
+                rails[label].append(clipped.inputs)
+        remaining = _sharp_masks(remaining, condition, n)
+    rails[model.default].extend(remaining)
+    return rails[1], rails[0]
+
+
+def compile_classifier(model, name: Optional[str] = None
+                       ) -> BooleanFunction:
+    """Lower a trained model to a single-output cover (structural OFF).
+
+    The ON-set asserts class 1; the OFF rail from the expansion seeds
+    the function's complement, so minimization never re-derives it.
+    """
+    if isinstance(model, ThresholdModel):
+        on_masks, off_masks = threshold_to_cover(model)
+    elif isinstance(model, DecisionListModel):
+        on_masks, off_masks = decision_list_to_cover(model)
+    else:
+        raise TypeError(f"cannot compile {type(model).__name__}")
+    n = model.n_features
+    on = Cover(n, 1, [Cube(n, m, 1, 1) for m in sorted(set(on_masks))])
+    off = Cover(n, 1, [Cube(n, m, 1, 1) for m in sorted(set(off_masks))])
+    function = BooleanFunction(
+        on, name=name or f"workload:clf-{model.name}",
+        input_labels=[f"f{i}" for i in range(n)],
+        output_labels=["class1"])
+    function._off_set = off
+    return function
+
+
+# ----------------------------------------------------------------------
+# deterministic trainers
+# ----------------------------------------------------------------------
+def train_threshold(dataset: Dataset, epochs: int = 40) -> ThresholdModel:
+    """A deterministic integer perceptron.
+
+    Fixed epoch count, fixed row order, ±1 integer updates on
+    mistakes: the learned weights are a pure function of the dataset,
+    which keeps compiled covers (and their store keys) host-stable.
+    """
+    n = dataset.n_features
+    weights = [0] * n
+    bias = 0
+    for _ in range(epochs):
+        mistakes = 0
+        for x, y in dataset.train:
+            score = bias + sum(w for i, w in enumerate(weights)
+                               if (x >> i) & 1)
+            predicted = 1 if score >= 0 else 0
+            if predicted != y:
+                mistakes += 1
+                delta = 1 if y else -1
+                bias += delta
+                for i in range(n):
+                    if (x >> i) & 1:
+                        weights[i] += delta
+        if not mistakes:
+            break
+    return ThresholdModel(tuple(weights), -bias,
+                          name=f"{dataset.name}-perceptron")
+
+
+def train_decision_list(dataset: Dataset, max_literals: int = 3,
+                        max_rules: int = 8) -> DecisionListModel:
+    """A greedy deterministic decision-list learner.
+
+    Each round scores every conjunction of up to ``max_literals``
+    literals by (purity, coverage) on the still-uncovered training
+    rows — ties broken by the condition mask, so the learned list is
+    unique — claims the winner's rows, and stops when rules run out or
+    nothing pure remains.  The default class is the majority of the
+    uncovered remainder.
+    """
+    n = dataset.n_features
+    full = full_input_mask(n)
+
+    conditions: List[int] = []
+
+    def grow(mask: int, start: int, depth: int) -> None:
+        if depth == 0:
+            return
+        for var in range(start, n):
+            for field in (BIT_ONE, BIT_ZERO):
+                refined = (mask & ~(BIT_DASH << (2 * var))) \
+                    | (field << (2 * var))
+                conditions.append(refined)
+                grow(refined, var + 1, depth - 1)
+
+    grow(full, 0, max_literals)
+
+    def matches(mask: int, x: int) -> bool:
+        for i in range(n):
+            bit = BIT_ONE if (x >> i) & 1 else BIT_ZERO
+            if not (mask >> (2 * i)) & bit:
+                return False
+        return True
+
+    remaining = list(dataset.train)
+    rules: List[Tuple[int, int]] = []
+    while remaining and len(rules) < max_rules:
+        best = None
+        for mask in conditions:
+            hit = [y for x, y in remaining if matches(mask, x)]
+            if not hit:
+                continue
+            for label in (1, 0):
+                correct = sum(1 for y in hit if y == label)
+                purity = correct / len(hit)
+                key = (purity, correct, -mask, -label)
+                if best is None or key > best[0]:
+                    best = (key, mask, label)
+        if best is None or best[0][0] < 1.0:
+            break  # nothing pure left; the default absorbs the rest
+        _key, mask, label = best
+        rules.append((mask, label))
+        remaining = [(x, y) for x, y in remaining if not matches(mask, x)]
+    if remaining:
+        ones = sum(1 for _x, y in remaining if y)
+        default = 1 if 2 * ones >= len(remaining) else 0
+    else:
+        default = 0
+    return DecisionListModel(n, tuple(rules), default,
+                             name=f"{dataset.name}-dlist")
+
+
+__all__ = ["DecisionListModel", "ThresholdModel", "compile_classifier",
+           "decision_list_to_cover", "model_accuracy",
+           "threshold_to_cover", "train_decision_list",
+           "train_threshold"]

@@ -1,0 +1,161 @@
+"""Bundled example datasets for the classifier workloads.
+
+Each dataset is a small, fully deterministic binary-feature
+classification problem: rows are ``(x, y)`` with ``x`` an integer
+minterm over ``n_features`` inputs (bit ``i`` = feature ``i``) and
+``y`` a 0/1 label.  Generation is a pure function of the dataset name
+— seeded :class:`random.Random`, no ambient state — so digests, store
+keys and trained models are stable across processes and platforms.
+
+Datasets double as **vector streams**: :func:`dataset_stream_spec`
+describes "the rows of dataset D, tiled N times" as a compact
+JSON-shaped spec, and :func:`repro.testgen.lfsr.stream_minterms`
+dispatches specs of kind ``dataset`` here — so the batched evaluation
+arena, the store's ``eval_batch`` kind and the serve layer can all be
+driven from dataset rows exactly like they are from LFSR streams.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """One bundled dataset, already split train/test.
+
+    ``train`` and ``test`` are ``(minterm, label)`` lists; the split is
+    part of the deterministic generation, so every consumer sees the
+    same partition.
+    """
+
+    name: str
+    n_features: int
+    train: Tuple[Tuple[int, int], ...]
+    test: Tuple[Tuple[int, int], ...]
+
+    @property
+    def rows(self) -> Tuple[Tuple[int, int], ...]:
+        """All rows, train then test."""
+        return self.train + self.test
+
+    def stats(self) -> dict:
+        return {"name": self.name, "features": self.n_features,
+                "train_rows": len(self.train), "test_rows": len(self.test)}
+
+
+def _split(rows: List[Tuple[int, int]], rng: random.Random,
+           test_fraction: float = 0.25) -> Tuple[tuple, tuple]:
+    """Deterministic shuffled train/test split."""
+    rows = list(rows)
+    rng.shuffle(rows)
+    n_test = max(1, int(len(rows) * test_fraction))
+    return tuple(rows[n_test:]), tuple(rows[:n_test])
+
+
+def _majority9() -> Dataset:
+    """9-bit majority vote: exhaustive, linearly separable."""
+    rows = [(m, 1 if bin(m).count("1") >= 5 else 0) for m in range(512)]
+    train, test = _split(rows, random.Random(0x6d617931))
+    return Dataset("majority9", 9, train, test)
+
+
+def _blobs12() -> Dataset:
+    """Two noisy clusters of 12-bit vectors around complementary
+    prototypes (hamming-ball classes; linearly separable in the mean).
+    """
+    rng = random.Random(0x626c6f62)
+    proto = {1: 0b111111000000, 0: 0b000000111111}
+    rows = []
+    for _ in range(320):
+        label = rng.randrange(2)
+        x = proto[label]
+        for bit in range(12):
+            if rng.random() < 0.12:
+                x ^= 1 << bit
+        rows.append((x, label))
+    train, test = _split(rows, rng)
+    return Dataset("blobs12", 12, train, test)
+
+
+def _mux6() -> Dataset:
+    """6-input multiplexer: 2 select bits choose one of 4 data bits.
+
+    Exhaustive (64 rows) and *not* linearly separable — the decision-
+    list learner's bundled target.  Layout: selects at bits 0..1,
+    data at bits 2..5.
+    """
+    rows = []
+    for m in range(64):
+        sel = m & 0b11
+        rows.append((m, (m >> (2 + sel)) & 1))
+    train, test = _split(rows, random.Random(0x6d757836))
+    return Dataset("mux6", 6, train, test)
+
+
+_BUILDERS: Dict[str, Callable[[], Dataset]] = {
+    "majority9": _majority9,
+    "blobs12": _blobs12,
+    "mux6": _mux6,
+}
+
+_CACHE: Dict[str, Dataset] = {}
+
+
+def dataset_names() -> List[str]:
+    """Names of every bundled dataset, sorted."""
+    return sorted(_BUILDERS)
+
+
+def get_dataset(name: str) -> Dataset:
+    """Look up (and memoize) a bundled dataset by name."""
+    dataset = _CACHE.get(name)
+    if dataset is None:
+        builder = _BUILDERS.get(name)
+        if builder is None:
+            raise KeyError(f"unknown dataset {name!r} "
+                           f"(bundled: {', '.join(dataset_names())})")
+        dataset = _CACHE[name] = builder()
+    return dataset
+
+
+# ----------------------------------------------------------------------
+# dataset-backed vector streams
+# ----------------------------------------------------------------------
+def dataset_stream_spec(name: str, repeat: int = 1,
+                        split: str = "all") -> dict:
+    """A JSON-shaped stream spec: dataset rows tiled ``repeat`` times.
+
+    The spec is what travels in cache keys and serve requests — the
+    vectors are a pure function of it (see
+    :func:`repro.testgen.lfsr.stream_minterms`, which dispatches kind
+    ``dataset`` to :func:`dataset_stream_minterms`).
+    """
+    if split not in ("all", "train", "test"):
+        raise ValueError(f"bad dataset split {split!r}")
+    get_dataset(name)  # fail fast on unknown names
+    return {"kind": "dataset", "name": name, "repeat": int(repeat),
+            "split": split}
+
+
+def dataset_stream_minterms(spec: dict) -> List[int]:
+    """Materialize a :func:`dataset_stream_spec` as minterm integers."""
+    if spec.get("kind") != "dataset":
+        raise ValueError(f"not a dataset stream spec: {spec!r}")
+    repeat = int(spec.get("repeat", 1))
+    if repeat < 1:
+        raise ValueError("dataset stream repeat must be >= 1")
+    dataset = get_dataset(spec["name"])
+    split = spec.get("split", "all")
+    rows = {"all": dataset.rows, "train": dataset.train,
+            "test": dataset.test}.get(split)
+    if rows is None:
+        raise ValueError(f"bad dataset split {split!r}")
+    minterms = [x for x, _y in rows]
+    return minterms * repeat
+
+
+__all__ = ["Dataset", "dataset_names", "dataset_stream_minterms",
+           "dataset_stream_spec", "get_dataset"]

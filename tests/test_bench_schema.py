@@ -1,0 +1,79 @@
+"""Schema checker coverage for the workload benchmark records."""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench_schema", REPO / "benchmarks" / "check_bench_schema.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def report():
+    return json.loads((REPO / "BENCH_perf.json").read_text())
+
+
+def test_committed_report_is_valid(checker, report):
+    assert checker.validate_report(report) == []
+
+
+def _record(report, name):
+    return next(r for r in report["results"] if r["name"] == name)
+
+
+def test_workload_records_are_required(checker, report):
+    broken = copy.deepcopy(report)
+    broken["results"] = [r for r in broken["results"]
+                         if r["name"] not in ("workload_arith",
+                                              "workload_curve")]
+    errors = checker.validate_report(broken)
+    assert any("workload_arith" in e for e in errors)
+    assert any("workload_curve" in e for e in errors)
+
+
+@pytest.mark.parametrize("name, mutate, needle", [
+    ("workload_arith", lambda r: r.__setitem__("identical", False),
+     "identity flag"),
+    ("workload_arith", lambda r: r.__setitem__("inputs", 8),
+     "fewer than 16 inputs"),
+    ("workload_arith", lambda r: r.__setitem__("oracle_mismatches", 3),
+     "oracle mismatches"),
+    ("workload_curve", lambda r: r.__setitem__("identical", False),
+     "byte-identity"),
+    ("workload_curve", lambda r: r.__setitem__("model_digest", "short"),
+     "64-hex"),
+    ("workload_curve", lambda r: r.__setitem__("points", []),
+     "curve points"),
+    ("workload_curve",
+     lambda r: r["points"][0].pop("repaired_ci95"),
+     "Wilson"),
+])
+def test_workload_record_violations(checker, report, name, mutate, needle):
+    broken = copy.deepcopy(report)
+    mutate(_record(broken, name))
+    errors = checker.validate_report(broken)
+    assert any(needle in e for e in errors), errors
+
+
+def test_workload_acceptance_block_gated(checker, report):
+    broken = copy.deepcopy(report)
+    broken["acceptance_workload"]["pass"] = False
+    errors = checker.validate_report(broken)
+    assert any("acceptance_workload" in e for e in errors)
+    broken = copy.deepcopy(report)
+    del broken["acceptance_workload"]
+    errors = checker.validate_report(broken)
+    assert any("acceptance_workload" in e for e in errors)

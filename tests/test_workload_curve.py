@@ -1,0 +1,136 @@
+"""Curve driver: schema contract, store identity, projection math."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import workloads
+from repro.analysis.export import (curve_json, validate_curve_report,
+                                   write_curve_report)
+from repro.errors import ReproInputError
+from repro.workloads.curves import (CURVE_SCHEMA, CURVE_VERSION,
+                                    CurveSettings, run_curve)
+
+#: Small but real settings: every test below shares one curve run via
+#: the per-test store, so the sweep happens once per test.
+SMALL = dict(rates=(0.002,), samples=30, stream_words=8)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_workload_caches():
+    workloads.clear_caches()
+    yield
+    workloads.clear_caches()
+
+
+def test_settings_validation():
+    assert CurveSettings(spec="workload:add2", **SMALL).spec == "add2"
+    with pytest.raises(ReproInputError):
+        CurveSettings(spec="zork", **SMALL)
+    with pytest.raises(ValueError):
+        CurveSettings(spec="add2", rates=())
+    with pytest.raises(ValueError):
+        CurveSettings(spec="add2", rates=(1.5,))
+    with pytest.raises(ValueError):
+        CurveSettings(spec="add2", techs=())
+    with pytest.raises(ValueError):
+        CurveSettings(spec="add2", samples=0)
+    with pytest.raises(ValueError):
+        CurveSettings(spec="add2", stream_words=0)
+
+
+def test_classifier_curve_report_shape():
+    settings = CurveSettings(spec="clf-mux6-dlist",
+                             techs=("cnfet", "flash"), **SMALL)
+    report = run_curve(settings)
+    assert report["schema"] == CURVE_SCHEMA
+    assert report["version"] == CURVE_VERSION
+    assert report["model"]["dataset"] == "mux6"
+    assert len(report["model"]["digest"]) == 64
+    assert report["clean"]["stream"]["agreement"] == 1.0
+    assert report["clean"]["dataset"]["row_agreement"] == 1.0
+    # CNFET single-polarity columns beat flash's 2I on the same array
+    cnfet, flash = report["technologies"]
+    assert cnfet["tech"] == "cnfet" and flash["tech"] == "flash"
+    assert cnfet["area_l2"] != flash["area_l2"]
+    (point,) = report["points"]
+    lo, hi = point["yield"]["repaired_ci95"]
+    assert 0.0 <= lo <= point["yield"]["repaired_yield"] <= hi <= 1.0
+    acc = point["accuracy"]
+    assert "expected_accuracy" in acc
+    alo, ahi = acc["expected_accuracy_ci95"]
+    assert alo <= acc["expected_accuracy"] <= ahi
+
+
+def test_arithmetic_curve_has_no_accuracy_axis():
+    report = run_curve(CurveSettings(spec="pop3", **SMALL))
+    (point,) = report["points"]
+    assert "expected_accuracy" not in point["accuracy"]
+    assert 0.0 <= point["accuracy"]["expected_correct_fraction"] <= 1.0
+
+
+def test_accuracy_projection_formula():
+    """expected = acc*y + 0.5*(1-y), applied to the point and both CI
+    endpoints."""
+    from repro.workloads.curves import _accuracy_projection
+    yield_json = {"repaired_yield": 0.8, "repaired_ci95": [0.6, 0.9],
+                  "degraded_mean_correct": 0.7}
+    block = _accuracy_projection(0.9, yield_json)
+    assert block["expected_accuracy"] == pytest.approx(
+        0.9 * 0.8 + 0.5 * 0.2)
+    assert block["expected_accuracy_ci95"][0] == pytest.approx(
+        0.9 * 0.6 + 0.5 * 0.4)
+    assert block["expected_correct_fraction"] == pytest.approx(
+        0.8 + 0.2 * 0.7)
+
+
+def test_cold_vs_warm_byte_identical():
+    settings = CurveSettings(spec="clf-mux6-dlist", **SMALL)
+    cold = run_curve(settings)
+    warm = run_curve(settings)
+    assert curve_json(cold) == curve_json(warm)
+
+
+def test_store_key_separates_model_and_settings(monkeypatch):
+    """A different spec or settings must never alias in the store."""
+    a = run_curve(CurveSettings(spec="pop2", **SMALL))
+    b = run_curve(CurveSettings(spec="pop3", **SMALL))
+    assert a["function"]["name"] != b["function"]["name"]
+    c = run_curve(CurveSettings(spec="pop2", rates=(0.004,), samples=30,
+                                stream_words=8))
+    assert c["points"][0]["p_stuck_off"] == 0.004
+    assert a["points"][0]["p_stuck_off"] == 0.002
+
+
+def test_validate_rejects_malformed_reports():
+    good = run_curve(CurveSettings(spec="pop2", **SMALL))
+    assert validate_curve_report(good) is good
+    with pytest.raises(ValueError):
+        validate_curve_report([])
+    for mutate in (
+        lambda d: d.pop("points"),
+        lambda d: d.__setitem__("schema", "bogus"),
+        lambda d: d.__setitem__("version", 99),
+        lambda d: d.__setitem__("points", []),
+        lambda d: d["points"][0].pop("yield"),
+        lambda d: d["points"][0]["yield"].pop("repaired_ci95"),
+        lambda d: d["model"].__setitem__("digest", "short"),
+        lambda d: d.__setitem__("technologies", []),
+        lambda d: d["technologies"][0].pop("area_l2"),
+    ):
+        import copy
+        broken = copy.deepcopy(good)
+        mutate(broken)
+        with pytest.raises(ValueError):
+            validate_curve_report(broken)
+
+
+def test_write_curve_report_round_trips(tmp_path):
+    import json
+    report = run_curve(CurveSettings(spec="pop2", **SMALL))
+    path = write_curve_report(tmp_path / "curve.json", report)
+    loaded = json.loads(path.read_text())
+    assert validate_curve_report(loaded)["points"] == report["points"]
+    # canonical render: writing twice is byte-identical
+    again = write_curve_report(tmp_path / "curve2.json", report)
+    assert path.read_bytes() == again.read_bytes()

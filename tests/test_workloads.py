@@ -1,0 +1,335 @@
+"""Workload generator subsystem: generators, compilers, registry, ops.
+
+The load-bearing contract is differential: every generated or compiled
+cover must agree with an *independent* oracle — plain Python integer
+arithmetic for the arithmetic cells, direct model evaluation for the
+classifiers — exhaustively at small widths and on LFSR samples at
+large ones, on both kernel backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels, workloads
+from repro.errors import ReproInputError
+from repro.workloads import arith, classify, datasets
+from repro.workloads.classify import (DecisionListModel, ThresholdModel,
+                                      compile_classifier,
+                                      threshold_to_cover)
+
+BACKENDS = ("python", "numpy")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_workload_caches():
+    """Compiled-function memos must not leak across tests (each test
+    gets its own artifact store, so a cached compile would alias)."""
+    workloads.clear_caches()
+    yield
+    workloads.clear_caches()
+
+
+def _assert_matches_oracle(function, spec, minterms):
+    for minterm in minterms:
+        expected = workloads.oracle_mask(spec, minterm)
+        actual = function.on_set.output_mask_for(minterm)
+        assert actual == expected, (
+            f"{spec}: minterm {minterm:b} -> {actual:b}, "
+            f"oracle {expected:b}")
+
+
+# ----------------------------------------------------------------------
+# arithmetic generators vs integer-arithmetic oracles
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("width", [1, 2, 3])
+@pytest.mark.parametrize("carry_in", [False, True])
+def test_adder_exhaustive(width, carry_in):
+    spec = f"{'addc' if carry_in else 'add'}{width}"
+    function = workloads.raw_function(spec)
+    assert function.n_inputs == 2 * width + (1 if carry_in else 0)
+    assert function.n_outputs == width + 1
+    _assert_matches_oracle(function, spec, range(1 << function.n_inputs))
+
+
+@pytest.mark.parametrize("family", ["cmp", "lt", "eq", "gt"])
+@pytest.mark.parametrize("width", [1, 2, 3])
+def test_comparator_exhaustive(family, width):
+    spec = f"{family}{width}"
+    function = workloads.raw_function(spec)
+    assert function.n_inputs == 2 * width
+    assert function.n_outputs == (3 if family == "cmp" else 1)
+    _assert_matches_oracle(function, spec, range(1 << function.n_inputs))
+
+
+@pytest.mark.parametrize("width", [1, 2, 4, 6])
+def test_popcount_exhaustive(width):
+    spec = f"pop{width}"
+    function = workloads.raw_function(spec)
+    _assert_matches_oracle(function, spec, range(1 << width))
+
+
+def test_structural_off_set_is_exact_complement():
+    """The pre-seeded OFF-set must be the true complement — espresso
+    trusts it instead of re-deriving the complement."""
+    for spec in ("add2", "cmp2", "pop3", "clf-mux6-dlist"):
+        function = workloads.raw_function(spec)
+        off = function.off_set
+        for minterm in range(1 << function.n_inputs):
+            on_mask = function.on_set.output_mask_for(minterm)
+            off_mask = off.output_mask_for(minterm)
+            assert on_mask & off_mask == 0, f"{spec}: overlap"
+            full = (1 << function.n_outputs) - 1
+            assert on_mask | off_mask == full, f"{spec}: hole"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_compiled_adders_match_oracle_both_backends(backend):
+    """Minimized (compiled) covers stay bit-identical to the integer
+    oracle on both REPRO_KERNEL backends — espresso must not change
+    the function, and neither backend may disagree."""
+    if backend == "numpy":
+        pytest.importorskip("numpy")
+    with kernels.forced_backend(backend):
+        for spec in ("add2", "addc2", "cmp3", "pop4"):
+            function = workloads.workload_function(spec)
+            _assert_matches_oracle(function, spec,
+                                   range(1 << function.n_inputs))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_wide_comparator_lfsr_sample_both_backends(backend):
+    """gt8 (16 inputs) sampled via the LFSR stream on each backend."""
+    if backend == "numpy":
+        pytest.importorskip("numpy")
+    from repro.testgen.lfsr import stream_minterms, stream_spec
+    with kernels.forced_backend(backend):
+        function = workloads.workload_function("gt8")
+        sample = stream_minterms(stream_spec(16, 8, seed=7))
+        _assert_matches_oracle(function, "gt8", sample)
+
+
+def test_compile_minimizes_add4():
+    raw = workloads.raw_function("add4")
+    compiled = workloads.workload_function("add4")
+    assert compiled.on_set.n_cubes() <= raw.on_set.n_cubes()
+    assert raw.equivalent_to(compiled.on_set)
+
+
+# ----------------------------------------------------------------------
+# threshold expansion + classifier compilation
+# ----------------------------------------------------------------------
+@given(weights=st.lists(st.integers(-4, 4), min_size=1, max_size=7),
+       theta=st.integers(-8, 8))
+@settings(max_examples=60, deadline=None)
+def test_threshold_expansion_matches_model(weights, theta):
+    model = ThresholdModel(tuple(weights), theta)
+    on_masks, off_masks = threshold_to_cover(model)
+    function = compile_classifier(model)
+    n = model.n_features
+    for x in range(1 << n):
+        assert function.on_set.output_mask_for(x) == model.predict(x)
+    # ON/OFF rails partition the space (disjoint + exhaustive)
+    off = function.off_set
+    for x in range(1 << n):
+        on_hit = function.on_set.output_mask_for(x)
+        assert on_hit ^ off.output_mask_for(x) == 1
+
+
+def test_decision_list_priority_resolved_at_compile_time():
+    """An earlier rule must shadow a later overlapping one."""
+    from repro.logic.cube import BIT_DASH, BIT_ONE, full_input_mask
+    full = full_input_mask(3)
+    cond_x0 = (full & ~(BIT_DASH << 0)) | (BIT_ONE << 0)   # x0
+    cond_x1 = (full & ~(BIT_DASH << 2)) | (BIT_ONE << 2)   # x1
+    model = DecisionListModel(3, ((cond_x0, 0), (cond_x1, 1)), default=0)
+    function = compile_classifier(model)
+    for x in range(8):
+        assert function.on_set.output_mask_for(x) == model.predict(x)
+    # x0 & x1 set: rule 0 (class 0) fires first, so NOT in the ON-set
+    assert function.on_set.output_mask_for(0b011) == 0
+
+
+@pytest.mark.parametrize("spec", ["clf-majority9-perceptron",
+                                  "clf-blobs12-perceptron",
+                                  "clf-mux6-dlist"])
+def test_compiled_classifier_matches_model_on_every_row(spec):
+    info = workloads.parse_workload(spec)
+    model = workloads.train_model(info["dataset"], info["algorithm"])
+    function = workloads.workload_function(spec)
+    dataset = datasets.get_dataset(info["dataset"])
+    for x, _y in dataset.rows:
+        assert function.on_set.output_mask_for(x) == model.predict(x)
+
+
+def test_bundled_models_actually_learn():
+    """Each default classifier must beat chance on its held-out split
+    (guards against a silently broken trainer)."""
+    for spec in ("clf-majority9-perceptron", "clf-blobs12-perceptron",
+                 "clf-mux6-dlist"):
+        info = workloads.parse_workload(spec)
+        dataset = datasets.get_dataset(info["dataset"])
+        model = workloads.train_model(info["dataset"], info["algorithm"])
+        assert classify.model_accuracy(model, dataset.test) >= 0.8, spec
+
+
+def test_trainers_are_deterministic():
+    a = workloads.train_model("majority9", "perceptron")
+    b = workloads.train_model("majority9", "perceptron")
+    assert a.to_json() == b.to_json()
+    c = workloads.train_model("mux6", "dlist")
+    d = workloads.train_model("mux6", "dlist")
+    assert c.to_json() == d.to_json()
+    assert workloads.model_digest("clf-mux6-dlist") \
+        == workloads.model_digest("workload:clf-mux6-dlist")
+
+
+# ----------------------------------------------------------------------
+# datasets and dataset streams
+# ----------------------------------------------------------------------
+def test_datasets_deterministic_and_in_range():
+    for name in datasets.dataset_names():
+        first = datasets.get_dataset(name)
+        datasets._CACHE.clear()
+        second = datasets.get_dataset(name)
+        assert first.rows == second.rows
+        assert all(0 <= x < (1 << first.n_features)
+                   for x, _y in first.rows)
+        assert all(y in (0, 1) for _x, y in first.rows)
+        assert first.train and first.test
+
+
+def test_dataset_stream_through_lfsr_dispatch():
+    from repro.testgen.lfsr import stream_minterms
+    spec = datasets.dataset_stream_spec("mux6", repeat=2)
+    minterms = stream_minterms(spec)
+    rows = [x for x, _y in datasets.get_dataset("mux6").rows]
+    assert minterms == rows * 2
+    with pytest.raises(ValueError):
+        stream_minterms({"kind": "nonsense"})
+    with pytest.raises(KeyError):
+        datasets.dataset_stream_spec("nope")
+    with pytest.raises(ValueError):
+        datasets.dataset_stream_spec("mux6", split="weird")
+
+
+def test_dataset_stream_through_service_evaluate_batch():
+    from repro.store.service import get_service
+    function = workloads.workload_function("clf-mux6-dlist")
+    spec = datasets.dataset_stream_spec("mux6", split="test")
+    masks = get_service().evaluate_batch([function.on_set], stream=spec)[0]
+    dataset = datasets.get_dataset("mux6")
+    expected = [function.on_set.output_mask_for(x)
+                for x, _y in dataset.test]
+    assert masks == expected
+
+
+# ----------------------------------------------------------------------
+# registry + benchmark hook
+# ----------------------------------------------------------------------
+def test_parse_workload_rejects_bad_specs():
+    for bad in ("zork", "add0", "add99", "clf-nope-perceptron",
+                "clf-mux6-forest", "pop", "add-3"):
+        with pytest.raises(ReproInputError):
+            workloads.parse_workload(bad)
+
+
+def test_parse_accepts_prefix_and_reports_family():
+    info = workloads.parse_workload("workload:addc3")
+    assert info == {"spec": "addc3", "family": "addc", "width": 3}
+    info = workloads.parse_workload("clf-blobs12-dlist")
+    assert info["dataset"] == "blobs12"
+
+
+def test_benchmark_registry_resolves_workloads():
+    from repro.bench.mcnc import benchmark_function, get_benchmark
+    stats = get_benchmark("workload:add2")
+    function = workloads.workload_function("add2")
+    assert (stats.inputs, stats.outputs, stats.products) == (
+        function.n_inputs, function.n_outputs,
+        function.on_set.n_cubes())
+    assert stats.source == "workload"
+    resolved = benchmark_function(stats)
+    assert resolved.on_set.to_strings() == function.on_set.to_strings()
+    with pytest.raises(KeyError):
+        get_benchmark("workload:zork")
+
+
+def test_yield_engine_accepts_workload_benchmark():
+    from repro.robustness.yield_engine import YieldSettings, estimate_yield
+    report = estimate_yield(YieldSettings(benchmark="workload:pop3",
+                                          samples=30, seed=5))
+    assert report.samples == 30
+    assert 0.0 <= report.repaired_yield <= 1.0
+
+
+def test_default_workloads_all_parse():
+    infos = workloads.list_workloads()
+    assert len(infos) == len(workloads.DEFAULT_WORKLOADS)
+    assert {i["family"] for i in infos} >= {"add", "cmp", "pop", "clf"}
+
+
+# ----------------------------------------------------------------------
+# serve op
+# ----------------------------------------------------------------------
+def test_op_workload_build_and_eval():
+    from repro.serve.ops import dispatch
+    from repro.store import codecs
+    result = dispatch("workload", {"spec": "add2", "action": "eval",
+                                   "words": 8})
+    assert result["eval"]["mismatches"] == 0
+    cover = codecs.decode_cover(result["cover"])
+    compiled = workloads.workload_function("add2")
+    assert cover.to_strings() == compiled.on_set.to_strings()
+    assert len(result["model_digest"]) == 64
+
+
+def test_op_workload_rejects_bad_requests():
+    from repro.serve.ops import RequestError, dispatch
+    for params in ({"spec": "zork"},
+                   {"spec": "add2", "action": "frob"},
+                   {"spec": 3},
+                   {"spec": "add2", "action": "eval", "words": 0},
+                   {"spec": "add2", "action": "curve",
+                    "curve": {"rates": []}}):
+        with pytest.raises(RequestError):
+            dispatch("workload", params)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_workload_smoke(capsys, tmp_path):
+    from repro.cli import main
+    assert main(["workload", "ls"]) == 0
+    out = capsys.readouterr().out
+    assert "clf-mux6-dlist" in out and "add8" in out
+
+    pla = tmp_path / "cmp2.pla"
+    assert main(["workload", "build", "cmp2", "-o", str(pla)]) == 0
+    from repro.logic.pla_format import parse_pla
+    with open(pla) as handle:
+        reparsed = parse_pla(handle)
+    assert reparsed.n_inputs == 4 and reparsed.n_outputs == 3
+
+    assert main(["workload", "eval", "pop3", "--words", "4"]) == 0
+    assert "0 oracle mismatches" in capsys.readouterr().out
+
+    assert main(["workload", "eval"]) == 2       # missing spec
+    assert main(["workload", "build", "zork"]) == 2
+
+
+def test_cli_characterize_cell(capsys, tmp_path):
+    from repro.cli import main
+    code = main(["characterize", "--cell", "pop3", "--tech", "cnfet",
+                 "--yield-samples", "20", "--variation-trials", "10",
+                 "--power-vectors", "16",
+                 "--checkpoint", str(tmp_path / "c.ckpt.jsonl")])
+    assert code == 0
+    assert "workload:pop3" in capsys.readouterr().out
+    # --benchmark and --cell are mutually exclusive; neither is an error
+    assert main(["characterize", "--cell", "pop3", "--benchmark",
+                 "max46"]) == 2
+    assert main(["characterize"]) == 2
